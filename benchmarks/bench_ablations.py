@@ -1,0 +1,62 @@
+"""Design-choice ablations called out in DESIGN.md."""
+
+from repro.analysis import ablations
+from repro.core.tables import TextTable
+
+
+def bench_ablation_write_buffer(benchmark, show):
+    results = benchmark(ablations.write_buffer_sweep)
+    out = TextTable(["depth", "retire cycles", "R2000 trap us"],
+                    title="Write buffer sweep (§2.3)")
+    for depth, retire, us in results:
+        out.add_row([depth, retire, round(us, 2)])
+    fast, slow = ablations.same_page_merge_benefit()
+    show("Ablation: write buffer",
+         out.render() + f"\nDS5000 same-page merge: {fast:.2f} us vs {slow:.2f} us without")
+    times = {(d, r): t for d, r, t in results}
+    assert times[(8, 1)] < times[(1, 5)]
+
+
+def bench_ablation_tlb_tags(benchmark, show):
+    result = benchmark(ablations.tlb_tagging_ablation)
+    out = TextTable(["configuration", "LRPC us", "TLB share"],
+                    title="TLB PID-tag ablation on the CVAX (§3.2)")
+    out.add_row(["untagged (real CVAX)", round(result["untagged_total_us"], 1),
+                 f"{100 * result['untagged_tlb_fraction']:.0f}%"])
+    out.add_row(["PID-tagged variant", round(result["tagged_total_us"], 1),
+                 f"{100 * result['tagged_tlb_fraction']:.0f}%"])
+    show("Ablation: TLB tags", out.render())
+    assert result["tagged_total_us"] < result["untagged_total_us"]
+
+
+def bench_ablation_windows(benchmark, show):
+    sweep = benchmark(ablations.window_flush_sweep)
+    out = TextTable(["windows saved", "context switch us"],
+                    title="Register window flush sweep (§4.1)")
+    for saved, us in sweep:
+        out.add_row([saved, round(us, 1)])
+    show("Ablation: windows", out.render())
+    times = dict(sweep)
+    assert times[0] < times[3]
+
+
+def bench_ablation_pipelines(benchmark, show):
+    result = benchmark(ablations.pipeline_exposure_ablation)
+    out = TextTable(["pipeline model", "88000 trap us"],
+                    title="Exposed vs precise pipelines (§3.1)")
+    out.add_row(["exposed (real 88000)", round(result["exposed_us"], 2)])
+    out.add_row(["precise-interrupt variant", round(result["precise_us"], 2)])
+    show("Ablation: pipelines",
+         out.render() + f"\npipeline handling = {100 * result['pipeline_share']:.0f}% of the trap")
+    assert result["exposed_us"] > result["precise_us"]
+
+
+def bench_ablation_decomposition(benchmark, show):
+    sweep = benchmark(ablations.decomposition_granularity_sweep)
+    out = TextTable(["RPCs per service (x)", "% time in primitives"],
+                    title="Decomposition granularity sweep (§5, andrew-local)")
+    for multiplier, share in sweep:
+        out.add_row([multiplier, f"{100 * share:.1f}%"])
+    show("Ablation: decomposition", out.render())
+    shares = [s for _, s in sweep]
+    assert shares == sorted(shares)

@@ -1,0 +1,131 @@
+"""Benches for the extension experiments: §1 motivation traces, §2.5
+proposals, §3 COW messaging, the functional cross-validation, and the
+§6 future-generation sweep."""
+
+from repro.analysis.future import generation_sweep
+from repro.analysis.proposals import all_proposals, mips_atomic_test_and_set_on_parthenon
+from repro.arch import get_arch
+from repro.core.functional_bench import cross_validate
+from repro.core.tables import TextTable
+from repro.core.tracing import agarwal_system_reference_fraction, clark_emer_tlb_shares
+from repro.ipc.messages import cow_crossover_bytes, message_transfer_costs
+
+
+def bench_motivation_traces(benchmark, show):
+    def run():
+        cvax = get_arch("cvax")
+        return (
+            agarwal_system_reference_fraction(cvax),
+            clark_emer_tlb_shares(cvax),
+        )
+
+    system_fraction, (ref_share, miss_share) = benchmark(run)
+    out = TextTable(["observation", "paper", "measured"], title="Motivation traces (§1)")
+    out.add_row(["system references (Agarwal)", ">50%", f"{100 * system_fraction:.0f}%"])
+    out.add_row(["OS reference share (Clark & Emer)", "~20%", f"{100 * ref_share:.0f}%"])
+    out.add_row(["OS TLB-miss share (Clark & Emer)", ">67%", f"{100 * miss_share:.0f}%"])
+    show("Motivation traces", out.render())
+    assert system_fraction > 0.5
+    assert miss_share > 2 / 3
+
+
+def bench_proposals(benchmark, show):
+    proposals = benchmark(all_proposals)
+    tas = mips_atomic_test_and_set_on_parthenon()
+    out = TextTable(["proposal", "baseline us", "proposed us", "saving"],
+                    title="§2.5 proposals")
+    for p in proposals.values():
+        out.add_row([p.description, round(p.baseline_us, 2), round(p.proposed_us, 2),
+                     f"{100 * p.saving_fraction:.0f}%"])
+    show("Proposals", out.render() + f"\nMIPS+TAS parthenon speedup: {tas['speedup']:.2f}x")
+    assert all(p.saving_fraction > 0 for p in proposals.values())
+
+
+def bench_cow_messaging(benchmark, show):
+    def run():
+        return {
+            name: message_transfer_costs(get_arch(name), 64 * 1024)
+            for name in ("cvax", "r3000", "sparc", "i860")
+        }
+
+    costs = benchmark(run)
+    out = TextTable(["system", "copy us", "COW us", "COW+write us", "crossover B"],
+                    title="64 KB message transfer: copy vs copy-on-write (§3)")
+    for name, cost in costs.items():
+        out.add_row([name, round(cost.copy_us, 1), round(cost.cow_us, 1),
+                     round(cost.cow_with_write_us, 1), cow_crossover_bytes(get_arch(name))])
+    show("COW messaging", out.render())
+    assert all(cost.cow_wins_read_only for cost in costs.values())
+    # the §3.3 warning: written-to COW can lose on slow-fault machines
+    small = message_transfer_costs(get_arch("i860"), 4096)
+    assert small.cow_with_write_us > small.copy_us
+
+
+def bench_functional_cross_validation(benchmark, show):
+    def run():
+        return {name: cross_validate(get_arch(name)) for name in ("cvax", "r3000", "sparc")}
+
+    ratios = benchmark(run)
+    out = TextTable(["system", "syscall", "trap", "pte", "ctx"],
+                    title="Functional machine vs analytic microbench (ratio, 1.0 = agree)")
+    from repro.kernel.primitives import Primitive
+
+    for name, r in ratios.items():
+        out.add_row([name, round(r[Primitive.NULL_SYSCALL], 2), round(r[Primitive.TRAP], 2),
+                     round(r[Primitive.PTE_CHANGE], 2), round(r[Primitive.CONTEXT_SWITCH], 2)])
+    show("Functional cross-validation", out.render())
+    for r in ratios.values():
+        assert all(abs(v - 1.0) < 0.15 for v in r.values())
+
+
+def bench_future_generations(benchmark, show):
+    points = benchmark(generation_sweep)
+    out = TextTable(["generation", "app speedup", "worst primitive", "lag", "kernelized share"],
+                    title="Next-generation projection (§6)")
+    for p in points:
+        worst = min(p.syscall_speedup, p.trap_speedup, p.context_switch_speedup)
+        out.add_row([p.label, f"{p.app_speedup:.0f}x", f"{worst:.2f}x",
+                     f"{p.primitive_lag:.2f}", f"{100 * p.kernelized_primitive_share:.1f}%"])
+    show("Future generations", out.render())
+    assert points[-1].primitive_lag < points[0].primitive_lag
+
+
+def bench_lmbench_suite(benchmark, show):
+    from repro.core import lmbench
+
+    rows = benchmark(lmbench.suite)
+    show("lmbench-style suite", lmbench.render(rows))
+    # pipe latency (2 syscalls + 2 switches) is worst on the SPARC
+    sparc = rows["sparc"].pipe_latency_us
+    assert all(row.pipe_latency_us <= sparc for row in rows.values())
+
+
+def bench_transport_loss(benchmark, show):
+    from repro.ipc.transport import loss_amplification
+
+    clean, lossy = benchmark(loss_amplification, 5)
+    show(
+        "Reliable transport under loss",
+        f"64 KB transfer: {clean / 1000:.1f} ms clean vs {lossy / 1000:.1f} ms "
+        f"with 1-in-5 loss ({lossy / clean:.2f}x) — every retransmission "
+        "re-pays the OS send path (§2.1)",
+    )
+    assert lossy > clean
+
+
+def bench_dsm_sharing(benchmark, show):
+    from repro.analysis.dsm_analysis import network_scaling, sharing_pattern_gap
+
+    read, ping_pong = benchmark(sharing_pattern_gap)
+    lines = [
+        f"read-mostly sharing: {read.us_per_access:8.1f} us/access",
+        f"write ping-pong:     {ping_pong.us_per_access:8.1f} us/access "
+        f"({ping_pong.us_per_access / read.us_per_access:.0f}x worse)",
+    ]
+    for point in network_scaling():
+        lines.append(
+            f"{point.bandwidth_factor:5.0f}x network: software share of a miss "
+            f"{100 * point.software_fraction:.0f}%"
+        )
+    show("DSM sharing and network scaling (§3)", "\n".join(lines))
+    assert ping_pong.us_per_access > read.us_per_access

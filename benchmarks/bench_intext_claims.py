@@ -1,0 +1,116 @@
+"""The paper's quantified in-text claims (its figure-equivalents).
+
+One bench per claim cluster: MIPS (§2.3), SPARC (§2.3/§4.1), i860
+(§3.1/§3.2), Synapse and parthenon (§4.1), RPC scaling (§2.1), and the
+§5 cross-table estimate.
+"""
+
+from repro.analysis import crosstable, intext, scaling
+from repro.core import papertargets as pt
+from repro.core.tables import TextTable
+
+
+def bench_intext_mips(benchmark, show):
+    def run():
+        return (
+            intext.r2000_delay_slot_share_of_syscall(),
+            intext.r2000_unfilled_delay_slot_fraction(),
+            intext.ds3100_write_stall_share_of_trap(),
+            intext.ds5000_write_stalls_smaller(),
+        )
+
+    slots_share, unfilled, ds3100, ds5000 = benchmark(run)
+    out = TextTable(["claim", "paper", "measured"], title="MIPS in-text claims (§2.3)")
+    out.add_row(["unfilled slots share of syscall", "~13%", f"{100 * slots_share:.0f}%"])
+    out.add_row(["slots left unfilled", "~50%", f"{100 * unfilled:.0f}%"])
+    out.add_row(["DS3100 write stalls / trap", "~30%", f"{100 * ds3100:.0f}%"])
+    out.add_row(["DS5000 write stalls / trap", "small", f"{100 * ds5000:.0f}%"])
+    show("In-text: MIPS", out.render())
+    assert 0.2 <= ds3100 <= 0.42
+    assert ds5000 < ds3100 / 2
+
+
+def bench_intext_sparc(benchmark, show):
+    def run():
+        return (
+            intext.sparc_window_share_of_syscall(),
+            intext.sparc_window_share_of_context_switch(),
+            intext.sparc_us_per_window(),
+            intext.sparc_thread_switch_over_procedure_call(),
+        )
+
+    syscall_share, switch_share, per_window, ratio = benchmark(run)
+    out = TextTable(["claim", "paper", "measured"], title="SPARC window claims (§2.3, §4.1)")
+    out.add_row(["window share of null syscall", "~30%", f"{100 * syscall_share:.0f}%"])
+    out.add_row(["window share of context switch", "~70%", f"{100 * switch_share:.0f}%"])
+    out.add_row(["us per window save/restore", "12.8", f"{per_window:.1f}"])
+    out.add_row(["thread switch / procedure call", "~50x", f"{ratio:.0f}x"])
+    show("In-text: SPARC", out.render())
+    assert 0.55 <= switch_share <= 0.8
+    assert abs(per_window - 12.8) / 12.8 < 0.25
+
+
+def bench_intext_i860(benchmark, show):
+    def run():
+        return intext.i860_fault_decode_instructions(), intext.i860_pte_flush_instructions()
+
+    decode, (flush, total) = benchmark(run)
+    out = TextTable(["claim", "paper", "measured"], title="i860 claims (§3.1, §3.2)")
+    out.add_row(["fault-decode instructions", 26, decode])
+    out.add_row(["PTE-change cache-flush instrs", "536 of 559", f"{flush} of {total}"])
+    show("In-text: i860", out.render())
+    assert decode == 26 and (flush, total) == (536, 559)
+
+
+def bench_intext_synapse(benchmark, show):
+    def run():
+        return intext.synapse_ratio_range(), intext.synapse_switches_dominate_on_sparc()
+
+    (low, high), dominate = benchmark(run)
+    out = TextTable(["claim", "paper", "measured"], title="Synapse (§4.1)")
+    out.add_row(["call:switch ratio range", "21:1 - 42:1", f"{low:.0f}:1 - {high:.0f}:1"])
+    out.add_row(["switches dominate on SPARC", "yes", "yes" if dominate else "no"])
+    show("In-text: Synapse", out.render())
+    assert dominate
+
+
+def bench_intext_parthenon(benchmark, show):
+    def run():
+        return intext.parthenon_kernel_sync_fraction(), intext.parthenon_speedup()
+
+    sync_fraction, speedup = benchmark(run)
+    out = TextTable(["claim", "paper", "measured"], title="parthenon (§4.1)")
+    out.add_row(["time synchronizing via kernel", "~20%", f"{100 * sync_fraction:.0f}%"])
+    out.add_row(["10-thread uniprocessor speedup", "~10%", f"{100 * speedup:.0f}%"])
+    show("In-text: parthenon", out.render())
+    assert 0.12 <= sync_fraction <= 0.3
+
+
+def bench_intext_rpc_scaling(benchmark, show):
+    result = benchmark(scaling.rpc_speedup_under_cpu_scaling, 5.0)
+    points = scaling.wire_share_under_network_scaling()
+    sprite = scaling.sprite_measured()
+    out = TextTable(["scenario", "value"], title="RPC scaling (§2.1)")
+    out.add_row(["RPC speedup at 5x integer speedup (model)", f"{result.rpc_speedup:.2f}x (Sprite saw ~2x)"])
+    out.add_row(
+        ["Sun-3/75 -> SPARCstation-1, measured",
+         f"{sprite.rpc_speedup:.2f}x RPC at {sprite.integer_speedup:.1f}x integer"]
+    )
+    for factor, wire, prim in points:
+        out.add_row([f"wire share at {factor:.0f}x bandwidth", f"{100 * wire:.0f}% (OS prims {100 * prim:.0f}%)"])
+    show("In-text: RPC scaling", out.render())
+    assert result.rpc_speedup < 2.6
+
+
+def bench_intext_crosstable(benchmark, show):
+    paper_est = benchmark(crosstable.estimate_from_paper_counts, "sparc")
+    model_est = crosstable.estimate("sparc", "andrew-remote")
+    sweep = crosstable.sweep_architectures()
+    out = TextTable(["architecture", "syscall s", "switch s", "total s"],
+                    title="andrew-remote syscall+switch overhead under Mach 3.0 (§5)")
+    for name, est in sweep.items():
+        out.add_row([name, round(est.syscall_s, 2), round(est.context_switch_s, 2), round(est.total_s, 2)])
+    out.add_row(["sparc (paper counts)", round(paper_est.syscall_s, 2),
+                 round(paper_est.context_switch_s, 2), round(paper_est.total_s, 2)])
+    show("In-text: cross-table estimate", out.render())
+    assert abs(paper_est.total_s - pt.CLAIMS["sparc_andrew_remote_overhead_s"]) < 0.4

@@ -1,0 +1,85 @@
+"""Benches for the service substrates: VM overlays, paging, the
+executed Andrew script, multiprocessor lock scaling, and the
+calibration-sensitivity sweep."""
+
+from repro.analysis.sensitivity import sweep
+from repro.arch import get_arch
+from repro.core.tables import TextTable
+from repro.mem.overlays import barrier_cost
+from repro.mem.pageout import ReplacementPolicy, hotset_scan_reference_string, run_reference_string
+from repro.threads.multiprocessor import speedup_curve
+from repro.workloads.andrew_script import ScriptConfig, script_to_table7
+
+
+def bench_vm_overlays(benchmark, show):
+    def run():
+        return {name: barrier_cost(name) for name in ("r3000", "cvax", "sparc", "i860")}
+
+    costs = benchmark(run)
+    out = TextTable(["system", "us per barrier fault"],
+                    title="GC write barrier cost (§3 overlay services)")
+    for name, cost in costs.items():
+        out.add_row([name, round(cost.us_per_fault, 1)])
+    show("VM overlays", out.render())
+    assert costs["i860"].us_per_fault > costs["r3000"].us_per_fault
+
+
+def bench_paging(benchmark, show):
+    refs = hotset_scan_reference_string(hot_pages=4, cold_pages=40, rounds=30)
+
+    def run():
+        arch = get_arch("r3000")
+        return {
+            policy: run_reference_string(arch, refs, frames=12, policy=policy)
+            for policy in ReplacementPolicy
+        }
+
+    results = benchmark(run)
+    out = TextTable(["policy", "faults", "writebacks", "total ms"],
+                    title="Demand paging: hot-set + scan, 12 frames (§3)")
+    for policy, result in results.items():
+        out.add_row([policy.value, result.faults, result.writebacks,
+                     round(result.total_us / 1000, 1)])
+    show("Paging", out.render())
+    assert results[ReplacementPolicy.CLOCK].faults < results[ReplacementPolicy.FIFO].faults
+
+
+def bench_andrew_script(benchmark, show):
+    def run():
+        return script_to_table7(ScriptConfig())
+
+    script, profile, (mono, kern) = benchmark(run)
+    out = TextTable(["structure", "syscalls", "AS switches", "% in prims"],
+                    title="Executed Andrew-style script through the structure model (§5)")
+    out.add_row(["monolithic", mono.syscalls, mono.addr_space_switches,
+                 f"{100 * mono.pct_time_in_primitives:.1f}%"])
+    out.add_row(["kernelized", kern.syscalls, kern.addr_space_switches,
+                 f"{100 * kern.pct_time_in_primitives:.1f}%"])
+    show("Andrew script", out.render())
+    assert kern.syscalls > mono.syscalls
+
+
+def bench_multiprocessor_scaling(benchmark, show):
+    def run():
+        return {
+            name: speedup_curve(get_arch(name), (1, 2, 4, 8, 16))
+            for name in ("sparc", "r3000")
+        }
+
+    curves = benchmark(run)
+    out = TextTable(["system"] + [f"{c} cpus" for c in (1, 2, 4, 8, 16)],
+                    title="Fine-grained parallel speedup vs lock discipline (§4)")
+    for name, curve in curves.items():
+        out.add_row([name] + [f"{speedup:.1f}x" for _, speedup in curve])
+    show("Multiprocessor scaling", out.render())
+    assert dict(curves["sparc"])[16] > 3 * dict(curves["r3000"])[16]
+
+
+def bench_sensitivity(benchmark, show):
+    checks = benchmark(sweep)
+    out = TextTable(["knob", "factor", "all conclusions hold"],
+                    title="Calibration sensitivity (±20-25%)")
+    for check in checks:
+        out.add_row([check.knob, check.factor, "yes" if check.all_hold else "NO"])
+    show("Sensitivity", out.render())
+    assert all(check.all_hold for check in checks)

@@ -1,0 +1,33 @@
+"""Table 1: Relative Performance of Primitive OS Functions.
+
+Regenerates the paper's headline table: microseconds for the null
+system call, trap, PTE change and context switch on the five measured
+systems, the relative-speed columns against the CVAX, and the
+application-performance row the primitives fail to track.
+"""
+
+from repro.analysis import table1
+from repro.core import papertargets as pt
+from repro.core.tables import paper_vs_measured
+from repro.kernel.primitives import Primitive
+
+
+def bench_table1(benchmark, show):
+    table = benchmark(table1.compute)
+    show("Table 1 (reproduced)", table1.render(table))
+    rows = []
+    for primitive in Primitive:
+        for system in table.systems:
+            rows.append(
+                (
+                    f"{primitive.value} / {system}",
+                    pt.TABLE1_TIMES_US[primitive][system],
+                    round(table.time_us(primitive, system), 1),
+                )
+            )
+    show("Table 1 paper-vs-measured (us)", paper_vs_measured("", rows))
+    # shape assertions: primitives lag application performance everywhere
+    for system in ("m88000", "r2000", "r3000", "sparc"):
+        for primitive in Primitive:
+            assert table.primitive_vs_app_gap(primitive, system) < 1.0
+    assert table.relative_speed(Primitive.CONTEXT_SWITCH, "sparc") < 1.0

@@ -1,0 +1,16 @@
+"""Table 2: Instructions Executed for Primitive OS Functions."""
+
+from repro.analysis import table2
+from repro.core import papertargets as pt
+from repro.kernel.primitives import Primitive
+
+
+def bench_table2(benchmark, show):
+    table = benchmark(table2.compute)
+    show("Table 2 (reproduced)", table2.render(table))
+    # the counts are pinned exactly
+    for primitive in Primitive:
+        for system in table.systems:
+            assert table.count(primitive, system) == pt.TABLE2_INSTRUCTIONS[primitive][system]
+    # the order-of-magnitude RISC/CISC gap (§1.1)
+    assert table.risc_to_cisc_ratio(Primitive.CONTEXT_SWITCH, "sparc") > 10

@@ -1,0 +1,14 @@
+"""Table 3: RPC Processing Time in SRC RPC (simulated Fireflies)."""
+
+from repro.analysis import table3
+from repro.core import papertargets as pt
+
+
+def bench_table3(benchmark, show):
+    table = benchmark(table3.compute)
+    show("Table 3 (reproduced)", table3.render(table))
+    assert abs(table.wire_fraction_small - pt.TABLE3_WIRE_FRACTION_SMALL) < 0.05
+    low, high = pt.TABLE3_WIRE_FRACTION_LARGE_RANGE
+    assert low <= table.wire_fraction_large <= high
+    glow, ghigh = pt.TABLE3_CHECKSUM_SHARE_GROWTH_RANGE
+    assert glow <= table.checksum_share_growth <= ghigh

@@ -1,0 +1,15 @@
+"""Table 4: LRPC Processing Time (null call, CVAX Firefly)."""
+
+from repro.analysis import table4
+from repro.core import papertargets as pt
+
+
+def bench_table4(benchmark, show):
+    table = benchmark(table4.compute)
+    show("Table 4 (reproduced)", table4.render(table))
+    assert abs(table.total_us() - pt.TABLE4_NULL_LRPC_US) / pt.TABLE4_NULL_LRPC_US < 0.3
+    low, high = pt.TABLE4_HARDWARE_FRACTION_RANGE
+    assert low <= table.hardware_fraction <= high
+    assert abs(table.tlb_fraction - pt.TABLE4_TLB_MISS_FRACTION) < 0.08
+    # PID-tagged systems drop the purge cost entirely
+    assert table.others["r3000"].tlb_fraction < 0.02

@@ -1,0 +1,24 @@
+"""Table 5: Time in Null System Call (entry/exit, prep, C call)."""
+
+from repro.analysis import table5
+from repro.core import papertargets as pt
+from repro.core.tables import paper_vs_measured
+
+
+def bench_table5(benchmark, show):
+    table = benchmark(table5.compute)
+    show("Table 5 (reproduced)", table5.render(table))
+    rows = []
+    for system in table.systems:
+        for component in ("kernel_entry_exit", "call_prep", "c_call", "total"):
+            rows.append(
+                (
+                    f"{system} / {component}",
+                    pt.TABLE5_BREAKDOWN_US[system][component],
+                    round(table.time_us(component, system), 1),
+                )
+            )
+    show("Table 5 paper-vs-measured (us)", paper_vs_measured("", rows))
+    # the shape: RISC entry/exit fast, call preparation slow
+    assert table.relative_speed("kernel_entry_exit", "r2000") > 4
+    assert table.relative_speed("call_prep", "sparc") < 0.5

@@ -1,0 +1,13 @@
+"""Table 6: Processor Thread State (32-bit words)."""
+
+from repro.analysis import table6
+from repro.core import papertargets as pt
+
+
+def bench_table6(benchmark, show):
+    table = benchmark(table6.compute)
+    show("Table 6 (reproduced)", table6.render(table))
+    for system, (registers, fp, misc) in pt.TABLE6_THREAD_STATE.items():
+        assert table.registers(system) == registers
+        assert table.fp_state(system) == fp
+        assert table.misc_state(system) == misc

@@ -1,0 +1,17 @@
+"""Table 7: Application Reliance on OS Primitives (Mach 2.5 vs 3.0)."""
+
+from repro.analysis import table7
+from repro.core import papertargets as pt
+
+
+def bench_table7(benchmark, show):
+    table = benchmark(table7.compute)
+    show("Table 7 (reproduced)", table7.render(table))
+    # the paper's derived observations
+    blowup = table.context_switch_blowup("andrew-remote")
+    assert 20 <= blowup <= 50  # "a 33-fold increase"
+    for workload in ("andrew-local", "andrew-remote", "link-vmunix"):
+        assert table.tlb_miss_growth(workload) >= 4.0
+    low, high = pt.CLAIMS["mach3_pct_time_range"]
+    for workload in table.workloads:
+        assert low * 0.5 <= table.pct_time(workload) <= high * 1.3

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_tableN.py`` regenerates one table of the paper's
+evaluation: the benchmark fixture times the computation, and the
+rendered table (the rows the paper reports) is printed once per module
+so ``pytest benchmarks/ --benchmark-only -s`` shows the reproduction
+next to the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a rendered table once per benchmark session section."""
+    seen = set()
+
+    def _show(title: str, text: str) -> None:
+        if title in seen:
+            return
+        seen.add(title)
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")
+
+    return _show

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: measure OS primitives on the simulated architectures.
+
+Reproduces the paper's headline result in a few lines: OS-primitive
+performance on commercial RISCs did not scale with their integer
+application performance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import get_arch, measure_primitives
+from repro.analysis import table1, table5
+from repro.arch import TABLE1_SYSTEMS
+from repro.core.microbench import syscall_breakdown_us
+from repro.kernel.primitives import Primitive
+
+
+def main() -> None:
+    # --- one system, one call -----------------------------------------
+    r3000 = get_arch("r3000")
+    result = measure_primitives(r3000)
+    print(f"{r3000.system_name} ({r3000.clock_mhz:g} MHz {r3000.name}):")
+    for primitive in Primitive:
+        print(f"  {primitive.label:<26s} {result.times_us[primitive]:6.1f} us "
+              f"({result.instructions[primitive]} instructions)")
+
+    # --- the full Table 1 ----------------------------------------------
+    print()
+    print(table1.render())
+
+    # --- why: the null syscall decomposition (Table 5) ------------------
+    print()
+    print(table5.render())
+
+    # --- the punchline ---------------------------------------------------
+    print()
+    baseline = measure_primitives(get_arch("cvax"))
+    for name in TABLE1_SYSTEMS:
+        if name == "cvax":
+            continue
+        arch = get_arch(name)
+        rel = measure_primitives(arch).relative_speed(baseline)
+        worst = min(rel, key=rel.get)
+        print(f"{arch.system_name:<22s} application speedup {arch.app_performance_ratio:.1f}x, "
+              f"but {worst.label.lower()} only {rel[worst]:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

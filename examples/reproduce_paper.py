@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation in one run.
+
+Prints every table (1-7), every quantified in-text claim, the §5
+cross-table estimate, the scaling projections, and the §2.5
+architectural proposals — all measured live on the simulator.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.core.report import full_report
+
+
+def main() -> None:
+    print(full_report())
+
+
+if __name__ == "__main__":
+    main()

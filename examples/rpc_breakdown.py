@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Where remote and local RPC time goes (§2, Tables 3 and 4).
+
+Shows the SRC-RPC round-trip decomposition on simulated Fireflies, the
+LRPC decomposition on a CVAX Firefly, and the two §2.1 scaling
+projections: faster CPUs barely help, faster networks move the
+bottleneck *into* the operating system.
+
+Run:  python examples/rpc_breakdown.py
+"""
+
+from repro.analysis import table3, table4
+from repro.analysis.scaling import rpc_speedup_under_cpu_scaling, wire_share_under_network_scaling
+from repro.arch import get_arch
+from repro.ipc.lrpc import LRPCBinding
+from repro.ipc.rpc import RPCChannel
+from repro.kernel.system import SimulatedMachine
+
+
+def main() -> None:
+    print(table3.render())
+    print()
+    print(table4.render())
+
+    print("\nCPU scaling (the Sprite observation):")
+    for factor in (2.0, 5.0, 10.0):
+        result = rpc_speedup_under_cpu_scaling(integer_speedup=factor)
+        print(f"  {factor:4.0f}x integer speed -> {result.rpc_speedup:4.2f}x faster null RPC")
+
+    print("\nNetwork scaling (the coming bottleneck):")
+    for factor, wire, prims in wire_share_under_network_scaling((1.0, 10.0, 100.0)):
+        print(f"  {factor:5.0f}x bandwidth: wire {100 * wire:4.1f}% of the call, "
+              f"OS primitives {100 * prims:4.1f}%")
+
+    print("\nNull RPC between two of each system (same stack, same wire):")
+    for name in ("cvax", "r2000", "r3000", "sparc"):
+        channel = RPCChannel(
+            client=SimulatedMachine(get_arch(name)),
+            server=SimulatedMachine(get_arch(name)),
+        )
+        breakdown = channel.null_call()
+        print(f"  {name:<8s} {breakdown.total_us:7.1f} us "
+              f"(wire {100 * breakdown.wire_fraction:4.1f}%)")
+
+    print("\nNull LRPC on each system (local cross-address-space call):")
+    for name in ("cvax", "r2000", "r3000", "sparc"):
+        call = LRPCBinding(SimulatedMachine(get_arch(name))).steady_state_call()
+        print(f"  {name:<8s} {call.total_us:6.1f} us "
+              f"(hardware minimum {100 * call.hardware_fraction:4.1f}%, "
+              f"TLB purges {100 * call.tlb_fraction:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

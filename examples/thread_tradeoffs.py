@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fine-grained threads vs modern architectural state (§4).
+
+Compares user-level thread operation costs across architectures, runs
+the Synapse parallel-simulation workload (procedure calls vs context
+switches), the parthenon theorem prover (kernel-trap synchronization on
+the MIPS), and the window-count ablation.
+
+Run:  python examples/thread_tradeoffs.py
+"""
+
+from repro.analysis.ablations import window_flush_sweep
+from repro.arch import get_arch
+from repro.threads.sync import best_lock_for
+from repro.threads.user import UserThreadPackage, procedure_call_us
+from repro.workloads.parthenon import ParthenonConfig, multithread_speedup, run_parthenon
+from repro.workloads.synapse import run_synapse, sweep_granularity
+
+
+def main() -> None:
+    print("User-level thread costs (microseconds):")
+    print(f"  {'system':<10s} {'proc call':>10s} {'thread switch':>14s} {'ratio':>7s} {'kernel trap?':>13s}")
+    for name in ("cvax", "m88000", "r2000", "r3000", "sparc", "i860", "rs6000"):
+        arch = get_arch(name)
+        package = UserThreadPackage(arch)
+        call = procedure_call_us(arch)
+        ratio = package.switch_over_procedure_call
+        needs_trap = arch.has_register_windows and arch.windows.cwp_privileged
+        print(f"  {name:<10s} {call:10.2f} {package.switch_us:14.2f} {ratio:6.0f}x "
+              f"{'yes (CWP)' if needs_trap else 'no':>13s}")
+
+    print("\nSynapse parallel simulation (8 logical processes):")
+    for calls_per_event, result in sweep_granularity(get_arch("sparc")):
+        print(f"  granularity {calls_per_event:2d} calls/event: "
+              f"ratio {result.call_to_switch_ratio:5.1f}:1, "
+              f"switch time {result.time_in_switches_us:8.0f} us vs "
+              f"call time {result.time_in_calls_us:8.0f} us"
+              f"{'  <- switches dominate' if result.switches_dominate else ''}")
+    for name in ("r3000", "cvax"):
+        result = run_synapse(get_arch(name))
+        verdict = "switches dominate" if result.switches_dominate else "calls dominate"
+        print(f"  same workload on {name}: {verdict}")
+
+    print("\nparthenon theorem prover:")
+    for name in ("r3000", "sparc"):
+        arch = get_arch(name)
+        single = run_parthenon(arch, ParthenonConfig(threads=1))
+        lock = best_lock_for(arch)
+        print(f"  {name}: {single.elapsed_s:.1f} s elapsed, "
+              f"{100 * single.sync_fraction:.0f}% synchronizing "
+              f"({type(lock).__name__})")
+    print(f"  10-thread speedup on the R3000 uniprocessor: "
+          f"{100 * multithread_speedup(get_arch('r3000')):.0f}%")
+
+    print("\nSPARC context switch vs windows saved (ablation):")
+    for saved, us in window_flush_sweep():
+        print(f"  {saved} windows: {us:6.1f} us {'#' * int(us / 2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package
+can be installed in environments whose tooling predates PEP 660
+editable installs (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

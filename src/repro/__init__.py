@@ -1,0 +1,37 @@
+"""repro — a reproduction of Anderson, Levy, Bershad & Lazowska,
+"The Interaction of Architecture and Operating System Design"
+(ASPLOS-IV, 1991).
+
+The package is an architectural simulator for operating-system
+primitive performance.  It models the commercial processors the paper
+measured (CVAX, Motorola 88000, MIPS R2000/R3000, Sun SPARC, Intel
+i860, IBM RS/6000), the operating-system mechanisms the paper analyses
+(system calls, traps, page-table/TLB management, context switching,
+threads, RPC and LRPC), and the two operating-system structures whose
+behaviour Section 5 contrasts (monolithic Mach 2.5 vs kernelized Mach
+3.0), and reproduces every table in the paper's evaluation.
+
+Quick start::
+
+    from repro import get_arch, measure_primitives
+
+    result = measure_primitives(get_arch("r3000"))
+    print(result.null_syscall_us, result.context_switch_us)
+
+See ``examples/quickstart.py`` and DESIGN.md for the full tour.
+"""
+
+from repro.arch import ALL_ARCH_NAMES, ArchSpec, get_arch, iter_arches
+from repro.core.microbench import MicrobenchResult, measure_primitives
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_ARCH_NAMES",
+    "ArchSpec",
+    "get_arch",
+    "iter_arches",
+    "MicrobenchResult",
+    "measure_primitives",
+    "__version__",
+]

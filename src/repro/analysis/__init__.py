@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per paper table plus claim analyses.
+
+Each ``tableN`` module exposes a ``compute()`` returning structured
+results and a ``render()`` returning the paper-style text table; the
+matching ``benchmarks/bench_tableN.py`` target runs and prints it, and
+``EXPERIMENTS.md`` records paper-vs-measured.
+
+The quantified in-text statements (the paper has no numbered figures)
+are covered by :mod:`repro.analysis.intext`, :mod:`repro.analysis.scaling`
+and :mod:`repro.analysis.crosstable`; design-choice sweeps live in
+:mod:`repro.analysis.ablations`.
+"""

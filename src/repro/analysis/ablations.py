@@ -1,0 +1,182 @@
+"""Design-choice ablations.
+
+Each sweep isolates one mechanism the paper discusses and varies it
+while holding everything else fixed:
+
+* write-buffer depth/retire policy (DS3100 -> DS5000 transition, §2.3);
+* TLB PID tags on/off (LRPC purge cost, §3.2);
+* register window count and windows-saved-per-switch (§4.1);
+* precise vs exposed pipelines (trap overhead, §3.1);
+* monolithic -> kernelized service routing granularity (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.arch.registry import get_arch
+from repro.arch.specs import WriteBufferSpec
+from repro.isa.executor import Executor
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+from repro.kernel.system import SimulatedMachine
+from repro.ipc.lrpc import LRPCBinding
+
+
+# ----------------------------------------------------------------------
+# write buffer sweep
+# ----------------------------------------------------------------------
+
+def write_buffer_sweep(
+    depths: Tuple[int, ...] = (1, 2, 4, 6, 8),
+    retire_cycles: Tuple[int, ...] = (1, 3, 5),
+) -> List[Tuple[int, int, float]]:
+    """(depth, retire, trap time us) on the R2000 base system.
+
+    Deeper buffers and faster retirement shrink trap time toward the
+    DS5000 point; shallow slow buffers blow it up.
+    """
+    base = get_arch("r2000")
+    program = handler_program(base, Primitive.TRAP)
+    out = []
+    for depth in depths:
+        for retire in retire_cycles:
+            arch = base.with_overrides(
+                write_buffer=WriteBufferSpec(
+                    depth=depth,
+                    retire_cycles_same_page=retire,
+                    retire_cycles_other_page=retire,
+                )
+            )
+            result = Executor(arch).run(program, drain_write_buffer=True)
+            out.append((depth, retire, result.time_us))
+    return out
+
+
+def same_page_merge_benefit() -> Tuple[float, float]:
+    """Trap time with and without the DS5000 same-page fast retire."""
+    base = get_arch("r3000")
+    program = handler_program(base, Primitive.TRAP)
+    fast = Executor(base).run(program, drain_write_buffer=True).time_us
+    slow_arch = base.with_overrides(
+        write_buffer=WriteBufferSpec(depth=6, retire_cycles_same_page=5, retire_cycles_other_page=5)
+    )
+    slow = Executor(slow_arch).run(program, drain_write_buffer=True).time_us
+    return fast, slow
+
+
+# ----------------------------------------------------------------------
+# TLB tagging ablation
+# ----------------------------------------------------------------------
+
+def tlb_tagging_ablation() -> Dict[str, float]:
+    """Null LRPC TLB-miss share with and without PID tags on the CVAX."""
+    untagged = LRPCBinding().steady_state_call()
+    tagged_arch = get_arch("cvax").with_overrides(
+        tlb=replace(get_arch("cvax").tlb, pid_tagged=True)
+    )
+    tagged = LRPCBinding(SimulatedMachine(tagged_arch)).steady_state_call()
+    return {
+        "untagged_tlb_fraction": untagged.tlb_fraction,
+        "tagged_tlb_fraction": tagged.tlb_fraction,
+        "untagged_total_us": untagged.total_us,
+        "tagged_total_us": tagged.total_us,
+    }
+
+
+# ----------------------------------------------------------------------
+# register window sweep
+# ----------------------------------------------------------------------
+
+def window_flush_sweep(windows_saved: Tuple[int, ...] = (0, 1, 2, 3, 5, 7)) -> List[Tuple[int, float]]:
+    """(windows saved per switch, context switch us) on the SPARC.
+
+    The §4.1 observation that "some researchers use a SPARC register
+    window per thread as a way of optimizing context switches" is the
+    0-windows point of this sweep.
+    """
+    base = get_arch("sparc")
+    out = []
+    for saved in windows_saved:
+        arch = base.with_overrides(windows=replace(base.windows, avg_windows_per_switch=saved))
+        # rebuild the context-switch stream for this window count
+        from repro.isa.program import ProgramBuilder
+
+        b = ProgramBuilder(f"sparc:ctx:{saved}w")
+        with b.phase("fixed"):
+            b.stores(10, page=0)
+            b.special_ops(12)
+            b.alu(120)
+            b.loads(28)
+            b.stores(12, page=0)
+            b.branch(18)
+            b.nops(16)
+        with b.phase("window_mgmt"):
+            for _ in range(saved):
+                b.special_ops(2)
+                b.alu(7)
+                b.stores(16, page=2)
+                b.loads(16, page=2)
+                b.branch(2)
+        result = Executor(arch).run(b.build(), drain_write_buffer=True)
+        out.append((saved, result.time_us))
+    return out
+
+
+# ----------------------------------------------------------------------
+# pipeline exposure ablation
+# ----------------------------------------------------------------------
+
+def pipeline_exposure_ablation() -> Dict[str, float]:
+    """Trap cost of the 88000's exposed pipelines vs a precise-interrupt
+    variant that skips the pipeline examination/save/restart phases."""
+    arch = get_arch("m88000")
+    program = handler_program(arch, Primitive.TRAP)
+    exposed = Executor(arch).run(program, drain_write_buffer=True)
+    hidden_phases = {"pipeline_check", "pipeline_save", "fpu_restart"}
+    from repro.isa.program import Program
+
+    trimmed = Program(
+        name="m88000:trap:precise",
+        instructions=tuple(i for i in program if i.phase not in hidden_phases),
+    )
+    precise = Executor(arch).run(trimmed, drain_write_buffer=True)
+    return {
+        "exposed_us": exposed.time_us,
+        "precise_us": precise.time_us,
+        "pipeline_share": 1.0 - precise.cycles / exposed.cycles,
+    }
+
+
+# ----------------------------------------------------------------------
+# decomposition granularity sweep
+# ----------------------------------------------------------------------
+
+def decomposition_granularity_sweep(
+    rpc_multipliers: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    workload: str = "andrew-local",
+) -> List[Tuple[float, float]]:
+    """(RPC multiplier, % time in primitives) for the kernelized system.
+
+    "Our measurements indicate that the performance of operating system
+    primitives on current architectures may limit the extent to which
+    systems such as Mach can be further decomposed" — pushing more
+    service boundaries (larger multiplier) pushes the primitive share up.
+    """
+    from repro.os_models import mach as mach_mod
+    from repro.os_models.mach import MachOS, OSStructure
+    from repro.os_models.services import profile_by_name
+
+    profile = profile_by_name(workload)
+    original = dict(mach_mod.RPCS_PER_SERVICE)
+    out = []
+    try:
+        for multiplier in rpc_multipliers:
+            for key in mach_mod.RPCS_PER_SERVICE:
+                mach_mod.RPCS_PER_SERVICE[key] = original[key] * multiplier
+            row = MachOS(OSStructure.KERNELIZED).run(profile)
+            out.append((multiplier, row.pct_time_in_primitives))
+    finally:
+        mach_mod.RPCS_PER_SERVICE.update(original)
+    return out

@@ -1,0 +1,73 @@
+"""Cross-table estimate (§5).
+
+"The combination of Tables 1 and 7 indicates that a SPARC would spend
+9.4 seconds just in the overhead for system calls and context switches
+in executing the remote Andrew script on Mach 3.0."
+
+The estimate multiplies Table 7's kernelized event counts by Table 1's
+per-primitive times on any architecture — the paper's way of showing
+that the structure penalty lands differently on different hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.registry import TABLE1_SYSTEMS, get_arch
+from repro.core.microbench import measure_primitives
+from repro.kernel.primitives import Primitive
+from repro.os_models.mach import MachOS, OSStructure, Table7Row
+from repro.os_models.services import profile_by_name
+
+
+@dataclass
+class OverheadEstimate:
+    arch_name: str
+    workload: str
+    syscall_s: float
+    context_switch_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.syscall_s + self.context_switch_s
+
+
+def estimate(arch_name: str = "sparc", workload: str = "andrew-remote",
+             row: "Table7Row | None" = None) -> OverheadEstimate:
+    """Syscall + context-switch overhead of ``workload`` under the
+    kernelized structure, priced at ``arch_name``'s Table 1 costs."""
+    if row is None:
+        profile = profile_by_name(workload)
+        # counts are structural: produced on the paper's R3000 platform
+        row = MachOS(OSStructure.KERNELIZED).run(profile)
+    times = measure_primitives(get_arch(arch_name))
+    syscall_s = row.syscalls * times.times_us[Primitive.NULL_SYSCALL] / 1e6
+    switch_s = row.addr_space_switches * times.times_us[Primitive.CONTEXT_SWITCH] / 1e6
+    return OverheadEstimate(
+        arch_name=arch_name,
+        workload=workload,
+        syscall_s=syscall_s,
+        context_switch_s=switch_s,
+    )
+
+
+def estimate_from_paper_counts(arch_name: str = "sparc") -> OverheadEstimate:
+    """The same arithmetic using the paper's published Table 7 counts —
+    reproduces the 9.4-second figure exactly as the authors computed it."""
+    from repro.core import papertargets as pt
+
+    counts = pt.TABLE7_MACH30["andrew-remote"]
+    syscalls, addr_switches = counts[3], counts[1]
+    paper_times = pt.TABLE1_TIMES_US
+    return OverheadEstimate(
+        arch_name=arch_name,
+        workload="andrew-remote",
+        syscall_s=syscalls * paper_times[Primitive.NULL_SYSCALL][arch_name] / 1e6,
+        context_switch_s=addr_switches * paper_times[Primitive.CONTEXT_SWITCH][arch_name] / 1e6,
+    )
+
+
+def sweep_architectures(workload: str = "andrew-remote") -> Dict[str, OverheadEstimate]:
+    """The structure penalty priced on every Table 1 system."""
+    return {name: estimate(name, workload) for name in TABLE1_SYSTEMS}

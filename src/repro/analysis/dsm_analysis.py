@@ -1,0 +1,123 @@
+"""Distributed shared memory experiments (§3).
+
+"Virtual memory also can be used to transparently support parallel
+programming across networks.  Such loosely-coupled multiprocessing
+will become increasingly common as today's Ethernets are replaced by
+much faster networks."
+
+Two experiments on the Ivy-style DSM:
+
+* **sharing patterns** — read-mostly sharing amortizes one transfer
+  over many local reads; write ping-pong invalidates on every access.
+  The gap is the §3 design guidance for DSM applications.
+* **network scaling** — as bandwidth grows 10-100x, the page-transfer
+  time collapses and the *fault-handling* cost (trap + kernel-to-user
+  reflection + PTE changes, all Table 1 material) becomes the floor —
+  the same §2.1 crossover, relocated to memory coherence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.registry import get_arch
+from repro.arch.specs import ArchSpec
+from repro.mem.dsm import DSMManager, DSMNetworkModel, DSMNode
+
+
+@dataclass
+class SharingResult:
+    pattern: str
+    accesses: int
+    total_us: float
+    faults: int
+
+    @property
+    def us_per_access(self) -> float:
+        return self.total_us / self.accesses if self.accesses else 0.0
+
+
+def _fresh_dsm(arch: ArchSpec, nodes: int, network: DSMNetworkModel) -> DSMManager:
+    return DSMManager([DSMNode(i, arch) for i in range(nodes)], network)
+
+
+def read_mostly(arch: ArchSpec, network: DSMNetworkModel,
+                readers: int = 3, reads_per_node: int = 50) -> SharingResult:
+    """One writer initializes; many readers share read-only replicas."""
+    dsm = _fresh_dsm(arch, readers + 1, network)
+    dsm.create_page(0, owner=0)
+    dsm.write(0, 0)
+    total = 0.0
+    accesses = 0
+    for node in range(1, readers + 1):
+        for _ in range(reads_per_node):
+            total += dsm.read(node, 0)
+            accesses += 1
+    return SharingResult(
+        pattern="read-mostly",
+        accesses=accesses,
+        total_us=total,
+        faults=dsm.stats.read_faults + dsm.stats.write_faults,
+    )
+
+
+def write_ping_pong(arch: ArchSpec, network: DSMNetworkModel,
+                    rounds: int = 50) -> SharingResult:
+    """Two nodes alternately write the same page: worst case."""
+    dsm = _fresh_dsm(arch, 2, network)
+    dsm.create_page(0, owner=0)
+    total = 0.0
+    for round_number in range(rounds):
+        total += dsm.write(round_number % 2, 0)
+    return SharingResult(
+        pattern="write-ping-pong",
+        accesses=rounds,
+        total_us=total,
+        faults=dsm.stats.read_faults + dsm.stats.write_faults,
+    )
+
+
+def sharing_pattern_gap(arch_name: str = "r3000") -> Tuple[SharingResult, SharingResult]:
+    """(read-mostly, ping-pong) on the default Ethernet."""
+    arch = get_arch(arch_name)
+    network = DSMNetworkModel()
+    return read_mostly(arch, network), write_ping_pong(arch, network)
+
+
+@dataclass
+class DSMScalingPoint:
+    bandwidth_factor: float
+    fault_us_per_miss: float
+    network_us_per_miss: float
+
+    @property
+    def software_fraction(self) -> float:
+        total = self.fault_us_per_miss + self.network_us_per_miss
+        return self.fault_us_per_miss / total if total else 0.0
+
+
+def network_scaling(arch_name: str = "r3000",
+                    factors: Tuple[float, ...] = (1.0, 10.0, 100.0)) -> List[DSMScalingPoint]:
+    """Fault-handling share of a DSM miss as the network accelerates."""
+    arch = get_arch(arch_name)
+    points = []
+    for factor in factors:
+        network = DSMNetworkModel(
+            latency_us=1000.0 / min(factor, 20.0),  # latency improves, but less
+            bandwidth_mbps=10.0 * factor,
+        )
+        dsm = _fresh_dsm(arch, 2, network)
+        dsm.create_page(0, owner=0)
+        dsm.write(0, 0)
+        for i in range(20):
+            dsm.write(i % 2, 0)
+        misses = dsm.stats.read_faults + dsm.stats.write_faults
+        points.append(
+            DSMScalingPoint(
+                bandwidth_factor=factor,
+                fault_us_per_miss=dsm.stats.fault_handling_us / misses,
+                network_us_per_miss=dsm.stats.network_us / misses,
+            )
+        )
+    return points

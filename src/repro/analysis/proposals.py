@@ -1,0 +1,165 @@
+"""The paper's architectural improvement proposals (§2.5), evaluated.
+
+"In some cases, architectures could improve on the performance of these
+primitives.  For example, on a system call, which is a voluntary
+exception, a processor like the 88000 could wait for other exceptions
+to occur before servicing the call, reducing the processing needed in
+the trap handler to check for faults.  Similarly, the SPARC could take
+a window fault if needed before the call, rather than emulating the
+check within the trap handler."
+
+Each proposal is an alternative handler stream; the payoff is measured
+on the same cost model as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.registry import get_arch
+from repro.isa.executor import Executor
+from repro.isa.program import Program
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+
+
+@dataclass
+class Proposal:
+    """One §2.5 proposal: baseline vs proposed handler cost."""
+
+    name: str
+    description: str
+    arch_name: str
+    baseline_us: float
+    proposed_us: float
+    baseline_instructions: int
+    proposed_instructions: int
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.baseline_us == 0:
+            return 0.0
+        return 1.0 - self.proposed_us / self.baseline_us
+
+
+def _strip_phases(program: Program, phases: "set[str]", name: str) -> Program:
+    return Program(
+        name=name,
+        instructions=tuple(i for i in program if i.phase not in phases),
+    )
+
+
+def _run(arch_name: str, program: Program) -> "tuple[float, int]":
+    result = Executor(get_arch(arch_name)).run(program)
+    return result.time_us, result.instructions
+
+
+def m88000_deferred_exception_check() -> Proposal:
+    """88000: skip the pipeline fault examination on *voluntary*
+    exceptions — a syscall cannot have outstanding faults of its own;
+    hardware could drain first."""
+    arch = get_arch("m88000")
+    baseline = handler_program(arch, Primitive.NULL_SYSCALL)
+    proposed = _strip_phases(baseline, {"pipeline_check"}, "m88000:syscall:deferred")
+    base_us, base_n = _run("m88000", baseline)
+    prop_us, prop_n = _run("m88000", proposed)
+    return Proposal(
+        name="m88000_deferred_exception_check",
+        description="88000 syscall without the pipeline fault examination",
+        arch_name="m88000",
+        baseline_us=base_us,
+        proposed_us=prop_us,
+        baseline_instructions=base_n,
+        proposed_instructions=prop_n,
+    )
+
+
+def sparc_hardware_window_fault() -> Proposal:
+    """SPARC: let the call take a real window fault when (and only
+    when) a spill is needed, instead of emulating the check + average
+    spill inside every trap handler."""
+    arch = get_arch("sparc")
+    baseline = handler_program(arch, Primitive.NULL_SYSCALL)
+    proposed = _strip_phases(
+        baseline, {"window_mgmt", "param_copy"}, "sparc:syscall:hw-window-fault"
+    )
+    base_us, base_n = _run("sparc", baseline)
+    prop_us, prop_n = _run("sparc", proposed)
+    return Proposal(
+        name="sparc_hardware_window_fault",
+        description="SPARC syscall with hardware window fault instead of in-handler check",
+        arch_name="sparc",
+        baseline_us=base_us,
+        proposed_us=prop_us,
+        baseline_instructions=base_n,
+        proposed_instructions=prop_n,
+    )
+
+
+def mips_vectored_dispatch() -> Proposal:
+    """MIPS: give the system call its own vector (DeMoney et al. argued
+    one common handler suffices; the paper disagrees: 'a system call is
+    not an exceptional event either')."""
+    arch = get_arch("r2000")
+    baseline = handler_program(arch, Primitive.NULL_SYSCALL)
+    proposed = _strip_phases(baseline, {"vector"}, "mips:syscall:vectored")
+    base_us, base_n = _run("r2000", baseline)
+    prop_us, prop_n = _run("r2000", proposed)
+    return Proposal(
+        name="mips_vectored_dispatch",
+        description="R2000 syscall with a dedicated hardware vector",
+        arch_name="r2000",
+        baseline_us=base_us,
+        proposed_us=prop_us,
+        baseline_instructions=base_n,
+        proposed_instructions=prop_n,
+    )
+
+
+def i860_fault_address_register() -> Proposal:
+    """i860: report the faulting address in a register, removing the
+    26-instruction faulting-instruction interpretation (§3.1: 'the
+    hardware must have the faulting address available')."""
+    arch = get_arch("i860")
+    baseline = handler_program(arch, Primitive.TRAP)
+    proposed = _strip_phases(baseline, {"fault_decode"}, "i860:trap:fault-address")
+    base_us, base_n = _run("i860", baseline)
+    prop_us, prop_n = _run("i860", proposed)
+    return Proposal(
+        name="i860_fault_address_register",
+        description="i860 trap with a hardware fault-address register",
+        arch_name="i860",
+        baseline_us=base_us,
+        proposed_us=prop_us,
+        baseline_instructions=base_n,
+        proposed_instructions=prop_n,
+    )
+
+
+def mips_atomic_test_and_set_on_parthenon() -> Dict[str, float]:
+    """MIPS: add a test-and-set instruction; parthenon's ~1/5
+    kernel-sync tax collapses (§4.1)."""
+    from repro.workloads.parthenon import ParthenonConfig, run_parthenon
+
+    r3000 = get_arch("r3000")
+    with_tas = r3000.with_overrides(has_atomic_tas=True)
+    baseline = run_parthenon(r3000, ParthenonConfig(threads=1))
+    proposed = run_parthenon(with_tas, ParthenonConfig(threads=1))
+    return {
+        "baseline_elapsed_s": baseline.elapsed_s,
+        "proposed_elapsed_s": proposed.elapsed_s,
+        "baseline_sync_fraction": baseline.sync_fraction,
+        "proposed_sync_fraction": proposed.sync_fraction,
+        "speedup": baseline.elapsed_s / proposed.elapsed_s,
+    }
+
+
+def all_proposals() -> Dict[str, Proposal]:
+    proposals = [
+        m88000_deferred_exception_check(),
+        sparc_hardware_window_fault(),
+        mips_vectored_dispatch(),
+        i860_fault_address_register(),
+    ]
+    return {p.name: p for p in proposals}

@@ -1,0 +1,68 @@
+"""Table 1: Relative Performance of Primitive OS Functions.
+
+Rows: the four §1.1 primitives, times in microseconds per system, then
+relative speed (RISC time over CVAX time — larger is better), then the
+application-performance row the primitives fail to track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.registry import TABLE1_SYSTEMS, get_arch
+from repro.core.microbench import MicrobenchResult, measure_primitives
+from repro.core.tables import TextTable
+from repro.kernel.primitives import Primitive
+
+
+@dataclass
+class Table1:
+    """Computed Table 1: per-system microbenchmark results."""
+
+    results: Dict[str, MicrobenchResult]
+    systems: Tuple[str, ...] = TABLE1_SYSTEMS
+
+    @property
+    def baseline(self) -> MicrobenchResult:
+        return self.results["cvax"]
+
+    def time_us(self, primitive: Primitive, system: str) -> float:
+        return self.results[system].times_us[primitive]
+
+    def relative_speed(self, primitive: Primitive, system: str) -> float:
+        """CVAX time / system time (Table 1 right half)."""
+        return self.baseline.times_us[primitive] / self.time_us(primitive, system)
+
+    def app_performance(self, system: str) -> float:
+        return get_arch(system).app_performance_ratio
+
+    def primitive_vs_app_gap(self, primitive: Primitive, system: str) -> float:
+        """How far the primitive lags application scaling (<1 == lags)."""
+        return self.relative_speed(primitive, system) / self.app_performance(system)
+
+
+def compute(systems: Tuple[str, ...] = TABLE1_SYSTEMS) -> Table1:
+    return Table1(
+        results={name: measure_primitives(get_arch(name)) for name in systems},
+        systems=systems,
+    )
+
+
+def render(table: "Table1 | None" = None) -> str:
+    table = table or compute()
+    risc_systems = [s for s in table.systems if s != "cvax"]
+    headers = ["Operation"] + [s.upper() for s in table.systems] + [
+        f"{s.upper()}/CVAX" for s in risc_systems
+    ]
+    out = TextTable(headers, title="Table 1: Relative Performance of Primitive OS Functions (us)")
+    for primitive in Primitive:
+        row = [primitive.label]
+        row += [round(table.time_us(primitive, s), 1) for s in table.systems]
+        row += [round(table.relative_speed(primitive, s), 1) for s in risc_systems]
+        out.add_row(row)
+    app_row = ["Application Performance"]
+    app_row += [None] * len(table.systems)
+    app_row += [table.app_performance(s) for s in risc_systems]
+    out.add_row(app_row)
+    return out.render()

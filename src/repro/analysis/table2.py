@@ -1,0 +1,50 @@
+"""Table 2: Instructions Executed for Primitive OS Functions.
+
+Shortest-path instruction counts of the handler drivers.  The counts
+are reproduced exactly (they are pinned by tests): the drivers emit the
+phase inventory the paper describes, and the counts are the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.registry import TABLE2_SYSTEMS, get_arch
+from repro.core.tables import TextTable
+from repro.kernel.handlers import instruction_count
+from repro.kernel.primitives import Primitive
+
+
+@dataclass
+class Table2:
+    counts: Dict[Primitive, Dict[str, int]]
+    systems: Tuple[str, ...] = TABLE2_SYSTEMS
+
+    def count(self, primitive: Primitive, system: str) -> int:
+        return self.counts[primitive][system]
+
+    def risc_to_cisc_ratio(self, primitive: Primitive, system: str) -> float:
+        """Instruction-count blowup vs the CVAX (order of magnitude for
+        some primitives, per §1.1)."""
+        return self.count(primitive, system) / self.count(primitive, "cvax")
+
+
+def compute(systems: Tuple[str, ...] = TABLE2_SYSTEMS) -> Table2:
+    counts: Dict[Primitive, Dict[str, int]] = {}
+    for primitive in Primitive:
+        counts[primitive] = {
+            system: instruction_count(get_arch(system), primitive)
+            for system in systems
+        }
+    return Table2(counts=counts, systems=systems)
+
+
+def render(table: "Table2 | None" = None) -> str:
+    table = table or compute()
+    column_names = {"r2000": "R2/3000"}
+    headers = ["Operation"] + [column_names.get(s, s.upper()) for s in table.systems]
+    out = TextTable(headers, title="Table 2: Instructions Executed for Primitive OS Functions")
+    for primitive in Primitive:
+        out.add_row([primitive.label] + [table.count(primitive, s) for s in table.systems])
+    return out.render()

@@ -1,0 +1,74 @@
+"""Table 3: RPC processing time in SRC RPC.
+
+Runs the null (74-byte) round trip and the 1500-byte-result round trip
+on simulated Fireflies over a 10 Mbit/s Ethernet, and reports the
+component distribution.  The reproduction targets are the constraints
+the prose states (the table cells are corrupted in the source text):
+17% of the small-packet round trip on the wire, nearly half for the
+large result, and a checksum share that roughly doubles with packet
+size.  See DESIGN.md, "Notes on corrupted table cells".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tables import TextTable
+from repro.ipc.rpc import RPCBreakdown, RPCChannel
+
+COMPONENT_LABELS = {
+    "stubs": "Stubs / marshaling",
+    "checksum": "Checksum processing",
+    "os_send": "Send path (syscall + driver)",
+    "interrupt": "Interrupt processing",
+    "wakeup": "Thread wakeup / dispatch",
+    "wire": "Network wire time",
+}
+
+
+@dataclass
+class Table3:
+    small: RPCBreakdown
+    large: RPCBreakdown
+
+    @property
+    def wire_fraction_small(self) -> float:
+        return self.small.wire_fraction
+
+    @property
+    def wire_fraction_large(self) -> float:
+        return self.large.wire_fraction
+
+    @property
+    def checksum_share_growth(self) -> float:
+        return self.large.fraction("checksum") / self.small.fraction("checksum")
+
+
+def compute(reply_bytes_large: int = 1500) -> Table3:
+    channel = RPCChannel()
+    return Table3(
+        small=channel.null_call(),
+        large=channel.large_result_call(reply_bytes_large),
+    )
+
+
+def render(table: "Table3 | None" = None) -> str:
+    table = table or compute()
+    out = TextTable(
+        ["Component", "74-byte (us)", "74-byte %", "1500-byte (us)", "1500-byte %"],
+        title="Table 3: RPC Processing Time in SRC RPC (simulated Fireflies)",
+    )
+    for key, label in COMPONENT_LABELS.items():
+        out.add_row(
+            [
+                label,
+                round(table.small.components_us.get(key, 0.0), 1),
+                f"{100 * table.small.fraction(key):.0f}%",
+                round(table.large.components_us.get(key, 0.0), 1),
+                f"{100 * table.large.fraction(key):.0f}%",
+            ]
+        )
+    out.add_row(
+        ["Total", round(table.small.total_us, 1), "100%", round(table.large.total_us, 1), "100%"]
+    )
+    return out.render()

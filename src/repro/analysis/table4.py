@@ -1,0 +1,78 @@
+"""Table 4: LRPC processing time.
+
+Null LRPC on a simulated CVAX Firefly: the kernel-transfer hardware
+(two kernel entries, two address-space switches, the untagged-TLB
+purge refills) against the small LRPC software overhead.  Also runs
+the same binding on TLB-tagged architectures, where the purge cost
+disappears — the §3.2 argument for PID tags made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.registry import get_arch
+from repro.core.tables import TextTable
+from repro.ipc.lrpc import LRPCBinding, LRPCBreakdown
+from repro.kernel.system import SimulatedMachine
+
+COMPONENT_LABELS = {
+    "stubs": "Stub dispatch",
+    "argument_copy": "Argument/result copy",
+    "kernel_entry": "Kernel entry/exit (2x)",
+    "context_switch": "Address space switch (2x)",
+    "tlb_misses": "TLB purge refill misses",
+}
+
+
+@dataclass
+class Table4:
+    cvax: LRPCBreakdown
+    #: the same call on other architectures, for the tagged-TLB contrast.
+    others: Dict[str, LRPCBreakdown]
+
+    @property
+    def hardware_fraction(self) -> float:
+        return self.cvax.hardware_fraction
+
+    @property
+    def tlb_fraction(self) -> float:
+        return self.cvax.tlb_fraction
+
+    def total_us(self, name: str = "cvax") -> float:
+        if name == "cvax":
+            return self.cvax.total_us
+        return self.others[name].total_us
+
+
+def compute(extra_systems: "tuple[str, ...]" = ("r3000", "sparc")) -> Table4:
+    cvax = LRPCBinding().steady_state_call()
+    others = {}
+    for name in extra_systems:
+        binding = LRPCBinding(SimulatedMachine(get_arch(name)))
+        others[name] = binding.steady_state_call()
+    return Table4(cvax=cvax, others=others)
+
+
+def render(table: "Table4 | None" = None) -> str:
+    table = table or compute()
+    out = TextTable(
+        ["Component", "us", "%"],
+        title="Table 4: LRPC Processing Time (null call, simulated CVAX Firefly)",
+    )
+    for key, label in COMPONENT_LABELS.items():
+        us = table.cvax.components_us.get(key, 0.0)
+        out.add_row([label, round(us, 1), f"{100 * table.cvax.fraction(key):.0f}%"])
+    out.add_row(["Total", round(table.cvax.total_us, 1), "100%"])
+    lines = [out.render(), ""]
+    lines.append(
+        f"hardware minimum {100 * table.hardware_fraction:.0f}% of the call; "
+        f"TLB purge refills {100 * table.tlb_fraction:.0f}%"
+    )
+    for name, breakdown in table.others.items():
+        lines.append(
+            f"same binding on {name}: {breakdown.total_us:.1f} us "
+            f"(TLB miss share {100 * breakdown.tlb_fraction:.0f}% — PID-tagged TLB)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Table 5: Time in Null System Call, decomposed.
+
+Splits the null syscall into the paper's three components — kernel
+entry/exit (hardware trap + return-from-exception), call preparation
+(vectoring, state management, window management, register
+save/restore) and the call/return to the C routine — for the CVAX,
+R2000 and SPARC, with relative-speed columns against the CVAX.
+
+The punchline reproduced here: RISC kernel entry/exit is ~7.5x faster
+than the CVAX's microcoded CHMK/REI, but call *preparation* is 2-4x
+slower, so the total barely moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.registry import get_arch
+from repro.core.microbench import syscall_breakdown_us
+from repro.core.tables import TextTable
+
+#: the systems Table 5 compares, in column order.
+TABLE5_SYSTEMS: Tuple[str, ...] = ("cvax", "r2000", "sparc")
+
+#: row labels in paper order.
+COMPONENTS: Tuple[str, ...] = ("kernel_entry_exit", "call_prep", "c_call")
+
+_LABELS = {
+    "kernel_entry_exit": "Kernel entry/exit",
+    "call_prep": "Call preparation",
+    "c_call": "Call/return to C",
+    "total": "Total",
+}
+
+
+@dataclass
+class Table5:
+    breakdowns: Dict[str, Dict[str, float]]
+    systems: Tuple[str, ...] = TABLE5_SYSTEMS
+
+    def time_us(self, component: str, system: str) -> float:
+        return self.breakdowns[system][component]
+
+    def relative_speed(self, component: str, system: str) -> float:
+        return self.breakdowns["cvax"][component] / self.time_us(component, system)
+
+
+def compute(systems: Tuple[str, ...] = TABLE5_SYSTEMS) -> Table5:
+    return Table5(
+        breakdowns={name: syscall_breakdown_us(get_arch(name)) for name in systems},
+        systems=systems,
+    )
+
+
+def render(table: "Table5 | None" = None) -> str:
+    table = table or compute()
+    risc = [s for s in table.systems if s != "cvax"]
+    headers = ["Function"] + [s.upper() for s in table.systems] + [f"{s.upper()}/CVAX" for s in risc]
+    out = TextTable(headers, title="Table 5: Time in Null System Call (us)")
+    for component in COMPONENTS + ("total",):
+        row = [_LABELS[component]]
+        row += [round(table.time_us(component, s), 1) for s in table.systems]
+        row += [round(table.relative_speed(component, s), 1) for s in risc]
+        out.add_row(row)
+    return out.render()

@@ -1,0 +1,55 @@
+"""Table 6: Processor Thread State (32-bit words).
+
+Static data from the architecture descriptors, plus the §4.1 analysis
+hooks: the state a *user-level* thread switch must move, and the cost
+of moving it, which is what makes fine-grained threads expensive on
+large-state architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.registry import TABLE6_SYSTEMS, get_arch
+from repro.arch.specs import ThreadStateSpec
+from repro.core.tables import TextTable
+
+
+@dataclass
+class Table6:
+    state: Dict[str, ThreadStateSpec]
+    systems: Tuple[str, ...] = TABLE6_SYSTEMS
+
+    def registers(self, system: str) -> int:
+        return self.state[system].registers
+
+    def fp_state(self, system: str) -> int:
+        return self.state[system].fp_state
+
+    def misc_state(self, system: str) -> int:
+        return self.state[system].misc_state
+
+    def total_words(self, system: str) -> int:
+        return self.state[system].total_words
+
+    def integer_only_words(self, system: str) -> int:
+        return self.state[system].integer_only_words
+
+
+def compute(systems: Tuple[str, ...] = TABLE6_SYSTEMS) -> Table6:
+    return Table6(
+        state={name: get_arch(name).thread_state for name in systems},
+        systems=systems,
+    )
+
+
+def render(table: "Table6 | None" = None) -> str:
+    table = table or compute()
+    column_names = {"cvax": "VAX", "r2000": "R2/3000"}
+    headers = [""] + [column_names.get(s, s.upper()) for s in table.systems]
+    out = TextTable(headers, title="Table 6: Processor Thread State (32-bit words)")
+    out.add_row(["Registers"] + [table.registers(s) for s in table.systems])
+    out.add_row(["F.P. State"] + [table.fp_state(s) for s in table.systems])
+    out.add_row(["Misc. State"] + [table.misc_state(s) for s in table.systems])
+    return out.render()

@@ -1,0 +1,106 @@
+"""Table 7: Application Reliance on Operating System Primitives.
+
+Runs every §5 workload profile under both OS structures and renders
+the two half-tables.  The derived analyses the paper draws from the
+table are exposed as methods: the context-switch blowup under the
+kernelized system (≈33x for andrew-remote), the order-of-magnitude
+kernel TLB miss growth, and the 5-20% of elapsed time the kernelized
+system spends inside the primitives themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.core.tables import TextTable
+from repro.os_models.mach import MachOS, OSStructure, Table7Row
+from repro.os_models.services import TABLE7_PROFILES, WorkloadProfile
+
+
+@dataclass
+class Table7:
+    monolithic: Dict[str, Table7Row]
+    kernelized: Dict[str, Table7Row]
+
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        return tuple(self.monolithic)
+
+    def row(self, workload: str, structure: OSStructure) -> Table7Row:
+        side = self.monolithic if structure is OSStructure.MONOLITHIC else self.kernelized
+        return side[workload]
+
+    # -- the paper's derived observations --------------------------------
+    def context_switch_blowup(self, workload: str) -> float:
+        """Kernelized / monolithic address-space context switches."""
+        return (
+            self.kernelized[workload].addr_space_switches
+            / max(1, self.monolithic[workload].addr_space_switches)
+        )
+
+    def tlb_miss_growth(self, workload: str) -> float:
+        return (
+            self.kernelized[workload].kernel_tlb_misses
+            / max(1, self.monolithic[workload].kernel_tlb_misses)
+        )
+
+    def syscall_growth(self, workload: str) -> float:
+        return (
+            self.kernelized[workload].syscalls
+            / max(1, self.monolithic[workload].syscalls)
+        )
+
+    def pct_time(self, workload: str) -> float:
+        return self.kernelized[workload].pct_time_in_primitives
+
+
+def compute(arch: "ArchSpec | None" = None, profiles: Tuple[WorkloadProfile, ...] = TABLE7_PROFILES) -> Table7:
+    mono = MachOS(OSStructure.MONOLITHIC, arch)
+    kern = MachOS(OSStructure.KERNELIZED, arch)
+    return Table7(
+        monolithic={p.name: mono.run(p) for p in profiles},
+        kernelized={p.name: kern.run(p) for p in profiles},
+    )
+
+
+def _half(rows: Dict[str, Table7Row], title: str, with_pct: bool) -> str:
+    headers = [
+        "Workload",
+        "Time (s)",
+        "AS switches",
+        "Thr switches",
+        "Syscalls",
+        "Emul. instrs",
+        "K-TLB misses",
+        "Other exc.",
+    ]
+    if with_pct:
+        headers.append("% in prims")
+    out = TextTable(headers, title=title)
+    for name, row in rows.items():
+        cells = [
+            name,
+            round(row.elapsed_s, 1),
+            row.addr_space_switches,
+            row.thread_switches,
+            row.syscalls,
+            row.emulated_instructions,
+            row.kernel_tlb_misses,
+            row.other_exceptions,
+        ]
+        if with_pct:
+            cells.append(f"{100 * row.pct_time_in_primitives:.0f}%")
+        out.add_row(cells)
+    return out.render()
+
+
+def render(table: "Table7 | None" = None) -> str:
+    table = table or compute()
+    return "\n\n".join(
+        [
+            _half(table.monolithic, "Table 7a: Mach 2.5 (monolithic)", with_pct=False),
+            _half(table.kernelized, "Table 7b: Mach 3.0 (kernelized)", with_pct=True),
+        ]
+    )

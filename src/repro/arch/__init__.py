@@ -1,0 +1,63 @@
+"""Architecture descriptors and micro-architectural component models.
+
+One module per commercial architecture the paper studies:
+
+========  =========================  ==========================
+module    architecture               system measured (paper)
+========  =========================  ==========================
+cvax      DEC CVAX (CISC)            VAXstation 3200, 11.1 MHz
+m88000    Motorola 88000             Tektronix XD88/01, 20 MHz
+mips      MIPS R2000 / R3000         DECstation 3100 / 5000-200
+sparc     Sun SPARC (Cypress)        SPARCstation 1+, 25 MHz
+i860      Intel i860                 (instruction counts only)
+rs6000    IBM RS/6000                (thread state only)
+========  =========================  ==========================
+
+Descriptors are frozen dataclasses (:class:`~repro.arch.specs.ArchSpec`)
+bundling the mechanism inventory the paper reasons about: microcode trap
+costs, register windows, exposed pipelines, write buffers, delay slots,
+TLB organization, cache addressing, and the per-thread processor state
+of Table 6.
+"""
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CostModel,
+    DelaySlotSpec,
+    MemorySpec,
+    PipelineSpec,
+    RegisterWindowSpec,
+    ThreadStateSpec,
+    TLBSpec,
+    WriteBufferSpec,
+)
+from repro.arch.registry import (
+    ALL_ARCH_NAMES,
+    TABLE1_SYSTEMS,
+    TABLE2_SYSTEMS,
+    TABLE6_SYSTEMS,
+    get_arch,
+    iter_arches,
+)
+
+__all__ = [
+    "ArchKind",
+    "ArchSpec",
+    "CacheSpec",
+    "CostModel",
+    "DelaySlotSpec",
+    "MemorySpec",
+    "PipelineSpec",
+    "RegisterWindowSpec",
+    "ThreadStateSpec",
+    "TLBSpec",
+    "WriteBufferSpec",
+    "ALL_ARCH_NAMES",
+    "TABLE1_SYSTEMS",
+    "TABLE2_SYSTEMS",
+    "TABLE6_SYSTEMS",
+    "get_arch",
+    "iter_arches",
+]

@@ -1,0 +1,89 @@
+"""DEC CVAX — the paper's CISC baseline (VAXstation 3200, 11.1 MHz).
+
+The CVAX performs much of each OS primitive in microcode: CHMK/REI for
+system call entry/exit, CALLS/RET for procedure linkage, TBIS for TLB
+invalidation, and SVPCTX/LDPCTX for context switching.  Handler programs
+are therefore very short (Table 2: 9-14 instructions) but individual
+instructions are expensive, and the translation buffer is untagged so a
+context switch implies a full TB purge (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CacheWritePolicy,
+    CostModel,
+    DelaySlotSpec,
+    MemorySpec,
+    PipelineSpec,
+    ThreadStateSpec,
+    TLBSpec,
+)
+from repro.isa.instructions import OpClass
+
+#: Microcode cycle costs for the CISC instructions the drivers use.
+#: These are the tuning knobs that reproduce Table 1's CVAX column and
+#: Table 5's phase decomposition (kernel entry/exit 4.5 us = ~50 cycles
+#: at 11.1 MHz, C call/return 8.2 us = ~91 cycles).
+MICROCODE_CYCLES = {
+    "chmk": 26,  # change-mode-to-kernel (system call entry)
+    "rei": 20,  # return from exception or interrupt
+    "calls": 46,  # procedure call with register-save mask
+    "ret": 43,  # procedure return
+    "tbis": 40,  # translation buffer invalidate single
+    "svpctx": 105,  # save process context
+    "ldpctx": 190,  # load process context (includes TB purge: untagged)
+    "fault_entry": 88,  # hardware/microcode memory-management fault entry
+}
+
+
+def build() -> ArchSpec:
+    """Construct the CVAX / VAXstation 3200 descriptor."""
+    return ArchSpec(
+        name="cvax",
+        system_name="VAXstation 3200",
+        kind=ArchKind.CISC,
+        clock_mhz=11.1,
+        app_performance_ratio=1.0,
+        cost=CostModel(
+            base_cycles={
+                OpClass.ALU: 4,
+                OpClass.LOAD: 7,
+                OpClass.STORE: 7,
+                OpClass.BRANCH: 5,
+                OpClass.SPECIAL: 8,
+                OpClass.NOP: 1,
+            },
+            load_extra_cycles=0,
+            trap_entry_cycles=MICROCODE_CYCLES["fault_entry"],
+            trap_exit_extra_cycles=MICROCODE_CYCLES["rei"] - 1,
+            tlb_op_cycles=MICROCODE_CYCLES["tbis"] + 6,
+            cache_flush_line_cycles=6,
+            atomic_extra_cycles=8,
+        ),
+        tlb=TLBSpec(
+            entries=64,
+            pid_tagged=False,  # full purge on context switch (§3.2)
+            software_managed=False,
+            hw_miss_cycles=22,
+        ),
+        cache=CacheSpec(
+            lines=1024,
+            line_bytes=64,
+            virtually_addressed=False,
+            write_policy=CacheWritePolicy.WRITE_BACK,
+        ),
+        thread_state=ThreadStateSpec(registers=16, fp_state=0, misc_state=1),
+        pipeline=PipelineSpec(exposed=False, precise_interrupts=True),
+        memory=MemorySpec(copy_bandwidth_mbps=30.0, checksum_bandwidth_mbps=12.0),
+        delay_slots=DelaySlotSpec(),
+        write_buffer=None,
+        windows=None,
+        has_atomic_tas=True,  # BBSSI/ADAWI family
+        fault_address_provided=True,
+        vectored_dispatch=True,
+        callee_saved_registers=6,
+    )

@@ -1,0 +1,96 @@
+"""Intel i860 (40 MHz) — instruction-count estimates only in the paper.
+
+The i860 combines every property the paper criticizes:
+
+* all exceptions vector through **one** handler (§2.3);
+* the hardware reports **no faulting address** and little cause
+  information, so the trap handler must fetch and interpret the
+  faulting instruction — 26 extra instructions in the paper's driver
+  (§3.1);
+* exposed FP pipelines whose state must be saved/restored on a trap
+  when the FPU may be in use — "60 or more instructions" (§3.1);
+* a **virtually addressed, untagged cache**: a PTE protection change
+  requires sweeping the cache (536 of the 559 PTE-change instructions
+  flush the virtual cache) and a context switch requires a full flush,
+  visible in the 618-instruction context switch of Table 2 (§3.2);
+* critical sections cannot fault on the locked sequence, so lock code
+  must pre-touch store targets of non-reexecutable instructions (§4.1).
+
+Table 1 gives no times for the i860 (the paper's drivers were estimates,
+not measurements), so the spec exists for Table 2 counts, Table 6 state,
+and the virtual-cache/pipeline analyses.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CacheWritePolicy,
+    CostModel,
+    DelaySlotSpec,
+    MemorySpec,
+    PipelineSpec,
+    ThreadStateSpec,
+    TLBSpec,
+    WriteBufferSpec,
+)
+from repro.isa.instructions import OpClass
+
+
+def build() -> ArchSpec:
+    """Construct the i860 descriptor."""
+    return ArchSpec(
+        name="i860",
+        system_name="Intel i860 (estimated)",
+        kind=ArchKind.RISC,
+        clock_mhz=40.0,
+        app_performance_ratio=5.0,  # not reported in Table 1; nominal
+        cost=CostModel(
+            base_cycles={OpClass.SPECIAL: 2},
+            load_extra_cycles=1,
+            uncached_load_extra_cycles=12,
+            trap_entry_cycles=8,
+            trap_exit_extra_cycles=5,
+            tlb_op_cycles=6,
+            cache_flush_line_cycles=4,
+            special_extra_cycles=1,
+            fp_extra_cycles=3,
+        ),
+        tlb=TLBSpec(
+            entries=64,
+            pid_tagged=False,
+            software_managed=False,
+            hw_miss_cycles=26,
+        ),
+        cache=CacheSpec(
+            lines=512,  # 8 KB data cache, 16-byte lines... modelled as
+            line_bytes=16,  # the sweep target for PTE changes
+            virtually_addressed=True,
+            write_policy=CacheWritePolicy.WRITE_BACK,
+            pid_tagged=False,  # flush on context switch (§3.2)
+        ),
+        thread_state=ThreadStateSpec(registers=32, fp_state=32, misc_state=9),
+        pipeline=PipelineSpec(
+            exposed=True,
+            n_pipelines=3,
+            state_registers=9,
+            precise_interrupts=False,
+            fpu_freeze_on_fault=False,
+            fp_pipeline_save_instructions=60,
+        ),
+        memory=MemorySpec(copy_bandwidth_mbps=50.0, checksum_bandwidth_mbps=20.0),
+        delay_slots=DelaySlotSpec(branch_slots=1, load_slots=0, unfilled_fraction_os=0.3),
+        write_buffer=WriteBufferSpec(
+            depth=2,
+            retire_cycles_same_page=3,
+            retire_cycles_other_page=3,
+        ),
+        windows=None,
+        has_atomic_tas=True,  # lock/unlock prefix, but faults in the
+        # locked sequence are disallowed (modelled in repro.threads.sync)
+        fault_address_provided=False,
+        vectored_dispatch=False,
+        callee_saved_registers=12,
+    )

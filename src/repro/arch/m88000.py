@@ -1,0 +1,87 @@
+"""Motorola 88000 (Tektronix XD88/01, 20 MHz).
+
+The 88000's distinguishing burden is its *exposed pipelines* (§2.3,
+§3.1): five internal pipelines with nearly 30 associated internal
+registers that system software must examine, save and restore on every
+exception.  On a fault, instructions after the faulting one may already
+have completed, so the OS must read the fault-status registers and
+*emulate* the faulting access rather than simply re-execute it.  The
+FPU freezes on a fault and must be drained and restarted — "a trap must
+be handled as though it were a full context switch to the FPU" — before
+general registers are safe from corruption.
+
+The 88200 CMMU pair provides the TLB and cache; CMMU control is through
+memory-mapped registers, which makes PTE/TLB maintenance operations
+moderately expensive uncached accesses.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CacheWritePolicy,
+    CostModel,
+    DelaySlotSpec,
+    MemorySpec,
+    PipelineSpec,
+    ThreadStateSpec,
+    TLBSpec,
+    WriteBufferSpec,
+)
+from repro.isa.instructions import OpClass
+
+
+def build() -> ArchSpec:
+    """Construct the 88000 / Tektronix XD88/01 descriptor."""
+    return ArchSpec(
+        name="m88000",
+        system_name="Tektronix XD88/01",
+        kind=ArchKind.RISC,
+        clock_mhz=20.0,
+        app_performance_ratio=3.5,
+        cost=CostModel(
+            base_cycles={OpClass.SPECIAL: 2},
+            load_extra_cycles=1,  # XD88 memory interface
+            uncached_load_extra_cycles=12,
+            trap_entry_cycles=10,
+            trap_exit_extra_cycles=6,
+            tlb_op_cycles=17,  # memory-mapped CMMU register access
+            cache_flush_line_cycles=4,
+            special_extra_cycles=1,  # control-register (cr) access
+            fp_extra_cycles=4,
+        ),
+        tlb=TLBSpec(
+            entries=56,  # 88200 ATC
+            pid_tagged=True,
+            software_managed=False,
+            hw_miss_cycles=28,
+        ),
+        cache=CacheSpec(
+            lines=256,
+            line_bytes=64,
+            virtually_addressed=False,
+            write_policy=CacheWritePolicy.WRITE_THROUGH,
+        ),
+        thread_state=ThreadStateSpec(registers=32, fp_state=0, misc_state=27),
+        pipeline=PipelineSpec(
+            exposed=True,
+            n_pipelines=5,
+            state_registers=27,
+            precise_interrupts=False,
+            fpu_freeze_on_fault=True,
+        ),
+        memory=MemorySpec(copy_bandwidth_mbps=35.0, checksum_bandwidth_mbps=14.0),
+        delay_slots=DelaySlotSpec(branch_slots=1, load_slots=0, unfilled_fraction_os=0.3),
+        write_buffer=WriteBufferSpec(
+            depth=3,
+            retire_cycles_same_page=3,
+            retire_cycles_other_page=3,
+        ),
+        windows=None,
+        has_atomic_tas=True,  # xmem
+        fault_address_provided=True,  # via fault status registers
+        vectored_dispatch=True,
+        callee_saved_registers=12,
+    )

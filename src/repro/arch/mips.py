@@ -1,0 +1,134 @@
+"""MIPS R2000 (DECstation 3100) and R3000 (DECstation 5000/200).
+
+The R3000 uses the same instruction set as the R2000 (the handler
+programs are byte-for-byte identical, so their Table 2 instruction
+counts coincide); the two *systems* differ in clock rate and in memory
+interface.  §2.3 pins the contrast on the write buffer: the DECstation
+3100 has a 4-deep write-through buffer that stalls 5 cycles per
+successive write once full, while the DECstation 5000 has a 6-deep
+buffer that retires one write per cycle when successive writes hit the
+same page — "this accounts in part for the fact that trap performance of
+the DECstation 5000 is better relative to the DECstation 3100 than one
+would expect based on their integer performance".
+
+Other MIPS properties the paper leans on:
+
+* nearly all exceptions vector through one common software handler
+  (``vectored_dispatch=False``), adding dispatch cycles (§2.3);
+* the TLB is small (64 entries), software managed, with PID tags; user
+  misses cost ~a dozen cycles, kernel-region misses a few hundred (§5);
+* there is **no atomic test-and-set** instruction, forcing user-level
+  critical sections through kernel traps (§4.1, Table 7's emulated
+  instructions);
+* ~50% of delay slots in the low-level handler path are unfilled (§2.3).
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CacheWritePolicy,
+    CostModel,
+    DelaySlotSpec,
+    MemorySpec,
+    PipelineSpec,
+    ThreadStateSpec,
+    TLBSpec,
+    WriteBufferSpec,
+)
+from repro.isa.instructions import OpClass
+
+_TLB = TLBSpec(
+    entries=64,
+    pid_tagged=True,
+    software_managed=True,
+    sw_user_miss_cycles=12,
+    sw_kernel_miss_cycles=300,
+)
+
+_THREAD_STATE = ThreadStateSpec(registers=32, fp_state=32, misc_state=5)
+
+_PIPELINE = PipelineSpec(exposed=False, n_pipelines=1, precise_interrupts=True)
+
+_DELAY = DelaySlotSpec(branch_slots=1, load_slots=1, unfilled_fraction_os=0.5)
+
+
+def _base_cost(load_extra: int, special_extra: int) -> CostModel:
+    return CostModel(
+        base_cycles={OpClass.SPECIAL: 2},
+        load_extra_cycles=load_extra,
+        uncached_load_extra_cycles=10,
+        trap_entry_cycles=6,
+        trap_exit_extra_cycles=3,
+        tlb_op_cycles=4,
+        cache_flush_line_cycles=2,
+        special_extra_cycles=special_extra,
+    )
+
+
+def build_r2000() -> ArchSpec:
+    """R2000 / DECstation 3100, 16.67 MHz."""
+    return ArchSpec(
+        name="r2000",
+        system_name="DECstation 3100",
+        kind=ArchKind.RISC,
+        clock_mhz=16.67,
+        app_performance_ratio=4.2,
+        cost=_base_cost(load_extra=1, special_extra=1),
+        tlb=_TLB,
+        cache=CacheSpec(
+            lines=1024,
+            line_bytes=64,
+            virtually_addressed=False,
+            write_policy=CacheWritePolicy.WRITE_THROUGH,
+        ),
+        thread_state=_THREAD_STATE,
+        pipeline=_PIPELINE,
+        memory=MemorySpec(copy_bandwidth_mbps=38.0, checksum_bandwidth_mbps=15.0),
+        delay_slots=_DELAY,
+        write_buffer=WriteBufferSpec(
+            depth=4,
+            retire_cycles_same_page=5,
+            retire_cycles_other_page=5,
+        ),
+        windows=None,
+        has_atomic_tas=False,
+        fault_address_provided=True,  # BadVAddr register
+        vectored_dispatch=False,
+        callee_saved_registers=9,
+    )
+
+
+def build_r3000() -> ArchSpec:
+    """R3000 / DECstation 5000/200, 25 MHz."""
+    return ArchSpec(
+        name="r3000",
+        system_name="DECstation 5000/200",
+        kind=ArchKind.RISC,
+        clock_mhz=25.0,
+        app_performance_ratio=6.7,
+        cost=_base_cost(load_extra=0, special_extra=1),
+        tlb=_TLB,
+        cache=CacheSpec(
+            lines=1024,
+            line_bytes=64,
+            virtually_addressed=False,
+            write_policy=CacheWritePolicy.WRITE_THROUGH,
+        ),
+        thread_state=_THREAD_STATE,
+        pipeline=_PIPELINE,
+        memory=MemorySpec(copy_bandwidth_mbps=45.0, checksum_bandwidth_mbps=18.0),
+        delay_slots=_DELAY,
+        write_buffer=WriteBufferSpec(
+            depth=6,
+            retire_cycles_same_page=1,
+            retire_cycles_other_page=5,
+        ),
+        windows=None,
+        has_atomic_tas=False,
+        fault_address_provided=True,
+        vectored_dispatch=False,
+        callee_saved_registers=9,
+    )

@@ -1,0 +1,59 @@
+"""Lookup of architecture descriptors by name.
+
+Specs are constructed lazily (once) and cached; they are frozen
+dataclasses, so sharing is safe.  Ablation studies should derive
+variants with :meth:`~repro.arch.specs.ArchSpec.with_overrides` rather
+than mutating these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.arch import cvax, i860, m68k, m88000, mips, rs6000, sparc
+from repro.arch.specs import ArchSpec
+
+_BUILDERS: Dict[str, Callable[[], ArchSpec]] = {
+    "cvax": cvax.build,
+    "m88000": m88000.build,
+    "r2000": mips.build_r2000,
+    "r3000": mips.build_r3000,
+    "sparc": sparc.build,
+    "i860": i860.build,
+    "rs6000": rs6000.build,
+    "m68k": m68k.build,
+}
+
+_CACHE: Dict[str, ArchSpec] = {}
+
+#: All registered architecture names.
+ALL_ARCH_NAMES: Tuple[str, ...] = tuple(_BUILDERS)
+
+#: Systems whose primitive times appear in Table 1, in column order.
+TABLE1_SYSTEMS: Tuple[str, ...] = ("cvax", "m88000", "r2000", "r3000", "sparc")
+
+#: Systems whose instruction counts appear in Table 2, in column order.
+#: (The R2000 and R3000 share one column: same instruction set.)
+TABLE2_SYSTEMS: Tuple[str, ...] = ("cvax", "m88000", "r2000", "sparc", "i860")
+
+#: Architectures whose thread state appears in Table 6, in column order.
+TABLE6_SYSTEMS: Tuple[str, ...] = ("cvax", "m88000", "r2000", "sparc", "i860", "rs6000")
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Return the cached descriptor for ``name``.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown architecture {name!r}; known: {', '.join(ALL_ARCH_NAMES)}")
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[key]()
+    return _CACHE[key]
+
+
+def iter_arches(names: Tuple[str, ...] = ALL_ARCH_NAMES) -> Iterator[ArchSpec]:
+    """Yield descriptors for ``names`` in order."""
+    for name in names:
+        yield get_arch(name)

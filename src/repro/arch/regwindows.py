@@ -1,0 +1,89 @@
+"""Functional model of a SPARC-style register window file.
+
+Used by the user-level thread package and the Synapse workload to count
+window overflow/underflow traps and to size context-switch state: a
+thread switch must flush every dirty window of the outgoing thread to
+memory (on average three under SunOS per Kleiman & Williams, §4.1),
+and because the current-window-pointer is privileged it must also trap
+into the kernel even for an otherwise user-level switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.specs import RegisterWindowSpec
+
+
+@dataclass
+class WindowEvent:
+    """Counts of window traps accumulated by a :class:`WindowFile`."""
+
+    overflows: int = 0
+    underflows: int = 0
+
+    def reset(self) -> None:
+        self.overflows = 0
+        self.underflows = 0
+
+
+@dataclass
+class WindowFile:
+    """Occupancy tracking for one thread's call stack in the window file.
+
+    ``depth`` is the number of register windows currently holding live
+    frames for the running thread.  A ``call`` that would exceed the
+    window count (minus the one window the architecture reserves for
+    trap handlers) overflows: one window is spilled to memory.  A
+    ``ret`` into a spilled frame underflows: one window is filled from
+    memory.
+    """
+
+    spec: RegisterWindowSpec
+    depth: int = 1
+    spilled: int = 0
+    events: WindowEvent = field(default_factory=WindowEvent)
+
+    @property
+    def usable_windows(self) -> int:
+        # One window is kept free so a trap handler always has a frame.
+        return self.spec.n_windows - 1
+
+    def call(self) -> bool:
+        """Push a frame.  Returns True when the call overflowed."""
+        if self.depth >= self.usable_windows:
+            self.spilled += 1
+            self.events.overflows += 1
+            self.depth = self.usable_windows
+            return True
+        self.depth += 1
+        return False
+
+    def ret(self) -> bool:
+        """Pop a frame.  Returns True when the return underflowed."""
+        if self.depth > 1:
+            self.depth -= 1
+            return False
+        if self.spilled > 0:
+            self.spilled -= 1
+            self.events.underflows += 1
+            return True
+        # Returning past the bottom frame: keep at least one live window.
+        return False
+
+    def flush_for_switch(self) -> int:
+        """Flush live windows for a context switch.
+
+        Returns the number of windows written to memory.  After the
+        flush only the (re-)entered frame remains resident, matching
+        the behaviour of a SunOS-style window flush.
+        """
+        dirty = self.depth
+        self.spilled += self.depth - 1
+        self.depth = 1
+        return dirty
+
+    @property
+    def words_to_save_on_switch(self) -> int:
+        """32-bit words of window state a switch must move to memory."""
+        return self.depth * self.spec.regs_per_window

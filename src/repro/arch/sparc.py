@@ -1,0 +1,97 @@
+"""Sun SPARC with Cypress MMU (SPARCstation 1+, 25 MHz).
+
+The paper's SPARC story is the register window file (§2.3, §4.1):
+
+* 8 overlapping windows of 16 registers (136 integer registers total,
+  Table 6);
+* window management accounts for ~30% of the null system call time —
+  the trap handler must ensure a free frame and copy parameters an
+  extra time across the interposed handler frame;
+* a context switch saves/restores on average 3 windows at 12.8 us per
+  window — ~70% of the 53.9 us context switch;
+* the current-window pointer is privileged, so even a *user-level*
+  thread switch must trap into the kernel.
+
+On the memory side, the Cypress implementation provides a 3-level page
+table whose upper levels can hold terminal "region" PTEs mapping large
+contiguous areas with one TLB entry, plus lockable TLB entries — the
+paper calls this "perhaps a better solution to increasing the
+utilization of TLB entries" than MIPS's unmapped kernel segments (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CacheWritePolicy,
+    CostModel,
+    DelaySlotSpec,
+    MemorySpec,
+    PipelineSpec,
+    RegisterWindowSpec,
+    ThreadStateSpec,
+    TLBSpec,
+    WriteBufferSpec,
+)
+from repro.isa.instructions import OpClass
+
+
+def build() -> ArchSpec:
+    """Construct the SPARC / SPARCstation 1+ descriptor."""
+    return ArchSpec(
+        name="sparc",
+        system_name="SPARCstation 1+",
+        kind=ArchKind.RISC,
+        clock_mhz=25.0,
+        app_performance_ratio=4.3,
+        cost=CostModel(
+            base_cycles={OpClass.SPECIAL: 3},
+            load_extra_cycles=1,
+            uncached_load_extra_cycles=10,
+            trap_entry_cycles=8,
+            trap_exit_extra_cycles=5,
+            tlb_op_cycles=22,  # MMU probe/flush through ASI accesses
+            cache_flush_line_cycles=3,
+            special_extra_cycles=1,  # psr/wim/tbr accesses
+        ),
+        tlb=TLBSpec(
+            entries=64,
+            pid_tagged=True,  # SRMMU context register
+            software_managed=False,
+            lockable_entries=8,
+            hw_miss_cycles=30,  # 3-level table walk
+            supports_region_entries=True,
+        ),
+        cache=CacheSpec(
+            lines=1024,
+            line_bytes=64,
+            virtually_addressed=True,
+            write_policy=CacheWritePolicy.WRITE_THROUGH,
+            pid_tagged=True,  # context-tagged: no flush on switch
+        ),
+        thread_state=ThreadStateSpec(registers=136, fp_state=32, misc_state=6),
+        pipeline=PipelineSpec(exposed=False, precise_interrupts=True),
+        memory=MemorySpec(copy_bandwidth_mbps=40.0, checksum_bandwidth_mbps=16.0),
+        delay_slots=DelaySlotSpec(branch_slots=1, load_slots=0, unfilled_fraction_os=0.3),
+        # SPARCstation 1+: write-through cache with a shallow buffer;
+        # sustained stores run at memory speed.  Calibrated so one
+        # window save/restore (16 stores + 16 loads) costs ~12.8 us
+        # (= 320 cycles at 25 MHz), the figure §4.1 quotes per window.
+        write_buffer=WriteBufferSpec(
+            depth=1,
+            retire_cycles_same_page=16,
+            retire_cycles_other_page=16,
+        ),
+        windows=RegisterWindowSpec(
+            n_windows=8,
+            regs_per_window=16,
+            cwp_privileged=True,
+            avg_windows_per_switch=3,
+        ),
+        has_atomic_tas=True,  # ldstub
+        fault_address_provided=True,
+        vectored_dispatch=True,  # hardware trap table
+        callee_saved_registers=8,
+    )

@@ -1,0 +1,275 @@
+"""Frozen descriptor dataclasses for the simulated architectures.
+
+An :class:`ArchSpec` is a pure description; the stateful simulation
+components (write buffer FIFO, register window file, TLB contents) are
+built *from* a spec by the executor and the memory/kernel subsystems.
+Keeping descriptions immutable lets experiments share them freely and
+lets ablation studies derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from repro.isa.instructions import OpClass
+
+
+class ArchKind(enum.Enum):
+    CISC = "cisc"
+    RISC = "risc"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-instruction-class cycle costs.
+
+    ``base_cycles`` applies per :class:`~repro.isa.instructions.OpClass`;
+    classes not listed cost one cycle.  Loads/stores additionally pay the
+    dynamic costs modelled by the executor (write-buffer stalls) and the
+    static latencies below.
+    """
+
+    base_cycles: Mapping[OpClass, int] = field(default_factory=dict)
+    #: extra cycles for a cached load beyond the base cycle (memory
+    #: pipeline latency visible to OS code with poor scheduling).
+    load_extra_cycles: int = 0
+    #: total extra cycles for an uncached load (e.g. network I/O buffer).
+    uncached_load_extra_cycles: int = 8
+    #: cycles to flush/invalidate one cache line from software.
+    cache_flush_line_cycles: int = 3
+    #: cycles for one TLB probe/write/invalidate operation.
+    tlb_op_cycles: int = 3
+    #: cycles charged when hardware enters a trap (OpClass.TRAP).
+    trap_entry_cycles: int = 6
+    #: cycles charged for return-from-exception (OpClass.RFE), beyond
+    #: the single issue cycle.
+    trap_exit_extra_cycles: int = 3
+    #: cycles for an atomic read-modify-write, if the ISA has one.
+    atomic_extra_cycles: int = 3
+    #: cycles for a floating point op (only coarse; used by FPU
+    #: freeze/restart modelling on the 88000/i860).
+    fp_extra_cycles: int = 2
+    #: extra cycles for special/privileged register access.
+    special_extra_cycles: int = 0
+
+    def cycles_for_class(self, opclass: OpClass) -> int:
+        return self.base_cycles.get(opclass, 1)
+
+
+@dataclass(frozen=True)
+class WriteBufferSpec:
+    """Write buffer between CPU and memory (§2.3).
+
+    ``depth`` slots; a buffered write retires in ``retire_cycles_same_page``
+    cycles when it targets the same page as the previous retiring write
+    and ``retire_cycles_other_page`` otherwise.  A store issued while the
+    buffer is full stalls the CPU until a slot frees.
+
+    The paper's two concrete points: the DECstation 3100 has a 4-deep
+    write-through buffer that "will stall for 5 cycles on every
+    successive write once the buffer is full", while the DECstation 5000
+    has a 6-deep buffer "that can retire a write every cycle if
+    successive writes are to the same page".
+    """
+
+    depth: int
+    retire_cycles_same_page: int
+    retire_cycles_other_page: int
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("write buffer depth must be >= 1")
+        if self.retire_cycles_same_page < 1 or self.retire_cycles_other_page < 1:
+            raise ValueError("retire cycles must be >= 1")
+
+
+@dataclass(frozen=True)
+class RegisterWindowSpec:
+    """SPARC-style overlapping register windows (§2.3, §4.1)."""
+
+    n_windows: int = 8
+    regs_per_window: int = 16
+    #: the current-window-pointer is privileged, so a *user-level* thread
+    #: switch still needs a kernel trap (§4.1).
+    cwp_privileged: bool = True
+    #: average windows saved/restored per context switch (Kleiman &
+    #: Williams measured 3 for 8-window SPARCs under SunOS).
+    avg_windows_per_switch: int = 3
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Pipeline visibility to system software (§3.1)."""
+
+    #: True when exception handlers must read/save/restore pipeline
+    #: state registers (88000, i860); False for precise-interrupt
+    #: machines (SPARC, R2/3000, RS6000) and microcoded CISCs.
+    exposed: bool = False
+    n_pipelines: int = 1
+    #: number of internal pipeline-state registers visible on a trap.
+    state_registers: int = 0
+    precise_interrupts: bool = True
+    #: the FPU freezes on a fault and must be drained/restarted before
+    #: the handler can safely use general registers (88000).
+    fpu_freeze_on_fault: bool = False
+    #: instructions needed to save+restore FP pipeline state on a trap
+    #: when the FPU might be in use (i860: "60 or more").
+    fp_pipeline_save_instructions: int = 0
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    """Translation lookaside buffer organization (§3.2)."""
+
+    entries: int
+    #: process-ID tags let entries survive context switches.
+    pid_tagged: bool
+    #: misses handled by software (MIPS) rather than a hardware walker.
+    software_managed: bool
+    #: entries the OS may lock against replacement (SPARC/Cypress).
+    lockable_entries: int = 0
+    #: cycles for a hardware page-table walk on a miss (hw-managed).
+    hw_miss_cycles: int = 20
+    #: cycles for the user-space software refill handler (MIPS "about a
+    #: dozen cycles").
+    sw_user_miss_cycles: int = 12
+    #: cycles for the kernel-space software refill handler (MIPS "a few
+    #: hundred cycles").
+    sw_kernel_miss_cycles: int = 300
+    #: a terminal PTE at an upper page-table level can map a large
+    #: contiguous region with a single entry (SPARC/Cypress 3-level).
+    supports_region_entries: bool = False
+
+
+class CacheWritePolicy(enum.Enum):
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """First-level cache organization (§3.2)."""
+
+    lines: int
+    line_bytes: int
+    virtually_addressed: bool
+    write_policy: CacheWritePolicy
+    #: virtually-addressed caches without PID tags must be flushed on
+    #: context switch and swept on PTE protection changes.
+    pid_tagged: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return self.lines * self.line_bytes
+
+
+@dataclass(frozen=True)
+class ThreadStateSpec:
+    """Per-thread processor state in 32-bit words (Table 6)."""
+
+    registers: int
+    fp_state: int
+    misc_state: int
+
+    @property
+    def total_words(self) -> int:
+        return self.registers + self.fp_state + self.misc_state
+
+    @property
+    def integer_only_words(self) -> int:
+        """State to move when the OS may assume a pure-integer thread."""
+        return self.registers + self.misc_state
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Bulk-memory throughput for block copies and checksums (§2.4).
+
+    Ousterhout's observation, which the paper quotes: "the relative
+    performance of memory copying drops almost monotonically with
+    faster processors" — the same commodity memory parts back CISCs and
+    RISCs alike, so these bandwidths are nearly flat across systems
+    while CPU speed climbs.
+    """
+
+    copy_bandwidth_mbps: float = 30.0
+    checksum_bandwidth_mbps: float = 12.0
+
+    def copy_us(self, nbytes: int) -> float:
+        return nbytes / self.copy_bandwidth_mbps
+
+    def checksum_us(self, nbytes: int) -> float:
+        return nbytes / self.checksum_bandwidth_mbps
+
+
+@dataclass(frozen=True)
+class DelaySlotSpec:
+    """Load/branch delay-slot geometry and OS-code fill quality (§2.3)."""
+
+    branch_slots: int = 0
+    load_slots: int = 0
+    #: fraction of delay slots the low-level handler code leaves
+    #: unfilled ("Nearly 50% ... are unfilled" on the R2000).
+    unfilled_fraction_os: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.unfilled_fraction_os <= 1.0:
+            raise ValueError("unfilled_fraction_os must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Complete description of one architecture + system implementation."""
+
+    name: str
+    system_name: str
+    kind: ArchKind
+    clock_mhz: float
+    #: SPECmark-style application performance relative to the CVAX
+    #: (Table 1 "Application Performance" row; CVAX == 1.0).
+    app_performance_ratio: float
+    cost: CostModel
+    tlb: TLBSpec
+    cache: CacheSpec
+    thread_state: ThreadStateSpec
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    delay_slots: DelaySlotSpec = field(default_factory=DelaySlotSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    write_buffer: Optional[WriteBufferSpec] = None
+    windows: Optional[RegisterWindowSpec] = None
+    #: has an atomic test-and-set style instruction (the R2000/R3000
+    #: does not; §4.1).
+    has_atomic_tas: bool = True
+    #: hardware reports the faulting virtual address (the i860 does
+    #: not, costing ~26 decode instructions; §3.1).
+    fault_address_provided: bool = True
+    #: hardware vectors exception causes separately (88000, SPARC) or
+    #: funnels them through a common handler (R2000, i860; §2.3).
+    vectored_dispatch: bool = True
+    #: integer registers that must be preserved across a syscall by the
+    #: callee per calling convention.
+    callee_saved_registers: int = 9
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.app_performance_ratio <= 0:
+            raise ValueError("app_performance_ratio must be positive")
+
+    # ------------------------------------------------------------------
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at this spec's clock."""
+        return cycles / self.clock_mhz
+
+    def us_to_cycles(self, us: float) -> float:
+        return us * self.clock_mhz
+
+    @property
+    def has_register_windows(self) -> bool:
+        return self.windows is not None
+
+    def with_overrides(self, **changes: object) -> "ArchSpec":
+        """Derive a variant spec (ablation studies)."""
+        return replace(self, **changes)

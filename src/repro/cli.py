@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+::
+
+    repro tables                 # print every reproduced table
+    repro table 1                # one table
+    repro report                 # the full reproduction report
+    repro claims                 # in-text claims, paper vs measured
+    repro measure r3000          # the four primitives on one system
+    repro disasm sparc trap      # dump a handler driver as assembly
+    repro arches                 # list known architectures
+
+Also exposed as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_arches(_: argparse.Namespace) -> int:
+    from repro.arch import ALL_ARCH_NAMES, get_arch
+
+    for name in ALL_ARCH_NAMES:
+        arch = get_arch(name)
+        print(f"{name:<8s} {arch.system_name:<24s} {arch.clock_mhz:6.2f} MHz "
+              f"{arch.kind.value.upper()}")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.arch import get_arch
+    from repro.core.microbench import measure_primitives, syscall_breakdown_us
+    from repro.kernel.primitives import Primitive
+
+    try:
+        arch = get_arch(args.arch)
+        result = measure_primitives(arch)
+    except KeyError as err:
+        print(err, file=sys.stderr)
+        return 2
+    print(f"{arch.system_name} ({arch.clock_mhz:g} MHz):")
+    for primitive in Primitive:
+        print(f"  {primitive.label:<26s} {result.times_us[primitive]:7.1f} us  "
+              f"({result.instructions[primitive]} instructions)")
+    try:
+        breakdown = syscall_breakdown_us(arch)
+    except KeyError:
+        return 0
+    print("  null syscall breakdown:")
+    for component in ("kernel_entry_exit", "call_prep", "c_call"):
+        print(f"    {component:<20s} {breakdown[component]:6.2f} us")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.analysis import table1, table2, table3, table4, table5, table6, table7
+
+    modules = {
+        "1": table1, "2": table2, "3": table3, "4": table4,
+        "5": table5, "6": table6, "7": table7,
+    }
+    module = modules.get(args.number)
+    if module is None:
+        print(f"unknown table {args.number!r}; choose 1-7", file=sys.stderr)
+        return 2
+    print(module.render())
+    return 0
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    from repro.analysis import table1, table2, table3, table4, table5, table6, table7
+
+    for module in (table1, table2, table3, table4, table5, table6, table7):
+        print(module.render())
+        print()
+    return 0
+
+
+def _cmd_claims(_: argparse.Namespace) -> int:
+    from repro.analysis.intext import all_claims
+
+    for claim in all_claims().values():
+        marker = "ok " if claim.within else "OFF"
+        print(f"[{marker}] {claim.description}: paper={claim.paper} "
+              f"measured={claim.measured:.3f}")
+    return 0
+
+
+def _cmd_summary(_: argparse.Namespace) -> int:
+    from repro.analysis.summary import render
+
+    print(render())
+    return 0
+
+
+def _cmd_report(_: argparse.Namespace) -> int:
+    from repro.core.report import full_report
+
+    print(full_report())
+    return 0
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    from repro.core.expgen import generate_markdown
+
+    print(generate_markdown(), end="")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.arch import get_arch
+    from repro.isa.assembler import disassemble
+    from repro.kernel.handlers import handler_program
+    from repro.kernel.primitives import Primitive
+
+    try:
+        arch = get_arch(args.arch)
+        primitive = Primitive(args.primitive)
+        program = handler_program(arch, primitive)
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    print(disassemble(program), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Anderson et al., 'The Interaction of "
+        "Architecture and Operating System Design' (ASPLOS 1991).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("arches", help="list simulated architectures").set_defaults(func=_cmd_arches)
+
+    measure = sub.add_parser("measure", help="measure the four primitives on one system")
+    measure.add_argument("arch")
+    measure.set_defaults(func=_cmd_measure)
+
+    table = sub.add_parser("table", help="print one reproduced table (1-7)")
+    table.add_argument("number")
+    table.set_defaults(func=_cmd_table)
+
+    sub.add_parser("tables", help="print all reproduced tables").set_defaults(func=_cmd_tables)
+    sub.add_parser("claims", help="in-text claims, paper vs measured").set_defaults(func=_cmd_claims)
+    sub.add_parser("summary", help="one-screen headline findings").set_defaults(func=_cmd_summary)
+    sub.add_parser("report", help="full reproduction report").set_defaults(func=_cmd_report)
+    sub.add_parser(
+        "experiments", help="regenerate the paper-vs-measured markdown"
+    ).set_defaults(func=_cmd_experiments)
+
+    disasm = sub.add_parser("disasm", help="dump a handler driver as assembly")
+    disasm.add_argument("arch")
+    disasm.add_argument("primitive", help="null_syscall | trap | pte_change | context_switch")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Measurement core: the paper's methodology, targets, and reporting.
+
+* :mod:`repro.core.papertargets` — every number the paper publishes
+  (Tables 1, 2, 5, 6, 7 and the quantified in-text claims), kept as
+  data so experiments and EXPERIMENTS.md can report paper-vs-measured.
+* :mod:`repro.core.microbench` — the §1.1 measurement procedures:
+  repeated-call timing and the subtraction method for trap, PTE change
+  and context switch.
+* :mod:`repro.core.tables` — plain-text table rendering shared by the
+  benchmarks and examples.
+"""
+
+from repro.core.microbench import MicrobenchResult, measure_primitives
+
+__all__ = ["MicrobenchResult", "measure_primitives"]

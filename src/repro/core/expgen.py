@@ -1,0 +1,137 @@
+"""Markdown experiments-report generator.
+
+Regenerates the paper-vs-measured tables of EXPERIMENTS.md from a live
+run, so the document can never drift from the code.  Wired to the CLI
+as ``repro experiments``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import papertargets as pt
+from repro.kernel.primitives import Primitive
+
+
+def _dev(paper: float, measured: float) -> str:
+    if not paper:
+        return "—"
+    return f"{100.0 * (measured - paper) / paper:+.0f}%"
+
+
+def table1_markdown() -> str:
+    from repro.analysis import table1
+
+    table = table1.compute()
+    lines = [
+        "## Table 1 — primitive times (µs)",
+        "",
+        "| Operation | System | Paper | Measured | Dev |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for primitive in Primitive:
+        for system in table.systems:
+            paper = pt.TABLE1_TIMES_US[primitive][system]
+            measured = table.time_us(primitive, system)
+            lines.append(
+                f"| {primitive.label} | {system.upper()} | {paper} | "
+                f"{measured:.1f} | {_dev(paper, measured)} |"
+            )
+    return "\n".join(lines)
+
+
+def table2_markdown() -> str:
+    from repro.analysis import table2
+
+    table = table2.compute()
+    mismatches = [
+        (primitive, system)
+        for primitive in Primitive
+        for system in table.systems
+        if table.count(primitive, system) != pt.TABLE2_INSTRUCTIONS[primitive][system]
+    ]
+    status = "all 20 cells exact" if not mismatches else f"MISMATCHES: {mismatches}"
+    return f"## Table 2 — instruction counts\n\n{status}."
+
+
+def table5_markdown() -> str:
+    from repro.analysis import table5
+
+    table = table5.compute()
+    lines = [
+        "## Table 5 — null syscall decomposition (µs)",
+        "",
+        "| System | Component | Paper | Measured |",
+        "|---|---|---:|---:|",
+    ]
+    for system in table.systems:
+        for component in ("kernel_entry_exit", "call_prep", "c_call", "total"):
+            paper = pt.TABLE5_BREAKDOWN_US[system][component]
+            lines.append(
+                f"| {system.upper()} | {component} | {paper} | "
+                f"{table.time_us(component, system):.1f} |"
+            )
+    return "\n".join(lines)
+
+
+def table7_markdown() -> str:
+    from repro.analysis import table7
+
+    table = table7.compute()
+    lines = [
+        "## Table 7 — paper→measured per workload",
+        "",
+        "| Workload | Syscalls 2.5 | AS sw 2.5 | Syscalls 3.0 | AS sw 3.0 | % prims 3.0 |",
+        "|---|---|---|---|---|---|",
+    ]
+    for workload in table.workloads:
+        p25 = pt.TABLE7_MACH25[workload]
+        p30 = pt.TABLE7_MACH30[workload]
+        mono = table.monolithic[workload]
+        kern = table.kernelized[workload]
+        lines.append(
+            f"| {workload} | {p25[3]}→{mono.syscalls} | {p25[1]}→{mono.addr_space_switches} "
+            f"| {p30[3]}→{kern.syscalls} | {p30[1]}→{kern.addr_space_switches} "
+            f"| {100 * (p30[7] or 0):.0f}%→{100 * kern.pct_time_in_primitives:.0f}% |"
+        )
+    return "\n".join(lines)
+
+
+def claims_markdown() -> str:
+    from repro.analysis.intext import all_claims
+
+    lines = [
+        "## In-text claims",
+        "",
+        "| Claim | Paper | Measured | Agrees |",
+        "|---|---:|---:|---|",
+    ]
+    for claim in all_claims().values():
+        paper = claim.paper
+        if isinstance(paper, tuple):
+            paper = f"{paper[0]:g}–{paper[1]:g}"
+        lines.append(
+            f"| {claim.description} | {paper} | {claim.measured:.3f} | "
+            f"{'yes' if claim.within else 'NO'} |"
+        )
+    return "\n".join(lines)
+
+
+def generate_markdown() -> str:
+    """The full regenerated experiments document."""
+    sections: List[str] = [
+        "# Experiments (regenerated)",
+        "",
+        "Produced by `repro experiments`; compare against EXPERIMENTS.md.",
+        "",
+        table1_markdown(),
+        "",
+        table2_markdown(),
+        "",
+        table5_markdown(),
+        "",
+        table7_markdown(),
+        "",
+        claims_markdown(),
+    ]
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,119 @@
+"""Functional re-run of the §1.1 microbenchmarks.
+
+:mod:`repro.core.microbench` reproduces the paper's measurement
+*arithmetic* on composed handler programs.  This module re-runs the
+same experiments against the *functional* machine — real processes,
+real page tables, real unmap/fault/remap — and checks that the two
+paths agree.  It is the cross-validation between the cost layer and
+the functional layer of the kernel (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.specs import ArchSpec
+from repro.kernel.primitives import Primitive
+from repro.kernel.system import SimulatedMachine
+from repro.mem.vm import PageFault
+
+
+@dataclass
+class FunctionalResult:
+    """Per-primitive times measured on the functional machine (us)."""
+
+    arch_name: str
+    times_us: Dict[Primitive, float]
+
+    def agreement(self, analytic_times_us: Dict[Primitive, float]) -> Dict[Primitive, float]:
+        """Ratio functional/analytic per primitive (1.0 = agreement)."""
+        return {
+            primitive: self.times_us[primitive] / analytic_times_us[primitive]
+            for primitive in self.times_us
+        }
+
+
+def measure_functionally(arch: ArchSpec, iterations: int = 20) -> FunctionalResult:
+    """Run the §1.1 measurement loops on a live machine.
+
+    * null syscall: repeated calls to an unused syscall;
+    * trap: unmap a page via syscall, touch it (fault), remap in the
+      handler — minus the syscall/unmap/remap components;
+    * PTE change and context switch: special syscalls minus the null
+      syscall time.
+    """
+    machine = SimulatedMachine(arch)
+    app = machine.create_process("bench")
+    other = machine.create_process("other")
+    machine.switch_to(app.main_thread)
+    test_vpn = 64
+    machine.map_page(test_vpn)
+
+    # --- null system call -------------------------------------------
+    start = machine.clock_us
+    for _ in range(iterations):
+        machine.syscall("null")
+    syscall_us = (machine.clock_us - start) / iterations
+
+    # --- PTE change via special syscall ------------------------------
+    def sys_unmap(m: SimulatedMachine) -> None:
+        m.unmap_page(test_vpn)
+
+    def sys_remap(m: SimulatedMachine) -> None:
+        m.map_page(test_vpn)
+        # remapping pays the same table/TLB maintenance as a change
+        m.counters.pte_changes += 1
+        cycles = m.vm.pte_change_cycles(test_vpn, m.current_process.space)
+        m.clock_us += m.arch.cycles_to_us(cycles)
+
+    machine.register_syscall("unmap", sys_unmap)
+    machine.register_syscall("remap", sys_remap)
+
+    start = machine.clock_us
+    for _ in range(iterations):
+        machine.syscall("remap")
+    pte_us = (machine.clock_us - start) / iterations - syscall_us
+
+    # --- trap loop ----------------------------------------------------
+    start = machine.clock_us
+    for _ in range(iterations):
+        machine.syscall("unmap")
+        try:
+            machine.touch(test_vpn)
+        except PageFault:
+            machine.trap()  # vector to the (null) handler
+            machine.syscall("remap")  # handler remaps from kernel side
+    loop_us = (machine.clock_us - start) / iterations
+    # subtract: unmap syscall (syscall + pte), remap syscall, and the
+    # touch path's own TLB refill noise is part of the trap, as it was
+    # on the real machines
+    trap_us = loop_us - 2 * syscall_us - 2 * pte_us
+
+    # --- context switch -----------------------------------------------
+    start = machine.clock_us
+    for _ in range(iterations):
+        machine.syscall("null")
+        machine.switch_to(other.main_thread)
+        machine.syscall("null")
+        machine.switch_to(app.main_thread)
+    ctx_us = (machine.clock_us - start) / (2 * iterations) - syscall_us
+
+    return FunctionalResult(
+        arch_name=arch.name,
+        times_us={
+            Primitive.NULL_SYSCALL: syscall_us,
+            Primitive.PTE_CHANGE: pte_us,
+            Primitive.TRAP: trap_us,
+            Primitive.CONTEXT_SWITCH: ctx_us,
+        },
+    )
+
+
+def cross_validate(arch: ArchSpec) -> Dict[Primitive, float]:
+    """Functional/analytic agreement ratios for ``arch``."""
+    from repro.core.microbench import measure_primitives
+
+    functional = measure_functionally(arch)
+    analytic = measure_primitives(arch)
+    return functional.agreement(analytic.times_us)

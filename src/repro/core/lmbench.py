@@ -1,0 +1,170 @@
+"""An lmbench-style extended OS microbenchmark suite.
+
+The paper's four primitives became the seed of a whole genre — lmbench
+and its descendants measure the same quantities on modern systems.
+This module composes the simulator's substrates into the classic
+extended suite, so any architecture (including the ablation variants)
+gets the full lmbench-style row:
+
+========================  =================================================
+benchmark                 composition
+========================  =================================================
+null syscall              the §1.1 primitive
+signal handler install    one syscall
+signal handler delivery   trap + kernel-to-user upcall + sigreturn syscall
+protection fault          the §1.1 trap primitive
+pipe latency              2 syscalls + 2 context switches + 2 small copies
+process fork+exit         address-space create/destroy: PTE changes +
+                          context switches + syscalls
+context switch (2 procs)  the §1.1 primitive + TLB/cache switch effects
+mmap + fault              syscall + translation fault + PTE install
+bcopy bandwidth           the MemorySpec block-copy rate
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.specs import ArchSpec
+from repro.kernel.handlers import build_handler
+from repro.kernel.primitives import Primitive
+from repro.kernel.system import SimulatedMachine
+from repro.mem.vm import PageFault
+
+#: bytes moved through the pipe for the latency benchmark.
+PIPE_MESSAGE_BYTES = 64
+#: pages in a fresh process image (fork+exit cost driver).
+FORK_IMAGE_PAGES = 24
+
+
+@dataclass
+class LmbenchRow:
+    """One system's extended microbenchmark results (microseconds,
+    except ``bcopy_mbps``)."""
+
+    arch_name: str
+    null_syscall_us: float
+    signal_install_us: float
+    signal_deliver_us: float
+    protection_fault_us: float
+    pipe_latency_us: float
+    fork_exit_us: float
+    context_switch_us: float
+    mmap_fault_us: float
+    bcopy_mbps: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "null_syscall_us": self.null_syscall_us,
+            "signal_install_us": self.signal_install_us,
+            "signal_deliver_us": self.signal_deliver_us,
+            "protection_fault_us": self.protection_fault_us,
+            "pipe_latency_us": self.pipe_latency_us,
+            "fork_exit_us": self.fork_exit_us,
+            "context_switch_us": self.context_switch_us,
+            "mmap_fault_us": self.mmap_fault_us,
+            "bcopy_mbps": self.bcopy_mbps,
+        }
+
+
+def _primitive_us(arch: ArchSpec, primitive: Primitive) -> float:
+    return build_handler(arch, primitive).time_us
+
+
+def measure_lmbench(arch: ArchSpec) -> LmbenchRow:
+    """Run the extended suite on ``arch``."""
+    syscall_us = _primitive_us(arch, Primitive.NULL_SYSCALL)
+    trap_us = _primitive_us(arch, Primitive.TRAP)
+    ctx_us = _primitive_us(arch, Primitive.CONTEXT_SWITCH)
+    pte_us = _primitive_us(arch, Primitive.PTE_CHANGE)
+
+    # signal delivery: fault/interrupt into the kernel, upcall to the
+    # user handler frame, sigreturn syscall to resume
+    signal_deliver_us = trap_us + syscall_us + arch.memory.copy_us(128)
+
+    # pipe latency: writer syscall + copy in, switch to reader, reader
+    # syscall + copy out, switch back (the classic 2-process ping)
+    copy_us = arch.memory.copy_us(PIPE_MESSAGE_BYTES)
+    pipe_us = 2 * syscall_us + 2 * ctx_us + 2 * copy_us
+
+    # fork+exit: create the child address space (map the image), switch
+    # to it, exit (unmap), switch back
+    fork_us = (
+        2 * syscall_us
+        + FORK_IMAGE_PAGES * pte_us  # map the image copy-on-write
+        + 2 * ctx_us
+        + FORK_IMAGE_PAGES * pte_us / 2  # teardown batches better
+    )
+
+    # context switch between processes, measured functionally so TLB
+    # purges / cache flushes on untagged parts are included
+    machine = SimulatedMachine(arch)
+    a = machine.create_process("lat_ctx_a")
+    b = machine.create_process("lat_ctx_b")
+    for vpn in range(8):
+        a.space.map(vpn, vpn)
+        b.space.map(vpn, vpn)
+    # warm up
+    machine.switch_to(b.main_thread)
+    machine.switch_to(a.main_thread)
+    start = machine.clock_us
+    rounds = 10
+    for _ in range(rounds):
+        machine.switch_to(b.main_thread)
+        for vpn in range(8):
+            machine.touch(vpn)
+        machine.switch_to(a.main_thread)
+        for vpn in range(8):
+            machine.touch(vpn)
+    functional_ctx_us = (machine.clock_us - start) / (2 * rounds)
+
+    # mmap + first touch: install a mapping, fault it in
+    mmap_machine = SimulatedMachine(arch)
+    proc = mmap_machine.create_process("mmap")
+    mmap_start = mmap_machine.clock_us
+    mmap_machine.syscall("null")  # the mmap call
+    try:
+        mmap_machine.touch(100)
+    except PageFault:
+        mmap_machine.trap()
+        mmap_machine.map_page(100)
+        mmap_machine.touch(100)
+    mmap_fault_us = mmap_machine.clock_us - mmap_start
+
+    return LmbenchRow(
+        arch_name=arch.name,
+        null_syscall_us=syscall_us,
+        signal_install_us=syscall_us,
+        signal_deliver_us=signal_deliver_us,
+        protection_fault_us=trap_us,
+        pipe_latency_us=pipe_us,
+        fork_exit_us=fork_us,
+        context_switch_us=functional_ctx_us,
+        mmap_fault_us=mmap_fault_us,
+        bcopy_mbps=arch.memory.copy_bandwidth_mbps,
+    )
+
+
+def suite(arch_names: "tuple[str, ...]" = ("cvax", "m88000", "r2000", "r3000", "sparc")) -> Dict[str, LmbenchRow]:
+    """The extended suite across systems."""
+    from repro.arch.registry import get_arch
+
+    return {name: measure_lmbench(get_arch(name)) for name in arch_names}
+
+
+def render(rows: "Dict[str, LmbenchRow] | None" = None) -> str:
+    """lmbench-style table."""
+    from repro.core.tables import TextTable
+
+    rows = rows or suite()
+    first = next(iter(rows.values()))
+    metrics = list(first.as_dict())
+    table = TextTable(["benchmark"] + [name.upper() for name in rows],
+                      title="Extended (lmbench-style) OS microbenchmarks")
+    for metric in metrics:
+        table.add_row(
+            [metric] + [round(row.as_dict()[metric], 1) for row in rows.values()]
+        )
+    return table.render()

@@ -1,0 +1,175 @@
+"""The paper's measurement methodology (§1.1), on simulated systems.
+
+The paper could not time a bare trap or PTE change directly; it used a
+*subtraction method*:
+
+* the system call time is measured directly by repeated calls to an
+  otherwise unused syscall;
+* PTE-change and context-switch times are measured by special system
+  calls, subtracting the null system call time;
+* the trap time comes from a loop that unmaps a page via syscall,
+  touches it from user level, and remaps it inside the trap handler —
+  minus the system call, unmap, and remap times.
+
+We reproduce the same arithmetic on composed handler programs.  Because
+composition shares micro-architectural state (e.g. the write buffer is
+already draining when the second handler starts), the subtraction
+introduces the same small artifacts a real measurement has; the direct
+times are also reported so tests can bound the discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.arch.specs import ArchSpec
+from repro.isa.executor import ExecutionResult, Executor
+from repro.isa.program import Program, concat_programs
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import (
+    C_CALL_PHASES,
+    CALL_PREP_PHASES,
+    KERNEL_ENTRY_EXIT_PHASES,
+    Primitive,
+)
+
+
+@dataclass
+class MicrobenchResult:
+    """Times and counts for the four primitives on one system."""
+
+    arch_name: str
+    system_name: str
+    clock_mhz: float
+    #: subtraction-method times, as the paper reports them (Table 1).
+    times_us: Dict[Primitive, float] = field(default_factory=dict)
+    #: direct handler execution times (no measurement arithmetic).
+    direct_times_us: Dict[Primitive, float] = field(default_factory=dict)
+    #: shortest-path instruction counts (Table 2).
+    instructions: Dict[Primitive, int] = field(default_factory=dict)
+
+    @property
+    def null_syscall_us(self) -> float:
+        return self.times_us[Primitive.NULL_SYSCALL]
+
+    @property
+    def trap_us(self) -> float:
+        return self.times_us[Primitive.TRAP]
+
+    @property
+    def pte_change_us(self) -> float:
+        return self.times_us[Primitive.PTE_CHANGE]
+
+    @property
+    def context_switch_us(self) -> float:
+        return self.times_us[Primitive.CONTEXT_SWITCH]
+
+    def relative_speed(self, baseline: "MicrobenchResult") -> Dict[Primitive, float]:
+        """Table 1 "Relative Speed" columns: baseline time / this time."""
+        return {
+            primitive: baseline.times_us[primitive] / time_us
+            for primitive, time_us in self.times_us.items()
+        }
+
+
+def _run(arch: ArchSpec, program: Program, drain: bool = False) -> ExecutionResult:
+    return Executor(arch).run(program, drain_write_buffer=drain)
+
+
+def _time(arch: ArchSpec, program: Program, drain: bool = False) -> float:
+    return _run(arch, program, drain=drain).time_us
+
+
+def measure_primitives(arch: ArchSpec) -> MicrobenchResult:
+    """Measure the four §1.1 primitives on ``arch`` the paper's way."""
+    syscall = handler_program(arch, Primitive.NULL_SYSCALL)
+    trap = handler_program(arch, Primitive.TRAP)
+    pte = handler_program(arch, Primitive.PTE_CHANGE)
+    ctx = handler_program(arch, Primitive.CONTEXT_SWITCH)
+
+    result = MicrobenchResult(
+        arch_name=arch.name,
+        system_name=arch.system_name,
+        clock_mhz=arch.clock_mhz,
+    )
+
+    # Direct executions (drain after asynchronous-exit primitives).
+    result.direct_times_us = {
+        Primitive.NULL_SYSCALL: _time(arch, syscall),
+        Primitive.TRAP: _time(arch, trap, drain=True),
+        Primitive.PTE_CHANGE: _time(arch, pte),
+        Primitive.CONTEXT_SWITCH: _time(arch, ctx, drain=True),
+    }
+    result.instructions = {
+        Primitive.NULL_SYSCALL: _run(arch, syscall).instructions,
+        Primitive.TRAP: _run(arch, trap).instructions,
+        Primitive.PTE_CHANGE: _run(arch, pte).instructions,
+        Primitive.CONTEXT_SWITCH: _run(arch, ctx).instructions,
+    }
+
+    # --- the subtraction method ---------------------------------------
+    t_sys = _time(arch, syscall)
+
+    # "special system calls" performing the PTE change / context switch
+    # inside an ordinary syscall shell, minus the null syscall time.
+    sys_pte = concat_programs([syscall, pte], name=f"{arch.name}:sys+pte")
+    sys_ctx = concat_programs([syscall, ctx], name=f"{arch.name}:sys+ctx")
+    t_sys_pte = _time(arch, sys_pte)
+    t_sys_ctx = _time(arch, sys_ctx, drain=True)
+    t_pte = t_sys_pte - t_sys
+    t_ctx = t_sys_ctx - t_sys
+
+    # Trap loop: unmap page (special syscall), touch it (fault; handler
+    # remaps), minus syscall + unmap + remap components.
+    trap_remap = concat_programs([trap, pte], name=f"{arch.name}:trap+remap")
+    t_trap_loop = t_sys_pte + _time(arch, trap_remap, drain=True)
+    t_trap = t_trap_loop - t_sys - 2.0 * t_pte
+
+    result.times_us = {
+        Primitive.NULL_SYSCALL: t_sys,
+        Primitive.TRAP: t_trap,
+        Primitive.PTE_CHANGE: t_pte,
+        Primitive.CONTEXT_SWITCH: t_ctx,
+    }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 5: null system call decomposition
+# ----------------------------------------------------------------------
+
+def syscall_breakdown_us(arch: ArchSpec) -> Dict[str, float]:
+    """Decompose the null syscall per Table 5's three components."""
+    execution = _run(arch, handler_program(arch, Primitive.NULL_SYSCALL))
+    groups = {
+        "kernel_entry_exit": KERNEL_ENTRY_EXIT_PHASES,
+        "call_prep": CALL_PREP_PHASES,
+        "c_call": C_CALL_PHASES,
+    }
+    breakdown: Dict[str, float] = {}
+    accounted = 0.0
+    for label, phases in groups.items():
+        us = sum(execution.phase_time_us(phase) for phase in phases)
+        breakdown[label] = us
+        accounted += us
+    # Any phase outside the three groups (there should be none for the
+    # syscall paths) is folded into call_prep, as the paper does for
+    # "everything between entry and the C call".
+    breakdown["call_prep"] += execution.time_us - accounted
+    breakdown["total"] = execution.time_us
+    return breakdown
+
+
+def phase_fraction(arch: ArchSpec, primitive: Primitive, phases: "frozenset[str] | set[str]") -> float:
+    """Fraction of a primitive's time spent in the given phases."""
+    execution = _run(arch, handler_program(arch, primitive))
+    us = sum(execution.phase_time_us(phase) for phase in phases)
+    return us / execution.time_us if execution.time_us else 0.0
+
+
+def measure_all(arch_names: "tuple[str, ...]") -> Mapping[str, MicrobenchResult]:
+    """Run :func:`measure_primitives` over several architectures."""
+    from repro.arch.registry import get_arch
+
+    return {name: measure_primitives(get_arch(name)) for name in arch_names}

@@ -1,0 +1,75 @@
+"""Plain-text table rendering shared by benchmarks and examples.
+
+Deliberately dependency-free: benchmarks print the same rows the paper
+reports, and tests assert on the underlying data rather than on the
+rendered strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class TextTable:
+    """A small fixed-width table builder."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        row = [self._format(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.1f}" if abs(cell) >= 1 else f"{cell:.2f}"
+        if isinstance(cell, int):
+            return f"{cell:,}" if abs(cell) >= 10000 else str(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                           for i, (h, w) in enumerate(zip(self.headers, widths)))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(w) if i == 0 else cell.rjust(w)
+                          for i, (cell, w) in enumerate(zip(row, widths)))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def paper_vs_measured(title: str, rows: Sequence[Sequence[object]]) -> str:
+    """Render (label, paper, measured) triples with a deviation column."""
+    table = TextTable(["", "paper", "measured", "dev"], title=title)
+    for label, paper, measured in rows:
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)) and paper:
+            dev = f"{100.0 * (measured - paper) / paper:+.0f}%"
+        else:
+            dev = "-"
+        table.add_row([label, paper, measured, dev])
+    return table.render()

@@ -1,0 +1,158 @@
+"""Reference-trace experiments behind the paper's motivation (§1).
+
+Two measurement-literature facts motivate the study:
+
+* Agarwal et al. (microcode-based tracing of VAX Ultrix workloads):
+  "over 50% of the references were system references" — early
+  user-level tracing tools silently ignored half the workload;
+* Clark & Emer (VAX-11/780 translation buffer): "while the VMS
+  operating system accounts for only one fifth of all references, it
+  accounts for more than two thirds of all TLB misses" — OS code uses
+  TLBs far worse than applications.
+
+This module builds deterministic synthetic reference traces with
+distinct user/system locality profiles (applications loop over a small
+working set; kernels wander over many contexts' data with poor reuse),
+and replays them through the TLB model to reproduce both facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.arch.specs import ArchSpec, TLBSpec
+from repro.mem.tlb import TLB
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of one synthetic workload trace.
+
+    The defaults model a system-call-heavy Ultrix-style workload: the
+    user loops tightly over a few pages; the system's references spread
+    over per-process kernel stacks, page tables, file-cache metadata
+    and driver buffers with little reuse.
+    """
+
+    #: total references to generate.
+    references: int = 200_000
+    #: fraction of references made in system mode (Agarwal: >0.5).
+    system_fraction: float = 0.55
+    #: distinct pages the user code cycles over.
+    user_working_set_pages: int = 12
+    #: distinct pages the system touches (across all services).
+    system_working_set_pages: int = 400
+    #: consecutive same-page references (spatial locality run length).
+    user_run_length: int = 24
+    system_run_length: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.system_fraction <= 1.0:
+            raise ValueError("system_fraction must be in [0, 1]")
+        if self.references <= 0:
+            raise ValueError("references must be positive")
+
+
+@dataclass
+class TraceStats:
+    user_references: int = 0
+    system_references: int = 0
+    user_misses: int = 0
+    system_misses: int = 0
+
+    @property
+    def references(self) -> int:
+        return self.user_references + self.system_references
+
+    @property
+    def misses(self) -> int:
+        return self.user_misses + self.system_misses
+
+    @property
+    def system_reference_fraction(self) -> float:
+        return self.system_references / self.references if self.references else 0.0
+
+    @property
+    def system_miss_fraction(self) -> float:
+        return self.system_misses / self.misses if self.misses else 0.0
+
+
+#: system pages start above the user region so they never collide.
+_SYSTEM_PAGE_BASE = 1 << 20
+
+
+def generate_trace(config: TraceConfig) -> Iterator[Tuple[int, bool]]:
+    """Yield (vpn, is_system) pairs, deterministically.
+
+    The generator interleaves user and system *bursts* (run lengths),
+    walking each region cyclically — a linear-congruential step through
+    the system region models its poor reuse without randomness.
+    """
+    emitted = 0
+    user_page = 0
+    user_pos = 0
+    system_page = 0
+    # LCG step coprime to the system working set for full-period walks
+    step = max(1, (config.system_working_set_pages * 2) // 3) | 1
+    # alternate bursts; the duty cycle realizes system_fraction
+    system_burst = config.system_run_length
+    user_burst = config.user_run_length
+    # compute how many user/system bursts to interleave per macro-cycle
+    sys_share = config.system_fraction
+    usr_share = 1.0 - sys_share
+    sys_bursts = max(1, round(sys_share * 100))
+    usr_bursts = max(1, round(usr_share * 100 * system_burst / user_burst))
+
+    while emitted < config.references:
+        for _ in range(usr_bursts):
+            for _ in range(user_burst):
+                if emitted >= config.references:
+                    return
+                yield user_page % config.user_working_set_pages, False
+                emitted += 1
+                user_pos += 1
+                if user_pos % user_burst == 0:
+                    user_page += 1
+        for _ in range(sys_bursts):
+            for _ in range(system_burst):
+                if emitted >= config.references:
+                    return
+                vpn = _SYSTEM_PAGE_BASE + (system_page % config.system_working_set_pages)
+                yield vpn, True
+                emitted += 1
+            system_page = (system_page + step) % max(1, config.system_working_set_pages)
+
+
+def replay_trace(tlb_spec: TLBSpec, config: TraceConfig = TraceConfig()) -> TraceStats:
+    """Replay a synthetic trace through a TLB; returns the §1 stats."""
+    tlb = TLB(tlb_spec)
+    stats = TraceStats()
+    for vpn, is_system in generate_trace(config):
+        if is_system:
+            stats.system_references += 1
+        else:
+            stats.user_references += 1
+        entry = tlb.lookup(vpn, kernel=is_system)
+        if entry is None:
+            if is_system:
+                stats.system_misses += 1
+            else:
+                stats.user_misses += 1
+            tlb.insert(vpn, vpn, kernel=is_system)
+    return stats
+
+
+def agarwal_system_reference_fraction(arch: ArchSpec) -> float:
+    """Reproduce 'over 50% of the references were system references'."""
+    stats = replay_trace(arch.tlb, TraceConfig())
+    return stats.system_reference_fraction
+
+
+def clark_emer_tlb_shares(arch: ArchSpec,
+                          system_fraction: float = 0.20) -> Tuple[float, float]:
+    """Reproduce Clark & Emer: OS = ~1/5 of references but >2/3 of TLB
+    misses.  Returns (system reference share, system miss share)."""
+    config = TraceConfig(system_fraction=system_fraction)
+    stats = replay_trace(arch.tlb, config)
+    return stats.system_reference_fraction, stats.system_miss_fraction

@@ -1,0 +1,27 @@
+"""Interprocess communication (§2).
+
+* :mod:`repro.ipc.network` — a 10 Mbit/s Ethernet with controller
+  latency; wire time is the part of RPC that *doesn't* shrink with CPU
+  speed.
+* :mod:`repro.ipc.rpc` — SRC-RPC-style cross-machine remote procedure
+  call: stubs, marshaling, checksums over uncached I/O buffers, send
+  syscalls, receive interrupts, thread wakeups (Table 3).
+* :mod:`repro.ipc.lrpc` — lightweight RPC for local cross-address-space
+  calls: shared argument buffers, direct thread transfer, two kernel
+  entries and two address-space switches per call (Table 4).
+"""
+
+from repro.ipc.network import Ethernet, Packet
+from repro.ipc.rpc import RPCBreakdown, RPCChannel, RPCEndpoint, firefly_machine
+from repro.ipc.lrpc import LRPCBinding, LRPCBreakdown
+
+__all__ = [
+    "Ethernet",
+    "Packet",
+    "RPCBreakdown",
+    "RPCChannel",
+    "RPCEndpoint",
+    "firefly_machine",
+    "LRPCBinding",
+    "LRPCBreakdown",
+]

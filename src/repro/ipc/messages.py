@@ -1,0 +1,208 @@
+"""Message-based IPC with copy-on-write buffer transfer (§2, §3).
+
+Accent and Mach "use a copy-on-write mechanism to speed program startup
+and cross-address space communication for large data messages ... the
+kernel maps large message buffers into the receiver's address space, so
+they are shared read-only by both sender and receiver.  Copy-on-write
+saves memory and avoids copying in the case where the message is not
+modified after it is sent."
+
+The module implements ports and messages over the functional VM: small
+messages are copied through the kernel (two copies); large messages are
+COW-mapped (a PTE change per page) and only copied if someone writes.
+The crossover between the two strategies is exactly the trap/PTE-change
+cost question of §3.3: on an i860-class machine (virtual cache sweeps)
+the kernel "may need to be less aggressive in its use of copy-on-write".
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.kernel.primitives import Primitive
+from repro.kernel.process import Process
+from repro.kernel.system import SimulatedMachine
+from repro.mem.pagetable import Protection
+
+PAGE_BYTES = 4096
+
+_message_ids = itertools.count(1)
+_buffer_vpns = itertools.count(2048)
+
+
+@dataclass
+class Message:
+    """One in-flight message."""
+
+    sender: Process
+    payload_bytes: int
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    #: pages COW-mapped into the receiver (empty for copied messages).
+    cow_vpns: Tuple[int, ...] = ()
+    inline_copied: bool = False
+
+    @property
+    def pages(self) -> int:
+        return max(1, (self.payload_bytes + PAGE_BYTES - 1) // PAGE_BYTES)
+
+
+@dataclass
+class PortStats:
+    sends: int = 0
+    receives: int = 0
+    copied_bytes: int = 0
+    cow_mapped_pages: int = 0
+    cow_breaks: int = 0
+    send_us: float = 0.0
+    receive_us: float = 0.0
+
+
+class Port:
+    """A kernel message queue between two processes on one machine."""
+
+    #: messages at or below this size are copied inline; larger ones
+    #: are COW-mapped (the Mach large-message path).
+    COW_THRESHOLD_BYTES = 2 * PAGE_BYTES
+
+    def __init__(self, machine: SimulatedMachine, name: str = "port",
+                 cow_threshold_bytes: Optional[int] = None) -> None:
+        self.machine = machine
+        self.name = name
+        if cow_threshold_bytes is not None:
+            self.cow_threshold = cow_threshold_bytes
+        else:
+            self.cow_threshold = self.COW_THRESHOLD_BYTES
+        self._queue: Deque[Message] = deque()
+        self.stats = PortStats()
+
+    # ------------------------------------------------------------------
+    def _syscall_us(self) -> float:
+        return self.machine.primitive_cost_us(Primitive.NULL_SYSCALL)
+
+    def _copy_us(self, nbytes: int) -> float:
+        return self.machine.arch.memory.copy_us(nbytes)
+
+    def send(self, sender: Process, payload_bytes: int) -> Message:
+        """Send a message; returns the queued message."""
+        us = self._syscall_us()  # the send trap
+        if payload_bytes <= self.cow_threshold:
+            # small: copy sender -> kernel buffer
+            us += self._copy_us(payload_bytes)
+            message = Message(sender=sender, payload_bytes=payload_bytes, inline_copied=True)
+            self.stats.copied_bytes += payload_bytes
+        else:
+            # large: COW-map the sender's buffer pages
+            vpns = []
+            for _ in range(max(1, (payload_bytes + PAGE_BYTES - 1) // PAGE_BYTES)):
+                vpn = next(_buffer_vpns)
+                sender.space.map(vpn, pfn=vpn, protection=Protection.READ_WRITE)
+                vpns.append(vpn)
+            message = Message(sender=sender, payload_bytes=payload_bytes, cow_vpns=tuple(vpns))
+        self._queue.append(message)
+        self.stats.sends += 1
+        self.stats.send_us += us
+        self.machine.advance(us)
+        return message
+
+    def receive(self, receiver: Process) -> Tuple[Message, float]:
+        """Receive the next message; returns (message, microseconds)."""
+        if not self._queue:
+            raise LookupError(f"{self.name}: no message queued")
+        message = self._queue.popleft()
+        us = self._syscall_us()  # the receive trap
+        if message.inline_copied:
+            # small: copy kernel buffer -> receiver
+            us += self._copy_us(message.payload_bytes)
+            self.stats.copied_bytes += message.payload_bytes
+        else:
+            # large: map the pages COW into the receiver; each mapping
+            # change pays the PTE-change primitive (protection downgrade
+            # on the sender side included)
+            for vpn in message.cow_vpns:
+                cycles = self.machine.vm.share_copy_on_write(
+                    message.sender.space, receiver.space, vpn
+                )
+                us += self.machine.arch.cycles_to_us(cycles)
+                self.stats.cow_mapped_pages += 1
+        self.stats.receives += 1
+        self.stats.receive_us += us
+        self.machine.advance(us)
+        return message, us
+
+    def write_after_receive(self, receiver: Process, message: Message, vpn_index: int = 0) -> float:
+        """The receiver modifies a COW page: fault + page copy (§3)."""
+        if message.inline_copied:
+            return 0.0  # already private
+        vpn = message.cow_vpns[vpn_index]
+        cycles = self.machine.vm.touch(vpn, write=True, space=receiver.space)
+        self.stats.cow_breaks += 1
+        us = self.machine.arch.cycles_to_us(cycles)
+        self.machine.advance(us)
+        return us
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+# ----------------------------------------------------------------------
+# strategy comparison (§3.3)
+# ----------------------------------------------------------------------
+
+@dataclass
+class TransferCosts:
+    """Cost of moving one message under each strategy, microseconds."""
+
+    arch_name: str
+    payload_bytes: int
+    copy_us: float
+    cow_us: float
+    cow_with_write_us: float
+
+    @property
+    def cow_wins_read_only(self) -> bool:
+        return self.cow_us < self.copy_us
+
+
+def message_transfer_costs(arch: ArchSpec, payload_bytes: int,
+                           machine: Optional[SimulatedMachine] = None) -> TransferCosts:
+    """Compare copy vs COW for one message on ``arch``.
+
+    Measured functionally: two fresh processes, a port per strategy.
+    """
+    machine = machine or SimulatedMachine(arch)
+    sender = machine.create_process("msg-sender")
+    receiver = machine.create_process("msg-receiver")
+
+    copy_port = Port(machine, "copy", cow_threshold_bytes=1 << 62)
+    copy_port.send(sender, payload_bytes)
+    _, copy_recv_us = copy_port.receive(receiver)
+    copy_us = copy_port.stats.send_us + copy_recv_us
+
+    cow_port = Port(machine, "cow", cow_threshold_bytes=0)
+    message = cow_port.send(sender, payload_bytes)
+    _, cow_recv_us = cow_port.receive(receiver)
+    cow_us = cow_port.stats.send_us + cow_recv_us
+    write_us = cow_port.write_after_receive(receiver, message)
+
+    return TransferCosts(
+        arch_name=arch.name,
+        payload_bytes=payload_bytes,
+        copy_us=copy_us,
+        cow_us=cow_us,
+        cow_with_write_us=cow_us + write_us,
+    )
+
+
+def cow_crossover_bytes(arch: ArchSpec, sizes: Tuple[int, ...] = (
+        1024, 4096, 16384, 65536, 262144)) -> Optional[int]:
+    """Smallest tested message size at which COW beats copying."""
+    for size in sizes:
+        costs = message_transfer_costs(arch, size)
+        if costs.cow_wins_read_only:
+            return size
+    return None

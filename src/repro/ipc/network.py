@@ -1,0 +1,87 @@
+"""Ethernet model (§2.1).
+
+Wire time = controller/medium latency + serialization at the link
+bandwidth.  The paper's forward-looking point is captured by the
+parameters: "network bandwidths are increasing quickly; with 10- to
+100-fold improvements likely over the next several years, the lower
+bound on RPC performance will be due to the cost of operating system
+primitives" — scale ``bandwidth_mbps`` up and the OS components
+dominate (see :mod:`repro.analysis.scaling`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Deque, List
+from collections import deque
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One frame in flight."""
+
+    payload_bytes: int
+    kind: str = "data"
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    sent_at_us: float = 0.0
+    delivered_at_us: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    packets: int = 0
+    bytes: int = 0
+    wire_us: float = 0.0
+
+
+class Ethernet:
+    """A point-to-point 10 Mbit/s Ethernet-era link."""
+
+    #: minimum Ethernet frame payload.
+    MIN_PAYLOAD_BYTES = 46
+
+    def __init__(self, bandwidth_mbps: float = 10.0, latency_us: float = 100.0) -> None:
+        if bandwidth_mbps <= 0 or latency_us < 0:
+            raise ValueError("bandwidth must be positive and latency non-negative")
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_us = latency_us
+        self.stats = NetworkStats()
+        self._in_flight: Deque[Packet] = deque()
+
+    def transit_us(self, payload_bytes: int) -> float:
+        """One-way wire time for a frame carrying ``payload_bytes``."""
+        frame = max(payload_bytes, self.MIN_PAYLOAD_BYTES) + 18  # header + CRC
+        serialization = frame * 8.0 / self.bandwidth_mbps
+        return self.latency_us + serialization
+
+    def send(self, packet: Packet, now_us: float = 0.0) -> float:
+        """Put a packet on the wire; returns its delivery time."""
+        packet.sent_at_us = now_us
+        wire = self.transit_us(packet.payload_bytes)
+        packet.delivered_at_us = now_us + wire
+        self._in_flight.append(packet)
+        self.stats.packets += 1
+        self.stats.bytes += packet.payload_bytes
+        self.stats.wire_us += wire
+        return packet.delivered_at_us
+
+    def deliver_ready(self, now_us: float) -> List[Packet]:
+        """Pop every packet that has arrived by ``now_us``."""
+        ready: List[Packet] = []
+        while self._in_flight and self._in_flight[0].delivered_at_us <= now_us:
+            ready.append(self._in_flight.popleft())
+        return ready
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def scaled(self, bandwidth_factor: float) -> "Ethernet":
+        """A faster network with the same latency (the §2.1 trend)."""
+        return Ethernet(
+            bandwidth_mbps=self.bandwidth_mbps * bandwidth_factor,
+            latency_us=self.latency_us,
+        )

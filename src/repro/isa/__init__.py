@@ -1,0 +1,29 @@
+"""Instruction-set and execution model.
+
+This package provides the vocabulary the rest of the simulator speaks:
+
+* :mod:`repro.isa.instructions` — individual instruction records, each
+  tagged with an operation class and a *phase* label (kernel entry,
+  call preparation, register save, ...) so that execution results can be
+  decomposed the way the paper decomposes them (Table 5).
+* :mod:`repro.isa.program` — ordered instruction sequences ("handler
+  programs") plus a builder API used by the per-architecture handler
+  generators in :mod:`repro.kernel.handlers`.
+* :mod:`repro.isa.executor` — the deterministic cycle-accounting engine
+  that runs a program against an architecture's micro-architectural
+  components (write buffer, memory system, microcode costs) and returns
+  instruction/cycle counts broken down by phase.
+"""
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.executor import ExecutionResult, Executor
+
+__all__ = [
+    "Instruction",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "ExecutionResult",
+    "Executor",
+]

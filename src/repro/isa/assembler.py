@@ -1,0 +1,193 @@
+"""A textual assembly format for handler programs.
+
+Lets experiments define or tweak drivers without writing builder code,
+and round-trips the built-in drivers for inspection::
+
+    .program my_handler
+    .phase kernel_entry
+        trap                ; hardware entry
+    .phase body
+        alu x4
+        st x8 page=1
+        microcoded chmk cycles=26
+    .phase kernel_exit
+        rfe
+
+Directives start with ``.``; everything after ``;`` is a comment.  An
+``xN`` suffix repeats the instruction N times.  Keyword operands:
+``page=`` (memory page id), ``cycles=`` (total for microcoded ops,
+extra for others), ``uncached``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import Program
+
+#: mnemonic -> opclass for the assembler (one canonical name each).
+MNEMONICS: Dict[str, OpClass] = {
+    "alu": OpClass.ALU,
+    "ld": OpClass.LOAD,
+    "st": OpClass.STORE,
+    "br": OpClass.BRANCH,
+    "nop": OpClass.NOP,
+    "mfsr": OpClass.SPECIAL,
+    "special": OpClass.SPECIAL,
+    "microcoded": OpClass.MICROCODED,
+    "trap": OpClass.TRAP,
+    "rfe": OpClass.RFE,
+    "flush": OpClass.CACHE_FLUSH,
+    "tlbop": OpClass.TLB_OP,
+    "fp": OpClass.FP,
+    "tas": OpClass.ATOMIC,
+}
+
+_CANONICAL: Dict[OpClass, str] = {
+    OpClass.ALU: "alu",
+    OpClass.LOAD: "ld",
+    OpClass.STORE: "st",
+    OpClass.BRANCH: "br",
+    OpClass.NOP: "nop",
+    OpClass.SPECIAL: "special",
+    OpClass.MICROCODED: "microcoded",
+    OpClass.TRAP: "trap",
+    OpClass.RFE: "rfe",
+    OpClass.CACHE_FLUSH: "flush",
+    OpClass.TLB_OP: "tlbop",
+    OpClass.FP: "fp",
+    OpClass.ATOMIC: "tas",
+}
+
+
+class AssemblyError(ValueError):
+    """Raised with a line number on malformed input."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def assemble(text: str) -> Program:
+    """Parse ``text`` into a :class:`Program`."""
+    name = "assembled"
+    phase = "body"
+    instructions: List[Instruction] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".program":
+                if len(parts) != 2:
+                    raise AssemblyError(line_number, ".program needs exactly one name")
+                name = parts[1]
+            elif directive == ".phase":
+                if len(parts) != 2:
+                    raise AssemblyError(line_number, ".phase needs exactly one label")
+                phase = parts[1]
+            else:
+                raise AssemblyError(line_number, f"unknown directive {directive!r}")
+            continue
+
+        tokens = line.split()
+        mnemonic = tokens[0].lower()
+        if mnemonic not in MNEMONICS:
+            raise AssemblyError(line_number, f"unknown mnemonic {mnemonic!r}")
+        opclass = MNEMONICS[mnemonic]
+
+        count = 1
+        extra_cycles = 0
+        mem_page: Optional[int] = None
+        uncached = False
+        sub_mnemonic = ""
+        for token in tokens[1:]:
+            low = token.lower()
+            if low.startswith("x") and low[1:].isdigit():
+                count = int(low[1:])
+            elif low.startswith("page="):
+                if not low[5:].isdigit():
+                    raise AssemblyError(line_number, f"bad page operand {token!r}")
+                mem_page = int(low[5:])
+            elif low.startswith("cycles="):
+                if not low[7:].isdigit():
+                    raise AssemblyError(line_number, f"bad cycles operand {token!r}")
+                cycles = int(low[7:])
+                if cycles < 1:
+                    raise AssemblyError(line_number, "cycles must be >= 1")
+                extra_cycles = cycles - 1 if opclass is OpClass.MICROCODED else cycles
+            elif low == "uncached":
+                uncached = True
+            elif opclass is OpClass.MICROCODED and not sub_mnemonic:
+                sub_mnemonic = token
+            else:
+                raise AssemblyError(line_number, f"unexpected operand {token!r}")
+
+        if opclass is OpClass.MICROCODED and extra_cycles == 0 and not sub_mnemonic:
+            raise AssemblyError(line_number, "microcoded needs a name and cycles=N")
+
+        for _ in range(count):
+            instructions.append(
+                Instruction(
+                    opclass=opclass,
+                    phase=phase,
+                    mnemonic=sub_mnemonic or mnemonic,
+                    extra_cycles=extra_cycles,
+                    mem_page=mem_page,
+                    uncached=uncached,
+                )
+            )
+    return Program(name=name, instructions=tuple(instructions))
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` in assembler syntax (round-trips through
+    :func:`assemble` up to run-length grouping)."""
+    lines = [f".program {program.name}"]
+    current_phase: Optional[str] = None
+    pending: Optional[Instruction] = None
+    run = 0
+
+    def flush() -> None:
+        nonlocal pending, run
+        if pending is None:
+            return
+        mnemonic = _CANONICAL[pending.opclass]
+        parts = [f"    {mnemonic}"]
+        if pending.opclass is OpClass.MICROCODED:
+            parts.append(pending.mnemonic)
+            parts.append(f"cycles={pending.extra_cycles + 1}")
+        elif pending.extra_cycles:
+            parts.append(f"cycles={pending.extra_cycles}")
+        if run > 1:
+            parts.append(f"x{run}")
+        if pending.mem_page is not None:
+            parts.append(f"page={pending.mem_page}")
+        if pending.uncached:
+            parts.append("uncached")
+        lines.append(" ".join(parts))
+        pending, run = None, 0
+
+    for inst in program:
+        if inst.phase != current_phase:
+            flush()
+            current_phase = inst.phase
+            lines.append(f".phase {inst.phase}")
+        key = (inst.opclass, inst.extra_cycles, inst.mem_page, inst.uncached,
+               inst.mnemonic if inst.opclass is OpClass.MICROCODED else None)
+        if pending is not None:
+            pending_key = (pending.opclass, pending.extra_cycles, pending.mem_page,
+                           pending.uncached,
+                           pending.mnemonic if pending.opclass is OpClass.MICROCODED else None)
+            if key == pending_key:
+                run += 1
+                continue
+            flush()
+        pending = inst
+        run = 1
+    flush()
+    return "\n".join(lines) + "\n"

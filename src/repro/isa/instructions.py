@@ -1,0 +1,135 @@
+"""Instruction records for the handler cost model.
+
+The simulator does not interpret real machine code.  Instead, the
+per-architecture handler generators (:mod:`repro.kernel.handlers`) emit
+streams of :class:`Instruction` records that mirror the *shape* of the
+hand-written assembler drivers the paper describes: how many stores a
+register save performs, how many special-register reads a Motorola 88000
+pipeline drain needs, how many cache-line flushes an i860 PTE change
+requires, and so on.  The executor then charges cycles for each record
+according to the architecture's cost model.
+
+Every instruction carries a ``phase`` label.  Phases are the units the
+paper uses to explain its measurements — e.g. Table 5 splits the null
+system call into *kernel entry/exit*, *call preparation* and *call/return
+to C* — so the executor aggregates instruction and cycle counts per phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Coarse operation classes with distinct cost behaviour.
+
+    The classes deliberately mirror the cost discussion in the paper:
+    stores interact with write buffers (§2.3), loads with caches and
+    uncached I/O buffers (§2.1), NOPs represent unfilled delay slots
+    (§2.3), MICROCODED ops model VAX CHMK/REI/CALLS-style instructions
+    that do "large amounts of work in microcode" (§1.1), and
+    CACHE_FLUSH/TLB ops model the virtual-cache sweeps and translation
+    buffer updates of §3.2.
+    """
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+    #: Read or write of a special/privileged register (pipeline state,
+    #: PSW, window pointers, TLB index registers, ...).
+    SPECIAL = "special"
+    #: A microcoded CISC instruction with a per-instruction cycle cost
+    #: carried in :attr:`Instruction.extra_cycles`.
+    MICROCODED = "microcoded"
+    #: Trap entry performed by hardware (charged to the architecture's
+    #: trap latency, not to the instruction stream).
+    TRAP = "trap"
+    #: Return-from-exception.
+    RFE = "rfe"
+    #: Invalidate or flush one cache line.
+    CACHE_FLUSH = "cache_flush"
+    #: Write/probe/invalidate one TLB entry.
+    TLB_OP = "tlb_op"
+    #: Floating point operation (pipelined FPU interactions, §3.1).
+    FP = "fp"
+    #: Atomic read-modify-write (test-and-set and friends, §4.1).
+    ATOMIC = "atomic"
+
+
+#: Operation classes that access memory as a store.  Kept as a frozenset
+#: so micro-architectural components can test membership cheaply.
+STORE_CLASSES = frozenset({OpClass.STORE})
+
+#: Operation classes that access memory as a load.
+LOAD_CLASSES = frozenset({OpClass.LOAD})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction in a handler program.
+
+    Parameters
+    ----------
+    opclass:
+        Coarse cost class; see :class:`OpClass`.
+    phase:
+        Label naming the handler phase this instruction belongs to
+        (e.g. ``"call_prep"``).  Execution results aggregate by phase.
+    mnemonic:
+        Human-readable name used in disassembly-style dumps and tests.
+    extra_cycles:
+        Additional cycles beyond the class base cost.  Used for
+        microcoded CISC instructions and slow special-register accesses.
+    mem_page:
+        For loads/stores, an abstract page identifier.  Write-buffer
+        models that merge same-page writes (the DECstation 5000 policy,
+        §2.3) use it; ``None`` means "no memory operand".
+    uncached:
+        True for loads/stores to uncached regions (e.g. I/O buffers
+        during checksum processing, §2.1); these always pay the memory
+        latency.
+    comment:
+        Free-form annotation, kept for dumps only.
+    """
+
+    opclass: OpClass
+    phase: str
+    mnemonic: str = ""
+    extra_cycles: int = 0
+    mem_page: "int | None" = None
+    uncached: bool = False
+    comment: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.extra_cycles < 0:
+            raise ValueError("extra_cycles must be non-negative")
+        if not self.mnemonic:
+            object.__setattr__(self, "mnemonic", self.opclass.value)
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass in STORE_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass in LOAD_CLASSES
+
+    @property
+    def is_memory_op(self) -> bool:
+        return self.is_store or self.is_load
+
+    def describe(self) -> str:
+        """Return a one-line, dump-friendly rendering."""
+        parts = [self.mnemonic, f"[{self.phase}]"]
+        if self.extra_cycles:
+            parts.append(f"+{self.extra_cycles}c")
+        if self.mem_page is not None:
+            parts.append(f"page={self.mem_page}")
+        if self.uncached:
+            parts.append("uncached")
+        if self.comment:
+            parts.append(f"; {self.comment}")
+        return " ".join(parts)

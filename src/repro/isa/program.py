@@ -1,0 +1,216 @@
+"""Handler programs and the builder used to emit them.
+
+A :class:`Program` is an ordered, immutable sequence of
+:class:`~repro.isa.instructions.Instruction` records with convenience
+queries (counts per phase, per opclass).  The :class:`ProgramBuilder`
+offers the emit helpers the handler generators use: register saves and
+restores, unfilled delay slots, cache sweeps, and so on.  Builders track
+a *current phase* so generators read like the prose of the paper::
+
+    b = ProgramBuilder()
+    with b.phase("kernel_entry"):
+        b.trap_entry()
+    with b.phase("call_prep"):
+        b.save_registers(9)
+        b.special_ops(4, comment="machine state management")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable instruction sequence with aggregate queries."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def phases(self) -> Tuple[str, ...]:
+        """Phase labels in first-appearance order."""
+        seen: List[str] = []
+        for inst in self.instructions:
+            if inst.phase not in seen:
+                seen.append(inst.phase)
+        return tuple(seen)
+
+    def count(self, opclass: Optional[OpClass] = None, phase: Optional[str] = None) -> int:
+        """Count instructions, optionally filtered by opclass and/or phase."""
+        total = 0
+        for inst in self.instructions:
+            if opclass is not None and inst.opclass is not opclass:
+                continue
+            if phase is not None and inst.phase != phase:
+                continue
+            total += 1
+        return total
+
+    def counts_by_phase(self) -> "Counter[str]":
+        return Counter(inst.phase for inst in self.instructions)
+
+    def counts_by_opclass(self) -> "Counter[OpClass]":
+        return Counter(inst.opclass for inst in self.instructions)
+
+    def slice_phase(self, phase: str) -> "Program":
+        """Return a sub-program containing only one phase's instructions."""
+        kept = tuple(i for i in self.instructions if i.phase == phase)
+        return Program(name=f"{self.name}:{phase}", instructions=kept)
+
+    def concat(self, other: "Program", name: Optional[str] = None) -> "Program":
+        return Program(
+            name=name or f"{self.name}+{other.name}",
+            instructions=self.instructions + other.instructions,
+        )
+
+    def dump(self) -> str:
+        """Disassembly-style listing used by examples and debugging."""
+        lines = [f"; program {self.name}: {len(self)} instructions"]
+        lines.extend(f"  {i:4d}  {inst.describe()}" for i, inst in enumerate(self.instructions))
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Accumulates instructions; see module docstring for style."""
+
+    DEFAULT_PHASE = "body"
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._phase_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # phase management
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else self.DEFAULT_PHASE
+
+    @contextlib.contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Scope subsequent emissions under ``label``."""
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # raw emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        opclass: OpClass,
+        count: int = 1,
+        mnemonic: str = "",
+        extra_cycles: int = 0,
+        mem_page: Optional[int] = None,
+        uncached: bool = False,
+        comment: str = "",
+    ) -> None:
+        """Append ``count`` identical instructions in the current phase."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        phase = self.current_phase
+        for _ in range(count):
+            self._instructions.append(
+                Instruction(
+                    opclass=opclass,
+                    phase=phase,
+                    mnemonic=mnemonic,
+                    extra_cycles=extra_cycles,
+                    mem_page=mem_page,
+                    uncached=uncached,
+                    comment=comment,
+                )
+            )
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        self._instructions.extend(instructions)
+
+    # ------------------------------------------------------------------
+    # idioms the handler generators use
+    # ------------------------------------------------------------------
+    def alu(self, count: int = 1, comment: str = "") -> None:
+        self.emit(OpClass.ALU, count, mnemonic="alu", comment=comment)
+
+    def loads(self, count: int, page: Optional[int] = None, uncached: bool = False, comment: str = "") -> None:
+        self.emit(OpClass.LOAD, count, mnemonic="ld", mem_page=page, uncached=uncached, comment=comment)
+
+    def stores(self, count: int, page: Optional[int] = None, uncached: bool = False, comment: str = "") -> None:
+        self.emit(OpClass.STORE, count, mnemonic="st", mem_page=page, uncached=uncached, comment=comment)
+
+    def branch(self, count: int = 1, comment: str = "") -> None:
+        self.emit(OpClass.BRANCH, count, mnemonic="br", comment=comment)
+
+    def nops(self, count: int, comment: str = "unfilled delay slot") -> None:
+        self.emit(OpClass.NOP, count, mnemonic="nop", comment=comment)
+
+    def special_ops(self, count: int, extra_cycles: int = 0, comment: str = "") -> None:
+        self.emit(OpClass.SPECIAL, count, mnemonic="mfsr", extra_cycles=extra_cycles, comment=comment)
+
+    def microcoded(self, mnemonic: str, cycles: int, comment: str = "") -> None:
+        """One CISC microcoded instruction costing ``cycles`` total.
+
+        ``cycles`` includes the base cycle, so ``extra_cycles`` is
+        ``cycles - 1``.
+        """
+        if cycles < 1:
+            raise ValueError("a microcoded instruction costs at least one cycle")
+        self.emit(OpClass.MICROCODED, 1, mnemonic=mnemonic, extra_cycles=cycles - 1, comment=comment)
+
+    def fp(self, count: int = 1, comment: str = "") -> None:
+        self.emit(OpClass.FP, count, mnemonic="fp", comment=comment)
+
+    def atomic(self, count: int = 1, comment: str = "") -> None:
+        self.emit(OpClass.ATOMIC, count, mnemonic="tas", comment=comment)
+
+    def trap_entry(self, comment: str = "hardware trap entry") -> None:
+        self.emit(OpClass.TRAP, 1, mnemonic="trap", comment=comment)
+
+    def rfe(self, comment: str = "return from exception") -> None:
+        self.emit(OpClass.RFE, 1, mnemonic="rfe", comment=comment)
+
+    def save_registers(self, count: int, page: int = 0, comment: str = "save registers") -> None:
+        """``count`` consecutive stores to the save area (one page)."""
+        self.stores(count, page=page, comment=comment)
+
+    def restore_registers(self, count: int, page: int = 0, comment: str = "restore registers") -> None:
+        self.loads(count, page=page, comment=comment)
+
+    def cache_flush(self, lines: int, comment: str = "flush cache line") -> None:
+        self.emit(OpClass.CACHE_FLUSH, lines, mnemonic="flush", comment=comment)
+
+    def tlb_ops(self, count: int, comment: str = "tlb update") -> None:
+        self.emit(OpClass.TLB_OP, count, mnemonic="tlbwr", comment=comment)
+
+    def call_return_pair(self, overhead_ops: int = 2, comment: str = "C call/return") -> None:
+        """A jal/jr pair plus ``overhead_ops`` prologue/epilogue ops."""
+        self.branch(1, comment=f"{comment}: call")
+        self.alu(overhead_ops, comment=f"{comment}: prologue/epilogue")
+        self.branch(1, comment=f"{comment}: return")
+
+    # ------------------------------------------------------------------
+    def build(self, name: Optional[str] = None) -> Program:
+        return Program(name=name or self.name, instructions=tuple(self._instructions))
+
+
+def concat_programs(programs: Sequence[Program], name: str) -> Program:
+    """Concatenate ``programs`` into one, preserving phases."""
+    instructions: List[Instruction] = []
+    for program in programs:
+        instructions.extend(program.instructions)
+    return Program(name=name, instructions=tuple(instructions))

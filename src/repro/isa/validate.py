@@ -1,0 +1,119 @@
+"""Static validation of handler programs.
+
+Catches malformed drivers before they skew an experiment: a trap-entry
+program that never returns to user mode, phases with no instructions
+between them, microcoded records with no cost, or store streams with
+no page identity (which would silently dodge the write-buffer model).
+
+Used by the test suite against every built-in driver and available to
+downstream authors writing drivers with the assembler or builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation issue."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"[{self.severity}] {self.message}"
+
+
+def validate(program: Program, entered_via_trap: "bool | None" = None) -> List[Finding]:
+    """Validate ``program``; returns findings (empty = clean).
+
+    ``entered_via_trap`` may force the trap-entry check; by default it
+    is inferred from whether the program contains a TRAP record.
+    """
+    findings: List[Finding] = []
+    instructions = program.instructions
+
+    if not instructions:
+        findings.append(Finding("error", "program is empty"))
+        return findings
+
+    trap_positions = [i for i, inst in enumerate(instructions) if inst.opclass is OpClass.TRAP]
+    # a CISC return-from-exception is a microcoded instruction (REI)
+    rfe_positions = [
+        i
+        for i, inst in enumerate(instructions)
+        if inst.opclass is OpClass.RFE
+        or (inst.opclass is OpClass.MICROCODED and inst.mnemonic == "rei")
+    ]
+
+    if entered_via_trap is None:
+        entered_via_trap = bool(trap_positions)
+
+    # --- control-flow pairing -----------------------------------------
+    if trap_positions:
+        if trap_positions[0] != 0:
+            findings.append(
+                Finding("error", "hardware trap entry must be the first instruction")
+            )
+        if len(trap_positions) > 1:
+            findings.append(Finding("error", "multiple trap entries in one program"))
+    if entered_via_trap and trap_positions:
+        if not rfe_positions:
+            findings.append(
+                Finding("error", "trap-entered program never returns (no rfe)")
+            )
+        elif rfe_positions[-1] != len(instructions) - 1:
+            findings.append(
+                Finding("warning", "instructions after the final rfe are unreachable")
+            )
+    if rfe_positions and not trap_positions and entered_via_trap is False:
+        findings.append(Finding("warning", "rfe without a trap entry"))
+
+    # --- per-record sanity ---------------------------------------------
+    for index, inst in enumerate(instructions):
+        if inst.opclass is OpClass.MICROCODED and inst.extra_cycles == 0:
+            findings.append(
+                Finding("warning", f"@{index}: microcoded {inst.mnemonic!r} costs one cycle")
+            )
+        if inst.opclass is OpClass.STORE and inst.mem_page is None:
+            findings.append(
+                Finding(
+                    "warning",
+                    f"@{index}: store without a page id bypasses same-page merging",
+                )
+            )
+
+    # --- phase structure -------------------------------------------------
+    counts = program.counts_by_phase()
+    for phase, count in counts.items():
+        if count == 0:  # pragma: no cover - Counter never stores zeros
+            findings.append(Finding("error", f"phase {phase!r} is empty"))
+    seen: List[str] = []
+    for inst in instructions:
+        if seen and inst.phase in seen[:-1]:
+            findings.append(
+                Finding("warning", f"phase {inst.phase!r} is split (re-entered later)")
+            )
+            break
+        if not seen or inst.phase != seen[-1]:
+            seen.append(inst.phase)
+
+    return findings
+
+
+def errors(program: Program) -> List[Finding]:
+    """Only the error-severity findings."""
+    return [f for f in validate(program) if f.severity == "error"]
+
+
+def assert_valid(program: Program) -> None:
+    """Raise ``ValueError`` if the program has any errors."""
+    problems = errors(program)
+    if problems:
+        summary = "; ".join(f.message for f in problems)
+        raise ValueError(f"invalid program {program.name!r}: {summary}")

@@ -1,0 +1,22 @@
+"""Kernel model: traps, system calls, handlers, processes, scheduling.
+
+Two layers live here, mirroring how the paper's drivers were built:
+
+* **cost layer** — :mod:`repro.kernel.handlers` generates the
+  per-architecture handler instruction streams ("drivers") for the four
+  primitive operations of §1.1, and :mod:`repro.kernel.primitives`
+  names those operations.  Running a handler on the executor yields the
+  instruction counts of Table 2 and (through each system's cost model)
+  the times of Tables 1 and 5.
+* **functional layer** — :mod:`repro.kernel.process`,
+  :mod:`repro.kernel.scheduler` and :mod:`repro.kernel.system` implement
+  a working miniature kernel (address spaces, fault dispatch, syscall
+  table, context switching) against the memory system of
+  :mod:`repro.mem`, with every operation charged its architecture's
+  handler cost on a virtual clock.
+"""
+
+from repro.kernel.primitives import Primitive
+from repro.kernel.handlers import build_handler, handler_program
+
+__all__ = ["Primitive", "build_handler", "handler_program"]

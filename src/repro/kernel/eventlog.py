@@ -1,0 +1,159 @@
+"""Structured event log for the functional machine.
+
+Measurement needs instrumentation: §5's Table 7 exists because the
+authors "instrumented the operating system kernels to count the
+occurrences of the primitive operations".  The event log is that
+instrument for the simulator: a bounded ring of timestamped, typed
+events, attachable to a :class:`~repro.kernel.system.SimulatedMachine`
+without modifying it (it wraps the counter-bearing entry points), plus
+a small query API used by tests, examples, and debugging sessions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.kernel.system import SimulatedMachine
+
+
+class EventKind(enum.Enum):
+    SYSCALL = "syscall"
+    TRAP = "trap"
+    THREAD_SWITCH = "thread_switch"
+    ADDRESS_SPACE_SWITCH = "address_space_switch"
+    PTE_CHANGE = "pte_change"
+    EMULATED_INSTRUCTION = "emulated_instruction"
+
+
+@dataclass(frozen=True)
+class Event:
+    sequence: int
+    kind: EventKind
+    at_us: float
+    detail: str = ""
+
+
+class EventLog:
+    """Bounded ring of machine events."""
+
+    def __init__(self, machine: SimulatedMachine, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.machine = machine
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._sequence = itertools.count()
+        self.dropped = 0
+        self._unhook: List[Callable[[], None]] = []
+        self._attach()
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: EventKind, detail: str = "") -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(
+            Event(
+                sequence=next(self._sequence),
+                kind=kind,
+                at_us=self.machine.clock_us,
+                detail=detail,
+            )
+        )
+
+    def _attach(self) -> None:
+        machine = self.machine
+        original_syscall = machine.syscall
+        original_switch = machine.switch_to
+        original_trap = machine.trap
+        original_atomic = machine.atomic_or_trap_us
+
+        def syscall(name: str):
+            result = original_syscall(name)
+            self._record(EventKind.SYSCALL, detail=name)
+            return result
+
+        def switch_to(thread):
+            was_process = machine.current_process
+            us = original_switch(thread)
+            self._record(EventKind.THREAD_SWITCH, detail=thread.name)
+            if machine.current_process is not was_process:
+                self._record(
+                    EventKind.ADDRESS_SPACE_SWITCH,
+                    detail=machine.current_process.name if machine.current_process else "",
+                )
+            return us
+
+        def trap():
+            us = original_trap()
+            self._record(EventKind.TRAP)
+            return us
+
+        def atomic_or_trap_us():
+            before = machine.counters.emulated_instructions
+            us = original_atomic()
+            if machine.counters.emulated_instructions > before:
+                self._record(EventKind.EMULATED_INSTRUCTION)
+            return us
+
+        machine.syscall = syscall  # type: ignore[method-assign]
+        machine.switch_to = switch_to  # type: ignore[method-assign]
+        machine.trap = trap  # type: ignore[method-assign]
+        machine.atomic_or_trap_us = atomic_or_trap_us  # type: ignore[method-assign]
+
+        def restore() -> None:
+            machine.syscall = original_syscall  # type: ignore[method-assign]
+            machine.switch_to = original_switch  # type: ignore[method-assign]
+            machine.trap = original_trap  # type: ignore[method-assign]
+            machine.atomic_or_trap_us = original_atomic  # type: ignore[method-assign]
+
+        self._unhook.append(restore)
+
+    def detach(self) -> None:
+        """Restore the machine's original entry points."""
+        while self._unhook:
+            self._unhook.pop()()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[EventKind] = None,
+               since_us: float = 0.0) -> List[Event]:
+        return [
+            event
+            for event in self._events
+            if (kind is None or event.kind is kind) and event.at_us >= since_us
+        ]
+
+    def counts(self) -> Dict[EventKind, int]:
+        out: Dict[EventKind, int] = {kind: 0 for kind in EventKind}
+        for event in self._events:
+            out[event.kind] += 1
+        return out
+
+    def rate_per_second(self, kind: EventKind) -> float:
+        """Events per virtual second over the logged window."""
+        matching = self.events(kind)
+        if len(matching) < 2:
+            return 0.0
+        span_us = matching[-1].at_us - matching[0].at_us
+        if span_us <= 0:
+            return 0.0
+        return (len(matching) - 1) / (span_us / 1e6)
+
+    def timeline(self, limit: int = 20) -> str:
+        """Human-readable tail of the log."""
+        lines = []
+        for event in list(self._events)[-limit:]:
+            detail = f" {event.detail}" if event.detail else ""
+            lines.append(f"[{event.at_us:12.1f} us] {event.kind.value}{detail}")
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Dispatch from (architecture, primitive) to handler programs.
+
+The R2000 and R3000 share one instruction stream (same ISA); every
+other architecture has its own drivers.  Programs are cached per
+(family, primitive) since they are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.isa.executor import ExecutionResult, Executor
+from repro.isa.program import Program
+from repro.kernel import (
+    handlers_cvax,
+    handlers_i860,
+    handlers_m68k,
+    handlers_m88000,
+    handlers_mips,
+    handlers_sparc,
+)
+from repro.kernel.primitives import Primitive
+
+#: architecture name -> handler family (R2000/R3000 share "mips").
+_FAMILY = {
+    "cvax": "cvax",
+    "m88000": "m88000",
+    "r2000": "mips",
+    "r3000": "mips",
+    "sparc": "sparc",
+    "i860": "i860",
+    "m68k": "m68k",
+}
+
+_BUILDERS: Dict[Tuple[str, Primitive], Callable[[], Program]] = {
+    ("cvax", Primitive.NULL_SYSCALL): handlers_cvax.null_syscall,
+    ("cvax", Primitive.TRAP): handlers_cvax.trap,
+    ("cvax", Primitive.PTE_CHANGE): handlers_cvax.pte_change,
+    ("cvax", Primitive.CONTEXT_SWITCH): handlers_cvax.context_switch,
+    ("mips", Primitive.NULL_SYSCALL): handlers_mips.null_syscall,
+    ("mips", Primitive.TRAP): handlers_mips.trap,
+    ("mips", Primitive.PTE_CHANGE): handlers_mips.pte_change,
+    ("mips", Primitive.CONTEXT_SWITCH): handlers_mips.context_switch,
+    ("sparc", Primitive.NULL_SYSCALL): handlers_sparc.null_syscall,
+    ("sparc", Primitive.TRAP): handlers_sparc.trap,
+    ("sparc", Primitive.PTE_CHANGE): handlers_sparc.pte_change,
+    ("sparc", Primitive.CONTEXT_SWITCH): handlers_sparc.context_switch,
+    ("m88000", Primitive.NULL_SYSCALL): handlers_m88000.null_syscall,
+    ("m88000", Primitive.TRAP): handlers_m88000.trap,
+    ("m88000", Primitive.PTE_CHANGE): handlers_m88000.pte_change,
+    ("m88000", Primitive.CONTEXT_SWITCH): handlers_m88000.context_switch,
+    ("i860", Primitive.NULL_SYSCALL): handlers_i860.null_syscall,
+    ("i860", Primitive.TRAP): handlers_i860.trap,
+    ("i860", Primitive.PTE_CHANGE): handlers_i860.pte_change,
+    ("i860", Primitive.CONTEXT_SWITCH): handlers_i860.context_switch,
+    ("m68k", Primitive.NULL_SYSCALL): handlers_m68k.null_syscall,
+    ("m68k", Primitive.TRAP): handlers_m68k.trap,
+    ("m68k", Primitive.PTE_CHANGE): handlers_m68k.pte_change,
+    ("m68k", Primitive.CONTEXT_SWITCH): handlers_m68k.context_switch,
+}
+
+_PROGRAM_CACHE: Dict[Tuple[str, Primitive], Program] = {}
+
+
+def register_family(
+    family: str,
+    arch_names: "tuple[str, ...]",
+    builders: Dict[Primitive, Callable[[], Program]],
+) -> None:
+    """Plug in drivers for a new architecture family.
+
+    Downstream users adding their own :class:`ArchSpec` call this once
+    with a builder per primitive; the microbenchmarks, the functional
+    machine, LRPC/RPC, and the lmbench suite then work unchanged.
+    Raises ``ValueError`` on an incomplete builder set or a name clash
+    with a built-in family.
+    """
+    missing = [p for p in Primitive if p not in builders]
+    if missing:
+        raise ValueError(f"builders missing for: {[p.value for p in missing]}")
+    for name in arch_names:
+        if _FAMILY.get(name, family) != family:
+            raise ValueError(f"architecture {name!r} already maps to {_FAMILY[name]!r}")
+    for name in arch_names:
+        _FAMILY[name] = family
+    for primitive, builder in builders.items():
+        _BUILDERS[(family, primitive)] = builder
+        _PROGRAM_CACHE.pop((family, primitive), None)
+
+
+def unregister_family(family: str) -> None:
+    """Remove a family added with :func:`register_family`."""
+    if family in {"cvax", "mips", "sparc", "m88000", "i860", "m68k"}:
+        raise ValueError(f"cannot unregister built-in family {family!r}")
+    for name in [n for n, f in _FAMILY.items() if f == family]:
+        del _FAMILY[name]
+    for key in [k for k in _BUILDERS if k[0] == family]:
+        del _BUILDERS[key]
+        _PROGRAM_CACHE.pop(key, None)
+
+
+def handler_family(arch: ArchSpec) -> str:
+    """Handler family name for ``arch`` (R2000/R3000 -> "mips")."""
+    try:
+        return _FAMILY[arch.name]
+    except KeyError:
+        raise KeyError(
+            f"no handler drivers for architecture {arch.name!r}; "
+            f"families: {sorted(set(_FAMILY.values()))}"
+        ) from None
+
+
+def handler_program(arch: ArchSpec, primitive: Primitive) -> Program:
+    """The driver instruction stream for ``primitive`` on ``arch``."""
+    key = (handler_family(arch), primitive)
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[key] = _BUILDERS[key]()
+    return _PROGRAM_CACHE[key]
+
+
+def build_handler(arch: ArchSpec, primitive: Primitive) -> ExecutionResult:
+    """Build and execute the driver for ``primitive`` on ``arch``.
+
+    Trap-like primitives drain the write buffer at the end: the
+    measured loop immediately re-enters the kernel, so pending stores
+    are part of the observable latency.
+    """
+    program = handler_program(arch, primitive)
+    drain = primitive in (Primitive.TRAP, Primitive.CONTEXT_SWITCH)
+    return Executor(arch).run(program, drain_write_buffer=drain)
+
+
+def instruction_count(arch: ArchSpec, primitive: Primitive) -> int:
+    """Table 2 cell: shortest-path instruction count."""
+    return build_handler(arch, primitive).instructions
+
+
+def primitive_time_us(arch: ArchSpec, primitive: Primitive) -> float:
+    """Table 1 cell: time in microseconds on this system."""
+    return build_handler(arch, primitive).time_us

@@ -1,0 +1,188 @@
+"""Motorola 88000 handler drivers.
+
+What makes the 88000 paths long (§2.3, §3.1):
+
+* five exposed pipelines with nearly 30 internal state registers.  On
+  *every* trap the handler must examine pipeline state to check for and
+  service outstanding faults — even for the voluntary system call;
+* on a memory-management fault the handler must read the fault-status
+  registers, find the accesses in flight, and *emulate* the faulting
+  load/store, because instructions after the faulting one may already
+  have completed;
+* the FPU freezes on a fault and performs integer multiplies, so it
+  must be drained and restarted — storing interrupt context to memory
+  first so completing FP operations cannot corrupt live registers;
+* TLB and PTE maintenance goes through memory-mapped 88200 CMMU
+  registers.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+
+PCB_PAGE = 0
+KSTACK_PAGE = 1
+
+#: internal pipeline-state registers visible to trap handlers.
+PIPELINE_STATE_REGS = 27
+
+
+def _pipeline_check(b: ProgramBuilder) -> None:
+    """Examine pipeline/fault status before the handler can proceed."""
+    with b.phase("pipeline_check"):
+        b.special_ops(14, comment="read fault/status control registers across 5 pipelines")
+        b.alu(12, comment="test for outstanding faults in each unit")
+        b.branch(4, comment="per-pipeline fault dispatch")
+
+
+def null_syscall() -> Program:
+    """122 instructions; 11.8 us.
+
+    A system call is a *voluntary* exception, yet the 88000 handler
+    still pays the pipeline examination — the paper suggests hardware
+    could instead wait for outstanding exceptions before servicing the
+    call (§2.5).
+    """
+    b = ProgramBuilder("m88000:null_syscall")
+    with b.phase("kernel_entry"):
+        b.trap_entry(comment="tb0 trap; shadow registers freeze")
+    with b.phase("vector"):
+        b.alu(4, comment="vectored dispatch: vector table slot")
+        b.branch(2)
+        b.nops(1)
+    _pipeline_check(b)
+    with b.phase("state_mgmt"):
+        b.special_ops(6, comment="shadow register unfreeze, PSR staging")
+        b.alu(10, comment="kernel stack setup")
+        b.nops(2)
+    with b.phase("reg_save"):
+        b.stores(14, page=KSTACK_PAGE, comment="caller-context registers")
+    with b.phase("dispatch"):
+        b.loads(2)
+        b.alu(4)
+        b.branch(2)
+        b.nops(1)
+    with b.phase("c_call"):
+        b.branch(2)
+        b.alu(5)
+        b.stores(2, page=KSTACK_PAGE)
+        b.loads(2)
+        b.nops(1)
+    with b.phase("reg_restore"):
+        b.loads(14, page=KSTACK_PAGE)
+    with b.phase("state_restore"):
+        b.special_ops(6, comment="restore shadow/PSR state")
+        b.alu(7)
+        b.branch(2)
+        b.nops(2)
+    with b.phase("kernel_exit"):
+        b.rfe(comment="rte")
+    return b.build()
+
+
+def trap() -> Program:
+    """156 instructions; 14.4 us.
+
+    Adds to the syscall path: saving pipeline state registers, the
+    FPU freeze/drain/restart dance, and fault decode + access emulation
+    setup from the fault status registers.
+    """
+    b = ProgramBuilder("m88000:trap")
+    with b.phase("kernel_entry"):
+        b.trap_entry(comment="data access fault; pipelines hold partial state")
+    with b.phase("vector"):
+        b.alu(4)
+        b.branch(2)
+        b.nops(1)
+    _pipeline_check(b)
+    with b.phase("pipeline_save"):
+        b.special_ops(12, comment="read data-unit pipeline registers (addresses, data in flight)")
+        b.stores(8, page=KSTACK_PAGE, comment="save pipeline snapshot")
+    with b.phase("fpu_restart"):
+        b.stores(4, page=KSTACK_PAGE, comment="store interrupt context before enabling FPU")
+        b.special_ops(4, comment="unfreeze FPU, let pipeline drain")
+        b.fp(2, comment="pipeline drain operations complete")
+        b.alu(5, comment="wait/verify drain; registers now safe")
+    with b.phase("fault_decode"):
+        b.special_ops(6, comment="fault status: access type, address, data")
+        b.alu(8, comment="determine emulation needed for faulting access")
+        b.branch(2)
+    with b.phase("state_mgmt"):
+        b.special_ops(4)
+        b.alu(8)
+        b.nops(2)
+    with b.phase("reg_save"):
+        b.stores(12, page=KSTACK_PAGE)
+    with b.phase("c_call"):
+        b.branch(2)
+        b.alu(5)
+        b.stores(2, page=KSTACK_PAGE)
+        b.loads(2)
+        b.nops(1)
+    with b.phase("reg_restore"):
+        b.loads(12, page=KSTACK_PAGE)
+        b.special_ops(4, comment="restore pipeline state registers")
+    with b.phase("state_restore"):
+        b.special_ops(4)
+        b.alu(5)
+        b.branch(2)
+        b.nops(2)
+    with b.phase("kernel_exit"):
+        b.rfe(comment="rte restarts pipelines")
+    return b.build()
+
+
+def pte_change() -> Program:
+    """24 instructions; 3.9 us — CMMU register accesses dominate."""
+    b = ProgramBuilder("m88000:pte_change")
+    with b.phase("compute"):
+        b.alu(6, comment="page table index")
+    with b.phase("pte_update"):
+        b.loads(1)
+        b.alu(2)
+        b.stores(1, page=PCB_PAGE)
+    with b.phase("tlb_update"):
+        b.tlb_ops(3, comment="CMMU probe/invalidate via memory-mapped registers")
+        b.special_ops(2)
+        b.alu(4)
+        b.branch(2)
+    with b.phase("return"):
+        b.alu(2)
+        b.branch(1)
+    return b.build()
+
+
+def context_switch() -> Program:
+    """98 instructions; 22.8 us.
+
+    Moves the Table 6 state — 32 general registers plus 27 words of
+    pipeline/control state — through the XD88's slow memory interface.
+    """
+    b = ProgramBuilder("m88000:context_switch")
+    with b.phase("save_state"):
+        b.stores(22, page=PCB_PAGE, comment="general registers")
+        b.special_ops(6, extra_cycles=20, comment="capture control/pipeline context (stcr + sync)")
+        b.alu(2)
+    with b.phase("pcb"):
+        b.loads(4)
+        b.alu(4)
+        b.branch(2)
+    with b.phase("addr_space_switch"):
+        b.special_ops(2, comment="CMMU area pointer switch")
+        b.tlb_ops(1)
+        b.alu(2)
+    with b.phase("restore_state"):
+        b.loads(22, page=PCB_PAGE)
+        b.special_ops(6, extra_cycles=20, comment="restore control/pipeline context (ldcr + sync)")
+        b.alu(2)
+    with b.phase("stack_misc"):
+        b.alu(8)
+        b.loads(2)
+        b.stores(2, page=PCB_PAGE)
+        b.branch(4)
+        b.nops(2)
+    with b.phase("return"):
+        b.branch(2)
+        b.alu(2)
+        b.nops(1)
+    return b.build()

@@ -1,0 +1,183 @@
+"""MIPS R2000/R3000 handler drivers.
+
+One instruction stream serves both systems (the R3000 executes the
+R2000 instruction set); the DECstation 3100 vs 5000/200 difference is
+entirely in the cost model (clock, write buffer, load latency).
+
+Structural points from the paper baked into these streams:
+
+* nearly all exceptions vector through **one** common handler, so both
+  the syscall and the trap path begin with "save the cause and jump to
+  a common handler" dispatch code (§2.3, quoting DeMoney et al.);
+* ~half the delay slots on the low-level path are unfilled — the NOPs
+  here are those unfilled slots, and they account for roughly 13% of
+  the null system call time on the R2000 (§2.3);
+* register saves are bursts of consecutive stores, which is what makes
+  the DECstation 3100 write buffer stall ~30% of the interrupt
+  overhead (§2.3);
+* the PTE change is cheap: the software-managed TLB means the kernel
+  owns the page-table format, and tlbp/tlbwi update the one entry;
+* the context switch rewrites the ASID (the TLB is PID-tagged, no
+  purge) and moves the modest R2000 thread state of Table 6.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+
+#: abstract page ids for the store streams: PCB save area vs kernel stack
+PCB_PAGE = 0
+KSTACK_PAGE = 1
+
+
+def _common_vector(b: ProgramBuilder, nops: int = 2) -> None:
+    """Common exception entry: save cause, jump to the shared handler."""
+    with b.phase("vector"):
+        b.special_ops(2, comment="read Cause / EPC")
+        b.alu(3, comment="mask cause, index dispatch table")
+        b.branch(2, comment="jump to common handler, then to case")
+        b.nops(nops)
+
+
+def null_syscall() -> Program:
+    """84 instructions; 9.0 us on the R2000, 4.1 us on the R3000."""
+    b = ProgramBuilder("mips:null_syscall")
+    with b.phase("kernel_entry"):
+        b.trap_entry(comment="syscall exception: hw writes EPC/Cause/Status")
+    _common_vector(b, nops=2)
+    with b.phase("state_mgmt"):
+        b.special_ops(4, comment="Status twiddling, kernel SP swap, re-enable interrupts")
+        b.alu(3, comment="stack frame setup")
+        b.nops(3)
+    with b.phase("reg_save"):
+        b.save_registers(12, page=KSTACK_PAGE, comment="save caller-context registers")
+    with b.phase("dispatch"):
+        b.loads(2, comment="load sysent entry")
+        b.alu(2, comment="range-check syscall number")
+        b.branch(2)
+        b.nops(2)
+    with b.phase("c_call"):
+        b.branch(1, comment="jal to null syscall procedure")
+        b.alu(5, comment="prologue/epilogue")
+        b.stores(4, page=KSTACK_PAGE, comment="spill ra/sp/frame")
+        b.loads(4, comment="reload ra/sp/frame")
+        b.nops(3)
+        b.branch(1, comment="jr return")
+    with b.phase("reg_restore"):
+        b.restore_registers(12, page=KSTACK_PAGE)
+    with b.phase("state_restore"):
+        b.special_ops(3, comment="restore Status/EPC")
+        b.alu(5, comment="stage return value, pop frame")
+        b.branch(2)
+        b.nops(4)
+    with b.phase("kernel_exit"):
+        b.rfe()
+    return b.build()
+
+
+def trap() -> Program:
+    """103 instructions; 15.4 us (R2000) / 5.2 us (R3000).
+
+    Unlike the syscall, the trap must save/restore every register not
+    preserved across procedure calls, and must decode the fault from
+    BadVAddr/Cause before it can call the C handler.
+    """
+    b = ProgramBuilder("mips:trap")
+    with b.phase("kernel_entry"):
+        b.trap_entry(comment="data access fault", )
+    _common_vector(b, nops=3)
+    with b.phase("fault_decode"):
+        b.special_ops(3, comment="read BadVAddr, Cause, Status")
+        b.alu(2, comment="classify: protection vs translation fault")
+        b.stores(3, page=KSTACK_PAGE, comment="record fault info in exception frame")
+        b.nops(2)
+    with b.phase("state_mgmt"):
+        b.special_ops(4, comment="kernel stack swap, Status management")
+        b.alu(4, comment="build exception frame")
+        b.stores(4, page=KSTACK_PAGE, comment="frame head words")
+        b.nops(2)
+    with b.phase("reg_save"):
+        b.save_registers(20, page=KSTACK_PAGE, comment="caller-saved + temporaries")
+    with b.phase("c_call"):
+        b.branch(1, comment="jal to null fault handler")
+        b.alu(4)
+        b.stores(2, page=KSTACK_PAGE)
+        b.loads(2)
+        b.nops(3)
+        b.branch(1)
+    with b.phase("reg_restore"):
+        b.restore_registers(20, page=KSTACK_PAGE)
+    with b.phase("state_restore"):
+        b.special_ops(3, comment="restore EPC/Status")
+        b.alu(7, comment="unwind exception frame")
+        b.branch(2)
+        b.nops(3)
+    with b.phase("kernel_exit"):
+        b.rfe()
+    return b.build()
+
+
+def pte_change() -> Program:
+    """36 instructions; 3.1 us (R2000) / 2.0 us (R3000).
+
+    The OS-chosen page table (software-managed TLB) keeps this short:
+    index the table, rewrite the entry, tlbp/tlbwi the cached copy.
+    """
+    b = ProgramBuilder("mips:pte_change")
+    with b.phase("compute"):
+        b.alu(6, comment="page table index from VA (kseg-resident table)")
+        b.nops(2)
+    with b.phase("pte_update"):
+        b.loads(1, comment="fetch PTE")
+        b.alu(2, comment="merge new protection bits")
+        b.stores(1, page=PCB_PAGE)
+    with b.phase("tlb_update"):
+        b.special_ops(4, comment="EntryHi/EntryLo staging")
+        b.tlb_ops(2, comment="tlbp probe + tlbwi rewrite")
+        b.alu(3, comment="hit/miss check on probe result")
+        b.branch(2)
+        b.nops(2)
+    with b.phase("return"):
+        b.alu(6)
+        b.branch(2)
+        b.nops(3)
+    return b.build()
+
+
+def context_switch() -> Program:
+    """135 instructions; 14.8 us (R2000) / 7.4 us (R3000).
+
+    Saves the outgoing thread's preserved registers and kernel state to
+    its PCB, switches address space by rewriting the ASID in EntryHi
+    (PID-tagged TLB: no purge), and restores the incoming context.
+    """
+    b = ProgramBuilder("mips:context_switch")
+    with b.phase("save_state"):
+        b.save_registers(22, page=PCB_PAGE, comment="s-regs, sp, ra, kernel state")
+        b.special_ops(4, comment="capture Status/EPC into PCB")
+        b.alu(4)
+    with b.phase("pcb"):
+        b.loads(4, comment="fetch incoming PCB pointers")
+        b.alu(6)
+        b.branch(2)
+        b.nops(2)
+    with b.phase("addr_space_switch"):
+        b.special_ops(4, comment="write EntryHi with incoming ASID")
+        b.tlb_ops(1, comment="context register update")
+        b.alu(4)
+        b.nops(2)
+    with b.phase("restore_state"):
+        b.restore_registers(22, page=PCB_PAGE)
+        b.special_ops(4, comment="reload Status/EPC")
+        b.alu(4)
+    with b.phase("stack_misc"):
+        b.alu(20, comment="kernel stack switch, fp-ownership bookkeeping")
+        b.loads(4)
+        b.stores(2, page=PCB_PAGE)
+        b.branch(6)
+        b.nops(8)
+    with b.phase("return"):
+        b.branch(2)
+        b.alu(5)
+        b.nops(3)
+    return b.build()

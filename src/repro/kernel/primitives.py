@@ -1,0 +1,56 @@
+"""The four primitive OS operations the paper measures (§1.1).
+
+* ``NULL_SYSCALL`` — enter a null C procedure in the kernel, with
+  interrupts (re-)enabled, and return.
+* ``TRAP`` — take a data access fault, vector to a null C procedure in
+  the kernel, return to the user program; saves/restores registers not
+  preserved across procedure calls.
+* ``PTE_CHANGE`` — once in the kernel, convert a virtual address into
+  its page table entry, update its protection, and update any hardware
+  (TLB, virtually addressed cache) caching that information.
+* ``CONTEXT_SWITCH`` — once in the kernel, save one process context and
+  resume another, including the hardware address-space change; excludes
+  finding the next process to run.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Primitive(enum.Enum):
+    NULL_SYSCALL = "null_syscall"
+    TRAP = "trap"
+    PTE_CHANGE = "pte_change"
+    CONTEXT_SWITCH = "context_switch"
+
+    @property
+    def label(self) -> str:
+        """The row label Table 1/2 uses."""
+        return {
+            Primitive.NULL_SYSCALL: "Null system call",
+            Primitive.TRAP: "Trap",
+            Primitive.PTE_CHANGE: "Page table entry change",
+            Primitive.CONTEXT_SWITCH: "Context switch",
+        }[self]
+
+
+#: Phase labels grouped the way Table 5 groups them.
+KERNEL_ENTRY_EXIT_PHASES = frozenset({"kernel_entry", "kernel_exit"})
+CALL_PREP_PHASES = frozenset(
+    {
+        "vector",
+        "pipeline_check",
+        "pipeline_save",
+        "fpu_restart",
+        "fault_decode",
+        "state_mgmt",
+        "window_mgmt",
+        "param_copy",
+        "reg_save",
+        "reg_restore",
+        "state_restore",
+        "dispatch",
+    }
+)
+C_CALL_PHASES = frozenset({"c_call"})

@@ -1,0 +1,67 @@
+"""Processes and kernel threads for the functional machine.
+
+A process is an address space plus one or more kernel threads; the
+paper's thread terminology (§4): threads within an application are
+lightweight because they share the address space, while a full process
+carries the hardware context for address-space management.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.mem.address_space import AddressSpace
+
+_pid_counter = itertools.count(1)
+_tid_counter = itertools.count(1)
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+@dataclass
+class KernelThread:
+    """A kernel-schedulable thread."""
+
+    process: "Process"
+    tid: int = field(default_factory=lambda: next(_tid_counter))
+    state: ThreadState = ThreadState.READY
+    #: cumulative virtual time this thread has run, microseconds
+    cpu_us: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.process.name}.t{self.tid}"
+
+
+class Process:
+    """An address space with kernel threads."""
+
+    def __init__(self, name: str = "", page_table_kind: str = "software") -> None:
+        self.pid = next(_pid_counter)
+        self.name = name or f"proc{self.pid}"
+        self.space = AddressSpace(name=self.name, page_table_kind=page_table_kind)
+        self.threads: List[KernelThread] = []
+        self.spawn_thread()
+
+    def spawn_thread(self) -> KernelThread:
+        thread = KernelThread(process=self)
+        self.threads.append(thread)
+        return thread
+
+    @property
+    def main_thread(self) -> KernelThread:
+        return self.threads[0]
+
+    def runnable_threads(self) -> List[KernelThread]:
+        return [t for t in self.threads if t.state in (ThreadState.READY, ThreadState.RUNNING)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, pid={self.pid}, threads={len(self.threads)})"

@@ -1,0 +1,66 @@
+"""A round-robin kernel thread scheduler.
+
+Deliberately minimal: the paper's context-switch primitive explicitly
+*excludes* "the time to find another process to run" (§1.1), so the
+scheduler here is about correctness bookkeeping (ready queues, state
+transitions) — cost accounting happens at the machine layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.kernel.process import KernelThread, ThreadState
+
+
+class Scheduler:
+    """FIFO ready queue of kernel threads."""
+
+    def __init__(self) -> None:
+        self._ready: Deque[KernelThread] = deque()
+        self.current: Optional[KernelThread] = None
+
+    def enqueue(self, thread: KernelThread) -> None:
+        if thread.state is ThreadState.FINISHED:
+            raise ValueError(f"cannot enqueue finished thread {thread.name}")
+        thread.state = ThreadState.READY
+        self._ready.append(thread)
+
+    def pick_next(self) -> Optional[KernelThread]:
+        """Dequeue the next runnable thread (None if queue empty)."""
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.state is ThreadState.READY:
+                return thread
+        return None
+
+    def preempt_current(self) -> None:
+        """Move the running thread to the back of the queue."""
+        if self.current is not None and self.current.state is ThreadState.RUNNING:
+            self.enqueue(self.current)
+            self.current = None
+
+    def dispatch(self, thread: KernelThread) -> None:
+        thread.state = ThreadState.RUNNING
+        self.current = thread
+
+    def block_current(self) -> None:
+        if self.current is None:
+            raise RuntimeError("no current thread to block")
+        self.current.state = ThreadState.BLOCKED
+        self.current = None
+
+    def wake(self, thread: KernelThread) -> None:
+        if thread.state is ThreadState.BLOCKED:
+            self.enqueue(thread)
+
+    def finish_current(self) -> None:
+        if self.current is None:
+            raise RuntimeError("no current thread to finish")
+        self.current.state = ThreadState.FINISHED
+        self.current = None
+
+    @property
+    def ready_count(self) -> int:
+        return sum(1 for t in self._ready if t.state is ThreadState.READY)

@@ -1,0 +1,129 @@
+"""Signal delivery: asynchronous kernel-to-user upcalls (§3, §4.1).
+
+Signals are the asynchronous face of the same machinery the paper
+analyses: delivery is a trap-priced kernel entry, a frame push onto the
+user stack, an upcall into the registered handler, and a sigreturn
+system call to resume — so signal latency inherits every §1.1 cost.
+User-level thread packages also rely on them: "such packages must also
+perform involuntary swaps as a result of asynchronous events, for
+instance due to signals" (§4.1), which is what
+:meth:`~repro.threads.user.UserThreadPackage.preempt` builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Tuple
+
+from repro.isa.executor import Executor
+from repro.isa.program import ProgramBuilder
+from repro.kernel.handlers import build_handler
+from repro.kernel.primitives import Primitive
+from repro.kernel.process import Process
+from repro.kernel.system import SimulatedMachine
+
+
+class Signal(enum.Enum):
+    SIGALRM = "sigalrm"
+    SIGVTALRM = "sigvtalrm"  # the preemption timer user threads use
+    SIGSEGV = "sigsegv"
+    SIGIO = "sigio"
+    SIGUSR1 = "sigusr1"
+
+
+#: user handler: receives the machine; return value ignored.
+SignalHandler = Callable[[SimulatedMachine], None]
+
+
+@dataclass
+class SignalStats:
+    installed: int = 0
+    posted: int = 0
+    delivered: int = 0
+    blocked_deliveries: int = 0
+    delivery_us: float = 0.0
+
+    @property
+    def average_delivery_us(self) -> float:
+        return self.delivery_us / self.delivered if self.delivered else 0.0
+
+
+class SignalDispatcher:
+    """Per-machine signal state: handlers, masks, pending queues."""
+
+    def __init__(self, machine: SimulatedMachine) -> None:
+        self.machine = machine
+        self.stats = SignalStats()
+        self._handlers: Dict[Tuple[int, Signal], SignalHandler] = {}
+        self._masked: Dict[int, set] = {}
+        self._pending: Deque[Tuple[int, Signal]] = deque()
+        self._executor = Executor(machine.arch)
+        # frame push/pop: build the user-stack frame for the handler
+        frame = ProgramBuilder("signal_frame")
+        frame.stores(12, page=3, comment="push sigcontext to user stack")
+        frame.loads(12, page=3, comment="restore on sigreturn")
+        frame.alu(8, comment="trampoline setup")
+        self._frame_us = self._executor.run(frame.build()).time_us
+        self._trap_us = build_handler(machine.arch, Primitive.TRAP).time_us
+        self._syscall_us = build_handler(machine.arch, Primitive.NULL_SYSCALL).time_us
+
+    # ------------------------------------------------------------------
+    def install(self, process: Process, signal: Signal, handler: SignalHandler) -> float:
+        """sigaction(): one system call."""
+        self._handlers[(process.pid, signal)] = handler
+        self.stats.installed += 1
+        self.machine.counters.syscalls += 1
+        self.machine.advance(self._syscall_us)
+        return self._syscall_us
+
+    def block(self, process: Process, signal: Signal) -> None:
+        self._masked.setdefault(process.pid, set()).add(signal)
+
+    def unblock(self, process: Process, signal: Signal) -> int:
+        """Unblock and deliver anything pending; returns deliveries."""
+        self._masked.setdefault(process.pid, set()).discard(signal)
+        delivered = 0
+        still_pending: Deque[Tuple[int, Signal]] = deque()
+        while self._pending:
+            pid, pending_signal = self._pending.popleft()
+            if pid == process.pid and pending_signal == signal:
+                self._deliver(process, signal)
+                delivered += 1
+            else:
+                still_pending.append((pid, pending_signal))
+        self._pending = still_pending
+        return delivered
+
+    # ------------------------------------------------------------------
+    def post(self, process: Process, signal: Signal) -> bool:
+        """kill(): post a signal; returns True if delivered now."""
+        self.stats.posted += 1
+        if (process.pid, signal) not in self._handlers:
+            return False  # default action: ignored in the model
+        if signal in self._masked.get(process.pid, set()):
+            self._pending.append((process.pid, signal))
+            self.stats.blocked_deliveries += 1
+            return False
+        self._deliver(process, signal)
+        return True
+
+    def _deliver(self, process: Process, signal: Signal) -> None:
+        """Trap + frame push + upcall + sigreturn syscall."""
+        handler = self._handlers[(process.pid, signal)]
+        us = self._trap_us + self._frame_us + self._syscall_us
+        self.machine.counters.traps += 1
+        self.machine.counters.syscalls += 1
+        self.machine.advance(us)
+        self.stats.delivered += 1
+        self.stats.delivery_us += us
+        handler(self.machine)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def delivery_cost_us(self) -> float:
+        """Latency of one delivery, without running a handler."""
+        return self._trap_us + self._frame_us + self._syscall_us

@@ -1,0 +1,51 @@
+"""Memory system substrates (§3 of the paper).
+
+* :mod:`repro.mem.tlb` — translation lookaside buffers: PID-tagged vs
+  untagged (full purge on context switch), hardware-walked vs
+  software-refilled (MIPS), lockable entries (SPARC/Cypress).
+* :mod:`repro.mem.cache` — physically vs virtually addressed caches;
+  the virtual/untagged combination forces context-switch flushes and
+  PTE-change sweeps (i860).
+* :mod:`repro.mem.pagetable` — the three page-table organizations the
+  paper contrasts: linear (VAX), 3-level with region entries
+  (SPARC/Cypress), and OS-defined tables behind a software-managed TLB
+  (MIPS).
+* :mod:`repro.mem.address_space` — address spaces over page tables,
+  with copy-on-write sharing.
+* :mod:`repro.mem.vm` — the virtual memory system: translation, fault
+  dispatch, protection changes, user-level fault reflection.
+* :mod:`repro.mem.dsm` — Ivy-style distributed shared virtual memory
+  built on write-protection faults.
+"""
+
+from repro.mem.tlb import TLB, TLBEntry, TLBStats
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.pagetable import (
+    LinearPageTable,
+    MultiLevelPageTable,
+    PageTableEntry,
+    Protection,
+    SoftwareTLBPageTable,
+    make_page_table,
+)
+from repro.mem.address_space import AddressSpace
+from repro.mem.vm import FaultKind, PageFault, VMStats, VirtualMemory
+
+__all__ = [
+    "TLB",
+    "TLBEntry",
+    "TLBStats",
+    "Cache",
+    "CacheStats",
+    "LinearPageTable",
+    "MultiLevelPageTable",
+    "SoftwareTLBPageTable",
+    "PageTableEntry",
+    "Protection",
+    "make_page_table",
+    "AddressSpace",
+    "VirtualMemory",
+    "PageFault",
+    "FaultKind",
+    "VMStats",
+]

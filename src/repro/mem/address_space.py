@@ -1,0 +1,123 @@
+"""Address spaces: a page table plus an ASID and sharing bookkeeping.
+
+Address spaces are the unit the kernelized-OS analysis counts (§2.2,
+§5): every Mach 3.0 service lives in one, and every cross-address-space
+RPC switches between two of them.  Copy-on-write sharing (§3) is
+implemented here at the mapping level; the fault-side logic lives in
+:mod:`repro.mem.vm`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.mem.pagetable import PageTableEntry, Protection, make_page_table
+
+_asid_counter = itertools.count(1)
+
+
+@dataclass
+class SharedFrame:
+    """A physical frame referenced by one or more COW mappings."""
+
+    pfn: int
+    refcount: int = 1
+
+
+class AddressSpace:
+    """One protection domain."""
+
+    def __init__(self, name: str = "", page_table_kind: str = "software", asid: Optional[int] = None) -> None:
+        self.asid = next(_asid_counter) if asid is None else asid
+        self.name = name or f"as{self.asid}"
+        self.page_table = make_page_table(page_table_kind)
+        #: pfn -> SharedFrame for COW-shared frames
+        self._shared: Dict[int, SharedFrame] = {}
+        self._next_private_pfn = itertools.count(1 << 20)
+
+    # ------------------------------------------------------------------
+    def map(self, vpn: int, pfn: int, protection: Protection = Protection.READ_WRITE) -> PageTableEntry:
+        return self.page_table.map(vpn, pfn, protection)
+
+    def unmap(self, vpn: int) -> None:
+        entry = self.page_table.lookup(vpn)
+        if entry is not None:
+            self._drop_share(entry)
+        self.page_table.unmap(vpn)
+
+    def protect(self, vpn: int, protection: Protection) -> PageTableEntry:
+        return self.page_table.protect(vpn, protection)
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        return self.page_table.lookup(vpn)
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        return self.page_table.entries()
+
+    @property
+    def resident_pages(self) -> int:
+        return self.page_table.resident_pages
+
+    # ------------------------------------------------------------------
+    # copy-on-write sharing (§3: Accent/Mach message buffers, fork)
+    # ------------------------------------------------------------------
+    def _share_frame(self, pfn: int) -> SharedFrame:
+        frame = self._shared.get(pfn)
+        if frame is None:
+            frame = SharedFrame(pfn=pfn)
+            self._shared[pfn] = frame
+        else:
+            frame.refcount += 1
+        return frame
+
+    def _drop_share(self, entry: PageTableEntry) -> None:
+        frame = self._shared.get(entry.pfn)
+        if frame is not None:
+            frame.refcount -= 1
+            if frame.refcount <= 0:
+                del self._shared[entry.pfn]
+
+    def share_copy_on_write(self, other: "AddressSpace", vpn: int, other_vpn: Optional[int] = None) -> PageTableEntry:
+        """Map ``self``'s page read-only into ``other`` (COW).
+
+        Both mappings become read-only; the first write to either side
+        faults, and the VM layer resolves the fault by copying.
+        """
+        entry = self.lookup(vpn)
+        if entry is None:
+            raise KeyError(f"vpn {vpn} not mapped in {self.name}")
+        other_vpn = vpn if other_vpn is None else other_vpn
+        entry.protection = Protection.READ
+        entry.copy_on_write = True
+        frame = self._share_frame(entry.pfn)
+        frame.refcount += 1
+        mirrored = other.map(other_vpn, entry.pfn, Protection.READ)
+        mirrored.copy_on_write = True
+        other._shared[entry.pfn] = frame
+        return mirrored
+
+    def resolve_copy_on_write(self, vpn: int) -> PageTableEntry:
+        """Break a COW share after a write fault: copy to a private
+        frame, restore write permission."""
+        entry = self.lookup(vpn)
+        if entry is None or not entry.copy_on_write:
+            raise KeyError(f"vpn {vpn} is not a COW mapping in {self.name}")
+        frame = self._shared.get(entry.pfn)
+        if frame is not None and frame.refcount > 1:
+            frame.refcount -= 1
+            entry.pfn = next(self._next_private_pfn)  # the copy
+        else:
+            self._shared.pop(entry.pfn, None)
+        entry.copy_on_write = False
+        entry.protection = Protection.READ_WRITE
+        entry.dirty = True
+        return entry
+
+    def shared_frame_refcount(self, pfn: int) -> int:
+        frame = self._shared.get(pfn)
+        return frame.refcount if frame else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressSpace({self.name!r}, asid={self.asid}, pages={self.resident_pages})"

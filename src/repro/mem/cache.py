@@ -1,0 +1,144 @@
+"""First-level cache model (§2.4, §3.2).
+
+The paper's cache story is about *addressing*, not contents, so the
+model tracks line residency and counts maintenance costs rather than
+simulating data:
+
+* a **virtually addressed, untagged** cache (i860) must be flushed on a
+  context switch and swept when a page's protection changes — "on the
+  i860 ... 536 out of the 559 instructions required to change a PTE
+  are concerned with flushing the virtual cache";
+* a **context-tagged** virtual cache (SPARCstation) avoids the switch
+  flush but still needs the PTE-change sweep, since each entry carries
+  protection bits;
+* a **physically addressed** cache needs neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from repro.arch.specs import CacheSpec
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    context_flushes: int = 0
+    pte_sweeps: int = 0
+    lines_flushed: int = 0
+    maintenance_cycles: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Residency-tracking cache with maintenance-cost accounting."""
+
+    def __init__(self, spec: CacheSpec, flush_line_cycles: int = 3, miss_cycles: int = 8) -> None:
+        self.spec = spec
+        self.flush_line_cycles = flush_line_cycles
+        self.miss_cycles = miss_cycles
+        self.stats = CacheStats()
+        #: resident lines as (asid, line_index) pairs; physical caches
+        #: use asid 0 for everything.
+        self._resident: Set[Tuple[int, int]] = set()
+        self.current_asid = 0
+
+    @property
+    def lines_per_page(self) -> int:
+        page_bytes = 4096
+        return max(1, page_bytes // self.spec.line_bytes)
+
+    def _tag(self, asid: int) -> int:
+        if not self.spec.virtually_addressed:
+            return 0
+        return asid if self.spec.pid_tagged else 0
+
+    # ------------------------------------------------------------------
+    def access(self, line: int, asid: Optional[int] = None) -> bool:
+        """Touch a line; returns True on hit.  LRU-free model: lines
+        stay resident until flushed or capacity-evicted FIFO-ish."""
+        asid = self.current_asid if asid is None else asid
+        key = (self._tag(asid), line % self.spec.lines)
+        if key in self._resident:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self.stats.maintenance_cycles += self.miss_cycles
+        if len(self._resident) >= self.spec.lines:
+            self._resident.pop()
+        self._resident.add(key)
+        return False
+
+    # ------------------------------------------------------------------
+    def on_context_switch(self, new_asid: int) -> float:
+        """Cost (cycles) charged when switching to ``new_asid``."""
+        self.current_asid = new_asid
+        if not self.spec.virtually_addressed or self.spec.pid_tagged:
+            return 0.0
+        flushed = len(self._resident)
+        self._resident.clear()
+        cycles = float(flushed * self.flush_line_cycles)
+        self.stats.context_flushes += 1
+        self.stats.lines_flushed += flushed
+        self.stats.maintenance_cycles += cycles
+        return cycles
+
+    def on_pte_change(self, vpn: int) -> float:
+        """Cost of changing protection on one page (§3.2).
+
+        A virtually addressed cache must be searched for blocks on the
+        page; the search visits every line (the i860's 536-instruction
+        sweep), invalidating those that match.
+        """
+        if not self.spec.virtually_addressed:
+            return 0.0
+        swept = self.spec.lines
+        base = vpn * self.lines_per_page
+        page_lines = {
+            (tag, line)
+            for (tag, line) in self._resident
+            if base % self.spec.lines <= line < (base % self.spec.lines) + self.lines_per_page
+        }
+        self._resident -= page_lines
+        cycles = float(swept * self.flush_line_cycles)
+        self.stats.pte_sweeps += 1
+        self.stats.lines_flushed += len(page_lines)
+        self.stats.maintenance_cycles += cycles
+        return cycles
+
+    def invalidate_page(self, vpn: int) -> int:
+        """Drop a page's lines without charging cycles (used when the
+        sweep cost is already accounted by a handler program)."""
+        base = vpn * self.lines_per_page
+        page_lines = {
+            (tag, line)
+            for (tag, line) in self._resident
+            if base % self.spec.lines <= line < (base % self.spec.lines) + self.lines_per_page
+        }
+        self._resident -= page_lines
+        return len(page_lines)
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._resident)
+
+    def warm(self, lines: int, asid: Optional[int] = None) -> None:
+        """Pre-load ``lines`` distinct lines (test/workload setup)."""
+        asid = self.current_asid if asid is None else asid
+        for line in range(lines):
+            self.access(line, asid=asid)
+
+
+def cache_for_arch(spec: CacheSpec, flush_line_cycles: int) -> Cache:
+    """Build a cache using the architecture's flush cost."""
+    return Cache(spec, flush_line_cycles=flush_line_cycles)

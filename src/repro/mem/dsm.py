@@ -1,0 +1,186 @@
+"""Ivy-style distributed shared virtual memory (§3).
+
+"In systems such as Ivy, a network-wide shared virtual memory is used
+to give the programmer on a workstation network the illusion of a
+shared-memory multiprocessor.  Pages can be replicated on different
+workstations as long as the copies are mapped read-only.  When one node
+attempts a write, it faults.  Software then executes an
+invalidation-based coherence protocol..."
+
+Each node owns a :class:`~repro.mem.vm.VirtualMemory` for its
+architecture; the manager implements the invalidation protocol on top
+of write-protection faults, which is exactly why DSM performance hangs
+on the trap/PTE-change primitives of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.arch.specs import ArchSpec
+from repro.mem.address_space import AddressSpace
+from repro.mem.pagetable import Protection
+from repro.mem.vm import VirtualMemory
+
+
+@dataclass
+class DSMNetworkModel:
+    """Page-transfer costs over the interconnect, in microseconds."""
+
+    latency_us: float = 1000.0  # request/response round trip (Ethernet era)
+    bandwidth_mbps: float = 10.0
+    page_bytes: int = 4096
+
+    @property
+    def page_transfer_us(self) -> float:
+        return self.latency_us + (self.page_bytes * 8.0) / self.bandwidth_mbps
+
+    @property
+    def control_message_us(self) -> float:
+        return self.latency_us
+
+
+@dataclass
+class DSMStats:
+    read_faults: int = 0
+    write_faults: int = 0
+    invalidations: int = 0
+    page_transfers: int = 0
+    network_us: float = 0.0
+    fault_handling_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.network_us + self.fault_handling_us
+
+
+@dataclass
+class _PageState:
+    owner: int
+    copyset: Set[int] = field(default_factory=set)
+    writable: bool = False
+
+
+class DSMNode:
+    """One workstation participating in the shared memory."""
+
+    def __init__(self, node_id: int, arch: ArchSpec) -> None:
+        self.node_id = node_id
+        self.arch = arch
+        self.vm = VirtualMemory(arch)
+        self.space = AddressSpace(name=f"dsm-node{node_id}")
+        self.vm.activate(self.space)
+
+    def has_mapping(self, vpn: int) -> bool:
+        return self.space.lookup(vpn) is not None
+
+    def protection(self, vpn: int) -> Optional[Protection]:
+        entry = self.space.lookup(vpn)
+        return entry.protection if entry else None
+
+
+class DSMManager:
+    """Centralized-manager invalidation protocol over N nodes."""
+
+    def __init__(self, nodes: List[DSMNode], network: Optional[DSMNetworkModel] = None) -> None:
+        if not nodes:
+            raise ValueError("DSM needs at least one node")
+        self.nodes = {node.node_id: node for node in nodes}
+        self.network = network or DSMNetworkModel()
+        self.stats = DSMStats()
+        self._pages: Dict[int, _PageState] = {}
+
+    # ------------------------------------------------------------------
+    def create_page(self, vpn: int, owner: int) -> None:
+        """Materialize a shared page with ``owner`` holding it writable."""
+        node = self.nodes[owner]
+        node.space.map(vpn, pfn=vpn, protection=Protection.READ_WRITE)
+        self._pages[vpn] = _PageState(owner=owner, writable=True)
+
+    def _fault_cost_us(self, node: DSMNode) -> float:
+        """Trap + kernel->user reflection on the faulting node."""
+        cycles = node.vm.fault_entry_cycles() + node.vm.user_reflection_cycles()
+        return node.arch.cycles_to_us(cycles)
+
+    # ------------------------------------------------------------------
+    def read(self, node_id: int, vpn: int) -> float:
+        """A read access on ``node_id``; returns microseconds spent."""
+        node = self.nodes[node_id]
+        state = self._require_page(vpn)
+        if node.has_mapping(vpn):
+            node.vm.touch(vpn, write=False)
+            return 0.0
+        # read fault: fetch a replica, map read-only everywhere
+        self.stats.read_faults += 1
+        us = self._fault_cost_us(node)
+        self.stats.fault_handling_us += us
+        owner = self.nodes[state.owner]
+        if state.writable:
+            owner.vm.set_protection(vpn, Protection.READ)
+            state.writable = False
+        transfer = self.network.page_transfer_us
+        self.stats.page_transfers += 1
+        self.stats.network_us += transfer
+        node.space.map(vpn, pfn=vpn, protection=Protection.READ)
+        state.copyset.add(node_id)
+        return us + transfer
+
+    def write(self, node_id: int, vpn: int) -> float:
+        """A write access on ``node_id``; returns microseconds spent."""
+        node = self.nodes[node_id]
+        state = self._require_page(vpn)
+        if state.owner == node_id and state.writable:
+            node.vm.touch(vpn, write=True)
+            return 0.0
+        # write fault: invalidate all other copies, take ownership RW
+        self.stats.write_faults += 1
+        us = self._fault_cost_us(node)
+        self.stats.fault_handling_us += us
+        for replica_id in sorted(state.copyset | {state.owner}):
+            if replica_id == node_id:
+                continue
+            replica = self.nodes[replica_id]
+            if replica.has_mapping(vpn):
+                replica.vm.unmap(vpn)
+                self.stats.invalidations += 1
+                self.stats.network_us += self.network.control_message_us
+                us += self.network.control_message_us
+        if not node.has_mapping(vpn):
+            self.stats.page_transfers += 1
+            self.stats.network_us += self.network.page_transfer_us
+            us += self.network.page_transfer_us
+            node.space.map(vpn, pfn=vpn, protection=Protection.READ_WRITE)
+        else:
+            node.vm.set_protection(vpn, Protection.READ_WRITE)
+        state.owner = node_id
+        state.writable = True
+        state.copyset = set()
+        return us
+
+    def _require_page(self, vpn: int) -> _PageState:
+        state = self._pages.get(vpn)
+        if state is None:
+            raise KeyError(f"page {vpn} was never created in the DSM")
+        return state
+
+    # ------------------------------------------------------------------
+    def replicas(self, vpn: int) -> Set[int]:
+        state = self._require_page(vpn)
+        holders = {n for n in state.copyset}
+        if self.nodes[state.owner].has_mapping(vpn):
+            holders.add(state.owner)
+        return holders
+
+    def coherent(self, vpn: int) -> bool:
+        """Invariant: a writable page has exactly one holder; read
+        replicas are all read-only."""
+        state = self._require_page(vpn)
+        holders = self.replicas(vpn)
+        if state.writable:
+            return holders == {state.owner} and (
+                self.nodes[state.owner].protection(vpn) is Protection.READ_WRITE
+            )
+        return all(
+            self.nodes[h].protection(vpn) is Protection.READ for h in holders
+        )

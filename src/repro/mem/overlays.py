@@ -1,0 +1,219 @@
+"""Run-time services overloaded onto VM protection bits (§3).
+
+"Along with copy-on-write and distributed virtual memory, other
+operating system functions are being overloaded on virtual memory
+protection bits as well: these include garbage collection [Ellis et
+al. 88], checkpointing [Li et al. 90], recoverable virtual memory
+[Eppinger 89], and transaction locking [Radin 82].  Because these
+functions often are implemented at the run-time level, their
+implementations are simplified by user-level handling of page faults
+and efficient modification of TLB or page table entry access bits."
+
+Three such services, each implemented on the user-level fault
+reflection of :class:`~repro.mem.vm.VirtualMemory`:
+
+* :class:`WriteBarrier` — concurrent/generational GC: protect
+  from-space (or old-generation) pages; a write fault marks the card
+  and unprotects.
+* :class:`Checkpointer` — incremental checkpointing: protect
+  everything at a checkpoint; the first write to each page copies it
+  to the checkpoint buffer and unprotects.
+* :class:`TransactionLockManager` — page-granularity two-phase
+  locking: reads take read locks via read faults on NONE pages; writes
+  upgrade via protection faults.
+
+Every service's cost is dominated by trap + kernel-to-user reflection
++ PTE change — which is why §3.3 warns that these techniques presume
+fast fault handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.pagetable import Protection
+from repro.mem.vm import FaultKind, PageFault, VirtualMemory
+
+
+@dataclass
+class OverlayStats:
+    faults_taken: int = 0
+    pages_protected: int = 0
+    pages_unprotected: int = 0
+    pages_copied: int = 0
+    cycles: float = 0.0
+
+    def us(self, clock_mhz: float) -> float:
+        return self.cycles / clock_mhz
+
+
+class _OverlayBase:
+    """Common plumbing: install a user-level fault handler."""
+
+    def __init__(self, vm: VirtualMemory, space: AddressSpace) -> None:
+        self.vm = vm
+        self.space = space
+        self.stats = OverlayStats()
+        vm.register_user_fault_handler(space, self._handle)
+
+    def detach(self) -> None:
+        self.vm.unregister_user_fault_handler(self.space)
+
+    def _handle(self, fault: PageFault) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _protect(self, vpn: int, protection: Protection) -> None:
+        cycles = self.vm.set_protection(vpn, protection, space=self.space)
+        self.stats.cycles += cycles
+        if protection is Protection.READ_WRITE:
+            self.stats.pages_unprotected += 1
+        else:
+            self.stats.pages_protected += 1
+
+
+class WriteBarrier(_OverlayBase):
+    """GC write barrier: trap the first write into each protected page."""
+
+    def __init__(self, vm: VirtualMemory, space: AddressSpace) -> None:
+        super().__init__(vm, space)
+        self.dirty_cards: Set[int] = set()
+
+    def protect_generation(self, vpns: "range | list") -> None:
+        """Arm the barrier over the old generation's pages."""
+        for vpn in vpns:
+            if self.space.lookup(vpn) is None:
+                self.space.map(vpn, pfn=vpn, protection=Protection.READ)
+            else:
+                self._protect(vpn, Protection.READ)
+                continue
+            self.stats.pages_protected += 1
+
+    def _handle(self, fault: PageFault) -> bool:
+        if not fault.write or fault.kind is not FaultKind.PROTECTION:
+            return False
+        self.stats.faults_taken += 1
+        self.dirty_cards.add(fault.vpn)
+        self._protect(fault.vpn, Protection.READ_WRITE)
+        return True
+
+    def collect_dirty(self) -> Set[int]:
+        """Drain the card set (what the collector must re-scan)."""
+        dirty, self.dirty_cards = self.dirty_cards, set()
+        return dirty
+
+
+class Checkpointer(_OverlayBase):
+    """Incremental copy-on-first-write checkpointing (Li et al. 90)."""
+
+    PAGE_WORDS = 1024
+
+    def __init__(self, vm: VirtualMemory, space: AddressSpace) -> None:
+        super().__init__(vm, space)
+        self.checkpointed: Dict[int, int] = {}  # vpn -> epoch copied
+        self.epoch = 0
+
+    def begin_checkpoint(self, vpns: "range | list") -> None:
+        """Write-protect the whole address space at a checkpoint."""
+        self.epoch += 1
+        for vpn in vpns:
+            if self.space.lookup(vpn) is None:
+                self.space.map(vpn, pfn=vpn, protection=Protection.READ)
+                self.stats.pages_protected += 1
+            else:
+                self._protect(vpn, Protection.READ)
+
+    def _handle(self, fault: PageFault) -> bool:
+        if not fault.write:
+            return False
+        self.stats.faults_taken += 1
+        # copy the pre-image to the checkpoint buffer, then unprotect
+        copy_cycles = self.PAGE_WORDS * (2 + self.vm.arch.cost.load_extra_cycles)
+        self.stats.cycles += copy_cycles
+        self.stats.pages_copied += 1
+        self.checkpointed[fault.vpn] = self.epoch
+        self._protect(fault.vpn, Protection.READ_WRITE)
+        return True
+
+    def pages_saved(self) -> int:
+        return sum(1 for epoch in self.checkpointed.values() if epoch == self.epoch)
+
+
+class TransactionLockManager(_OverlayBase):
+    """Page-granularity 2PL driven by access faults (Radin 82)."""
+
+    def __init__(self, vm: VirtualMemory, space: AddressSpace) -> None:
+        super().__init__(vm, space)
+        self.read_locked: Set[int] = set()
+        self.write_locked: Set[int] = set()
+
+    def begin_transaction(self, vpns: "range | list") -> None:
+        """All data pages start inaccessible: every first touch faults."""
+        self.read_locked.clear()
+        self.write_locked.clear()
+        for vpn in vpns:
+            if self.space.lookup(vpn) is None:
+                self.space.map(vpn, pfn=vpn, protection=Protection.NONE)
+                self.stats.pages_protected += 1
+            else:
+                self._protect(vpn, Protection.NONE)
+
+    def _handle(self, fault: PageFault) -> bool:
+        if fault.kind is FaultKind.TRANSLATION:
+            return False
+        self.stats.faults_taken += 1
+        if fault.write:
+            self.write_locked.add(fault.vpn)
+            self.read_locked.discard(fault.vpn)
+            self._protect(fault.vpn, Protection.READ_WRITE)
+        else:
+            self.read_locked.add(fault.vpn)
+            self._protect(fault.vpn, Protection.READ)
+        return True
+
+    def commit(self) -> "tuple[int, int]":
+        """Release locks; returns (read locks, write locks) held."""
+        held = (len(self.read_locked), len(self.write_locked))
+        for vpn in self.read_locked | self.write_locked:
+            self._protect(vpn, Protection.NONE)
+        self.read_locked.clear()
+        self.write_locked.clear()
+        return held
+
+
+# ----------------------------------------------------------------------
+# cross-architecture cost comparison (§3.3)
+# ----------------------------------------------------------------------
+
+@dataclass
+class OverlayCost:
+    arch_name: str
+    service: str
+    faults: int
+    total_us: float
+
+    @property
+    def us_per_fault(self) -> float:
+        return self.total_us / self.faults if self.faults else 0.0
+
+
+def barrier_cost(arch_name: str, pages: int = 32, writes: int = 32) -> OverlayCost:
+    """Cost of one GC epoch: arm the barrier, take ``writes`` faults."""
+    from repro.arch.registry import get_arch
+
+    arch = get_arch(arch_name)
+    vm = VirtualMemory(arch)
+    space = AddressSpace(name=f"heap-{arch_name}")
+    vm.activate(space)
+    barrier = WriteBarrier(vm, space)
+    barrier.protect_generation(range(pages))
+    cycles = 0.0
+    for vpn in range(writes):
+        cycles += vm.touch(vpn % pages, write=True, space=space)
+    return OverlayCost(
+        arch_name=arch_name,
+        service="write_barrier",
+        faults=barrier.stats.faults_taken,
+        total_us=arch.cycles_to_us(cycles + barrier.stats.cycles),
+    )

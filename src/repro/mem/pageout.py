@@ -1,0 +1,199 @@
+"""Demand paging with replacement (§3).
+
+"In general, performance of a virtual memory system is related to the
+ratio of physical to virtual memory size, the size and organization of
+the TLB, the cost of servicing a fault, and the page replacement
+algorithms used."
+
+A working pager over the functional VM: a bounded pool of physical
+frames, demand-fill on translation faults, and pluggable replacement
+(FIFO or CLOCK — CLOCK uses the PTE reference bits the hardware sets).
+The fault-cost side ties back to Table 1: a page-in is a trap + PTE
+changes + (on a miss to backing store) device time.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.mem.address_space import AddressSpace
+from repro.mem.pagetable import Protection
+from repro.mem.vm import FaultKind, PageFault, VirtualMemory
+
+
+class ReplacementPolicy(enum.Enum):
+    FIFO = "fifo"
+    CLOCK = "clock"
+
+
+@dataclass
+class PagerStats:
+    demand_fills: int = 0
+    replacements: int = 0
+    writebacks: int = 0
+    fault_us: float = 0.0
+    device_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.fault_us + self.device_us
+
+
+class Pager:
+    """Demand pager for one address space over a bounded frame pool."""
+
+    #: microseconds to read or write one page on the backing store.
+    DEVICE_PAGE_US = 20_000.0
+
+    def __init__(
+        self,
+        vm: VirtualMemory,
+        space: AddressSpace,
+        frames: int,
+        policy: ReplacementPolicy = ReplacementPolicy.CLOCK,
+        device_page_us: Optional[float] = None,
+    ) -> None:
+        if frames < 1:
+            raise ValueError("need at least one physical frame")
+        self.vm = vm
+        self.space = space
+        self.frames = frames
+        self.policy = policy
+        self.device_page_us = device_page_us if device_page_us is not None else self.DEVICE_PAGE_US
+        self.stats = PagerStats()
+        #: resident vpn -> frame number, in load order (FIFO / CLOCK ring)
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self._free_frames = list(range(frames))
+        vm.register_user_fault_handler(space, self._handle_fault)
+
+    # ------------------------------------------------------------------
+    def _pick_victim(self) -> int:
+        if self.policy is ReplacementPolicy.FIFO:
+            victim, _ = next(iter(self._resident.items()))
+            return victim
+        # CLOCK: sweep in load order, clearing reference bits
+        for _ in range(2 * len(self._resident) + 1):
+            vpn, frame = next(iter(self._resident.items()))
+            entry = self.space.lookup(vpn)
+            if entry is not None and entry.referenced:
+                entry.referenced = False
+                # drop the TLB entry so the next touch re-walks the
+                # table and re-sets the reference bit (software
+                # reference bits need this; §3.2)
+                self.vm.tlb.invalidate(vpn, asid=self.space.asid)
+                self._resident.move_to_end(vpn)  # second chance
+                continue
+            return vpn
+        # everything referenced twice around: degrade to FIFO
+        victim, _ = next(iter(self._resident.items()))
+        return victim
+
+    def _evict(self) -> int:
+        victim = self._pick_victim()
+        frame = self._resident.pop(victim)
+        entry = self.space.lookup(victim)
+        if entry is not None and entry.dirty:
+            self.stats.writebacks += 1
+            self.stats.device_us += self.device_page_us
+        cycles = self.vm.unmap(victim, space=self.space)
+        self.stats.fault_us += self.vm.arch.cycles_to_us(cycles)
+        self.stats.replacements += 1
+        return frame
+
+    def _handle_fault(self, fault: PageFault) -> bool:
+        if fault.kind is not FaultKind.TRANSLATION:
+            return False
+        if len(self._resident) >= self.frames:
+            frame = self._evict()
+        elif self._free_frames:
+            frame = self._free_frames.pop()
+        else:  # pragma: no cover - defensive
+            frame = self._evict()
+        # page-in from backing store
+        self.stats.demand_fills += 1
+        self.stats.device_us += self.device_page_us
+        self.space.map(fault.vpn, pfn=frame, protection=Protection.READ_WRITE)
+        self._resident[fault.vpn] = frame
+        return True
+
+    # ------------------------------------------------------------------
+    def touch(self, vpn: int, write: bool = False) -> float:
+        """Access a page through the pager; returns cycles spent."""
+        cycles = self.vm.touch(vpn, write=write, space=self.space)
+        self.stats.fault_us += 0.0  # vm already accumulated fault costs
+        return cycles
+
+    @property
+    def resident_pages(self) -> Tuple[int, ...]:
+        return tuple(self._resident)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._resident)
+
+
+@dataclass
+class PagingExperiment:
+    """Miss behaviour of one policy on one reference string."""
+
+    policy: ReplacementPolicy
+    frames: int
+    faults: int
+    writebacks: int
+    total_us: float
+
+
+def run_reference_string(
+    arch: ArchSpec,
+    reference_string: "list[tuple[int, bool]]",
+    frames: int,
+    policy: ReplacementPolicy,
+) -> PagingExperiment:
+    """Replay (vpn, is_write) references through a fresh pager."""
+    vm = VirtualMemory(arch)
+    space = AddressSpace(name=f"paged-{policy.value}")
+    vm.activate(space)
+    pager = Pager(vm, space, frames=frames, policy=policy)
+    for vpn, is_write in reference_string:
+        pager.touch(vpn, write=is_write)
+    return PagingExperiment(
+        policy=policy,
+        frames=frames,
+        faults=pager.stats.demand_fills,
+        writebacks=pager.stats.writebacks,
+        total_us=pager.stats.total_us + arch.cycles_to_us(vm.stats.cycles),
+    )
+
+
+def loop_reference_string(pages: int, iterations: int, write_every: int = 4) -> "list[tuple[int, bool]]":
+    """A cyclic working-set walk — the classic replacement testcase."""
+    refs = []
+    for i in range(iterations * pages):
+        vpn = i % pages
+        refs.append((vpn, i % write_every == 0))
+    return refs
+
+
+def hotset_scan_reference_string(
+    hot_pages: int, cold_pages: int, rounds: int, hot_touches_per_round: int = 4
+) -> "list[tuple[int, bool]]":
+    """Hot pages re-touched between a long cold scan.
+
+    Distinguishes CLOCK from FIFO: the reference bits keep the hot set
+    resident under CLOCK while FIFO flushes it with the scan.  Cold
+    pages live above the hot range.
+    """
+    refs: "list[tuple[int, bool]]" = []
+    cold_base = hot_pages
+    cold_cursor = 0
+    for _ in range(rounds):
+        for i in range(hot_touches_per_round):
+            refs.append((i % hot_pages, False))
+        for _ in range(hot_pages):
+            refs.append((cold_base + cold_cursor, False))
+            cold_cursor = (cold_cursor + 1) % cold_pages
+    return refs

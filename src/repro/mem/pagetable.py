@@ -1,0 +1,247 @@
+"""Page tables: the three organizations the paper contrasts (§3.2).
+
+* :class:`LinearPageTable` — the VAX model: one flat table per region.
+  Simple, but sparse address spaces are problematic (the table grows
+  with the span of the region, not its population).
+* :class:`MultiLevelPageTable` — the SPARC/Cypress model: a 3-level
+  tree (4 GB -> 16 MB -> 256 KB -> 4 KB pages) in which an entry at an
+  upper level may be a *terminal* PTE mapping an entire contiguous
+  region; a single TLB entry then covers the region while still
+  carrying standard protection bits.
+* :class:`SoftwareTLBPageTable` — the MIPS model: the architecture
+  does not dictate a format, because TLB misses vector to software.
+  Sparse spaces are easy; we use a hash table.
+
+All three expose the same protocol (map/unmap/protect/lookup plus a
+``walk_cost`` in memory references) so the VM system and ablations can
+swap them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Protection(enum.Enum):
+    """Page protection, ordered by permissiveness."""
+
+    NONE = 0
+    READ = 1
+    READ_WRITE = 2
+
+    def allows(self, write: bool) -> bool:
+        if self is Protection.NONE:
+            return False
+        if write:
+            return self is Protection.READ_WRITE
+        return True
+
+
+@dataclass
+class PageTableEntry:
+    """One mapping; ``region_pages`` > 1 marks a terminal region entry."""
+
+    vpn: int
+    pfn: int
+    protection: Protection = Protection.READ_WRITE
+    valid: bool = True
+    copy_on_write: bool = False
+    dirty: bool = False
+    referenced: bool = False
+    region_pages: int = 1
+
+    def covers(self, vpn: int) -> bool:
+        return self.vpn <= vpn < self.vpn + self.region_pages
+
+
+class PageTableError(Exception):
+    """Raised for malformed mapping requests."""
+
+
+class LinearPageTable:
+    """VAX-style linear table over a bounded virtual region."""
+
+    kind = "linear"
+
+    def __init__(self, span_pages: int = 1 << 20) -> None:
+        if span_pages <= 0:
+            raise PageTableError("span_pages must be positive")
+        self.span_pages = span_pages
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    # one overhead memory reference per translation (the paper's
+    # "one or two overhead memory references")
+    walk_cost = 1
+
+    def _check(self, vpn: int) -> None:
+        if not 0 <= vpn < self.span_pages:
+            raise PageTableError(f"vpn {vpn} outside linear table span {self.span_pages}")
+
+    def map(self, vpn: int, pfn: int, protection: Protection = Protection.READ_WRITE) -> PageTableEntry:
+        self._check(vpn)
+        entry = PageTableEntry(vpn=vpn, pfn=pfn, protection=protection)
+        self._entries[vpn] = entry
+        return entry
+
+    def unmap(self, vpn: int) -> None:
+        self._check(vpn)
+        self._entries.pop(vpn, None)
+
+    def protect(self, vpn: int, protection: Protection) -> PageTableEntry:
+        entry = self.lookup(vpn)
+        if entry is None:
+            raise PageTableError(f"vpn {vpn} not mapped")
+        entry.protection = protection
+        return entry
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        self._check(vpn)
+        return self._entries.get(vpn)
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._entries)
+
+    def table_overhead_words(self) -> int:
+        """A linear table must exist for the whole span (sparse = bad)."""
+        if not self._entries:
+            return 0
+        highest = max(self._entries)
+        return highest + 1
+
+
+class SoftwareTLBPageTable:
+    """MIPS-style OS-defined table (hash map): sparse spaces are free."""
+
+    kind = "software"
+    walk_cost = 1
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def map(self, vpn: int, pfn: int, protection: Protection = Protection.READ_WRITE) -> PageTableEntry:
+        entry = PageTableEntry(vpn=vpn, pfn=pfn, protection=protection)
+        self._entries[vpn] = entry
+        return entry
+
+    def unmap(self, vpn: int) -> None:
+        self._entries.pop(vpn, None)
+
+    def protect(self, vpn: int, protection: Protection) -> PageTableEntry:
+        entry = self.lookup(vpn)
+        if entry is None:
+            raise PageTableError(f"vpn {vpn} not mapped")
+        entry.protection = protection
+        return entry
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn)
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._entries)
+
+    def table_overhead_words(self) -> int:
+        """Population-proportional: the advantage of OS-chosen format."""
+        return len(self._entries)
+
+
+#: level fan-outs of the Cypress 3-level table: a first-level entry maps
+#: 16 MB (4096 pages of 4 KB), a second-level entry 256 KB (64 pages).
+LEVEL_REGION_PAGES: Tuple[int, ...] = (4096, 64, 1)
+
+
+class MultiLevelPageTable:
+    """SPARC/Cypress 3-level table with terminal region entries."""
+
+    kind = "multilevel"
+    walk_cost = 3  # one reference per level on a full walk
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+        # region entries indexed by their base vpn
+        self._regions: Dict[int, PageTableEntry] = {}
+
+    def map(self, vpn: int, pfn: int, protection: Protection = Protection.READ_WRITE) -> PageTableEntry:
+        entry = PageTableEntry(vpn=vpn, pfn=pfn, protection=protection)
+        self._entries[vpn] = entry
+        return entry
+
+    def map_region(self, base_vpn: int, base_pfn: int, level: int,
+                   protection: Protection = Protection.READ_WRITE) -> PageTableEntry:
+        """Install a terminal PTE at ``level`` (0 or 1) covering a
+        contiguous region; one TLB entry can then map the whole region
+        while the standard protection mechanism still applies (§3.2)."""
+        if level not in (0, 1):
+            raise PageTableError("terminal region entries live at level 0 or 1")
+        pages = LEVEL_REGION_PAGES[level]
+        if base_vpn % pages:
+            raise PageTableError(f"region base vpn {base_vpn} not aligned to {pages} pages")
+        entry = PageTableEntry(
+            vpn=base_vpn, pfn=base_pfn, protection=protection, region_pages=pages
+        )
+        self._regions[base_vpn] = entry
+        return entry
+
+    def unmap(self, vpn: int) -> None:
+        self._entries.pop(vpn, None)
+        self._regions.pop(vpn, None)
+
+    def protect(self, vpn: int, protection: Protection) -> PageTableEntry:
+        entry = self.lookup(vpn)
+        if entry is None:
+            raise PageTableError(f"vpn {vpn} not mapped")
+        entry.protection = protection
+        return entry
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            return entry
+        for pages in LEVEL_REGION_PAGES[:2]:
+            base = vpn - (vpn % pages)
+            region = self._regions.get(base)
+            if region is not None and region.region_pages == pages and region.covers(vpn):
+                return region
+        return None
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        yield from self._entries.values()
+        yield from self._regions.values()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._entries) + sum(r.region_pages for r in self._regions.values())
+
+    def table_overhead_words(self) -> int:
+        """Tables exist only along populated paths."""
+        level2 = {vpn // 64 for vpn in self._entries}
+        level1 = {vpn // 4096 for vpn in self._entries} | {
+            vpn // 4096 for vpn in self._regions
+        }
+        return 256 + len(level1) * 64 + len(level2) * 64
+
+    def translate_pfn(self, entry: PageTableEntry, vpn: int) -> int:
+        """Physical frame for ``vpn`` under a (possibly region) entry."""
+        return entry.pfn + (vpn - entry.vpn)
+
+
+def make_page_table(kind: str):
+    """Factory keyed by the organization names used in specs/ablations."""
+    factories = {
+        "linear": LinearPageTable,
+        "software": SoftwareTLBPageTable,
+        "multilevel": MultiLevelPageTable,
+    }
+    try:
+        return factories[kind]()
+    except KeyError:
+        raise PageTableError(f"unknown page table kind {kind!r}") from None

@@ -1,0 +1,275 @@
+"""The virtual memory system: translation, faults, protection (§3).
+
+Ties one architecture's TLB and cache to a set of address spaces, and
+implements the fault-side services the paper says modern operating
+systems overload onto protection bits: copy-on-write resolution and
+reflection of faults to user-level handlers (distributed shared memory,
+garbage collection, checkpointing, transaction locking).
+
+Costs: every operation returns or accumulates cycles using the
+architecture's descriptors — TLB miss service, virtual-cache
+maintenance, and the §1.1 handler costs for trap entry and PTE change
+(through :mod:`repro.kernel.handlers` when a handler family exists for
+the architecture).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.mem.address_space import AddressSpace
+from repro.mem.cache import Cache
+from repro.mem.pagetable import PageTableEntry, Protection
+from repro.mem.tlb import TLB
+
+
+class FaultKind(enum.Enum):
+    TRANSLATION = "translation"  # no valid mapping
+    PROTECTION = "protection"  # mapping exists, access not allowed
+    COPY_ON_WRITE = "copy_on_write"  # write to a COW page
+
+
+class PageFault(Exception):
+    """Raised on an access the hardware cannot complete."""
+
+    def __init__(self, kind: FaultKind, space: AddressSpace, vpn: int, write: bool) -> None:
+        self.kind = kind
+        self.space = space
+        self.vpn = vpn
+        self.write = write
+        super().__init__(f"{kind.value} fault at vpn {vpn} ({'write' if write else 'read'}) in {space.name}")
+
+
+@dataclass
+class VMStats:
+    translations: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    faults: int = 0
+    cow_breaks: int = 0
+    user_reflections: int = 0
+    pte_changes: int = 0
+    cycles: float = 0.0
+
+
+#: signature of a user-level fault handler: returns True if it resolved
+#: the fault (after adjusting mappings itself).
+UserFaultHandler = Callable[[PageFault], bool]
+
+
+class VirtualMemory:
+    """VM system for one machine (one TLB + one cache, many spaces)."""
+
+    def __init__(self, arch: ArchSpec) -> None:
+        self.arch = arch
+        self.tlb = TLB(arch.tlb)
+        self.cache = Cache(arch.cache, flush_line_cycles=arch.cost.cache_flush_line_cycles)
+        self.stats = VMStats()
+        self.current_space: Optional[AddressSpace] = None
+        self._user_handlers: Dict[int, UserFaultHandler] = {}
+
+    # ------------------------------------------------------------------
+    def activate(self, space: AddressSpace) -> float:
+        """Make ``space`` current (hardware address-space switch).
+
+        Returns cycles spent on TLB purge (untagged) and virtual-cache
+        flush (untagged virtual cache) — the §3.2 costs.
+        """
+        cycles = 0.0
+        purged = self.tlb.context_switch(space.asid)
+        # purged entries will re-miss later; charge the purge itself as
+        # the refill cost paid on re-touch (accounted at lookup).  Here
+        # we charge only the explicit cache flush work.
+        cycles += self.cache.on_context_switch(space.asid)
+        self.current_space = space
+        self.stats.cycles += cycles
+        return cycles
+
+    def _require_space(self, space: Optional[AddressSpace]) -> AddressSpace:
+        target = space or self.current_space
+        if target is None:
+            raise RuntimeError("no address space active")
+        return target
+
+    # ------------------------------------------------------------------
+    def translate(
+        self,
+        vpn: int,
+        write: bool = False,
+        space: Optional[AddressSpace] = None,
+        kernel: bool = False,
+    ) -> Tuple[int, float]:
+        """Translate ``vpn``; returns (pfn, cycles).
+
+        Raises :class:`PageFault` when no valid translation permits the
+        access.  TLB insertion happens on a successful walk, exactly as
+        a hardware walker or software refill handler would.
+        """
+        target = self._require_space(space)
+        self.stats.translations += 1
+        cycles = 0.0
+        entry = self.tlb.lookup(vpn, asid=target.asid, kernel=kernel)
+        if entry is not None:
+            self.stats.tlb_hits += 1
+            if not entry.protection.allows(write):
+                self._fault(target, vpn, write)
+            return entry.pfn, cycles
+        self.stats.tlb_misses += 1
+        cycles += self.tlb.miss_cost(kernel=kernel)
+        pte = target.lookup(vpn)
+        if pte is None or not pte.valid:
+            self.stats.cycles += cycles
+            self._fault(target, vpn, write, translation=True)
+        assert pte is not None
+        if not pte.protection.allows(write):
+            self.stats.cycles += cycles
+            self._fault(target, vpn, write)
+        pfn = pte.pfn + (vpn - pte.vpn) if pte.region_pages > 1 else pte.pfn
+        self.tlb.insert(vpn, pfn, asid=target.asid, protection=pte.protection, kernel=kernel)
+        pte.referenced = True
+        if write:
+            pte.dirty = True
+        self.stats.cycles += cycles
+        return pfn, cycles
+
+    def _fault(self, space: AddressSpace, vpn: int, write: bool, translation: bool = False) -> None:
+        self.stats.faults += 1
+        pte = space.lookup(vpn)
+        if translation or pte is None:
+            raise PageFault(FaultKind.TRANSLATION, space, vpn, write)
+        if write and pte.copy_on_write:
+            raise PageFault(FaultKind.COPY_ON_WRITE, space, vpn, write)
+        raise PageFault(FaultKind.PROTECTION, space, vpn, write)
+
+    # ------------------------------------------------------------------
+    def touch(self, vpn: int, write: bool = False, space: Optional[AddressSpace] = None) -> float:
+        """Access a page, resolving faults the kernel can resolve.
+
+        Returns cycles spent, including fault handling.  COW faults are
+        broken in-kernel; other faults are offered to a registered
+        user-level handler (§3's "reflect faults to user level"), and
+        re-raised if nothing resolves them.
+        """
+        target = self._require_space(space)
+        try:
+            _, cycles = self.translate(vpn, write=write, space=target)
+            return cycles
+        except PageFault as fault:
+            cycles = self.fault_entry_cycles()
+            if fault.kind is FaultKind.COPY_ON_WRITE:
+                cycles += self.break_copy_on_write(target, vpn)
+                _, more = self.translate(vpn, write=write, space=target)
+                return cycles + more
+            handler = self._user_handlers.get(target.asid)
+            if handler is not None:
+                self.stats.user_reflections += 1
+                cycles += self.user_reflection_cycles()
+                if handler(fault):
+                    _, more = self.translate(vpn, write=write, space=target)
+                    return cycles + more
+            self.stats.cycles += cycles
+            raise
+
+    def break_copy_on_write(self, space: AddressSpace, vpn: int) -> float:
+        """Kernel-side COW resolution: copy the page, restore RW."""
+        self.stats.cow_breaks += 1
+        space.resolve_copy_on_write(vpn)
+        cycles = self.pte_change_cycles(vpn, space)
+        # copying one 4 KB page: a word-at-a-time loop (§2.4)
+        copy_cycles = 1024 * (2 + self.arch.cost.load_extra_cycles)
+        self.stats.cycles += copy_cycles
+        return cycles + copy_cycles
+
+    # ------------------------------------------------------------------
+    def set_protection(self, vpn: int, protection: Protection, space: Optional[AddressSpace] = None) -> float:
+        """Change a page's protection, paying the full §1.1 PTE-change
+        cost: table update, TLB invalidate, virtual-cache sweep."""
+        target = self._require_space(space)
+        target.protect(vpn, protection)
+        return self.pte_change_cycles(vpn, target)
+
+    def unmap(self, vpn: int, space: Optional[AddressSpace] = None) -> float:
+        target = self._require_space(space)
+        target.unmap(vpn)
+        return self.pte_change_cycles(vpn, target)
+
+    def map(self, vpn: int, pfn: int, protection: Protection = Protection.READ_WRITE,
+            space: Optional[AddressSpace] = None) -> PageTableEntry:
+        target = self._require_space(space)
+        return target.map(vpn, pfn, protection)
+
+    def pte_change_cycles(self, vpn: int, space: AddressSpace) -> float:
+        """Cost of one PTE change on this architecture.
+
+        When the architecture has handler drivers, the cost is the full
+        §1.1 PTE-change handler (which already includes TLB maintenance
+        and, on the i860, the virtual-cache sweep); otherwise the raw
+        TLB-op plus cache-sweep model applies.  Either way the
+        functional state (TLB entry, cache residency) is updated.
+        """
+        self.stats.pte_changes += 1
+        self.tlb.invalidate(vpn, asid=space.asid)
+        try:
+            from repro.kernel.handlers import build_handler
+            from repro.kernel.primitives import Primitive
+
+            cycles = build_handler(self.arch, Primitive.PTE_CHANGE).cycles
+            self.cache.invalidate_page(vpn)  # bookkeeping only
+        except KeyError:
+            cycles = float(self.arch.cost.tlb_op_cycles)
+            cycles += self.cache.on_pte_change(vpn)
+        self.stats.cycles += cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    def fault_entry_cycles(self) -> float:
+        """Trap entry + handler preparation cost for a fault."""
+        cycles = float(self.arch.cost.trap_entry_cycles)
+        try:
+            from repro.kernel.handlers import build_handler
+            from repro.kernel.primitives import Primitive
+
+            cycles = build_handler(self.arch, Primitive.TRAP).cycles
+        except KeyError:
+            pass  # architectures without handler drivers use the raw cost
+        self.stats.cycles += cycles
+        return cycles
+
+    def user_reflection_cycles(self) -> float:
+        """Kernel->user fault reflection: an upcall costs a syscall-like
+        crossing each way (§3: needs efficient traps *and* syscalls)."""
+        try:
+            from repro.kernel.handlers import build_handler
+            from repro.kernel.primitives import Primitive
+
+            crossing = build_handler(self.arch, Primitive.NULL_SYSCALL).cycles
+        except KeyError:
+            crossing = float(self.arch.cost.trap_entry_cycles * 4)
+        cycles = 2.0 * crossing
+        self.stats.cycles += cycles
+        return cycles
+
+    def share_copy_on_write(
+        self,
+        source: AddressSpace,
+        destination: AddressSpace,
+        vpn: int,
+        destination_vpn: Optional[int] = None,
+    ) -> float:
+        """COW-share a page between spaces (Accent/Mach message send).
+
+        Downgrades both mappings to read-only and invalidates any stale
+        TLB entry for the source — the "quickly trap and change page
+        protection bits" path of §3.
+        """
+        source.share_copy_on_write(destination, vpn, destination_vpn)
+        return self.pte_change_cycles(vpn, source)
+
+    def register_user_fault_handler(self, space: AddressSpace, handler: UserFaultHandler) -> None:
+        self._user_handlers[space.asid] = handler
+
+    def unregister_user_fault_handler(self, space: AddressSpace) -> None:
+        self._user_handlers.pop(space.asid, None)

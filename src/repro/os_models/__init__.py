@@ -1,0 +1,25 @@
+"""Operating system structure models (§5).
+
+The paper instruments two versions of Mach running the same binaries:
+
+* **Mach 2.5** — monolithic: the whole OS in one privileged kernel
+  address space; a Unix syscall is one kernel entry.
+* **Mach 3.0** — kernelized: a small message-based kernel plus
+  user-level servers (a Unix server, a file cache manager, a network
+  server...).  "Each invocation of an operating system service via an
+  RPC requires at least two system calls and two context switches";
+  the servers are themselves multithreaded; their critical sections
+  run at user level (on the MIPS: kernel traps for atomicity); and the
+  extra address spaces stress the fixed-size TLB.
+
+:mod:`repro.os_models.mach` turns a workload's service-request profile
+into the Table 7 event counts under either structure;
+:mod:`repro.os_models.validation` cross-checks the structural
+transformation with a small-scale event-by-event run on the functional
+:class:`~repro.kernel.system.SimulatedMachine`.
+"""
+
+from repro.os_models.mach import MachOS, OSStructure, Table7Row
+from repro.os_models.services import ServiceClass, WorkloadProfile
+
+__all__ = ["MachOS", "OSStructure", "Table7Row", "ServiceClass", "WorkloadProfile"]

@@ -1,0 +1,226 @@
+"""An in-memory Unix-like file system with a block cache.
+
+The §5 workloads are file-system intensive (the Andrew script is "a
+script of file system intensive programs such as copy, compile and
+search").  This substrate gives the Mach servers something real to
+serve: inodes, hierarchical directories, block storage, and a bounded
+block cache whose hit rate feeds the service-cost side of the model
+(a cache miss pays device time; a hit is a memory copy).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+BLOCK_BYTES = 4096
+
+_inode_numbers = itertools.count(2)  # 1 is the root
+
+
+class FileSystemError(Exception):
+    """Path or namespace errors."""
+
+
+@dataclass
+class Inode:
+    number: int
+    is_directory: bool
+    #: directory: name -> inode number; file: unused
+    entries: Dict[str, int] = field(default_factory=dict)
+    #: file: block index -> bytes stored (we track sizes, not contents)
+    blocks: Dict[int, int] = field(default_factory=dict)
+    size_bytes: int = 0
+    nlink: int = 1
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BlockCache:
+    """LRU cache of (inode, block) pairs."""
+
+    def __init__(self, capacity_blocks: int = 256) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("cache needs at least one block")
+        self.capacity = capacity_blocks
+        self._lru: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def access(self, inode: int, block: int) -> bool:
+        key = (inode, block)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._lru) >= self.capacity:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+        self._lru[key] = None
+        return False
+
+    def invalidate_inode(self, inode: int) -> int:
+        doomed = [key for key in self._lru if key[0] == inode]
+        for key in doomed:
+            del self._lru[key]
+        return len(doomed)
+
+    @property
+    def resident(self) -> int:
+        return len(self._lru)
+
+
+@dataclass
+class FSStats:
+    opens: int = 0
+    creates: int = 0
+    reads: int = 0
+    writes: int = 0
+    unlinks: int = 0
+    lookups: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class FileSystem:
+    """Hierarchical in-memory file system."""
+
+    def __init__(self, cache_blocks: int = 256) -> None:
+        self.root = Inode(number=1, is_directory=True)
+        self._inodes: Dict[int, Inode] = {1: self.root}
+        self.cache = BlockCache(cache_blocks)
+        self.stats = FSStats()
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def _walk(self, path: str, parent: bool = False) -> Tuple[Inode, str]:
+        """Resolve ``path``; returns (inode-or-parent, leaf name)."""
+        if not path.startswith("/"):
+            raise FileSystemError(f"paths must be absolute: {path!r}")
+        parts = [p for p in path.split("/") if p]
+        node = self.root
+        walk_parts = parts[:-1] if parent else parts
+        for name in walk_parts:
+            self.stats.lookups += 1
+            if not node.is_directory:
+                raise FileSystemError(f"not a directory on the way to {path!r}")
+            child = node.entries.get(name)
+            if child is None:
+                raise FileSystemError(f"no such entry {name!r} in {path!r}")
+            node = self._inodes[child]
+        leaf = parts[-1] if parts else ""
+        return node, leaf
+
+    def mkdir(self, path: str) -> Inode:
+        parent, name = self._walk(path, parent=True)
+        if not parent.is_directory:
+            raise FileSystemError(f"parent of {path!r} is not a directory")
+        if not name:
+            raise FileSystemError("cannot mkdir the root")
+        if name in parent.entries:
+            raise FileSystemError(f"{path!r} exists")
+        inode = Inode(number=next(_inode_numbers), is_directory=True)
+        self._inodes[inode.number] = inode
+        parent.entries[name] = inode.number
+        return inode
+
+    def create(self, path: str) -> Inode:
+        parent, name = self._walk(path, parent=True)
+        if not parent.is_directory:
+            raise FileSystemError(f"parent of {path!r} is not a directory")
+        if not name or name in parent.entries:
+            raise FileSystemError(f"cannot create {path!r}")
+        inode = Inode(number=next(_inode_numbers), is_directory=False)
+        self._inodes[inode.number] = inode
+        parent.entries[name] = inode.number
+        self.stats.creates += 1
+        return inode
+
+    def open(self, path: str, create: bool = False) -> Inode:
+        try:
+            node, _ = self._walk(path)
+        except FileSystemError:
+            if not create:
+                raise
+            node = self.create(path)
+        if node.is_directory:
+            raise FileSystemError(f"{path!r} is a directory")
+        self.stats.opens += 1
+        return node
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._walk(path, parent=True)
+        number = parent.entries.get(name)
+        if number is None:
+            raise FileSystemError(f"no such file {path!r}")
+        inode = self._inodes[number]
+        if inode.is_directory and inode.entries:
+            raise FileSystemError(f"directory {path!r} not empty")
+        del parent.entries[name]
+        inode.nlink -= 1
+        if inode.nlink == 0:
+            self.cache.invalidate_inode(number)
+            del self._inodes[number]
+        self.stats.unlinks += 1
+
+    def listdir(self, path: str) -> List[str]:
+        node, _ = self._walk(path)
+        if not node.is_directory:
+            raise FileSystemError(f"{path!r} is not a directory")
+        return sorted(node.entries)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._walk(path)
+            return True
+        except FileSystemError:
+            return False
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def write(self, inode: Inode, offset: int, nbytes: int) -> int:
+        """Write ``nbytes`` at ``offset``; returns block-cache misses."""
+        if inode.is_directory:
+            raise FileSystemError("cannot write a directory")
+        misses = 0
+        for block in range(offset // BLOCK_BYTES, (offset + nbytes - 1) // BLOCK_BYTES + 1):
+            inode.blocks[block] = BLOCK_BYTES
+            if not self.cache.access(inode.number, block):
+                misses += 1
+        inode.size_bytes = max(inode.size_bytes, offset + nbytes)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        return misses
+
+    def read(self, inode: Inode, offset: int, nbytes: int) -> Tuple[int, int]:
+        """Read; returns (bytes actually read, block-cache misses)."""
+        if inode.is_directory:
+            raise FileSystemError("cannot read a directory")
+        available = max(0, inode.size_bytes - offset)
+        nbytes = min(nbytes, available)
+        misses = 0
+        if nbytes:
+            for block in range(offset // BLOCK_BYTES, (offset + nbytes - 1) // BLOCK_BYTES + 1):
+                if block in inode.blocks and not self.cache.access(inode.number, block):
+                    misses += 1
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        return nbytes, misses
+
+    @property
+    def inode_count(self) -> int:
+        return len(self._inodes)

@@ -1,0 +1,38 @@
+"""Thread management and synchronization (§4).
+
+* :mod:`repro.threads.sync` — lock implementations whose cost depends
+  on the architecture's atomic-instruction support: test-and-set locks,
+  kernel-trap locks (the MIPS's only option), Lamport's fast mutex, and
+  the i860's restartable critical sections.
+* :mod:`repro.threads.user` — a user-level thread package in the
+  FastThreads/PRESTO mould: creation at a small multiple of a procedure
+  call, context switches moving exactly the Table 6 state, and the
+  SPARC's privileged-CWP kernel trap on every switch.
+* :mod:`repro.threads.kernel` — kernel-level thread operations layered
+  on the simulated machine (a syscall plus a context-switch primitive
+  per operation).
+"""
+
+from repro.threads.sync import (
+    KernelTrapLock,
+    LamportFastMutex,
+    LockStats,
+    RestartableAtomicLock,
+    TestAndSetLock,
+    best_lock_for,
+)
+from repro.threads.user import UserThread, UserThreadPackage, procedure_call_us
+from repro.threads.kernel import KernelThreadOps
+
+__all__ = [
+    "TestAndSetLock",
+    "KernelTrapLock",
+    "LamportFastMutex",
+    "RestartableAtomicLock",
+    "LockStats",
+    "best_lock_for",
+    "UserThread",
+    "UserThreadPackage",
+    "procedure_call_us",
+    "KernelThreadOps",
+]

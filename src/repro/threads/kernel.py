@@ -1,0 +1,86 @@
+"""Kernel-level thread operations (§4).
+
+"At the operating system level, threads allow the application to create
+multiple units of work ... individually schedulable by the operating
+system.  The advantage is that the operating system provides a
+uniformity of function" — the cost is that every operation crosses the
+kernel boundary: a thread operation is at least a system call, and a
+switch is a system call plus the context-switch primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.primitives import Primitive
+from repro.kernel.process import KernelThread
+from repro.kernel.system import SimulatedMachine
+
+
+@dataclass
+class KernelThreadStats:
+    creates: int = 0
+    switches: int = 0
+    joins: int = 0
+    total_us: float = 0.0
+
+
+class KernelThreadOps:
+    """Thread operations against a simulated machine's kernel."""
+
+    def __init__(self, machine: SimulatedMachine) -> None:
+        self.machine = machine
+        self.stats = KernelThreadStats()
+
+    def create(self) -> KernelThread:
+        """thread_create(): syscall + allocation work in the kernel."""
+        process = self.machine.current_process
+        if process is None:
+            raise RuntimeError("no current process")
+        before = self.machine.clock_us
+        self.machine.syscall("null")  # the crossing
+        # kernel-side allocation: TCB + stack, ~3 syscall-lengths of work
+        self.machine.advance(2.0 * self.machine.primitive_cost_us(Primitive.NULL_SYSCALL))
+        thread = process.spawn_thread()
+        self.machine.scheduler.enqueue(thread)
+        self.stats.creates += 1
+        self.stats.total_us += self.machine.clock_us - before
+        return thread
+
+    def switch(self, thread: KernelThread) -> float:
+        """Voluntary switch to ``thread`` through the kernel."""
+        before = self.machine.clock_us
+        self.machine.syscall("null")
+        self.machine.switch_to(thread)
+        us = self.machine.clock_us - before
+        self.stats.switches += 1
+        self.stats.total_us += us
+        return us
+
+    def yield_cpu(self) -> float:
+        """thread_yield(): syscall + round-robin dispatch."""
+        before = self.machine.clock_us
+        self.machine.syscall("null")
+        self.machine.yield_to_next()
+        us = self.machine.clock_us - before
+        self.stats.switches += 1
+        self.stats.total_us += us
+        return us
+
+    def finish_current(self) -> float:
+        """Terminate the running thread and dispatch the next."""
+        before = self.machine.clock_us
+        self.machine.syscall("null")
+        self.machine.scheduler.finish_current()
+        self.machine.yield_to_next()
+        self.stats.joins += 1
+        us = self.machine.clock_us - before
+        self.stats.total_us += us
+        return us
+
+    @property
+    def switch_cost_us(self) -> float:
+        """Steady-state kernel thread switch cost."""
+        return self.machine.primitive_cost_us(Primitive.NULL_SYSCALL) + self.machine.primitive_cost_us(
+            Primitive.CONTEXT_SWITCH
+        )

@@ -1,0 +1,130 @@
+"""Shared-memory multiprocessor execution model (§4).
+
+The §4 experiments ran on shared-memory multiprocessors (Synapse on a
+Sequent; the Firefly itself was a 5-CPU multiprocessor), and the
+section's argument is about *fine-grained parallel programs*: their
+speedup hangs on thread-operation and synchronization costs.
+
+The model: ``cpus`` processors execute a pool of work items; every
+item brackets its critical-section access to shared state with one
+lock acquire/release.  The lock discipline comes from
+:mod:`repro.threads.sync`, so the architecture decides the cost: a
+test-and-set lock serializes only the critical section; the MIPS
+kernel-trap lock serializes the (much longer) trap path, throttling
+speedup exactly the way §4.1's parthenon numbers show.
+
+Execution is deterministic list-scheduling on a virtual clock — no
+randomness, reproducible contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.threads.sync import best_lock_for
+from repro.threads.user import procedure_call_us
+
+
+@dataclass(frozen=True)
+class MPWorkload:
+    """A fine-grained parallel phase."""
+
+    items: int = 2000
+    #: procedure calls of useful work per item.
+    calls_per_item: int = 10
+    #: critical-section work (calls) under the lock per item.
+    critical_calls: int = 1
+
+
+@dataclass
+class MPResult:
+    arch_name: str
+    cpus: int
+    elapsed_us: float
+    busy_us: float
+    lock_wait_us: float
+    lock_overhead_us: float
+
+    @property
+    def utilization(self) -> float:
+        capacity = self.elapsed_us * self.cpus
+        return self.busy_us / capacity if capacity else 0.0
+
+
+def run_parallel(arch: ArchSpec, cpus: int, workload: MPWorkload = MPWorkload()) -> MPResult:
+    """Execute the workload on ``cpus`` processors, one shared lock."""
+    if cpus < 1:
+        raise ValueError("need at least one cpu")
+    call_us = procedure_call_us(arch)
+    lock = best_lock_for(arch, "shared-state")
+    acquire_us = lock.acquire(owner=0)
+    release_us = lock.release(owner=0)
+    lock_pair_us = acquire_us + release_us
+
+    work_us = workload.calls_per_item * call_us
+    critical_us = workload.critical_calls * call_us
+
+    # deterministic simulation: each CPU is free at time t; the lock is
+    # free at time L.  Items are handed out in order.
+    cpu_free = [0.0] * cpus
+    lock_free = 0.0
+    busy_us = 0.0
+    wait_us = 0.0
+    overhead_us = 0.0
+
+    for _ in range(workload.items):
+        # earliest-available CPU takes the next item
+        cpu = min(range(cpus), key=cpu_free.__getitem__)
+        start = cpu_free[cpu]
+        # non-critical work runs immediately
+        t = start + work_us
+        # lock acquisition: wait until the lock frees, then hold it for
+        # the acquire cost + critical section + release cost
+        wait = max(0.0, lock_free - t)
+        t += wait
+        hold = lock_pair_us + critical_us
+        lock_free = t + hold
+        t += hold
+        cpu_free[cpu] = t
+        busy_us += work_us + critical_us
+        wait_us += wait
+        overhead_us += lock_pair_us
+
+    return MPResult(
+        arch_name=arch.name,
+        cpus=cpus,
+        elapsed_us=max(cpu_free),
+        busy_us=busy_us,
+        lock_wait_us=wait_us,
+        lock_overhead_us=overhead_us,
+    )
+
+
+def speedup_curve(arch: ArchSpec, cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16),
+                  workload: MPWorkload = MPWorkload()) -> List[Tuple[int, float]]:
+    """(cpus, speedup-vs-1) pairs for the workload on ``arch``."""
+    single = run_parallel(arch, 1, workload).elapsed_us
+    return [
+        (cpus, single / run_parallel(arch, cpus, workload).elapsed_us)
+        for cpus in cpu_counts
+    ]
+
+
+def saturation_point(arch: ArchSpec, workload: MPWorkload = MPWorkload(),
+                     threshold: float = 0.05,
+                     cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)) -> int:
+    """First CPU count where adding CPUs stops helping (<5% marginal).
+
+    Amdahl through the lock: the serial section is (lock cost +
+    critical section), so expensive locks saturate early — the MIPS
+    kernel-trap lock most of all.
+    """
+    curve = speedup_curve(arch, cpu_counts, workload)
+    previous = 0.0
+    for cpus, speedup in curve:
+        if previous and (speedup - previous) / previous < threshold:
+            return cpus
+        previous = speedup
+    return cpu_counts[-1]

@@ -1,0 +1,165 @@
+"""Synchronization primitives and their architecture-dependent costs.
+
+§4.1: "The MIPS R2000/R3000 has no atomic semaphore instruction...
+threads that wish to synchronize must either trap into the kernel,
+where interrupts can be disabled, or resort to a complex locking
+algorithm.  Both are expensive."  And §5: in Mach 3.0 the OS's own
+critical sections run at user level, so the missing test-and-set shows
+up as the enormous "emulated instruction" counts of Table 7.
+
+Four implementations:
+
+* :class:`TestAndSetLock` — one atomic RMW; a few cycles.
+* :class:`KernelTrapLock` — trap into the kernel to disable interrupts;
+  costs a full system call and ticks the emulated-instruction counter.
+* :class:`LamportFastMutex` — Lamport's fast mutual exclusion from
+  plain loads/stores; "overheads on the order of dozens of cycles".
+* :class:`RestartableAtomicLock` — i860-style: atomic hardware exists
+  but faults are disallowed inside the locked sequence, so the code
+  must pre-touch the store targets first, expanding the critical
+  section (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.specs import ArchSpec
+from repro.kernel.primitives import Primitive
+
+
+@dataclass
+class LockStats:
+    acquisitions: int = 0
+    releases: int = 0
+    contended: int = 0
+    kernel_traps: int = 0
+    total_us: float = 0.0
+
+
+class _LockBase:
+    """Common bookkeeping; subclasses define the acquire cost."""
+
+    def __init__(self, arch: ArchSpec, name: str = "lock") -> None:
+        self.arch = arch
+        self.name = name
+        self.held_by: Optional[int] = None
+        self.stats = LockStats()
+
+    # -- cost hooks ------------------------------------------------------
+    def _acquire_cycles(self) -> float:
+        raise NotImplementedError
+
+    def _release_cycles(self) -> float:
+        return 2.0  # one store + barrier-ish op
+
+    # -- protocol --------------------------------------------------------
+    def acquire(self, owner: int = 0) -> float:
+        """Acquire (uncontended unless held); returns microseconds."""
+        if self.held_by is not None:
+            self.stats.contended += 1
+        self.held_by = owner
+        us = self.arch.cycles_to_us(self._acquire_cycles())
+        self.stats.acquisitions += 1
+        self.stats.total_us += us
+        return us
+
+    def release(self, owner: int = 0) -> float:
+        if self.held_by is None:
+            raise RuntimeError(f"{self.name}: release of an unheld lock")
+        if self.held_by != owner:
+            raise RuntimeError(f"{self.name}: release by non-owner {owner}")
+        self.held_by = None
+        us = self.arch.cycles_to_us(self._release_cycles())
+        self.stats.releases += 1
+        self.stats.total_us += us
+        return us
+
+    @property
+    def average_acquire_us(self) -> float:
+        if not self.stats.acquisitions:
+            return 0.0
+        return self.stats.total_us / self.stats.acquisitions
+
+
+class TestAndSetLock(_LockBase):
+    """One atomic read-modify-write (ldstub / xmem / BBSSI)."""
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    def __init__(self, arch: ArchSpec, name: str = "tas") -> None:
+        if not arch.has_atomic_tas:
+            raise ValueError(
+                f"{arch.name} has no atomic test-and-set instruction (§4.1); "
+                "use KernelTrapLock or LamportFastMutex"
+            )
+        super().__init__(arch, name)
+
+    def _acquire_cycles(self) -> float:
+        return float(1 + self.arch.cost.atomic_extra_cycles)
+
+
+class KernelTrapLock(_LockBase):
+    """Trap to the kernel for mutual exclusion (the MIPS path)."""
+
+    def __init__(self, arch: ArchSpec, name: str = "ktrap") -> None:
+        super().__init__(arch, name)
+        from repro.kernel.handlers import build_handler
+
+        self._trap_cycles = build_handler(arch, Primitive.NULL_SYSCALL).cycles
+
+    def _acquire_cycles(self) -> float:
+        self.stats.kernel_traps += 1
+        return float(self._trap_cycles)
+
+    def _release_cycles(self) -> float:
+        # the release also crosses into the kernel
+        self.stats.kernel_traps += 1
+        return float(self._trap_cycles)
+
+
+class LamportFastMutex(_LockBase):
+    """Lamport (1987): mutual exclusion from plain reads/writes.
+
+    Uncontended fast path: 2 writes + 2 reads of x/y plus fences-by-
+    convention — "overheads on the order of dozens of cycles" (§5).
+    """
+
+    FAST_PATH_OPS = 7  # stores/loads on the uncontended path
+
+    def _acquire_cycles(self) -> float:
+        per_op = 1 + max(self.arch.cost.load_extra_cycles, 1)
+        return float(self.FAST_PATH_OPS * per_op + 12)
+
+    def _release_cycles(self) -> float:
+        return 4.0
+
+
+class RestartableAtomicLock(_LockBase):
+    """i860-style lock: atomic sequence must not fault (§4.1).
+
+    Before the locked sequence, software stores unmodified values to the
+    targets of non-reexecutable stores so no fault can occur inside the
+    sequence — latency up, critical section wider.
+    """
+
+    PRETOUCH_STORES = 4
+
+    def __init__(self, arch: ArchSpec, name: str = "restartable") -> None:
+        if not arch.has_atomic_tas:
+            raise ValueError("restartable lock still needs the atomic sequence")
+        super().__init__(arch, name)
+
+    def _acquire_cycles(self) -> float:
+        pretouch = self.PRETOUCH_STORES * 3  # store + page-touch checks
+        return float(1 + self.arch.cost.atomic_extra_cycles + pretouch)
+
+
+def best_lock_for(arch: ArchSpec, name: str = "lock") -> _LockBase:
+    """The lock a careful runtime would pick on this architecture."""
+    if arch.name == "i860":
+        return RestartableAtomicLock(arch, name)
+    if arch.has_atomic_tas:
+        return TestAndSetLock(arch, name)
+    return KernelTrapLock(arch, name)

@@ -1,0 +1,132 @@
+"""Kernel threads vs user threads on the same workload (§4).
+
+"Threads can be supported by the operating system, by the application
+run-time level, or by both...  The advantage [of user-level threads]
+is performance and flexibility; thread operations do not need to cross
+kernel boundaries...  Also, through careful kernel-to-user interface
+design, user-level threads can provide all of the function of
+kernel-level threads without sacrificing performance [scheduler
+activations]."
+
+The comparison runs one fork/join-style fine-grained parallel phase
+under three managements:
+
+* **kernel threads** — every create/switch/join crosses the kernel;
+* **pure user threads** — everything at user level, but a thread that
+  blocks in the kernel (a page fault, a read) blocks its whole process
+  for the duration;
+* **activations** — user-level operations plus a kernel upcall per
+  blocking event, recovering the lost concurrency at the price of two
+  extra crossings per block.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.specs import ArchSpec
+from repro.kernel.handlers import build_handler
+from repro.kernel.primitives import Primitive
+from repro.threads.user import UserThreadPackage, procedure_call_us
+
+
+class ThreadManagement(enum.Enum):
+    KERNEL = "kernel"
+    USER = "user"
+    ACTIVATIONS = "activations"
+
+
+@dataclass(frozen=True)
+class ParallelPhase:
+    """A fork/join phase of fine-grained work."""
+
+    threads: int = 16
+    #: work items per thread; each item is ~``calls_per_item`` calls.
+    items_per_thread: int = 50
+    calls_per_item: int = 4
+    #: switches per item (threads synchronize on a shared queue).
+    switches_per_item: int = 1
+    #: fraction of items that block in the kernel (fault / IO).
+    blocking_fraction: float = 0.05
+    #: how long one blocking event takes to resolve.
+    block_us: float = 200.0
+
+
+@dataclass
+class TradeoffResult:
+    arch_name: str
+    management: ThreadManagement
+    total_us: float
+    thread_op_us: float
+    blocked_us: float
+    work_us: float
+
+
+def run_phase(arch: ArchSpec, management: ThreadManagement,
+              phase: ParallelPhase = ParallelPhase()) -> TradeoffResult:
+    """Cost one parallel phase under the given thread management."""
+    call_us = procedure_call_us(arch)
+    syscall_us = build_handler(arch, Primitive.NULL_SYSCALL).time_us
+    kernel_switch_us = syscall_us + build_handler(arch, Primitive.CONTEXT_SWITCH).time_us
+    package = UserThreadPackage(arch)
+    user_switch_us = package.switch_us
+
+    items = phase.threads * phase.items_per_thread
+    switches = items * phase.switches_per_item
+    blocks = round(items * phase.blocking_fraction)
+
+    work_us = items * phase.calls_per_item * call_us
+
+    if management is ThreadManagement.KERNEL:
+        create_us = phase.threads * (3 * syscall_us)
+        switch_us = switches * kernel_switch_us
+        blocked_us = blocks * 0.0  # the kernel schedules around blocks
+        block_crossings = blocks * kernel_switch_us
+        thread_op_us = create_us + switch_us + block_crossings
+    elif management is ThreadManagement.USER:
+        create_us = phase.threads * (UserThreadPackage.CREATE_MULTIPLE * call_us)
+        switch_us = switches * user_switch_us
+        # a blocked thread blocks the whole address space (§4's caveat)
+        blocked_us = blocks * phase.block_us
+        thread_op_us = create_us + switch_us
+    else:  # ACTIVATIONS
+        create_us = phase.threads * (UserThreadPackage.CREATE_MULTIPLE * call_us)
+        switch_us = switches * user_switch_us
+        # each block costs an upcall (two crossings) but hides the wait
+        upcalls = blocks * 2 * syscall_us
+        blocked_us = 0.0
+        thread_op_us = create_us + switch_us + upcalls
+
+    total = work_us + thread_op_us + blocked_us
+    return TradeoffResult(
+        arch_name=arch.name,
+        management=management,
+        total_us=total,
+        thread_op_us=thread_op_us,
+        blocked_us=blocked_us,
+        work_us=work_us,
+    )
+
+
+def compare(arch: ArchSpec, phase: ParallelPhase = ParallelPhase()) -> Dict[ThreadManagement, TradeoffResult]:
+    return {m: run_phase(arch, m, phase) for m in ThreadManagement}
+
+
+def granularity_crossover(arch: ArchSpec) -> "tuple[float, float]":
+    """(fine-grained kernel/user cost ratio, coarse ratio).
+
+    "If thread operations are inexpensive, then threads can be freely
+    used for fine-grained activities; if thread operations are costly,
+    then only coarse-grained parallelism can be effectively supported."
+    """
+    fine = ParallelPhase(items_per_thread=200, calls_per_item=2, switches_per_item=2)
+    coarse = ParallelPhase(items_per_thread=5, calls_per_item=400, switches_per_item=1)
+    fine_ratio = run_phase(arch, ThreadManagement.KERNEL, fine).total_us / run_phase(
+        arch, ThreadManagement.ACTIVATIONS, fine
+    ).total_us
+    coarse_ratio = run_phase(arch, ThreadManagement.KERNEL, coarse).total_us / run_phase(
+        arch, ThreadManagement.ACTIVATIONS, coarse
+    ).total_us
+    return fine_ratio, coarse_ratio

@@ -1,0 +1,31 @@
+"""Application workloads.
+
+* :mod:`repro.workloads.desktop` — the six §5 applications as
+  OS-service profiles (re-exported from
+  :mod:`repro.os_models.services`) plus a scaled event-driven runner
+  that replays a profile call-by-call on the functional
+  :class:`~repro.kernel.system.SimulatedMachine`.
+* :mod:`repro.workloads.synapse` — the §4.1 Synapse experiment: a
+  parallel discrete-event simulation on user-level threads, measuring
+  the procedure-call : context-switch ratio and where the time goes on
+  window machines.
+* :mod:`repro.workloads.parthenon` — the or-parallel theorem prover:
+  kernel-trap synchronization on the MIPS (~1/5 of its time) and the
+  ~10% multithreading win on a uniprocessor.
+"""
+
+from repro.workloads.desktop import TABLE7_PROFILES, profile_by_name, replay_scaled
+from repro.workloads.synapse import SynapseConfig, SynapseResult, run_synapse
+from repro.workloads.parthenon import ParthenonConfig, ParthenonResult, run_parthenon
+
+__all__ = [
+    "TABLE7_PROFILES",
+    "profile_by_name",
+    "replay_scaled",
+    "SynapseConfig",
+    "SynapseResult",
+    "run_synapse",
+    "ParthenonConfig",
+    "ParthenonResult",
+    "run_parthenon",
+]

@@ -1,0 +1,97 @@
+"""The six §5 desktop/parallel applications.
+
+Profiles live in :mod:`repro.os_models.services`; this module re-exports
+them and adds :func:`replay_scaled`, which replays a profile
+event-by-event on the *functional* machine at a reduced scale.  The
+replay exists to validate the analytic structure model in
+:mod:`repro.os_models.mach`: the counters a real kernel-object run
+produces should track the analytic counts at the replay scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.registry import get_arch
+from repro.arch.specs import ArchSpec
+from repro.kernel.system import SimulatedMachine
+from repro.os_models.mach import OSStructure
+from repro.os_models.services import TABLE7_PROFILES, ServiceClass, WorkloadProfile, profile_by_name
+
+__all__ = ["TABLE7_PROFILES", "profile_by_name", "replay_scaled", "ReplayResult"]
+
+
+@dataclass
+class ReplayResult:
+    """Counter snapshot from an event-driven replay."""
+
+    workload: str
+    structure: OSStructure
+    scale: float
+    counters: Dict[str, int]
+
+
+def replay_scaled(
+    profile: WorkloadProfile,
+    structure: OSStructure,
+    scale: float = 0.01,
+    arch: Optional[ArchSpec] = None,
+) -> ReplayResult:
+    """Replay ``profile`` at ``scale`` on a functional machine.
+
+    Under the monolithic structure every service request is one
+    syscall on the machine.  Under the kernelized structure each
+    request is routed through real server *processes* (separate
+    address spaces on the machine): the per-request RPCs perform real
+    syscalls and real context switches, so the machine's own counters
+    (and its TLB statistics) reflect the structure.
+    """
+    machine = SimulatedMachine(arch or get_arch("r3000"))
+    app = machine.create_process(f"{profile.name}-app")
+    servers = {}
+    if structure is OSStructure.KERNELIZED:
+        for name in ("unix-server", "file-cache-manager", "netmsg-server"):
+            servers[name] = machine.create_process(name)
+
+    def one_rpc(server_name: str) -> None:
+        server = servers[server_name]
+        machine.syscall("null")  # send
+        machine.switch_to(server.main_thread)
+        machine.syscall("null")  # receive/reply
+        machine.switch_to(app.main_thread)
+
+    route = {
+        ServiceClass.FILE_NAMING: ("unix-server", "file-cache-manager"),
+        ServiceClass.FILE_DATA: ("unix-server",),
+        ServiceClass.PROCESS_MGMT: ("unix-server", "unix-server", "unix-server"),
+        ServiceClass.MISC: ("unix-server",),
+        ServiceClass.REMOTE_FILE: (
+            "unix-server",
+            "file-cache-manager",
+            "netmsg-server",
+            "netmsg-server",
+            "netmsg-server",
+        ),
+    }
+
+    machine.switch_to(app.main_thread)
+    for service, count in profile.services.items():
+        scaled = max(0, round(count * scale))
+        for _ in range(scaled):
+            if structure is OSStructure.MONOLITHIC:
+                machine.syscall("null")
+            else:
+                for server_name in route[service]:
+                    one_rpc(server_name)
+    for _ in range(max(0, round(profile.page_faults * scale))):
+        machine.trap()
+    for _ in range(max(0, round(profile.app_lock_ops * scale))):
+        machine.atomic_or_trap_us()
+
+    return ReplayResult(
+        workload=profile.name,
+        structure=structure,
+        scale=scale,
+        counters=machine.counters.snapshot(),
+    )

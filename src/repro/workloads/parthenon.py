@@ -1,0 +1,103 @@
+"""The parthenon experiment (§4.1, Table 7).
+
+"parthenon, a resolution-based theorem prover that exploits
+or-parallelism, is able to decrease its total execution time by 10% on
+a MIPS R3000-based uniprocessor through the use of multiple threads.
+However, this program spends roughly 1/5 of its time synchronizing
+through the kernel."
+
+The model: worker threads explore disjunctive branches of the proof
+tree; every clause-database access takes a lock (the MIPS has no
+test-and-set, so each lock operation traps into the kernel); the
+single-threaded run serializes behind blocking page-in/GC pauses that
+the multithreaded run overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import ArchSpec
+from repro.threads.sync import best_lock_for
+from repro.threads.user import UserThreadPackage
+
+
+@dataclass(frozen=True)
+class ParthenonConfig:
+    """Workload shape, calibrated against the Table 7 parthenon rows."""
+
+    #: pure proof-search CPU seconds (on the R3000).
+    compute_s: float = 14.5
+    #: lock acquire/release operations against the shared clause DB
+    #: (Table 7: ~1.4M emulated instructions under Mach 2.5).
+    lock_ops: int = 1_395_555
+    #: seconds the single-threaded run spends stalled on blocking
+    #: events (page-ins, allocation pauses) that threads can overlap.
+    blocking_s: float = 2.6
+    threads: int = 1
+
+
+@dataclass
+class ParthenonResult:
+    arch_name: str
+    threads: int
+    elapsed_s: float
+    sync_s: float
+    compute_s: float
+    blocked_s: float
+    thread_overhead_s: float
+
+    @property
+    def sync_fraction(self) -> float:
+        """Fraction of total time synchronizing (the ~1/5 claim)."""
+        return self.sync_s / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def run_parthenon(arch: ArchSpec, config: ParthenonConfig = ParthenonConfig()) -> ParthenonResult:
+    """Run the prover model on ``arch`` with ``config.threads`` workers."""
+    lock = best_lock_for(arch, "clause-db")
+    # sample the real lock-op cost rather than looping 1.4M times
+    sample = 200
+    sampled_us = 0.0
+    for i in range(sample):
+        sampled_us += lock.acquire(owner=i % 4)
+        sampled_us += lock.release(owner=i % 4)
+    per_pair_us = sampled_us / sample
+    sync_s = config.lock_ops * per_pair_us / 1e6 / 2.0  # ops counted singly
+
+    # multithreading overlaps blocking stalls but adds thread overhead
+    if config.threads > 1:
+        blocked_s = config.blocking_s / config.threads
+        package = UserThreadPackage(arch)
+        switch_rate_hz = 50.0 * config.threads
+        duration_guess = config.compute_s + sync_s + blocked_s
+        switches = switch_rate_hz * duration_guess
+        thread_overhead_s = switches * package.switch_us / 1e6
+    else:
+        blocked_s = config.blocking_s
+        thread_overhead_s = 0.0
+
+    elapsed = config.compute_s + sync_s + blocked_s + thread_overhead_s
+    return ParthenonResult(
+        arch_name=arch.name,
+        threads=config.threads,
+        elapsed_s=elapsed,
+        sync_s=sync_s,
+        compute_s=config.compute_s,
+        blocked_s=blocked_s,
+        thread_overhead_s=thread_overhead_s,
+    )
+
+
+def multithread_speedup(arch: ArchSpec, threads: int = 10) -> float:
+    """Relative time saved by running ``threads`` workers (≈10% on the
+    R3000 uniprocessor)."""
+    single = run_parthenon(arch, ParthenonConfig(threads=1))
+    multi = run_parthenon(
+        arch,
+        ParthenonConfig(
+            threads=threads,
+            lock_ops=1_254_087,  # Table 7: parthenon-10 row
+        ),
+    )
+    return 1.0 - multi.elapsed_s / single.elapsed_s

@@ -1,0 +1,156 @@
+"""The Synapse experiment (§4.1).
+
+"As one test, we ran several experiments with the Synapse parallel
+simulation environment ... Across the experiments measured, we found
+that the ratio of procedure calls to context switches varied from 21:1
+to 42:1 ... Even so, on a SPARC Synapse would spend more of its time
+doing context switches than procedure calls, because the cost of a
+thread context switch is 50 times that of a procedure call."
+
+We run a conservative parallel discrete-event simulation (Synapse was
+Wagner's conservative PDES system) on the user-level thread package:
+logical processes exchange timestamped events; processing an event
+makes a handful of procedure calls (object-oriented dispatch); when a
+process exhausts its safe lookahead it switches to the next runnable
+process.  The call:switch ratio falls out of the event granularity,
+and the per-operation times fall out of the architecture (window
+flushes and the privileged-CWP kernel trap on SPARC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.threads.user import UserThreadPackage
+
+
+@dataclass(frozen=True)
+class SynapseConfig:
+    """One Synapse experiment.
+
+    ``calls_per_event`` sets the granularity: an object-oriented
+    simulation makes many small method calls per event.  With the
+    default lookahead, each logical process handles a few events before
+    blocking on its neighbours, landing the call:switch ratio inside
+    the paper's 21:1-42:1 band.
+    """
+
+    logical_processes: int = 8
+    events: int = 400
+    calls_per_event: int = 9
+    #: events a process can safely execute before its input horizon
+    #: forces a switch (conservative lookahead).
+    lookahead_events: int = 3
+    #: procedure calls made by the run-time system per switch ("8 calls
+    #: were made by the run-time system, the rest by the application").
+    runtime_calls_per_switch: int = 8
+
+
+@dataclass
+class SynapseResult:
+    arch_name: str
+    procedure_calls: int
+    context_switches: int
+    time_in_calls_us: float
+    time_in_switches_us: float
+
+    @property
+    def call_to_switch_ratio(self) -> float:
+        if self.context_switches == 0:
+            return float("inf")
+        return self.procedure_calls / self.context_switches
+
+    @property
+    def switch_cost_over_call_cost(self) -> float:
+        """Average per-switch time over average per-call time."""
+        if not self.procedure_calls or not self.context_switches:
+            return 0.0
+        call = self.time_in_calls_us / self.procedure_calls
+        switch = self.time_in_switches_us / self.context_switches
+        return switch / call
+
+    @property
+    def switches_dominate(self) -> bool:
+        """The §4.1 punchline on SPARC-class machines."""
+        return self.time_in_switches_us > self.time_in_calls_us
+
+
+def run_synapse(arch: ArchSpec, config: SynapseConfig = SynapseConfig()) -> SynapseResult:
+    """Run the simulation workload on ``arch``'s user-level threads."""
+    package = UserThreadPackage(arch)
+    threads = [package.create(name=f"lp{i}") for i in range(config.logical_processes)]
+
+    events_left = [config.events // config.logical_processes] * config.logical_processes
+    current = 0
+    package.switch_to(threads[current])
+    calls = 0
+    switches = 0
+    call_time = 0.0
+    switch_time = 0.0
+
+    def do_call() -> None:
+        nonlocal calls, call_time
+        call_time += package.procedure_call()
+        call_time += package.procedure_return()
+        calls += 1
+
+    #: frames the run-time system holds live across the switch (the
+    #: scheduler is itself nested procedure calls deep when it blocks).
+    runtime_nesting = 4
+
+    while any(events_left):
+        budget = min(config.lookahead_events, events_left[current])
+        for _ in range(budget):
+            # object-oriented event processing: a short nest of method
+            # calls, then leaf call/return pairs
+            nest = min(2, config.calls_per_event)
+            for _ in range(nest):
+                call_time += package.procedure_call()
+                calls += 1
+            for _ in range(config.calls_per_event - nest):
+                do_call()
+            for _ in range(nest):
+                call_time += package.procedure_return()
+            events_left[current] -= 1
+        # horizon reached: find the next runnable logical process
+        nxt = (current + 1) % config.logical_processes
+        for _ in range(config.logical_processes):
+            if events_left[nxt] > 0:
+                break
+            nxt = (nxt + 1) % config.logical_processes
+        if events_left[nxt] == 0:
+            break
+        if nxt != current:
+            # run-time scheduler work: some leaf calls plus the nest it
+            # is still inside when it finally switches
+            for _ in range(config.runtime_calls_per_switch - runtime_nesting):
+                do_call()
+            for _ in range(runtime_nesting):
+                call_time += package.procedure_call()
+                calls += 1
+            switch_time += package.switch_to(threads[nxt])
+            switches += 1
+            current = nxt
+            # unwinding the scheduler nest after resume refills the
+            # windows the flush spilled: switch-induced cost
+            for _ in range(runtime_nesting):
+                switch_time += package.procedure_return()
+
+    return SynapseResult(
+        arch_name=arch.name,
+        procedure_calls=calls,
+        context_switches=max(switches, 1),
+        time_in_calls_us=call_time,
+        time_in_switches_us=switch_time,
+    )
+
+
+def sweep_granularity(arch: ArchSpec) -> List[Tuple[int, SynapseResult]]:
+    """Vary event granularity across the paper's 21:1-42:1 ratio range."""
+    results = []
+    for calls_per_event in (6, 9, 12):
+        config = SynapseConfig(calls_per_event=calls_per_event)
+        results.append((calls_per_event, run_synapse(arch, config)))
+    return results

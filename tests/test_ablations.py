@@ -1,0 +1,65 @@
+"""Ablation sweep tests: the design-choice knobs move the right way."""
+
+import pytest
+
+from repro.analysis import ablations
+
+
+def test_write_buffer_sweep_monotone():
+    results = ablations.write_buffer_sweep(depths=(1, 4, 8), retire_cycles=(1, 5))
+    times = {(d, r): t for d, r, t in results}
+    # deeper buffer never slower at fixed retire cost
+    assert times[(8, 5)] <= times[(4, 5)] <= times[(1, 5)]
+    # faster retirement never slower at fixed depth
+    assert times[(4, 1)] <= times[(4, 5)]
+    # the DS3100-like point is much slower than the best point
+    assert times[(1, 5)] > 1.3 * times[(8, 1)]
+
+
+def test_same_page_merge_benefit():
+    fast, slow = ablations.same_page_merge_benefit()
+    assert fast < slow  # DS5000 same-page retirement wins
+
+
+def test_tlb_tagging_ablation():
+    result = ablations.tlb_tagging_ablation()
+    assert result["untagged_tlb_fraction"] > 0.15
+    assert result["tagged_tlb_fraction"] < 0.02
+    assert result["tagged_total_us"] < result["untagged_total_us"]
+
+
+def test_window_flush_sweep_linear_in_windows():
+    sweep = dict(ablations.window_flush_sweep((0, 1, 3, 7)))
+    assert sweep[0] < sweep[1] < sweep[3] < sweep[7]
+    # each window adds roughly the same cost (the 12.8 us step)
+    step1 = sweep[1] - sweep[0]
+    step3 = (sweep[3] - sweep[1]) / 2
+    assert step1 == pytest.approx(step3, rel=0.2)
+    assert 8.0 <= step1 <= 17.0  # around the paper's 12.8 us/window
+
+
+def test_window_per_thread_optimization():
+    """The §4.1 note: researchers dedicate a window per thread to avoid
+    flushes — the zero-windows point of the sweep."""
+    sweep = dict(ablations.window_flush_sweep((0, 3)))
+    assert sweep[0] < sweep[3] / 2
+
+
+def test_pipeline_exposure_ablation():
+    result = ablations.pipeline_exposure_ablation()
+    assert result["exposed_us"] > result["precise_us"]
+    assert 0.25 <= result["pipeline_share"] <= 0.65
+
+
+def test_decomposition_granularity_sweep():
+    sweep = ablations.decomposition_granularity_sweep((0.5, 1.0, 2.0, 4.0))
+    shares = [share for _, share in sweep]
+    assert shares == sorted(shares)  # more decomposition, more overhead
+    assert shares[-1] > 2 * shares[0]
+
+
+def test_decomposition_sweep_restores_constants():
+    from repro.os_models.mach import RPCS_PER_SERVICE
+    before = dict(RPCS_PER_SERVICE)
+    ablations.decomposition_granularity_sweep((2.0,))
+    assert dict(RPCS_PER_SERVICE) == before

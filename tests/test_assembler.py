@@ -1,0 +1,108 @@
+"""Assembler round-trip and error tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import get_arch
+from repro.isa.assembler import AssemblyError, assemble, disassemble
+from repro.isa.executor import run_on
+from repro.isa.instructions import OpClass
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+
+SAMPLE = """
+.program sample
+.phase kernel_entry
+    trap            ; hardware entry
+.phase body
+    alu x4
+    st x8 page=1
+    ld x2 uncached
+    microcoded chmk cycles=26
+    special cycles=2
+.phase kernel_exit
+    rfe
+"""
+
+
+def test_assemble_counts_and_phases():
+    program = assemble(SAMPLE)
+    assert program.name == "sample"
+    assert program.phases == ("kernel_entry", "body", "kernel_exit")
+    assert program.count(opclass=OpClass.ALU) == 4
+    assert program.count(opclass=OpClass.STORE) == 8
+    assert len(program) == 1 + 4 + 8 + 2 + 1 + 1 + 1
+
+
+def test_assemble_operands():
+    program = assemble(SAMPLE)
+    stores = [i for i in program if i.opclass is OpClass.STORE]
+    assert all(s.mem_page == 1 for s in stores)
+    loads = [i for i in program if i.opclass is OpClass.LOAD]
+    assert all(l.uncached for l in loads)
+    micro = next(i for i in program if i.opclass is OpClass.MICROCODED)
+    assert micro.mnemonic == "chmk" and micro.extra_cycles == 25
+
+
+def test_assembled_program_executes():
+    program = assemble(SAMPLE)
+    result = run_on(get_arch("cvax"), program)
+    assert result.cycles > 0
+    assert result.phase_cycles("kernel_entry") > 0
+
+
+def test_roundtrip_sample():
+    program = assemble(SAMPLE)
+    again = assemble(disassemble(program))
+    assert list(again.instructions) == [
+        # comments are lost; compare semantic fields via equality
+        inst for inst in program.instructions
+    ]
+
+
+@pytest.mark.parametrize("primitive", list(Primitive))
+@pytest.mark.parametrize("arch_name", ["cvax", "r2000", "sparc", "m88000", "i860"])
+def test_roundtrip_builtin_drivers(arch_name, primitive):
+    """Every built-in driver survives disassemble -> assemble with
+    identical instruction counts, phases, and execution cost."""
+    arch = get_arch(arch_name)
+    original = handler_program(arch, primitive)
+    rebuilt = assemble(disassemble(original))
+    assert len(rebuilt) == len(original)
+    assert rebuilt.counts_by_phase() == original.counts_by_phase()
+    assert rebuilt.counts_by_opclass() == original.counts_by_opclass()
+    assert run_on(arch, rebuilt).cycles == run_on(arch, original).cycles
+
+
+def test_errors_carry_line_numbers():
+    with pytest.raises(AssemblyError) as err:
+        assemble("alu\nbogus\n")
+    assert err.value.line_number == 2
+
+    with pytest.raises(AssemblyError):
+        assemble(".program a b")
+    with pytest.raises(AssemblyError):
+        assemble(".section x")
+    with pytest.raises(AssemblyError):
+        assemble("alu page=")
+    with pytest.raises(AssemblyError):
+        assemble("microcoded")
+    with pytest.raises(AssemblyError):
+        assemble("st cycles=0")
+
+
+def test_empty_and_comment_only_lines_ignored():
+    program = assemble("\n; nothing\n   \n.program x\nalu\n")
+    assert len(program) == 1
+
+
+@given(
+    alus=st.integers(min_value=1, max_value=30),
+    stores=st.integers(min_value=1, max_value=30),
+    page=st.integers(min_value=0, max_value=9),
+)
+def test_roundtrip_random_programs(alus, stores, page):
+    text = f".program t\n.phase p\nalu x{alus}\nst x{stores} page={page}\n"
+    program = assemble(text)
+    rebuilt = assemble(disassemble(program))
+    assert list(rebuilt.instructions) == list(program.instructions)

@@ -1,0 +1,93 @@
+"""Cache model tests: the §3.2 virtual-cache costs."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.arch.specs import CacheSpec, CacheWritePolicy
+from repro.mem.cache import Cache
+
+
+def make_cache(virtual, tagged, lines=64):
+    return Cache(
+        CacheSpec(
+            lines=lines,
+            line_bytes=64,
+            virtually_addressed=virtual,
+            write_policy=CacheWritePolicy.WRITE_THROUGH,
+            pid_tagged=tagged,
+        ),
+        flush_line_cycles=4,
+    )
+
+
+def test_access_miss_then_hit():
+    cache = make_cache(virtual=False, tagged=False)
+    assert cache.access(1) is False
+    assert cache.access(1) is True
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_physical_cache_free_context_switch():
+    cache = make_cache(virtual=False, tagged=False)
+    cache.warm(10)
+    assert cache.on_context_switch(2) == 0.0
+    assert cache.resident_lines == 10
+
+
+def test_untagged_virtual_cache_flushes_on_switch():
+    cache = make_cache(virtual=True, tagged=False)
+    cache.warm(10)
+    cycles = cache.on_context_switch(2)
+    assert cycles == 10 * 4
+    assert cache.resident_lines == 0
+    assert cache.stats.context_flushes == 1
+
+
+def test_tagged_virtual_cache_keeps_lines_across_switch():
+    cache = make_cache(virtual=True, tagged=True)
+    cache.warm(10)
+    assert cache.on_context_switch(2) == 0.0
+    # but the new context does not hit the old context's lines
+    assert cache.access(0) is False
+
+
+def test_pte_change_sweeps_whole_virtual_cache():
+    cache = make_cache(virtual=True, tagged=True, lines=128)
+    cost = cache.on_pte_change(vpn=3)
+    assert cost == 128 * 4  # full search regardless of residency
+    assert cache.stats.pte_sweeps == 1
+
+
+def test_pte_change_free_on_physical_cache():
+    cache = make_cache(virtual=False, tagged=False)
+    assert cache.on_pte_change(vpn=3) == 0.0
+
+
+def test_capacity_bounded():
+    cache = make_cache(virtual=False, tagged=False, lines=8)
+    cache.warm(20)
+    assert cache.resident_lines <= 8
+
+
+def test_i860_cache_is_worst_case():
+    """The i860 combination: virtual + untagged (§3.2)."""
+    spec = get_arch("i860").cache
+    assert spec.virtually_addressed and not spec.pid_tagged
+    cache = Cache(spec, flush_line_cycles=4)
+    cache.warm(100)
+    assert cache.on_context_switch(2) > 0
+    assert cache.on_pte_change(0) > 0
+
+
+def test_sparc_cache_is_context_tagged():
+    spec = get_arch("sparc").cache
+    assert spec.virtually_addressed and spec.pid_tagged
+    cache = Cache(spec, flush_line_cycles=3)
+    cache.warm(10)
+    assert cache.on_context_switch(2) == 0.0
+    assert cache.on_pte_change(0) > 0  # sweep still needed
+
+
+def test_lines_per_page():
+    cache = make_cache(virtual=True, tagged=False)
+    assert cache.lines_per_page == 4096 // 64

@@ -1,0 +1,81 @@
+"""In-text claim tests — the paper's quantified prose statements."""
+
+import pytest
+
+from repro.analysis import intext
+from repro.core import papertargets as pt
+
+
+def test_r2000_delay_slots_share():
+    measured = intext.r2000_delay_slot_share_of_syscall()
+    assert 0.06 <= measured <= 0.18  # paper: ~13%
+
+
+def test_r2000_unfilled_slot_fraction_near_half():
+    measured = intext.r2000_unfilled_delay_slot_fraction()
+    assert 0.35 <= measured <= 0.7  # paper: "nearly 50%"
+
+
+def test_ds3100_write_stalls_near_30_percent_of_trap():
+    measured = intext.ds3100_write_stall_share_of_trap()
+    assert 0.2 <= measured <= 0.42  # paper: ~30%
+
+
+def test_ds5000_write_stalls_mostly_gone():
+    assert intext.ds5000_write_stalls_smaller() < 0.1
+    assert intext.ds5000_write_stalls_smaller() < intext.ds3100_write_stall_share_of_trap() / 2
+
+
+def test_sparc_window_share_of_syscall_near_30_percent():
+    measured = intext.sparc_window_share_of_syscall()
+    assert 0.2 <= measured <= 0.45
+
+
+def test_sparc_param_copy_is_extra_window_tax():
+    assert intext.sparc_param_copy_share_of_syscall() > 0.05
+
+
+def test_sparc_window_share_of_context_switch_near_70_percent():
+    measured = intext.sparc_window_share_of_context_switch()
+    assert 0.55 <= measured <= 0.8
+
+
+def test_sparc_us_per_window_near_12_8():
+    measured = intext.sparc_us_per_window()
+    assert measured == pytest.approx(pt.CLAIMS["sparc_us_per_window"], rel=0.25)
+
+
+def test_sparc_thread_switch_ratio_near_50():
+    measured = intext.sparc_thread_switch_over_procedure_call()
+    assert 30 <= measured <= 85
+
+
+def test_sparc_user_switch_needs_kernel():
+    assert intext.sparc_user_level_switch_needs_kernel()
+
+
+def test_synapse_ratio_range_overlaps_paper():
+    low, high = intext.synapse_ratio_range()
+    paper_low, paper_high = pt.CLAIMS["synapse_call_to_switch_ratio_range"]
+    assert low <= paper_high and high >= paper_low  # ranges overlap
+    assert intext.synapse_switches_dominate_on_sparc()
+
+
+def test_parthenon_claims():
+    assert intext.parthenon_kernel_sync_fraction() == pytest.approx(0.2, abs=0.08)
+    assert 0.03 <= intext.parthenon_speedup() <= 0.2
+
+
+def test_i860_claims_exact():
+    assert intext.i860_fault_decode_instructions() == 26
+    flush, total = intext.i860_pte_flush_instructions()
+    assert (flush, total) == (536, 559)
+
+
+def test_all_claims_report():
+    claims = intext.all_claims()
+    assert len(claims) >= 12
+    agreeing = sum(1 for c in claims.values() if c.within)
+    assert agreeing == len(claims), [k for k, c in claims.items() if not c.within]
+    for claim in claims.values():
+        assert claim.description

@@ -1,0 +1,82 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_arches(capsys):
+    code, out, _ = run(capsys, "arches")
+    assert code == 0
+    assert "VAXstation 3200" in out
+    assert "r3000" in out
+
+
+def test_measure(capsys):
+    code, out, _ = run(capsys, "measure", "r3000")
+    assert code == 0
+    assert "Null system call" in out
+    assert "kernel_entry_exit" in out
+
+
+def test_measure_unknown_arch(capsys):
+    code, _, err = run(capsys, "measure", "alpha")
+    assert code == 2
+    assert "alpha" in err
+
+
+def test_measure_rs6000_without_drivers(capsys):
+    """RS6000 has no handler family; measure should fail cleanly."""
+    code, _, err = run(capsys, "measure", "rs6000")
+    assert code == 2
+    assert "rs6000" in err or "handler" in err
+
+
+def test_table(capsys):
+    code, out, _ = run(capsys, "table", "2")
+    assert code == 0
+    assert "559" in out
+
+
+def test_table_unknown(capsys):
+    code, _, err = run(capsys, "table", "9")
+    assert code == 2
+    assert "1-7" in err
+
+
+def test_tables_prints_all(capsys):
+    code, out, _ = run(capsys, "tables")
+    assert code == 0
+    for n in range(1, 8):
+        assert f"Table {n}" in out
+
+
+def test_claims(capsys):
+    code, out, _ = run(capsys, "claims")
+    assert code == 0
+    assert "[ok " in out
+    assert "paper=" in out
+
+
+def test_disasm(capsys):
+    code, out, _ = run(capsys, "disasm", "sparc", "trap")
+    assert code == 0
+    assert ".program sparc:trap" in out
+    assert ".phase window_mgmt" in out
+
+
+def test_disasm_bad_primitive(capsys):
+    code, _, err = run(capsys, "disasm", "sparc", "halt")
+    assert code == 2
+    assert err
+
+
+def test_requires_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main([])

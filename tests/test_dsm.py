@@ -1,0 +1,116 @@
+"""Ivy-style distributed shared memory tests (§3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_arch
+from repro.mem.dsm import DSMManager, DSMNetworkModel, DSMNode
+from repro.mem.pagetable import Protection
+
+
+def make_dsm(nodes=3, arch_name="r3000"):
+    arch = get_arch(arch_name)
+    node_list = [DSMNode(i, arch) for i in range(nodes)]
+    return DSMManager(node_list, DSMNetworkModel(latency_us=1000.0))
+
+
+def test_create_page_owner_writable():
+    dsm = make_dsm()
+    dsm.create_page(7, owner=0)
+    assert dsm.nodes[0].protection(7) is Protection.READ_WRITE
+    assert dsm.coherent(7)
+
+
+def test_local_read_and_write_free():
+    dsm = make_dsm()
+    dsm.create_page(7, owner=0)
+    assert dsm.write(0, 7) == 0.0
+    assert dsm.read(0, 7) == 0.0
+    assert dsm.stats.page_transfers == 0
+
+
+def test_remote_read_replicates_read_only():
+    dsm = make_dsm()
+    dsm.create_page(7, owner=0)
+    us = dsm.read(1, 7)
+    assert us > 0
+    assert dsm.nodes[1].protection(7) is Protection.READ
+    # the writer's copy was downgraded to read-only
+    assert dsm.nodes[0].protection(7) is Protection.READ
+    assert dsm.replicas(7) == {0, 1}
+    assert dsm.coherent(7)
+
+
+def test_write_invalidates_all_replicas():
+    dsm = make_dsm()
+    dsm.create_page(7, owner=0)
+    dsm.read(1, 7)
+    dsm.read(2, 7)
+    assert dsm.replicas(7) == {0, 1, 2}
+    us = dsm.write(1, 7)
+    assert us > 0
+    assert dsm.replicas(7) == {1}
+    assert dsm.nodes[1].protection(7) is Protection.READ_WRITE
+    assert not dsm.nodes[0].has_mapping(7)
+    assert not dsm.nodes[2].has_mapping(7)
+    assert dsm.stats.invalidations == 2
+    assert dsm.coherent(7)
+
+
+def test_read_after_remote_write_re_replicates():
+    """The §3 ping-pong: write on one node, read on another."""
+    dsm = make_dsm()
+    dsm.create_page(7, owner=0)
+    dsm.write(1, 7)
+    dsm.read(0, 7)
+    assert dsm.replicas(7) == {0, 1}
+    assert dsm.nodes[1].protection(7) is Protection.READ
+    assert dsm.coherent(7)
+
+
+def test_unknown_page_rejected():
+    dsm = make_dsm()
+    with pytest.raises(KeyError):
+        dsm.read(0, 99)
+
+
+def test_fault_cost_depends_on_architecture():
+    """DSM performance hangs on trap + fault reflection costs."""
+    slow = make_dsm(arch_name="sparc")
+    fast = make_dsm(arch_name="r3000")
+    for dsm in (slow, fast):
+        dsm.create_page(1, owner=0)
+        dsm.read(1, 1)
+    assert slow.stats.fault_handling_us > fast.stats.fault_handling_us
+
+
+def test_network_dominates_fault_handling_on_ethernet():
+    dsm = make_dsm()
+    dsm.create_page(1, owner=0)
+    dsm.read(1, 1)
+    assert dsm.stats.network_us > dsm.stats.fault_handling_us
+
+
+def test_needs_at_least_one_node():
+    with pytest.raises(ValueError):
+        DSMManager([])
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=2)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_coherence_invariant_under_random_access(ops):
+    """Single-writer / multi-reader holds after any access sequence."""
+    dsm = make_dsm(nodes=3)
+    dsm.create_page(5, owner=0)
+    for is_write, node in ops:
+        if is_write:
+            dsm.write(node, 5)
+        else:
+            dsm.read(node, 5)
+        assert dsm.coherent(5)

@@ -1,0 +1,165 @@
+"""Cross-module edge cases and interaction tests."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.ipc.messages import Port
+from repro.kernel.system import SimulatedMachine
+from repro.mem.address_space import AddressSpace
+from repro.mem.pagetable import Protection
+from repro.mem.vm import PageFault, VirtualMemory
+
+
+# ----------------------------------------------------------------------
+# VM interactions
+# ----------------------------------------------------------------------
+
+def test_vm_requires_active_space():
+    vm = VirtualMemory(get_arch("r3000"))
+    with pytest.raises(RuntimeError):
+        vm.translate(0)
+
+
+def test_vm_region_entry_through_tlb():
+    """Region PTEs insert per-page TLB entries with offset pfns."""
+    vm = VirtualMemory(get_arch("sparc"))
+    space = AddressSpace(name="regions", page_table_kind="multilevel")
+    vm.activate(space)
+    space.page_table.map_region(0, 500, level=1)
+    first, _ = vm.translate(5)
+    assert first == 505
+    # second touch is a TLB hit with the same translation
+    second, cycles = vm.translate(5)
+    assert second == 505 and cycles == 0.0
+
+
+def test_vm_stats_accumulate_across_operations():
+    vm = VirtualMemory(get_arch("r3000"))
+    space = AddressSpace(name="stats")
+    vm.activate(space)
+    vm.map(0, 0)
+    vm.translate(0)
+    vm.set_protection(0, Protection.READ)
+    assert vm.stats.translations == 1
+    assert vm.stats.tlb_misses == 1
+    assert vm.stats.pte_changes == 1
+    assert vm.stats.cycles > 0
+
+
+def test_cow_share_to_different_vpn():
+    vm = VirtualMemory(get_arch("r3000"))
+    source = AddressSpace(name="src")
+    destination = AddressSpace(name="dst")
+    vm.activate(source)
+    vm.map(3, 99, space=source)
+    vm.share_copy_on_write(source, destination, 3, destination_vpn=7)
+    assert destination.lookup(7) is not None
+    assert destination.lookup(7).pfn == 99
+    assert destination.lookup(3) is None
+
+
+def test_fault_carries_context():
+    vm = VirtualMemory(get_arch("r3000"))
+    space = AddressSpace(name="ctx")
+    vm.activate(space)
+    with pytest.raises(PageFault) as err:
+        vm.touch(42, write=True)
+    fault = err.value
+    assert fault.vpn == 42 and fault.write and fault.space is space
+    assert "42" in str(fault)
+
+
+# ----------------------------------------------------------------------
+# machine interactions
+# ----------------------------------------------------------------------
+
+def test_switch_to_same_thread_is_cheap_but_counted():
+    machine = SimulatedMachine(get_arch("r3000"))
+    p = machine.create_process("p")
+    machine.switch_to(p.main_thread)
+    assert machine.counters.thread_switches == 1
+    assert machine.counters.address_space_switches == 0
+
+
+def test_counters_snapshot_is_a_copy():
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("p")
+    snapshot = machine.counters.snapshot()
+    machine.syscall("null")
+    assert snapshot["syscalls"] == 0
+    assert machine.counters.syscalls == 1
+
+
+def test_clock_monotone_across_mixed_operations():
+    machine = SimulatedMachine(get_arch("cvax"))
+    machine.create_process("p")
+    machine.map_page(1)
+    samples = [machine.clock_us]
+    machine.syscall("null")
+    samples.append(machine.clock_us)
+    machine.touch(1)
+    samples.append(machine.clock_us)
+    machine.trap()
+    samples.append(machine.clock_us)
+    machine.change_protection(1, Protection.READ)
+    samples.append(machine.clock_us)
+    assert samples == sorted(samples)
+    assert len(set(samples)) == len(samples)
+
+
+# ----------------------------------------------------------------------
+# message port boundaries
+# ----------------------------------------------------------------------
+
+def test_threshold_boundary_is_copied():
+    machine = SimulatedMachine(get_arch("r3000"))
+    sender = machine.create_process("s")
+    machine.create_process("r")
+    port = Port(machine, "p", cow_threshold_bytes=8192)
+    at_threshold = port.send(sender, 8192)
+    assert at_threshold.inline_copied
+    above = port.send(sender, 8193)
+    assert not above.inline_copied
+    assert len(above.cow_vpns) == 3  # ceil(8193 / 4096)
+
+
+def test_write_after_receive_on_copied_message_is_free():
+    machine = SimulatedMachine(get_arch("r3000"))
+    sender = machine.create_process("s")
+    receiver = machine.create_process("r")
+    port = Port(machine, "p")
+    message = port.send(sender, 100)
+    port.receive(receiver)
+    assert port.write_after_receive(receiver, message) == 0.0
+
+
+# ----------------------------------------------------------------------
+# cross-architecture Table 7
+# ----------------------------------------------------------------------
+
+def test_table7_on_other_architectures():
+    """The structure model runs on any driver-bearing architecture; the
+    primitive share tracks how bad the primitives are."""
+    from repro.os_models.mach import MachOS, OSStructure
+    from repro.os_models.services import profile_by_name
+
+    profile = profile_by_name("andrew-local")
+    shares = {}
+    for name in ("r3000", "r2000", "sparc"):
+        row = MachOS(OSStructure.KERNELIZED, get_arch(name)).run(profile)
+        shares[name] = row.pct_time_in_primitives
+    assert shares["r2000"] > shares["r3000"]
+    assert shares["sparc"] > shares["r3000"]
+
+
+def test_microbench_artifact_bounded_everywhere():
+    """Subtraction-method artifacts stay under 25% on every system."""
+    from repro.core.microbench import measure_primitives
+    from repro.kernel.primitives import Primitive
+
+    for name in ("cvax", "m88000", "r2000", "r3000", "sparc", "i860"):
+        result = measure_primitives(get_arch(name))
+        for primitive in Primitive:
+            direct = result.direct_times_us[primitive]
+            subtracted = result.times_us[primitive]
+            assert abs(subtracted - direct) / direct < 0.25, (name, primitive)

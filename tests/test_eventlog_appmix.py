@@ -1,0 +1,142 @@
+"""Event log and integrated-session tests."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.kernel.eventlog import Event, EventKind, EventLog
+from repro.kernel.system import SimulatedMachine
+from repro.workloads.appmix import run_session
+
+
+# ----------------------------------------------------------------------
+# event log
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def logged_machine():
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("a")
+    log = EventLog(machine, capacity=64)
+    return machine, log
+
+
+def test_syscalls_logged_with_detail(logged_machine):
+    machine, log = logged_machine
+    machine.syscall("null")
+    events = log.events(EventKind.SYSCALL)
+    assert len(events) == 1
+    assert events[0].detail == "null"
+    assert events[0].at_us == pytest.approx(machine.clock_us)
+
+
+def test_switch_logs_thread_and_address_space(logged_machine):
+    machine, log = logged_machine
+    other = machine.create_process("b")
+    machine.switch_to(other.main_thread)
+    assert len(log.events(EventKind.THREAD_SWITCH)) == 1
+    assert len(log.events(EventKind.ADDRESS_SPACE_SWITCH)) == 1
+    same = other.spawn_thread()
+    machine.switch_to(same)
+    assert len(log.events(EventKind.THREAD_SWITCH)) == 2
+    assert len(log.events(EventKind.ADDRESS_SPACE_SWITCH)) == 1
+
+
+def test_emulated_instruction_logged_on_mips_only():
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("a")
+    log = EventLog(machine)
+    machine.atomic_or_trap_us()
+    assert len(log.events(EventKind.EMULATED_INSTRUCTION)) == 1
+
+    sparc = SimulatedMachine(get_arch("sparc"))
+    sparc.create_process("a")
+    sparc_log = EventLog(sparc)
+    sparc.atomic_or_trap_us()
+    assert len(sparc_log.events(EventKind.EMULATED_INSTRUCTION)) == 0
+
+
+def test_ring_drops_oldest(logged_machine):
+    machine, log = logged_machine
+    for _ in range(100):
+        machine.syscall("null")
+    assert len(log) == 64
+    assert log.dropped == 100 - 64 + 0  # only syscalls logged here
+    sequences = [event.sequence for event in log]
+    assert sequences == sorted(sequences)
+    assert sequences[0] == 36
+
+
+def test_counts_and_since_filter(logged_machine):
+    machine, log = logged_machine
+    machine.syscall("null")
+    midpoint = machine.clock_us
+    machine.syscall("null")
+    machine.trap()
+    counts = log.counts()
+    assert counts[EventKind.SYSCALL] == 2
+    assert counts[EventKind.TRAP] == 1
+    late = log.events(since_us=midpoint + 0.001)
+    assert len(late) == 2
+
+
+def test_rate_per_second(logged_machine):
+    machine, log = logged_machine
+    for _ in range(10):
+        machine.syscall("null")
+    rate = log.rate_per_second(EventKind.SYSCALL)
+    # 10 syscalls at ~4.4 us each -> ~227k/s
+    assert 100_000 < rate < 400_000
+    assert log.rate_per_second(EventKind.TRAP) == 0.0
+
+
+def test_detach_restores_machine(logged_machine):
+    machine, log = logged_machine
+    log.detach()
+    machine.syscall("null")
+    assert log.counts()[EventKind.SYSCALL] == 0
+
+
+def test_timeline_renders(logged_machine):
+    machine, log = logged_machine
+    machine.syscall("null")
+    text = log.timeline()
+    assert "syscall null" in text
+    assert "us]" in text
+
+
+def test_capacity_validated(logged_machine):
+    machine, _ = logged_machine
+    with pytest.raises(ValueError):
+        EventLog(machine, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# integrated session
+# ----------------------------------------------------------------------
+
+def test_session_runs_and_accounts():
+    result = run_session(iterations=4)
+    assert result.elapsed_us > 0
+    assert result.files_created == 4
+    assert result.messages_exchanged == 4
+    assert result.counters["syscalls"] >= 4 * 6  # open+writes+read + port traps
+    assert result.counters["address_space_switches"] >= 8
+    assert result.page_faults_served > 0
+    assert result.interrupts_delivered >= 4  # ether each round + clock ticks
+    assert 0.0 <= result.cache_hit_rate <= 1.0
+
+
+def test_session_deterministic():
+    a = run_session(iterations=3)
+    b = run_session(iterations=3)
+    assert a.elapsed_us == pytest.approx(b.elapsed_us)
+    assert a.counters == b.counters
+
+
+def test_session_slower_on_sparc():
+    r3000 = run_session(get_arch("r3000"), iterations=3)
+    sparc = run_session(get_arch("sparc"), iterations=3)
+    # the context-switch-heavy session pays SPARC's Table 1 penalty;
+    # compare OS time (total minus the identical think/compile time)
+    think_us = 3 * (500.0 + 2_000.0)
+    assert sparc.elapsed_us - think_us > 1.5 * (r3000.elapsed_us - think_us)

@@ -1,0 +1,38 @@
+"""Every example script must run clean and print its key findings."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["Table 1", "application speedup", "context switch"],
+    "kernelized_vs_monolithic.py": ["Mach 2.5", "Mach 3.0", "blowup", "Decomposition"],
+    "rpc_breakdown.py": ["SRC RPC", "LRPC", "wire", "hardware minimum"],
+    "thread_tradeoffs.py": ["Synapse", "parthenon", "switches dominate", "windows"],
+    "virtual_memory.py": ["Copy-on-write", "coherent=True", "invalidations"],
+    "os_services.py": ["write barrier", "clock", "CLOCK", "kernel-trap lock"],
+    "extend_new_architecture.py": ["Riscy-1", "null LRPC", "lmbench"],
+    "reproduce_paper.py": ["Table 7", "In-text claims", "proposals"],
+}
+
+
+@pytest.mark.parametrize("script,markers", sorted(CASES.items()), ids=sorted(CASES))
+def test_example_runs_and_reports(script, markers):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in markers:
+        assert marker in result.stdout, f"{script}: missing {marker!r}"
+
+
+def test_examples_directory_is_fully_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), "update CASES when adding an example"

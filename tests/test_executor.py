@@ -1,0 +1,145 @@
+"""Executor cycle-accounting tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import get_arch
+from repro.isa.executor import Executor, run_on
+from repro.isa.instructions import OpClass
+from repro.isa.program import ProgramBuilder
+
+
+def simple_program(alus=10, stores=0, loads=0, page=0):
+    b = ProgramBuilder("t")
+    b.alu(alus)
+    b.stores(stores, page=page)
+    b.loads(loads)
+    return b.build()
+
+
+def test_risc_alu_costs_one_cycle_each():
+    arch = get_arch("r3000")
+    result = run_on(arch, simple_program(alus=10))
+    assert result.instructions == 10
+    assert result.cycles == 10
+
+
+def test_cisc_alu_costs_more():
+    arch = get_arch("cvax")
+    result = run_on(arch, simple_program(alus=10))
+    assert result.cycles > 10
+
+
+def test_trap_entry_charged_cycles_but_not_instructions():
+    arch = get_arch("r3000")
+    b = ProgramBuilder()
+    b.trap_entry()
+    result = run_on(arch, b.build())
+    assert result.instructions == 0
+    assert result.cycles == arch.cost.trap_entry_cycles
+
+
+def test_rfe_counts_as_one_instruction():
+    arch = get_arch("r3000")
+    b = ProgramBuilder()
+    b.rfe()
+    result = run_on(arch, b.build())
+    assert result.instructions == 1
+    assert result.cycles == 1 + arch.cost.trap_exit_extra_cycles
+
+
+def test_uncached_load_pays_memory_latency():
+    arch = get_arch("r3000")
+    b = ProgramBuilder()
+    b.loads(1, uncached=True)
+    hot = ProgramBuilder()
+    hot.loads(1)
+    uncached = run_on(arch, b.build()).cycles
+    cached = run_on(arch, hot.build()).cycles
+    assert uncached - cached == arch.cost.uncached_load_extra_cycles
+
+
+def test_store_burst_stalls_on_ds3100_not_ds5000():
+    burst = simple_program(alus=0, stores=16, page=3)
+    r2000 = run_on(get_arch("r2000"), burst)
+    r3000 = run_on(get_arch("r3000"), burst)
+    assert r2000.stall_cycles > 0
+    assert r3000.stall_cycles == 0  # same-page stores retire every cycle
+    assert r2000.cycles > r3000.cycles
+
+
+def test_phase_breakdown_sums_to_total():
+    arch = get_arch("sparc")
+    b = ProgramBuilder()
+    with b.phase("a"):
+        b.alu(5)
+        b.stores(3, page=0)
+    with b.phase("b"):
+        b.loads(4)
+    result = run_on(arch, b.build())
+    assert sum(c.cycles for c in result.by_phase.values()) == pytest.approx(result.cycles)
+    assert sum(c.instructions for c in result.by_phase.values()) == result.instructions
+
+
+def test_drain_write_buffer_adds_cycles_only_when_pending():
+    arch = get_arch("r2000")
+    burst = simple_program(alus=0, stores=8, page=1)
+    plain = run_on(arch, burst, drain_write_buffer=False)
+    drained = run_on(arch, burst, drain_write_buffer=True)
+    assert drained.cycles > plain.cycles
+    no_stores = simple_program(alus=5)
+    assert run_on(arch, no_stores, drain_write_buffer=True).cycles == 5
+
+
+def test_time_us_uses_clock():
+    arch = get_arch("r3000")  # 25 MHz
+    result = run_on(arch, simple_program(alus=25))
+    assert result.time_us == pytest.approx(1.0)
+
+
+def test_nop_fraction_tracked():
+    arch = get_arch("r3000")
+    b = ProgramBuilder()
+    b.alu(8)
+    b.nops(2)
+    result = run_on(arch, b.build())
+    assert result.nop_instructions == 2
+    assert result.nop_fraction_of_cycles == pytest.approx(0.2)
+
+
+def test_executor_is_reusable_and_deterministic():
+    arch = get_arch("r2000")
+    program = simple_program(alus=3, stores=10, page=0)
+    ex = Executor(arch)
+    first = ex.run(program)
+    second = ex.run(program)
+    assert first.cycles == second.cycles
+    assert first.stall_cycles == second.stall_cycles
+
+
+def test_summary_mentions_phases():
+    arch = get_arch("r3000")
+    b = ProgramBuilder("demo")
+    with b.phase("alpha"):
+        b.alu(1)
+    text = run_on(arch, b.build()).summary()
+    assert "demo" in text and "alpha" in text
+
+
+@given(
+    alus=st.integers(min_value=0, max_value=60),
+    loads=st.integers(min_value=0, max_value=60),
+)
+def test_cycles_at_least_instruction_count_on_risc(alus, loads):
+    arch = get_arch("rs6000")
+    result = run_on(arch, simple_program(alus=alus, loads=loads))
+    assert result.cycles >= result.instructions
+    assert result.instructions == alus + loads
+
+
+@given(stores=st.integers(min_value=0, max_value=40))
+def test_stall_cycles_included_in_total(stores):
+    arch = get_arch("r2000")
+    result = run_on(arch, simple_program(alus=0, stores=stores, page=0))
+    assert result.cycles >= stores
+    assert result.stall_cycles <= result.cycles

@@ -1,0 +1,75 @@
+"""Experiments-markdown generator tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.expgen import (
+    claims_markdown,
+    generate_markdown,
+    table1_markdown,
+    table2_markdown,
+    table5_markdown,
+    table7_markdown,
+)
+
+
+def test_table1_markdown_has_all_cells():
+    text = table1_markdown()
+    assert text.count("|") > 20 * 5
+    assert "Null system call" in text and "SPARC" in text
+    assert "+" in text or "-" in text  # deviation column populated
+
+
+def test_table2_markdown_reports_exact():
+    assert "all 20 cells exact" in table2_markdown()
+
+
+def test_table5_markdown_rows():
+    text = table5_markdown()
+    assert "kernel_entry_exit" in text
+    assert text.count("| R2000 |") == 4
+
+
+def test_table7_markdown_arrows():
+    text = table7_markdown()
+    assert "andrew-remote" in text
+    assert "→" in text
+
+
+def test_claims_markdown_no_disagreements():
+    text = claims_markdown()
+    assert "| yes |" in text
+    assert "| NO |" not in text
+
+
+def test_generate_markdown_composes_sections():
+    text = generate_markdown()
+    for marker in ("Table 1", "Table 2", "Table 5", "Table 7", "In-text claims"):
+        assert marker in text
+    assert text.endswith("\n")
+
+
+def test_cli_experiments(capsys):
+    code = main(["experiments"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# Experiments (regenerated)" in out
+
+
+def test_headline_findings_all_hold():
+    from repro.analysis.summary import headline_findings, render
+
+    findings = headline_findings()
+    assert len(findings) >= 8
+    failures = [f.key for f in findings if not f.holds]
+    assert failures == []
+    text = render()
+    assert "NO" not in text
+    assert "Headline findings" in text
+
+
+def test_cli_summary(capsys):
+    code = main(["summary"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Headline findings" in out

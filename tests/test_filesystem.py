@@ -1,0 +1,140 @@
+"""In-memory file system tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os_models.filesystem import BLOCK_BYTES, BlockCache, FileSystem, FileSystemError
+
+
+@pytest.fixture
+def fs():
+    return FileSystem(cache_blocks=16)
+
+
+def test_mkdir_and_listdir(fs):
+    fs.mkdir("/a")
+    fs.mkdir("/a/b")
+    assert fs.listdir("/") == ["a"]
+    assert fs.listdir("/a") == ["b"]
+
+
+def test_create_open_roundtrip(fs):
+    fs.create("/f")
+    inode = fs.open("/f")
+    assert not inode.is_directory
+    assert fs.stats.opens == 1
+
+
+def test_open_create_flag(fs):
+    with pytest.raises(FileSystemError):
+        fs.open("/missing")
+    inode = fs.open("/missing", create=True)
+    assert fs.exists("/missing")
+    assert inode.size_bytes == 0
+
+
+def test_write_extends_size(fs):
+    inode = fs.open("/f", create=True)
+    fs.write(inode, 0, 100)
+    assert inode.size_bytes == 100
+    fs.write(inode, BLOCK_BYTES * 2, 10)
+    assert inode.size_bytes == BLOCK_BYTES * 2 + 10
+    assert len(inode.blocks) >= 2
+
+
+def test_read_bounded_by_size(fs):
+    inode = fs.open("/f", create=True)
+    fs.write(inode, 0, 1000)
+    nbytes, _ = fs.read(inode, 0, 5000)
+    assert nbytes == 1000
+    nbytes, _ = fs.read(inode, 2000, 100)
+    assert nbytes == 0
+
+
+def test_unlink_removes_and_invalidates_cache(fs):
+    inode = fs.open("/f", create=True)
+    fs.write(inode, 0, BLOCK_BYTES)
+    assert fs.cache.resident > 0
+    fs.unlink("/f")
+    assert not fs.exists("/f")
+    assert fs.cache.resident == 0
+    assert fs.inode_count == 1  # just the root
+
+
+def test_unlink_nonempty_directory_rejected(fs):
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    with pytest.raises(FileSystemError):
+        fs.unlink("/d")
+    fs.unlink("/d/f")
+    fs.unlink("/d")
+    assert not fs.exists("/d")
+
+
+def test_namespace_errors(fs):
+    with pytest.raises(FileSystemError):
+        fs.open("relative")
+    with pytest.raises(FileSystemError):
+        fs.mkdir("/")
+    fs.create("/f")
+    with pytest.raises(FileSystemError):
+        fs.create("/f")
+    with pytest.raises(FileSystemError):
+        fs.mkdir("/f/sub")  # file on the path
+    fs.mkdir("/d")
+    with pytest.raises(FileSystemError):
+        fs.open("/d")  # directory, not a file
+    with pytest.raises(FileSystemError):
+        fs.listdir("/f")
+
+
+def test_block_cache_lru():
+    cache = BlockCache(capacity_blocks=2)
+    assert cache.access(1, 0) is False
+    assert cache.access(1, 1) is False
+    assert cache.access(1, 0) is True  # hit, refreshes LRU
+    assert cache.access(1, 2) is False  # evicts (1,1)
+    assert cache.access(1, 1) is False  # miss again
+    assert cache.stats.evictions == 2
+    assert 0.0 < cache.stats.hit_rate < 1.0
+
+
+def test_block_cache_capacity_validated():
+    with pytest.raises(ValueError):
+        BlockCache(0)
+
+
+def test_reread_hits_cache(fs):
+    inode = fs.open("/f", create=True)
+    fs.write(inode, 0, 4 * BLOCK_BYTES)
+    _, first_misses = fs.read(inode, 0, 4 * BLOCK_BYTES)
+    _, second_misses = fs.read(inode, 0, 4 * BLOCK_BYTES)
+    assert first_misses == 0  # writes warmed the cache
+    assert second_misses == 0
+
+
+def test_stats_accumulate(fs):
+    inode = fs.open("/f", create=True)
+    fs.write(inode, 0, 100)
+    fs.read(inode, 0, 50)
+    assert fs.stats.bytes_written == 100
+    assert fs.stats.bytes_read == 50
+    assert fs.stats.creates == 1
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    names=st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=6),
+        min_size=1, max_size=20, unique=True,
+    )
+)
+def test_directory_contents_complete(names):
+    fs = FileSystem()
+    for name in names:
+        fs.create(f"/{name}")
+    assert fs.listdir("/") == sorted(names)
+    for name in names:
+        fs.unlink(f"/{name}")
+    assert fs.listdir("/") == []
+    assert fs.inode_count == 1

@@ -1,0 +1,118 @@
+"""Handler driver tests: Table 2 pinned exactly, structure verified."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core import papertargets as pt
+from repro.isa.instructions import OpClass
+from repro.kernel.handlers import build_handler, handler_family, handler_program, instruction_count
+from repro.kernel.primitives import Primitive
+
+TABLE2_CASES = [
+    (system, primitive, pt.TABLE2_INSTRUCTIONS[primitive][system])
+    for primitive in Primitive
+    for system in ("cvax", "m88000", "r2000", "sparc", "i860")
+]
+
+
+@pytest.mark.parametrize("system,primitive,expected", TABLE2_CASES)
+def test_table2_instruction_counts_exact(system, primitive, expected):
+    assert instruction_count(get_arch(system), primitive) == expected
+
+
+@pytest.mark.parametrize("primitive", list(Primitive))
+def test_r3000_shares_r2000_instruction_stream(primitive):
+    r2 = handler_program(get_arch("r2000"), primitive)
+    r3 = handler_program(get_arch("r3000"), primitive)
+    assert r2 is r3  # literally the same program object
+
+
+def test_handler_family_mapping():
+    assert handler_family(get_arch("r2000")) == "mips"
+    assert handler_family(get_arch("r3000")) == "mips"
+    assert handler_family(get_arch("cvax")) == "cvax"
+    with pytest.raises(KeyError):
+        handler_family(get_arch("rs6000"))
+
+
+def test_cvax_syscall_uses_microcode():
+    program = handler_program(get_arch("cvax"), Primitive.NULL_SYSCALL)
+    mnems = {inst.mnemonic for inst in program}
+    assert {"chmk", "rei", "calls", "ret"} <= mnems
+    assert program.count(opclass=OpClass.MICROCODED) >= 4
+
+
+def test_trap_paths_start_with_hardware_entry():
+    for system in ("cvax", "m88000", "r2000", "sparc", "i860"):
+        program = handler_program(get_arch(system), Primitive.TRAP)
+        assert program.instructions[0].opclass is OpClass.TRAP
+
+
+def test_syscall_paths_end_with_return_to_user():
+    for system in ("m88000", "r2000", "sparc", "i860"):
+        program = handler_program(get_arch(system), Primitive.NULL_SYSCALL)
+        assert program.instructions[-1].opclass is OpClass.RFE
+
+
+def test_i860_pte_change_mostly_cache_flush():
+    program = handler_program(get_arch("i860"), Primitive.PTE_CHANGE)
+    flushes = program.count(opclass=OpClass.CACHE_FLUSH)
+    assert flushes == 536  # "536 out of the 559 instructions"
+    assert len(program) == 559
+
+
+def test_i860_trap_includes_fault_interpretation():
+    program = handler_program(get_arch("i860"), Primitive.TRAP)
+    decode = program.count(phase="fault_decode")
+    assert decode == pt.CLAIMS["i860_fault_decode_extra_instructions"]
+
+
+def test_m88000_trap_touches_pipeline_state():
+    program = handler_program(get_arch("m88000"), Primitive.TRAP)
+    assert program.count(phase="pipeline_check") > 0
+    assert program.count(phase="pipeline_save") > 0
+    assert program.count(phase="fpu_restart") > 0
+    syscall = handler_program(get_arch("m88000"), Primitive.NULL_SYSCALL)
+    # even the voluntary syscall pays the pipeline examination (§2.5)
+    assert syscall.count(phase="pipeline_check") > 0
+
+
+def test_sparc_context_switch_dominated_by_windows():
+    program = handler_program(get_arch("sparc"), Primitive.CONTEXT_SWITCH)
+    window_instructions = program.count(phase="window_mgmt")
+    assert window_instructions >= 3 * 32  # three windows of 16 saved + 16 restored
+
+
+def test_mips_vectoring_through_common_handler():
+    syscall = handler_program(get_arch("r2000"), Primitive.NULL_SYSCALL)
+    trap = handler_program(get_arch("r2000"), Primitive.TRAP)
+    assert syscall.count(phase="vector") > 0
+    assert trap.count(phase="vector") > 0
+
+
+def test_cvax_driver_is_order_of_magnitude_shorter():
+    for primitive in Primitive:
+        cvax = instruction_count(get_arch("cvax"), primitive)
+        for system in ("m88000", "r2000", "sparc", "i860"):
+            assert instruction_count(get_arch(system), primitive) > cvax
+
+
+def test_build_handler_counts_match_program():
+    for system in ("cvax", "r2000", "sparc"):
+        arch = get_arch(system)
+        for primitive in Primitive:
+            result = build_handler(arch, primitive)
+            assert result.instructions == instruction_count(arch, primitive)
+            assert result.cycles > 0
+
+
+def test_m68k_drivers_exist_and_are_cisc_short():
+    """The Sun-3 drivers sit between the CVAX's dozen instructions and
+    the RISCs' hundred (microcode does MOVEM-level work, not
+    SVPCTX-level work)."""
+    m68k = get_arch("m68k")
+    for primitive in Primitive:
+        count = instruction_count(m68k, primitive)
+        cvax = instruction_count(get_arch("cvax"), primitive)
+        r2000 = instruction_count(get_arch("r2000"), primitive)
+        assert cvax <= count < r2000, primitive

@@ -1,0 +1,53 @@
+"""Unit tests for the instruction records."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+def test_default_mnemonic_is_opclass_value():
+    inst = Instruction(opclass=OpClass.ALU, phase="body")
+    assert inst.mnemonic == "alu"
+
+
+def test_explicit_mnemonic_preserved():
+    inst = Instruction(opclass=OpClass.MICROCODED, phase="body", mnemonic="chmk")
+    assert inst.mnemonic == "chmk"
+
+
+def test_negative_extra_cycles_rejected():
+    with pytest.raises(ValueError):
+        Instruction(opclass=OpClass.ALU, phase="body", extra_cycles=-1)
+
+
+def test_store_load_predicates():
+    st = Instruction(opclass=OpClass.STORE, phase="p")
+    ld = Instruction(opclass=OpClass.LOAD, phase="p")
+    alu = Instruction(opclass=OpClass.ALU, phase="p")
+    assert st.is_store and not st.is_load and st.is_memory_op
+    assert ld.is_load and not ld.is_store and ld.is_memory_op
+    assert not alu.is_memory_op
+
+
+def test_describe_mentions_phase_and_flags():
+    inst = Instruction(
+        opclass=OpClass.LOAD, phase="checksum", mem_page=3, uncached=True, comment="io"
+    )
+    text = inst.describe()
+    assert "[checksum]" in text
+    assert "page=3" in text
+    assert "uncached" in text
+    assert "io" in text
+
+
+def test_instructions_hashable_and_comparable():
+    a = Instruction(opclass=OpClass.ALU, phase="p")
+    b = Instruction(opclass=OpClass.ALU, phase="p")
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_comment_not_part_of_equality():
+    a = Instruction(opclass=OpClass.ALU, phase="p", comment="x")
+    b = Instruction(opclass=OpClass.ALU, phase="p", comment="y")
+    assert a == b

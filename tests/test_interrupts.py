@@ -1,0 +1,132 @@
+"""Interrupt controller tests (§2.3)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.kernel.interrupts import ClockSource, InterruptController
+from repro.kernel.system import SimulatedMachine
+
+
+@pytest.fixture
+def setup():
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("app")
+    controller = InterruptController(machine)
+    return machine, controller
+
+
+def test_immediate_delivery_when_unmasked(setup):
+    machine, controller = setup
+    controller.register("disk", level=3)
+    t0 = machine.clock_us
+    assert controller.raise_interrupt("disk") is True
+    assert controller.stats.delivered == 1
+    assert machine.clock_us > t0
+    assert machine.counters.other_exceptions == 1
+
+
+def test_masked_interrupt_defers_until_spl_lowers(setup):
+    machine, controller = setup
+    controller.register("ether", level=4)
+    controller.spl(5)
+    assert controller.raise_interrupt("ether") is False
+    assert controller.pending_count == 1
+    assert controller.stats.delivered == 0
+    controller.spl(0)
+    assert controller.pending_count == 0
+    assert controller.stats.delivered == 1
+
+
+def test_spl_returns_previous_level(setup):
+    _, controller = setup
+    assert controller.spl(5) == -1
+    assert controller.spl(2) == 5
+
+
+def test_equal_level_does_not_nest(setup):
+    machine, controller = setup
+    deliveries = []
+
+    def first_handler(ctl):
+        # same-level interrupt raised inside the handler must defer
+        assert ctl.raise_interrupt("disk_b") is False
+        deliveries.append("a")
+
+    controller.register("disk_a", level=3, handler=first_handler)
+    controller.register("disk_b", level=3,
+                        handler=lambda ctl: deliveries.append("b"))
+    controller.raise_interrupt("disk_a")
+    assert deliveries == ["a", "b"]  # b delivered after a completes
+    assert controller.stats.deferred == 1
+    assert controller.stats.nested == 0
+
+
+def test_higher_level_nests(setup):
+    machine, controller = setup
+    order = []
+
+    def slow_handler(ctl):
+        order.append("low-start")
+        ctl.raise_interrupt("clocky")  # higher priority: preempts
+        order.append("low-end")
+
+    controller.register("slow", level=2, handler=slow_handler)
+    controller.register("clocky", level=7, handler=lambda ctl: order.append("high"))
+    controller.raise_interrupt("slow")
+    assert order == ["low-start", "high", "low-end"]
+    assert controller.stats.nested == 1
+
+
+def test_pending_delivered_highest_first(setup):
+    machine, controller = setup
+    order = []
+    controller.register("low", level=1, handler=lambda c: order.append("low"))
+    controller.register("high", level=6, handler=lambda c: order.append("high"))
+    controller.spl(7)
+    controller.raise_interrupt("low")
+    controller.raise_interrupt("high")
+    controller.spl(0)
+    assert order == ["high", "low"]
+
+
+def test_duplicate_and_unknown_lines(setup):
+    _, controller = setup
+    controller.register("x", level=1)
+    with pytest.raises(ValueError):
+        controller.register("x", level=2)
+    with pytest.raises(ValueError):
+        controller.register("y", level=99)
+    with pytest.raises(KeyError):
+        controller.raise_interrupt("nope")
+
+
+def test_clock_source_fires_at_rate(setup):
+    machine, controller = setup
+    clock = ClockSource(controller, hz=100.0)
+    fired = clock.run_until(100_000.0)  # 100 ms
+    assert fired == 10
+    assert machine.counters.other_exceptions == 10
+    # continuing from where it left off
+    assert clock.run_until(150_000.0) == 5
+
+
+def test_clock_rejects_bad_rate(setup):
+    _, controller = setup
+    with pytest.raises(ValueError):
+        ClockSource(controller, hz=0.0)
+
+
+def test_dispatch_cost_includes_trap_and_driver(setup):
+    machine, controller = setup
+    controller.register("cheap", level=1, handler_ops=10)
+    controller.register("dear", level=2, handler_ops=400)
+    controller.raise_interrupt("cheap")
+    cheap_us = controller.stats.dispatch_us
+    controller.raise_interrupt("dear")
+    dear_us = controller.stats.dispatch_us - cheap_us
+    assert dear_us > cheap_us
+    from repro.kernel.handlers import build_handler
+    from repro.kernel.primitives import Primitive
+
+    trap_us = build_handler(machine.arch, Primitive.TRAP).time_us
+    assert cheap_us > trap_us  # trap entry is the floor

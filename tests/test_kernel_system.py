@@ -1,0 +1,153 @@
+"""Functional machine tests: processes, switching, syscalls, counters."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.kernel.primitives import Primitive
+from repro.kernel.system import SimulatedMachine
+from repro.mem.pagetable import Protection
+from repro.mem.vm import PageFault
+from repro.threads.kernel import KernelThreadOps
+
+
+@pytest.fixture
+def machine():
+    return SimulatedMachine(get_arch("r3000"))
+
+
+def test_first_process_becomes_current(machine):
+    p = machine.create_process("init")
+    assert machine.current_process is p
+    assert machine.scheduler.current is p.main_thread
+
+
+def test_syscall_advances_clock_and_counts(machine):
+    machine.create_process("app")
+    t0 = machine.clock_us
+    machine.syscall("null")
+    assert machine.counters.syscalls == 1
+    assert machine.clock_us - t0 == pytest.approx(
+        machine.primitive_cost_us(Primitive.NULL_SYSCALL)
+    )
+
+
+def test_unknown_syscall_raises(machine):
+    machine.create_process("app")
+    with pytest.raises(KeyError):
+        machine.syscall("nosuch")
+
+
+def test_registered_syscall_runs_handler(machine):
+    machine.create_process("app")
+    seen = []
+    machine.register_syscall("probe", lambda m: seen.append(m.clock_us))
+    machine.syscall("probe")
+    assert len(seen) == 1
+
+
+def test_cross_process_switch_counts_address_space(machine):
+    a = machine.create_process("a")
+    b = machine.create_process("b")
+    machine.switch_to(b.main_thread)
+    assert machine.counters.thread_switches == 1
+    assert machine.counters.address_space_switches == 1
+    assert machine.current_process is b
+    # switching between threads of one process: no AS switch
+    t2 = b.spawn_thread()
+    machine.switch_to(t2)
+    assert machine.counters.thread_switches == 2
+    assert machine.counters.address_space_switches == 1
+
+
+def test_page_table_kind_follows_architecture():
+    assert SimulatedMachine(get_arch("cvax")).create_process("x").space.page_table.kind == "linear"
+    assert SimulatedMachine(get_arch("sparc")).create_process("x").space.page_table.kind == "multilevel"
+    assert SimulatedMachine(get_arch("r3000")).create_process("x").space.page_table.kind == "software"
+
+
+def test_touch_mapped_page(machine):
+    machine.create_process("app")
+    machine.map_page(5)
+    machine.touch(5)
+    with pytest.raises(PageFault):
+        machine.touch(6)
+    assert machine.counters.traps == 1
+
+
+def test_unmap_then_remap_cycle(machine):
+    """The §1.1 trap measurement loop, functionally."""
+    machine.create_process("app")
+    machine.map_page(7)
+    machine.touch(7)
+    machine.unmap_page(7)
+    with pytest.raises(PageFault):
+        machine.touch(7)
+    machine.map_page(7)
+    machine.touch(7)
+    assert machine.counters.pte_changes == 1
+
+
+def test_change_protection_charges_pte_cost(machine):
+    machine.create_process("app")
+    machine.map_page(3)
+    t0 = machine.clock_us
+    machine.change_protection(3, Protection.READ)
+    assert machine.clock_us > t0
+    with pytest.raises(PageFault):
+        machine.touch(3, write=True)
+
+
+def test_atomic_or_trap_on_mips_counts_emulated(machine):
+    machine.create_process("app")
+    us = machine.atomic_or_trap_us()
+    assert machine.counters.emulated_instructions == 1
+    assert us == pytest.approx(machine.primitive_cost_us(Primitive.NULL_SYSCALL))
+
+
+def test_atomic_on_sparc_is_cheap():
+    machine = SimulatedMachine(get_arch("sparc"))
+    machine.create_process("app")
+    us = machine.atomic_or_trap_us()
+    assert machine.counters.emulated_instructions == 0
+    assert us < 1.0
+
+
+def test_advance_rejects_negative(machine):
+    with pytest.raises(ValueError):
+        machine.advance(-1.0)
+
+
+def test_yield_round_robin(machine):
+    a = machine.create_process("a")
+    b = machine.create_process("b")
+    c = machine.create_process("c")
+    assert machine.current_process is a
+    machine.yield_to_next()
+    assert machine.current_process is b
+    machine.yield_to_next()
+    assert machine.current_process is c
+    machine.yield_to_next()
+    assert machine.current_process is a
+
+
+def test_kernel_thread_ops_cost_more_than_user_level(machine):
+    machine.create_process("app")
+    ops = KernelThreadOps(machine)
+    thread = ops.create()
+    assert thread in machine.current_process.threads
+    switch_us = ops.switch(thread)
+    # kernel switch = syscall + context switch primitives at least
+    floor = machine.primitive_cost_us(Primitive.NULL_SYSCALL) + machine.primitive_cost_us(
+        Primitive.CONTEXT_SWITCH
+    )
+    assert switch_us >= floor * 0.99
+
+
+def test_kernel_thread_yield_and_finish(machine):
+    machine.create_process("app")
+    ops = KernelThreadOps(machine)
+    extra = ops.create()
+    ops.yield_cpu()
+    assert machine.scheduler.current is extra
+    ops.finish_current()
+    assert extra.state.value == "finished"

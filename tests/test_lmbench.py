@@ -1,0 +1,84 @@
+"""Extended (lmbench-style) suite tests."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core.lmbench import LmbenchRow, measure_lmbench, render, suite
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return suite()
+
+
+def test_suite_covers_requested_systems(rows):
+    assert set(rows) == {"cvax", "m88000", "r2000", "r3000", "sparc"}
+    for row in rows.values():
+        assert all(value > 0 for value in row.as_dict().values())
+
+
+def test_pipe_latency_worst_on_sparc(rows):
+    """Pipe latency is 2 syscalls + 2 context switches: the SPARC's
+    switch cost makes it the slowest, CVAX included."""
+    sparc = rows["sparc"].pipe_latency_us
+    assert all(row.pipe_latency_us <= sparc for row in rows.values())
+
+
+def test_fork_worst_on_cvax(rows):
+    """fork+exit is PTE-change bound: the CVAX's microcoded TBIS makes
+    it the most expensive."""
+    cvax = rows["cvax"].fork_exit_us
+    assert all(row.fork_exit_us <= cvax for row in rows.values())
+
+
+def test_functional_context_switch_sees_tlb_purge(rows):
+    """lat_ctx-with-working-set: the untagged CVAX pays refills the
+    handler-only number hides; tagged machines barely move."""
+    from repro.kernel.handlers import build_handler
+    from repro.kernel.primitives import Primitive
+
+    cvax_handler = build_handler(get_arch("cvax"), Primitive.CONTEXT_SWITCH).time_us
+    assert rows["cvax"].context_switch_us > cvax_handler * 1.3
+    r3000_handler = build_handler(get_arch("r3000"), Primitive.CONTEXT_SWITCH).time_us
+    assert rows["r3000"].context_switch_us < r3000_handler * 1.15
+
+
+def test_signal_delivery_costs_trap_plus_syscall(rows):
+    for row in rows.values():
+        assert row.signal_deliver_us > row.protection_fault_us
+        assert row.signal_deliver_us > row.null_syscall_us
+
+
+def test_bcopy_flat_while_cpus_diverge(rows):
+    """Ousterhout: copy bandwidth is nearly flat across systems."""
+    rates = [row.bcopy_mbps for row in rows.values()]
+    assert max(rates) / min(rates) < 2.0
+
+
+def test_mmap_fault_composition(rows):
+    for row in rows.values():
+        assert row.mmap_fault_us > row.null_syscall_us
+
+
+def test_render(rows):
+    text = render(rows)
+    assert "pipe_latency_us" in text
+    assert "SPARC" in text
+
+
+def test_single_row_measurement():
+    row = measure_lmbench(get_arch("r3000"))
+    assert isinstance(row, LmbenchRow)
+    assert row.arch_name == "r3000"
+    assert row.null_syscall_us == pytest.approx(4.4, abs=0.3)
+
+
+def test_ablation_variant_flows_through():
+    """The suite accepts derived specs (e.g. a future-generation part)."""
+    from repro.analysis.future import derive_generation
+
+    base = measure_lmbench(get_arch("r3000"))
+    future = measure_lmbench(derive_generation(get_arch("r3000"), 4.0))
+    # faster clock helps, but far less than 4x on the trap-bound items
+    assert future.protection_fault_us < base.protection_fault_us
+    assert future.protection_fault_us > base.protection_fault_us / 4.0

@@ -1,0 +1,76 @@
+"""LRPC model tests (Table 4 shape)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core import papertargets as pt
+from repro.ipc.lrpc import LRPCBinding
+from repro.kernel.system import SimulatedMachine
+
+
+@pytest.fixture(scope="module")
+def cvax_call():
+    return LRPCBinding().steady_state_call()
+
+
+def test_total_near_measured_lrpc(cvax_call):
+    assert cvax_call.total_us == pytest.approx(pt.TABLE4_NULL_LRPC_US, rel=0.25)
+
+
+def test_hardware_fraction_in_band(cvax_call):
+    low, high = pt.TABLE4_HARDWARE_FRACTION_RANGE
+    assert low <= cvax_call.hardware_fraction <= high
+
+
+def test_tlb_purge_near_quarter_of_call(cvax_call):
+    assert cvax_call.tlb_fraction == pytest.approx(
+        pt.TABLE4_TLB_MISS_FRACTION, abs=0.07
+    )
+
+
+def test_two_kernel_entries_and_switches(cvax_call):
+    """Each LRPC enters the kernel twice and switches spaces twice."""
+    entry = cvax_call.components_us["kernel_entry"]
+    switch = cvax_call.components_us["context_switch"]
+    single_syscall = pt.TABLE1_TIMES_US  # sanity: roughly 2x Table 1 cells
+    assert entry > 0 and switch > 0
+    assert switch > entry  # context switch dominates kernel entry
+
+
+def test_tagged_tlb_removes_purge_cost():
+    binding = LRPCBinding(SimulatedMachine(get_arch("r3000")))
+    call = binding.steady_state_call()
+    assert call.tlb_fraction == pytest.approx(0.0, abs=0.02)
+
+
+def test_lrpc_faster_on_r3000_than_cvax(cvax_call):
+    r3000 = LRPCBinding(SimulatedMachine(get_arch("r3000"))).steady_state_call()
+    assert r3000.total_us < cvax_call.total_us
+
+
+def test_sparc_lrpc_hurt_by_context_switch():
+    """SPARC's slow context switch shows up in cross-space calls."""
+    sparc = LRPCBinding(SimulatedMachine(get_arch("sparc"))).steady_state_call()
+    r3000 = LRPCBinding(SimulatedMachine(get_arch("r3000"))).steady_state_call()
+    assert sparc.total_us > 3 * r3000.total_us
+
+
+def test_machine_counters_reflect_calls():
+    machine = SimulatedMachine(get_arch("cvax"))
+    binding = LRPCBinding(machine)
+    before = machine.counters.syscalls
+    binding.null_call()
+    assert machine.counters.syscalls - before == 2
+    assert machine.counters.address_space_switches >= 2
+
+
+def test_breakdown_fractions_sum_to_one(cvax_call):
+    total = sum(cvax_call.fraction(k) for k in cvax_call.components_us)
+    assert total == pytest.approx(1.0)
+
+
+def test_steady_state_is_stable():
+    binding = LRPCBinding()
+    first = binding.steady_state_call().total_us
+    second = binding.steady_state_call().total_us
+    assert first == pytest.approx(second, rel=0.01)

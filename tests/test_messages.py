@@ -1,0 +1,113 @@
+"""COW message-passing IPC tests (§3)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.ipc.messages import Port, cow_crossover_bytes, message_transfer_costs
+from repro.kernel.system import SimulatedMachine
+from repro.mem.pagetable import Protection
+
+
+@pytest.fixture
+def setup():
+    machine = SimulatedMachine(get_arch("r3000"))
+    sender = machine.create_process("sender")
+    receiver = machine.create_process("receiver")
+    return machine, sender, receiver
+
+
+def test_small_message_is_copied(setup):
+    machine, sender, receiver = setup
+    port = Port(machine, "p")
+    message = port.send(sender, 512)
+    assert message.inline_copied
+    assert not message.cow_vpns
+    port.receive(receiver)
+    assert port.stats.copied_bytes == 1024  # both directions
+
+
+def test_large_message_is_cow_mapped(setup):
+    machine, sender, receiver = setup
+    port = Port(machine, "p")
+    message = port.send(sender, 64 * 1024)
+    assert not message.inline_copied
+    assert len(message.cow_vpns) == 16
+    port.receive(receiver)
+    # both sides now map the pages read-only
+    for vpn in message.cow_vpns:
+        assert sender.space.lookup(vpn).protection is Protection.READ
+        assert receiver.space.lookup(vpn).protection is Protection.READ
+    assert port.stats.cow_mapped_pages == 16
+    assert port.stats.copied_bytes == 0
+
+
+def test_write_after_receive_breaks_cow(setup):
+    machine, sender, receiver = setup
+    port = Port(machine, "p")
+    message = port.send(sender, 16 * 1024)
+    port.receive(receiver)
+    us = port.write_after_receive(receiver, message, vpn_index=1)
+    assert us > 0
+    written = message.cow_vpns[1]
+    assert receiver.space.lookup(written).protection is Protection.READ_WRITE
+    assert receiver.space.lookup(written).pfn != sender.space.lookup(written).pfn
+    # untouched pages still shared
+    untouched = message.cow_vpns[0]
+    assert receiver.space.lookup(untouched).pfn == sender.space.lookup(untouched).pfn
+    assert port.stats.cow_breaks == 1
+
+
+def test_receive_empty_port_raises(setup):
+    machine, _, receiver = setup
+    port = Port(machine, "p")
+    with pytest.raises(LookupError):
+        port.receive(receiver)
+
+
+def test_fifo_message_order(setup):
+    machine, sender, receiver = setup
+    port = Port(machine, "p")
+    first = port.send(sender, 100)
+    second = port.send(sender, 100)
+    got_first, _ = port.receive(receiver)
+    got_second, _ = port.receive(receiver)
+    assert got_first is first and got_second is second
+    assert port.queued == 0
+
+
+def test_send_advances_virtual_clock(setup):
+    machine, sender, _ = setup
+    port = Port(machine, "p")
+    t0 = machine.clock_us
+    port.send(sender, 4096)
+    assert machine.clock_us > t0
+
+
+def test_cow_wins_for_large_read_only_messages():
+    for name in ("cvax", "r3000"):
+        costs = message_transfer_costs(get_arch(name), 64 * 1024)
+        assert costs.cow_wins_read_only
+        assert costs.cow_us < costs.copy_us / 3
+
+
+def test_i860_cow_penalty_when_written():
+    """§3.3: with slow fault/PTE paths, aggressive COW can lose."""
+    costs = message_transfer_costs(get_arch("i860"), 4096)
+    assert costs.cow_with_write_us > costs.copy_us
+
+
+def test_crossover_later_on_slow_fault_machines():
+    fast = cow_crossover_bytes(get_arch("r3000"))
+    slow = cow_crossover_bytes(get_arch("i860"))
+    assert fast is not None and slow is not None
+    assert slow >= fast
+
+
+def test_custom_threshold_honoured(setup):
+    machine, sender, _ = setup
+    port = Port(machine, "p", cow_threshold_bytes=0)
+    message = port.send(sender, 100)
+    assert not message.inline_copied  # everything COW
+    port2 = Port(machine, "q", cow_threshold_bytes=1 << 30)
+    message2 = port2.send(sender, 64 * 1024)
+    assert message2.inline_copied  # everything copied

@@ -1,0 +1,95 @@
+"""Microbenchmark methodology tests: Table 1 shape and Table 5 split."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core import papertargets as pt
+from repro.core.microbench import measure_all, measure_primitives, phase_fraction, syscall_breakdown_us
+from repro.kernel.primitives import CALL_PREP_PHASES, Primitive
+
+#: tolerance for absolute-time agreement with the paper's Table 1.
+TIME_RTOL = 0.15
+
+TABLE1_CASES = [
+    (system, primitive, pt.TABLE1_TIMES_US[primitive][system])
+    for primitive in Primitive
+    for system in ("cvax", "m88000", "r2000", "r3000", "sparc")
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return measure_all(("cvax", "m88000", "r2000", "r3000", "sparc"))
+
+
+@pytest.mark.parametrize("system,primitive,paper_us", TABLE1_CASES)
+def test_table1_times_within_tolerance(results, system, primitive, paper_us):
+    measured = results[system].times_us[primitive]
+    assert measured == pytest.approx(paper_us, rel=TIME_RTOL)
+
+
+def test_subtraction_method_close_to_direct(results):
+    """The paper's measurement arithmetic should not distort much."""
+    for result in results.values():
+        for primitive in Primitive:
+            direct = result.direct_times_us[primitive]
+            via_subtraction = result.times_us[primitive]
+            assert via_subtraction == pytest.approx(direct, rel=0.25)
+
+
+def test_relative_speed_shape(results):
+    """Table 1's punchline: primitives lag application performance."""
+    baseline = results["cvax"]
+    for system in ("m88000", "r2000", "r3000", "sparc"):
+        rel = results[system].relative_speed(baseline)
+        app = get_arch(system).app_performance_ratio
+        # every primitive scales worse than application code
+        for primitive in Primitive:
+            assert rel[primitive] < app
+        # the SPARC context switch is *slower* than the CVAX's
+        if system == "sparc":
+            assert rel[Primitive.CONTEXT_SWITCH] < 1.0
+
+
+def test_r3000_beats_r2000_everywhere(results):
+    for primitive in Primitive:
+        assert results["r3000"].times_us[primitive] < results["r2000"].times_us[primitive]
+
+
+def test_sparc_syscall_no_faster_than_cvax(results):
+    """Table 1: SPARC relative speed for the null syscall is 1.0."""
+    ratio = results["cvax"].null_syscall_us / results["sparc"].null_syscall_us
+    assert ratio == pytest.approx(1.0, abs=0.15)
+
+
+@pytest.mark.parametrize("system", ["cvax", "r2000", "sparc"])
+def test_table5_breakdown(system):
+    breakdown = syscall_breakdown_us(get_arch(system))
+    paper = pt.TABLE5_BREAKDOWN_US[system]
+    # components must sum to the total
+    parts = breakdown["kernel_entry_exit"] + breakdown["call_prep"] + breakdown["c_call"]
+    assert parts == pytest.approx(breakdown["total"], rel=1e-6)
+    # entry/exit and total within tolerance of the paper
+    assert breakdown["kernel_entry_exit"] == pytest.approx(paper["kernel_entry_exit"], rel=0.25, abs=0.3)
+    assert breakdown["total"] == pytest.approx(paper["total"], rel=TIME_RTOL)
+
+
+def test_table5_shape_risc_entry_fast_prep_slow():
+    cvax = syscall_breakdown_us(get_arch("cvax"))
+    for system in ("r2000", "sparc"):
+        risc = syscall_breakdown_us(get_arch(system))
+        # RISC kernel entry/exit much faster than microcoded CHMK/REI
+        assert cvax["kernel_entry_exit"] / risc["kernel_entry_exit"] > 4.0
+        # ... but call preparation slower than the CVAX
+        assert risc["call_prep"] > cvax["call_prep"]
+
+
+def test_phase_fraction_helper():
+    frac = phase_fraction(get_arch("sparc"), Primitive.NULL_SYSCALL, CALL_PREP_PHASES)
+    assert 0.5 < frac < 1.0
+
+
+def test_measure_primitives_reports_instruction_counts():
+    result = measure_primitives(get_arch("r2000"))
+    for primitive in Primitive:
+        assert result.instructions[primitive] == pt.TABLE2_INSTRUCTIONS[primitive]["r2000"]

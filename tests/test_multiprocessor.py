@@ -1,0 +1,83 @@
+"""Multiprocessor lock-scaling tests (§4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_arch
+from repro.threads.multiprocessor import (
+    MPWorkload,
+    run_parallel,
+    saturation_point,
+    speedup_curve,
+)
+
+
+def test_single_cpu_has_no_lock_waiting():
+    result = run_parallel(get_arch("sparc"), 1)
+    assert result.lock_wait_us == 0.0
+    assert result.utilization > 0.9
+
+
+def test_tas_machines_scale_nearly_linearly():
+    curve = dict(speedup_curve(get_arch("sparc"), (1, 2, 4, 8)))
+    assert curve[2] == pytest.approx(2.0, rel=0.1)
+    assert curve[4] == pytest.approx(4.0, rel=0.15)
+    assert curve[8] > 6.0
+
+
+def test_mips_kernel_trap_lock_caps_speedup():
+    """§4.1: kernel-trap synchronization throttles fine-grained
+    parallelism on the R3000."""
+    curve = dict(speedup_curve(get_arch("r3000"), (1, 2, 4, 8, 16)))
+    assert curve[16] < 2.5  # serialized behind the trap path
+    sparc = dict(speedup_curve(get_arch("sparc"), (1, 16)))
+    assert sparc[16] > 3 * curve[16]
+
+
+def test_saturation_earlier_on_mips():
+    mips = saturation_point(get_arch("r3000"))
+    sparc = saturation_point(get_arch("sparc"))
+    assert mips < sparc
+
+
+def test_coarser_grain_restores_mips_scaling():
+    """Only coarse-grained parallelism works with costly locks (§4)."""
+    fine = MPWorkload(items=500, calls_per_item=5, critical_calls=1)
+    coarse = MPWorkload(items=50, calls_per_item=500, critical_calls=1)
+    fine_speedup = dict(speedup_curve(get_arch("r3000"), (1, 8), fine))[8]
+    coarse_speedup = dict(speedup_curve(get_arch("r3000"), (1, 8), coarse))[8]
+    assert coarse_speedup > 2 * fine_speedup
+
+
+def test_lock_wait_grows_with_cpus_under_contention():
+    arch = get_arch("r3000")
+    low = run_parallel(arch, 2)
+    high = run_parallel(arch, 8)
+    assert high.lock_wait_us > low.lock_wait_us
+
+
+def test_invalid_cpu_count():
+    with pytest.raises(ValueError):
+        run_parallel(get_arch("r3000"), 0)
+
+
+def test_busy_time_is_cpu_invariant():
+    arch = get_arch("sparc")
+    assert run_parallel(arch, 1).busy_us == pytest.approx(run_parallel(arch, 8).busy_us)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    cpus=st.integers(min_value=1, max_value=12),
+    items=st.integers(min_value=10, max_value=300),
+)
+def test_mp_invariants(cpus, items):
+    workload = MPWorkload(items=items, calls_per_item=4, critical_calls=1)
+    result = run_parallel(get_arch("sparc"), cpus, workload)
+    assert result.elapsed_us > 0
+    assert 0.0 < result.utilization <= 1.0
+    # elapsed can never beat perfect division of busy time
+    assert result.elapsed_us >= result.busy_us / cpus - 1e-9
+    # and never exceeds fully-serial execution plus overheads
+    serial = run_parallel(get_arch("sparc"), 1, workload)
+    assert result.elapsed_us <= serial.elapsed_us + 1e-9

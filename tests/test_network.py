@@ -1,0 +1,73 @@
+"""Ethernet model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ipc.network import Ethernet, Packet
+
+
+def test_transit_time_includes_latency_and_serialization():
+    net = Ethernet(bandwidth_mbps=10.0, latency_us=100.0)
+    t74 = net.transit_us(74)
+    assert t74 == pytest.approx(100.0 + (74 + 18) * 0.8)
+    assert net.transit_us(1500) > t74
+
+
+def test_minimum_frame_padding():
+    net = Ethernet()
+    assert net.transit_us(1) == net.transit_us(46)
+
+
+def test_send_and_deliver():
+    net = Ethernet(latency_us=10.0)
+    p = Packet(payload_bytes=100)
+    arrival = net.send(p, now_us=5.0)
+    assert arrival > 5.0
+    assert net.in_flight == 1
+    assert net.deliver_ready(arrival - 1.0) == []
+    delivered = net.deliver_ready(arrival)
+    assert delivered == [p]
+    assert net.in_flight == 0
+
+
+def test_stats_accumulate():
+    net = Ethernet()
+    net.send(Packet(payload_bytes=74))
+    net.send(Packet(payload_bytes=1500))
+    assert net.stats.packets == 2
+    assert net.stats.bytes == 1574
+    assert net.stats.wire_us > 0
+
+
+def test_scaled_network_is_faster():
+    base = Ethernet(bandwidth_mbps=10.0, latency_us=100.0)
+    fast = base.scaled(10.0)
+    assert fast.transit_us(1500) < base.transit_us(1500)
+    # latency floor remains (the §2.1 point)
+    assert fast.transit_us(1500) > base.latency_us
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Ethernet(bandwidth_mbps=0)
+    with pytest.raises(ValueError):
+        Ethernet(latency_us=-1)
+
+
+@given(nbytes=st.integers(min_value=0, max_value=9000))
+def test_transit_monotone_in_size(nbytes):
+    net = Ethernet()
+    assert net.transit_us(nbytes + 1) >= net.transit_us(nbytes)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1500), min_size=1, max_size=20))
+def test_fifo_delivery_order(sizes):
+    net = Ethernet()
+    packets = []
+    now = 0.0
+    for size in sizes:
+        p = Packet(payload_bytes=size)
+        now = net.send(p, now_us=now)
+        packets.append(p)
+    delivered = net.deliver_ready(now + 1e9)
+    assert delivered == packets

@@ -1,0 +1,152 @@
+"""VM-overlay service tests (§3: GC, checkpointing, transactions)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.mem.address_space import AddressSpace
+from repro.mem.overlays import (
+    Checkpointer,
+    TransactionLockManager,
+    WriteBarrier,
+    barrier_cost,
+)
+from repro.mem.pagetable import Protection
+from repro.mem.vm import PageFault, VirtualMemory
+
+
+def make_vm(arch_name="r3000", name="svc"):
+    vm = VirtualMemory(get_arch(arch_name))
+    space = AddressSpace(name=name)
+    vm.activate(space)
+    return vm, space
+
+
+# ----------------------------------------------------------------------
+# write barrier
+# ----------------------------------------------------------------------
+
+def test_barrier_traps_first_write_only():
+    vm, space = make_vm()
+    barrier = WriteBarrier(vm, space)
+    barrier.protect_generation(range(4))
+    vm.touch(2, write=True, space=space)
+    vm.touch(2, write=True, space=space)  # second write: no fault
+    assert barrier.stats.faults_taken == 1
+    assert barrier.collect_dirty() == {2}
+    assert barrier.collect_dirty() == set()  # drained
+
+
+def test_barrier_reads_do_not_trap():
+    vm, space = make_vm()
+    barrier = WriteBarrier(vm, space)
+    barrier.protect_generation(range(4))
+    vm.touch(1, write=False, space=space)
+    assert barrier.stats.faults_taken == 0
+
+
+def test_barrier_rearm_after_collection():
+    vm, space = make_vm()
+    barrier = WriteBarrier(vm, space)
+    barrier.protect_generation(range(4))
+    vm.touch(0, write=True, space=space)
+    barrier.collect_dirty()
+    barrier.protect_generation(range(4))  # re-protect for next epoch
+    vm.touch(0, write=True, space=space)
+    assert barrier.stats.faults_taken == 2
+
+
+def test_detach_stops_handling():
+    vm, space = make_vm()
+    barrier = WriteBarrier(vm, space)
+    barrier.protect_generation(range(2))
+    barrier.detach()
+    with pytest.raises(PageFault):
+        vm.touch(0, write=True, space=space)
+
+
+def test_barrier_cost_tracks_architecture():
+    """The §3.3 point: overlay services need fast faults."""
+    r3000 = barrier_cost("r3000")
+    i860 = barrier_cost("i860")
+    assert i860.us_per_fault > 2 * r3000.us_per_fault
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+
+def test_checkpoint_copies_each_page_once():
+    vm, space = make_vm(name="ckpt")
+    ck = Checkpointer(vm, space)
+    ck.begin_checkpoint(range(8))
+    for vpn in (1, 3, 3, 5, 1):
+        vm.touch(vpn, write=True, space=space)
+    assert ck.stats.faults_taken == 3
+    assert ck.stats.pages_copied == 3
+    assert ck.pages_saved() == 3
+
+
+def test_checkpoint_epochs_are_separate():
+    vm, space = make_vm(name="ckpt2")
+    ck = Checkpointer(vm, space)
+    ck.begin_checkpoint(range(4))
+    vm.touch(0, write=True, space=space)
+    ck.begin_checkpoint(range(4))
+    assert ck.pages_saved() == 0  # nothing written this epoch yet
+    vm.touch(1, write=True, space=space)
+    assert ck.pages_saved() == 1
+
+
+def test_checkpoint_reads_free():
+    vm, space = make_vm(name="ckpt3")
+    ck = Checkpointer(vm, space)
+    ck.begin_checkpoint(range(4))
+    vm.touch(2, write=False, space=space)
+    assert ck.stats.pages_copied == 0
+
+
+# ----------------------------------------------------------------------
+# transaction locking
+# ----------------------------------------------------------------------
+
+def test_transaction_read_and_write_locks():
+    vm, space = make_vm(name="txn")
+    txn = TransactionLockManager(vm, space)
+    txn.begin_transaction(range(6))
+    vm.touch(0, space=space)  # read lock page 0
+    vm.touch(1, write=True, space=space)  # write lock page 1
+    assert txn.read_locked == {0}
+    assert txn.write_locked == {1}
+
+
+def test_transaction_lock_upgrade():
+    vm, space = make_vm(name="txn2")
+    txn = TransactionLockManager(vm, space)
+    txn.begin_transaction(range(4))
+    vm.touch(0, space=space)
+    vm.touch(0, write=True, space=space)  # upgrade read -> write
+    assert txn.write_locked == {0}
+    assert txn.read_locked == set()
+
+
+def test_commit_releases_and_reprotects():
+    vm, space = make_vm(name="txn3")
+    txn = TransactionLockManager(vm, space)
+    txn.begin_transaction(range(4))
+    vm.touch(0, space=space)
+    vm.touch(1, write=True, space=space)
+    assert txn.commit() == (1, 1)
+    # next touch faults again (locks gone, page NONE)
+    vm.touch(0, space=space)
+    assert 0 in txn.read_locked
+
+
+def test_second_access_under_lock_is_free():
+    vm, space = make_vm(name="txn4")
+    txn = TransactionLockManager(vm, space)
+    txn.begin_transaction(range(4))
+    vm.touch(0, write=True, space=space)
+    faults = txn.stats.faults_taken
+    vm.touch(0, write=True, space=space)
+    vm.touch(0, space=space)
+    assert txn.stats.faults_taken == faults

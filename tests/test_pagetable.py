@@ -1,0 +1,142 @@
+"""Page table organization tests (§3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.pagetable import (
+    LEVEL_REGION_PAGES,
+    LinearPageTable,
+    MultiLevelPageTable,
+    PageTableError,
+    Protection,
+    SoftwareTLBPageTable,
+    make_page_table,
+)
+
+ALL_KINDS = ["linear", "software", "multilevel"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_map_lookup_unmap_roundtrip(kind):
+    table = make_page_table(kind)
+    table.map(10, 42, Protection.READ)
+    entry = table.lookup(10)
+    assert entry is not None
+    assert entry.pfn == 42
+    assert entry.protection is Protection.READ
+    table.unmap(10)
+    assert table.lookup(10) is None
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_protect_changes_protection(kind):
+    table = make_page_table(kind)
+    table.map(5, 5)
+    table.protect(5, Protection.NONE)
+    assert table.lookup(5).protection is Protection.NONE
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_protect_unmapped_raises(kind):
+    table = make_page_table(kind)
+    with pytest.raises(PageTableError):
+        table.protect(99, Protection.READ)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(PageTableError):
+        make_page_table("inverted")
+
+
+def test_protection_allows():
+    assert Protection.READ_WRITE.allows(write=True)
+    assert Protection.READ_WRITE.allows(write=False)
+    assert Protection.READ.allows(write=False)
+    assert not Protection.READ.allows(write=True)
+    assert not Protection.NONE.allows(write=False)
+
+
+def test_linear_table_bounds_checked():
+    table = LinearPageTable(span_pages=100)
+    with pytest.raises(PageTableError):
+        table.map(100, 0)
+    with pytest.raises(PageTableError):
+        table.lookup(-1)
+
+
+def test_linear_table_sparse_overhead_grows_with_span():
+    """The VAX problem: a sparse space pays for the whole span."""
+    table = LinearPageTable(span_pages=1 << 20)
+    table.map(0, 0)
+    table.map(500_000, 1)
+    assert table.table_overhead_words() >= 500_001
+    assert table.resident_pages == 2
+
+
+def test_software_table_sparse_overhead_is_population():
+    """The MIPS advantage: OS-chosen format handles sparseness."""
+    table = SoftwareTLBPageTable()
+    table.map(0, 0)
+    table.map(500_000, 1)
+    assert table.table_overhead_words() == 2
+
+
+def test_multilevel_region_entry_covers_whole_region():
+    table = MultiLevelPageTable()
+    entry = table.map_region(0, 100, level=1)  # 256 KB: 64 pages
+    assert entry.region_pages == LEVEL_REGION_PAGES[1] == 64
+    for vpn in (0, 1, 63):
+        found = table.lookup(vpn)
+        assert found is entry
+        assert table.translate_pfn(found, vpn) == 100 + vpn
+    assert table.lookup(64) is None
+
+
+def test_multilevel_level0_region():
+    table = MultiLevelPageTable()
+    table.map_region(4096, 0, level=0)  # 16 MB region
+    assert table.lookup(4096 + 4095) is not None
+    assert table.lookup(8192) is None
+
+
+def test_multilevel_region_alignment_enforced():
+    table = MultiLevelPageTable()
+    with pytest.raises(PageTableError):
+        table.map_region(3, 0, level=1)
+    with pytest.raises(PageTableError):
+        table.map_region(0, 0, level=2)
+
+
+def test_multilevel_regular_mapping_shadows_nothing():
+    table = MultiLevelPageTable()
+    table.map_region(0, 0, level=1)
+    table.map(5, 999)
+    assert table.lookup(5).pfn == 999  # page entry wins over region
+
+
+def test_multilevel_walk_cost_is_three_levels():
+    assert MultiLevelPageTable.walk_cost == 3
+    assert LinearPageTable.walk_cost == 1
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10_000), max_size=50))
+def test_resident_pages_matches_population(vpns):
+    table = SoftwareTLBPageTable()
+    for vpn in vpns:
+        table.map(vpn, vpn)
+    assert table.resident_pages == len(vpns)
+    for vpn in vpns:
+        assert table.lookup(vpn) is not None
+
+
+@given(
+    vpns=st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=40, unique=True),
+    protections=st.lists(st.sampled_from(list(Protection)), min_size=1, max_size=40),
+)
+def test_last_protection_wins(vpns, protections):
+    table = SoftwareTLBPageTable()
+    vpn = vpns[0]
+    table.map(vpn, 0)
+    for protection in protections:
+        table.protect(vpn, protection)
+    assert table.lookup(vpn).protection is protections[-1]

@@ -1,0 +1,117 @@
+"""Unit + property tests for programs and the builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program, ProgramBuilder, concat_programs
+
+
+def build_sample():
+    b = ProgramBuilder("sample")
+    with b.phase("one"):
+        b.alu(3)
+        b.stores(2, page=0)
+    with b.phase("two"):
+        b.loads(4)
+        b.nops(1)
+    return b.build()
+
+
+def test_phase_ordering_first_appearance():
+    program = build_sample()
+    assert program.phases == ("one", "two")
+
+
+def test_counts_by_phase_and_opclass():
+    program = build_sample()
+    assert program.counts_by_phase() == {"one": 5, "two": 5}
+    assert program.count(opclass=OpClass.ALU) == 3
+    assert program.count(opclass=OpClass.LOAD, phase="two") == 4
+    assert program.count(phase="one") == 5
+    assert len(program) == 10
+
+
+def test_slice_phase():
+    program = build_sample()
+    sliced = program.slice_phase("two")
+    assert len(sliced) == 5
+    assert all(inst.phase == "two" for inst in sliced)
+
+
+def test_concat_preserves_order_and_length():
+    a = build_sample()
+    b = build_sample()
+    joined = concat_programs([a, b], name="joined")
+    assert len(joined) == len(a) + len(b)
+    assert joined.name == "joined"
+
+
+def test_nested_phases():
+    b = ProgramBuilder()
+    with b.phase("outer"):
+        b.alu(1)
+        with b.phase("inner"):
+            b.alu(1)
+        b.alu(1)
+    program = b.build()
+    assert program.counts_by_phase() == {"outer": 2, "inner": 1}
+
+
+def test_default_phase_when_unscoped():
+    b = ProgramBuilder()
+    b.alu(1)
+    assert b.build().phases == (ProgramBuilder.DEFAULT_PHASE,)
+
+
+def test_negative_count_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.alu(-1)
+
+
+def test_microcoded_requires_positive_cycles():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.microcoded("bad", 0)
+    b.microcoded("ok", 1)
+    assert b.build().instructions[0].extra_cycles == 0
+
+
+def test_dump_contains_every_instruction():
+    program = build_sample()
+    dump = program.dump()
+    assert dump.count("\n") == len(program)  # header + one line each
+
+
+@given(
+    alus=st.integers(min_value=0, max_value=50),
+    loads=st.integers(min_value=0, max_value=50),
+    stores=st.integers(min_value=0, max_value=50),
+)
+def test_builder_emits_exact_counts(alus, loads, stores):
+    b = ProgramBuilder()
+    b.alu(alus)
+    b.loads(loads)
+    b.stores(stores)
+    program = b.build()
+    assert len(program) == alus + loads + stores
+    assert program.count(opclass=OpClass.ALU) == alus
+    assert program.count(opclass=OpClass.LOAD) == loads
+    assert program.count(opclass=OpClass.STORE) == stores
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=20))
+def test_phases_subset_of_emitted_labels(labels):
+    b = ProgramBuilder()
+    for label in labels:
+        with b.phase(label):
+            b.alu(1)
+    program = b.build()
+    assert set(program.phases) == set(labels)
+    # first-appearance order is stable
+    seen = []
+    for label in labels:
+        if label not in seen:
+            seen.append(label)
+    assert list(program.phases) == seen

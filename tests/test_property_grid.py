@@ -1,0 +1,174 @@
+"""Cross-architecture property grid.
+
+Structural invariants that must hold for *every* architecture with
+handler drivers, plus hypothesis-driven model properties.  These are
+the tests that catch a future calibration edit breaking the paper's
+shape somewhere off the beaten path.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_arch
+from repro.core.microbench import measure_primitives
+from repro.isa.executor import Executor, run_on
+from repro.isa.instructions import OpClass
+from repro.kernel.handlers import build_handler, handler_program
+from repro.kernel.primitives import (
+    C_CALL_PHASES,
+    CALL_PREP_PHASES,
+    KERNEL_ENTRY_EXIT_PHASES,
+    Primitive,
+)
+
+DRIVER_SYSTEMS = ("cvax", "m88000", "r2000", "r3000", "sparc", "i860")
+GRID = [(s, p) for s in DRIVER_SYSTEMS for p in Primitive]
+
+
+@pytest.mark.parametrize("system,primitive", GRID)
+def test_handler_phases_covered_by_known_groups(system, primitive):
+    """Every phase label belongs to a named group (or is body-like)."""
+    known = (
+        KERNEL_ENTRY_EXIT_PHASES
+        | CALL_PREP_PHASES
+        | C_CALL_PHASES
+        | {
+            "compute", "pte_update", "tlb_update", "cmmu_ops", "cache_sweep",
+            "cache_flush", "save_state", "restore_state", "addr_space_switch",
+            "pcb", "stack_misc", "return",
+        }
+    )
+    program = handler_program(get_arch(system), primitive)
+    unknown = set(program.phases) - known
+    assert not unknown, f"unclassified phases: {unknown}"
+
+
+@pytest.mark.parametrize("system,primitive", GRID)
+def test_execution_deterministic(system, primitive):
+    arch = get_arch(system)
+    first = build_handler(arch, primitive)
+    second = build_handler(arch, primitive)
+    assert first.cycles == second.cycles
+    assert first.instructions == second.instructions
+
+
+@pytest.mark.parametrize("system,primitive", GRID)
+def test_cycles_exceed_instruction_count_on_risc(system, primitive):
+    if system == "cvax":
+        pytest.skip("CISC instruction counts are tiny by design")
+    result = build_handler(get_arch(system), primitive)
+    assert result.cycles >= result.instructions
+
+
+@pytest.mark.parametrize("system", DRIVER_SYSTEMS)
+def test_trap_costs_at_least_a_syscall(system):
+    """The trap saves strictly more state than the voluntary syscall."""
+    arch = get_arch(system)
+    trap = build_handler(arch, Primitive.TRAP).cycles
+    syscall = build_handler(arch, Primitive.NULL_SYSCALL).cycles
+    assert trap > syscall * 0.95  # i860's common vector makes them close
+
+
+@pytest.mark.parametrize("system", DRIVER_SYSTEMS)
+def test_subtraction_method_positive_everywhere(system):
+    result = measure_primitives(get_arch(system))
+    for primitive, us in result.times_us.items():
+        assert us > 0, (system, primitive)
+
+
+@pytest.mark.parametrize("system", DRIVER_SYSTEMS)
+def test_clock_scaling_is_linear(system):
+    """Same spec at 2x clock runs every handler exactly 2x faster."""
+    arch = get_arch(system)
+    doubled = arch.with_overrides(clock_mhz=arch.clock_mhz * 2)
+    for primitive in Primitive:
+        base = build_handler(arch, primitive).time_us
+        fast = build_handler(doubled, primitive).time_us
+        assert fast == pytest.approx(base / 2)
+
+
+@pytest.mark.parametrize("system", DRIVER_SYSTEMS)
+def test_nops_only_on_delay_slot_architectures(system):
+    arch = get_arch(system)
+    program = handler_program(arch, Primitive.NULL_SYSCALL)
+    nops = program.count(opclass=OpClass.NOP)
+    if arch.delay_slots.branch_slots or arch.delay_slots.load_slots:
+        assert nops > 0
+    else:
+        assert nops == 0  # the CVAX driver has no delay slots to fill
+
+
+# ----------------------------------------------------------------------
+# hypothesis-driven model properties
+# ----------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=25)
+@given(
+    alus=st.integers(min_value=0, max_value=40),
+    stores=st.integers(min_value=0, max_value=40),
+    loads=st.integers(min_value=0, max_value=40),
+)
+def test_cost_monotone_in_instruction_mix(alus, stores, loads):
+    """Adding instructions never reduces cycles, on any architecture."""
+    from repro.isa.program import ProgramBuilder
+
+    for system in ("r2000", "sparc"):
+        arch = get_arch(system)
+        small = ProgramBuilder("s")
+        small.alu(alus)
+        small.stores(stores, page=0)
+        small.loads(loads)
+        bigger = ProgramBuilder("b")
+        bigger.alu(alus + 1)
+        bigger.stores(stores, page=0)
+        bigger.loads(loads)
+        assert (
+            run_on(arch, bigger.build()).cycles
+            >= run_on(arch, small.build()).cycles
+        )
+
+
+@settings(deadline=None, max_examples=20)
+@given(factor=st.floats(min_value=1.0, max_value=4.0))
+def test_mach_model_monotone_in_service_intensity(factor):
+    """Scaling a workload's services scales its kernelized event counts
+    monotonically."""
+    from repro.os_models.mach import MachOS, OSStructure
+    from repro.os_models.services import WorkloadProfile, profile_by_name
+    from dataclasses import replace
+
+    base_profile = profile_by_name("spellcheck-1")
+    scaled_services = {
+        service: round(count * factor)
+        for service, count in base_profile.services.items()
+    }
+    scaled = replace(base_profile, services=scaled_services)
+    kern = MachOS(OSStructure.KERNELIZED)
+    base_row = kern.run(base_profile)
+    scaled_row = kern.run(scaled)
+    assert scaled_row.syscalls >= base_row.syscalls
+    assert scaled_row.addr_space_switches >= base_row.addr_space_switches * 0.99
+    assert scaled_row.elapsed_s >= base_row.elapsed_s * 0.99
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    request_bytes=st.integers(min_value=1, max_value=1400),
+    reply_bytes=st.integers(min_value=1, max_value=1400),
+)
+def test_rpc_cost_monotone_in_payload(request_bytes, reply_bytes):
+    from repro.ipc.rpc import RPCChannel
+
+    channel = RPCChannel()
+    small = channel.call(request_bytes, reply_bytes).total_us
+    bigger = channel.call(request_bytes + 100, reply_bytes + 100).total_us
+    assert bigger >= small
+
+
+@settings(deadline=None, max_examples=15)
+@given(windows=st.integers(min_value=0, max_value=7))
+def test_window_sweep_monotone(windows):
+    from repro.analysis.ablations import window_flush_sweep
+
+    sweep = dict(window_flush_sweep((windows, windows + 1)))
+    assert sweep[windows] < sweep[windows + 1]

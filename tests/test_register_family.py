@@ -1,0 +1,106 @@
+"""Custom-architecture registration API tests."""
+
+import pytest
+
+from repro.arch.specs import (
+    ArchKind,
+    ArchSpec,
+    CacheSpec,
+    CacheWritePolicy,
+    CostModel,
+    ThreadStateSpec,
+    TLBSpec,
+)
+from repro.core.microbench import measure_primitives
+from repro.isa.assembler import assemble
+from repro.kernel.handlers import (
+    build_handler,
+    handler_family,
+    register_family,
+    unregister_family,
+)
+from repro.kernel.primitives import Primitive
+
+
+def make_spec(name="testarch"):
+    return ArchSpec(
+        name=name,
+        system_name="Test Architecture",
+        kind=ArchKind.RISC,
+        clock_mhz=20.0,
+        app_performance_ratio=5.0,
+        cost=CostModel(),
+        tlb=TLBSpec(entries=32, pid_tagged=True, software_managed=False),
+        cache=CacheSpec(lines=64, line_bytes=32, virtually_addressed=False,
+                        write_policy=CacheWritePolicy.WRITE_BACK),
+        thread_state=ThreadStateSpec(registers=32, fp_state=0, misc_state=2),
+    )
+
+
+def trivial_builders():
+    def program(name, body_ops):
+        return lambda: assemble(
+            f".program {name}\n.phase kernel_entry\ntrap\n"
+            f".phase body\nalu x{body_ops}\n.phase kernel_exit\nrfe\n"
+        )
+
+    return {
+        Primitive.NULL_SYSCALL: program("t:sys", 10),
+        Primitive.TRAP: program("t:trap", 20),
+        Primitive.PTE_CHANGE: program("t:pte", 5),
+        Primitive.CONTEXT_SWITCH: program("t:ctx", 30),
+    }
+
+
+@pytest.fixture
+def registered():
+    register_family("testfam", ("testarch",), trivial_builders())
+    yield make_spec()
+    unregister_family("testfam")
+
+
+def test_registered_family_measures(registered):
+    arch = registered
+    assert handler_family(arch) == "testfam"
+    result = measure_primitives(arch)
+    assert result.instructions[Primitive.NULL_SYSCALL] == 11  # 10 alu + rfe
+    assert result.times_us[Primitive.CONTEXT_SWITCH] > result.times_us[Primitive.PTE_CHANGE]
+
+
+def test_registered_family_caches_programs(registered):
+    arch = registered
+    first = build_handler(arch, Primitive.TRAP)
+    second = build_handler(arch, Primitive.TRAP)
+    assert first.cycles == second.cycles
+
+
+def test_incomplete_builders_rejected():
+    builders = trivial_builders()
+    del builders[Primitive.TRAP]
+    with pytest.raises(ValueError):
+        register_family("incomplete", ("x",), builders)
+
+
+def test_name_clash_with_builtin_rejected():
+    with pytest.raises(ValueError):
+        register_family("myfam", ("r3000",), trivial_builders())
+
+
+def test_cannot_unregister_builtin():
+    with pytest.raises(ValueError):
+        unregister_family("mips")
+
+
+def test_unregister_removes_mapping():
+    register_family("ephemeral", ("ephem",), trivial_builders())
+    unregister_family("ephemeral")
+    spec = make_spec("ephem")
+    with pytest.raises(KeyError):
+        handler_family(spec)
+
+
+def test_reregistration_after_unregister():
+    register_family("again", ("againarch",), trivial_builders())
+    unregister_family("again")
+    register_family("again", ("againarch",), trivial_builders())
+    unregister_family("again")

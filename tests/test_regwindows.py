@@ -1,0 +1,82 @@
+"""Register window file tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.arch.regwindows import WindowFile
+from repro.arch.specs import RegisterWindowSpec
+
+SPEC = RegisterWindowSpec(n_windows=8, regs_per_window=16)
+
+
+def test_shallow_calls_never_overflow():
+    wf = WindowFile(SPEC)
+    for _ in range(6):  # usable = 7
+        assert wf.call() is False
+    assert wf.events.overflows == 0
+
+
+def test_deep_calls_overflow_once_per_extra_frame():
+    wf = WindowFile(SPEC)
+    for _ in range(10):
+        wf.call()
+    assert wf.events.overflows == 10 - 6
+    assert wf.depth == 7  # pinned at usable windows
+
+
+def test_returns_underflow_after_spill():
+    wf = WindowFile(SPEC)
+    for _ in range(10):
+        wf.call()
+    underflows = 0
+    for _ in range(10):
+        if wf.ret():
+            underflows += 1
+    assert underflows == wf.events.underflows == 4
+    assert wf.depth == 1
+
+
+def test_return_past_bottom_is_safe():
+    wf = WindowFile(SPEC)
+    assert wf.ret() is False
+    assert wf.depth == 1
+
+
+def test_flush_for_switch_counts_dirty_windows():
+    wf = WindowFile(SPEC)
+    wf.call()
+    wf.call()
+    assert wf.depth == 3
+    assert wf.flush_for_switch() == 3
+    assert wf.depth == 1
+    # the spilled frames refill on the way back up
+    assert wf.spilled == 2
+
+
+def test_words_to_save_on_switch():
+    wf = WindowFile(SPEC)
+    wf.call()
+    assert wf.words_to_save_on_switch == 2 * 16
+
+
+@given(st.lists(st.booleans(), max_size=200))
+def test_depth_always_in_bounds(ops):
+    wf = WindowFile(SPEC)
+    for is_call in ops:
+        if is_call:
+            wf.call()
+        else:
+            wf.ret()
+        assert 1 <= wf.depth <= wf.usable_windows
+        assert wf.spilled >= 0
+
+
+@given(st.integers(min_value=0, max_value=50))
+def test_call_ret_balanced_returns_to_base(n):
+    wf = WindowFile(SPEC)
+    for _ in range(n):
+        wf.call()
+    for _ in range(n):
+        wf.ret()
+    assert wf.depth == 1
+    # every overflow eventually matched by an underflow
+    assert wf.events.overflows == wf.events.underflows

@@ -1,0 +1,106 @@
+"""SRC-RPC model tests (Table 3 shape)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core import papertargets as pt
+from repro.ipc.network import Ethernet
+from repro.ipc.rpc import NULL_RPC_BYTES, RPCChannel, firefly_machine
+from repro.kernel.system import SimulatedMachine
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return RPCChannel()
+
+
+def test_wire_fraction_small_near_17_percent(channel):
+    breakdown = channel.null_call()
+    assert breakdown.wire_fraction == pytest.approx(pt.TABLE3_WIRE_FRACTION_SMALL, abs=0.04)
+
+
+def test_wire_fraction_large_near_half(channel):
+    low, high = pt.TABLE3_WIRE_FRACTION_LARGE_RANGE
+    breakdown = channel.large_result_call()
+    assert low <= breakdown.wire_fraction <= high
+
+
+def test_checksum_share_doubles_with_packet_size(channel):
+    low, high = pt.TABLE3_CHECKSUM_SHARE_GROWTH_RANGE
+    small = channel.null_call()
+    large = channel.large_result_call()
+    growth = large.fraction("checksum") / small.fraction("checksum")
+    assert low <= growth <= high
+
+
+def test_cpu_dominates_small_packet(channel):
+    """The §2.1 headline: OS involvement dominates network latency."""
+    breakdown = channel.null_call()
+    assert breakdown.cpu_us > 3 * breakdown.components_us["wire"]
+
+
+def test_components_all_positive(channel):
+    breakdown = channel.null_call()
+    for key in ("stubs", "checksum", "os_send", "interrupt", "wakeup", "wire"):
+        assert breakdown.components_us[key] > 0, key
+
+
+def test_larger_reply_costs_more(channel):
+    assert channel.large_result_call().total_us > channel.null_call().total_us
+
+
+def test_breakdown_fractions_sum_to_one(channel):
+    breakdown = channel.null_call()
+    total = sum(breakdown.fraction(k) for k in breakdown.components_us)
+    assert total == pytest.approx(1.0)
+
+
+def test_merged_breakdowns_add():
+    a = RPCChannel().null_call()
+    b = RPCChannel().null_call()
+    merged = a.merged(b)
+    assert merged.total_us == pytest.approx(a.total_us + b.total_us)
+
+
+def test_firefly_machine_is_slow_cvax():
+    firefly = firefly_machine()
+    assert firefly.arch.clock_mhz < get_arch("cvax").clock_mhz
+    assert firefly.arch.name == "cvax"  # same handler family
+
+
+def test_faster_cpus_dont_scale_rpc_proportionally():
+    """Ousterhout's Sprite observation, on our stack: an R3000 is ~7x
+    the Firefly CVAX on applications, but null RPC improves far less."""
+    slow_machine = firefly_machine()
+    slow = RPCChannel().null_call()
+    fast = RPCChannel(
+        client=SimulatedMachine(get_arch("r3000")),
+        server=SimulatedMachine(get_arch("r3000")),
+    ).null_call()
+    rpc_speedup = slow.total_us / fast.total_us
+    # integer speedup firefly -> DS5000: app ratio scaled by clock
+    integer_speedup = (
+        get_arch("r3000").app_performance_ratio
+        / (slow_machine.arch.clock_mhz / get_arch("cvax").clock_mhz)
+    )
+    assert rpc_speedup < integer_speedup / 3  # far below the CPU speedup
+    assert rpc_speedup > 1.2  # but it does improve
+
+
+def test_faster_network_shifts_bottleneck():
+    slow_net = RPCChannel(network=Ethernet(bandwidth_mbps=10.0))
+    fast_net = RPCChannel(network=Ethernet(bandwidth_mbps=1000.0))
+    slow = slow_net.large_result_call()
+    fast = fast_net.large_result_call()
+    assert fast.wire_fraction < slow.wire_fraction
+    assert fast.total_us < slow.total_us
+    # CPU components unchanged: the OS is now the bound (§2.1)
+    assert fast.cpu_us == pytest.approx(slow.cpu_us, rel=0.01)
+
+
+def test_call_counts_tracked():
+    channel = RPCChannel()
+    channel.null_call()
+    channel.large_result_call()
+    assert channel.calls == 2
+    assert channel.network.stats.packets == 4

@@ -1,0 +1,89 @@
+"""Scheduler unit tests."""
+
+import pytest
+
+from repro.kernel.process import Process, ThreadState
+from repro.kernel.scheduler import Scheduler
+
+
+@pytest.fixture
+def setup():
+    scheduler = Scheduler()
+    process = Process("p")
+    return scheduler, process
+
+
+def test_fifo_order(setup):
+    scheduler, process = setup
+    threads = [process.spawn_thread() for _ in range(3)]
+    for t in threads:
+        scheduler.enqueue(t)
+    assert scheduler.pick_next() is threads[0]
+    assert scheduler.pick_next() is threads[1]
+    assert scheduler.pick_next() is threads[2]
+    assert scheduler.pick_next() is None
+
+
+def test_dispatch_marks_running(setup):
+    scheduler, process = setup
+    t = process.main_thread
+    scheduler.enqueue(t)
+    picked = scheduler.pick_next()
+    scheduler.dispatch(picked)
+    assert picked.state is ThreadState.RUNNING
+    assert scheduler.current is picked
+
+
+def test_preempt_requeues(setup):
+    scheduler, process = setup
+    a, b = process.main_thread, process.spawn_thread()
+    scheduler.enqueue(a)
+    scheduler.dispatch(scheduler.pick_next())
+    scheduler.enqueue(b)
+    scheduler.preempt_current()
+    assert scheduler.pick_next() is b
+    assert scheduler.pick_next() is a
+
+
+def test_block_and_wake(setup):
+    scheduler, process = setup
+    t = process.main_thread
+    scheduler.enqueue(t)
+    scheduler.dispatch(scheduler.pick_next())
+    scheduler.block_current()
+    assert t.state is ThreadState.BLOCKED
+    assert scheduler.pick_next() is None
+    scheduler.wake(t)
+    assert scheduler.pick_next() is t
+
+
+def test_wake_ignores_non_blocked(setup):
+    scheduler, process = setup
+    t = process.main_thread
+    scheduler.wake(t)  # READY: no-op
+    assert scheduler.ready_count == 0
+
+
+def test_finish_current(setup):
+    scheduler, process = setup
+    t = process.main_thread
+    scheduler.enqueue(t)
+    scheduler.dispatch(scheduler.pick_next())
+    scheduler.finish_current()
+    assert t.state is ThreadState.FINISHED
+    with pytest.raises(ValueError):
+        scheduler.enqueue(t)
+
+
+def test_block_without_current_raises(setup):
+    scheduler, _ = setup
+    with pytest.raises(RuntimeError):
+        scheduler.block_current()
+
+
+def test_stale_queue_entries_skipped(setup):
+    scheduler, process = setup
+    t = process.main_thread
+    scheduler.enqueue(t)
+    t.state = ThreadState.BLOCKED  # state changed while queued
+    assert scheduler.pick_next() is None

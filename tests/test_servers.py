@@ -1,0 +1,100 @@
+"""User-level server tests (§5 kernelized structure, functionally)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.kernel.system import SimulatedMachine
+from repro.os_models.filesystem import BLOCK_BYTES, FileSystem
+from repro.os_models.servers import (
+    FileCacheManager,
+    NetmsgServer,
+    UnixServer,
+    run_served_workload,
+)
+
+
+@pytest.fixture
+def setup():
+    machine = SimulatedMachine(get_arch("r3000"))
+    app = machine.create_process("app")
+    fs = FileSystem(cache_blocks=32)
+    unix = UnixServer(machine, fs)
+    cache = FileCacheManager(machine, fs)
+    machine.switch_to(app.main_thread)
+    return machine, app, fs, unix, cache
+
+
+def test_each_request_is_a_real_rpc(setup):
+    machine, app, fs, unix, cache = setup
+    syscalls = machine.counters.syscalls
+    switches = machine.counters.address_space_switches
+    unix.open(app, "/f", create=True)
+    assert machine.counters.syscalls - syscalls == 2  # send + reply
+    assert machine.counters.address_space_switches - switches == 2
+    assert machine.current_process is app  # control returned
+
+
+def test_server_locks_tick_emulated_instructions_on_mips(setup):
+    machine, app, fs, unix, cache = setup
+    before = machine.counters.emulated_instructions
+    unix.open(app, "/g", create=True)
+    taken = machine.counters.emulated_instructions - before
+    assert taken == 2 * unix.LOCKS_PER_REQUEST
+    assert unix.stats.lock_operations == taken
+
+
+def test_server_locks_free_on_tas_machines():
+    machine = SimulatedMachine(get_arch("sparc"))
+    app = machine.create_process("app")
+    unix = UnixServer(machine)
+    machine.switch_to(app.main_thread)
+    unix.open(app, "/f", create=True)
+    assert machine.counters.emulated_instructions == 0
+
+
+def test_cache_manager_charges_disk_on_misses(setup):
+    machine, app, fs, unix, cache = setup
+    inode = unix.open(app, "/big", create=True)
+    cache.write(app, inode, 0, 4 * BLOCK_BYTES)
+    t0 = machine.clock_us
+    cache.read(app, inode, 0, 4 * BLOCK_BYTES)  # warm: no disk
+    warm_us = machine.clock_us - t0
+    assert cache.disk_us == 0.0
+    # blow the cache, then re-read cold
+    for i in range(40):
+        other = unix.open(app, f"/spill{i}", create=True)
+        cache.write(app, other, 0, BLOCK_BYTES)
+    t1 = machine.clock_us
+    cache.read(app, inode, 0, 4 * BLOCK_BYTES)
+    cold_us = machine.clock_us - t1
+    assert cache.disk_us > 0.0
+    assert cold_us > 5 * warm_us
+
+
+def test_netmsg_server_pays_the_wire(setup):
+    machine, app, fs, unix, cache = setup
+    netmsg = NetmsgServer(machine)
+    machine.switch_to(app.main_thread)
+    t0 = machine.clock_us
+    wire = netmsg.remote_call(app, nbytes=256)
+    assert wire > 0
+    assert machine.clock_us - t0 > wire  # RPC overhead on top of wire
+
+
+def test_served_workload_end_to_end():
+    result = run_served_workload(files=4, reads_per_file=3)
+    # mkdir + per file (open + close) = 1 + 8 unix requests
+    assert result.unix_requests == 9
+    # per file: 1 write + 3 reads
+    assert result.cache_requests == 4 * 4
+    assert result.counters["syscalls"] == 2 * (result.unix_requests + result.cache_requests)
+    assert result.counters["address_space_switches"] == result.counters["syscalls"]
+    assert result.counters["emulated_instructions"] == result.lock_operations
+    assert result.cache_hit_rate > 0.4  # re-reads hit
+    assert result.elapsed_us > 0
+
+
+def test_served_workload_slower_on_sparc():
+    r3000 = run_served_workload(SimulatedMachine(get_arch("r3000")))
+    sparc = run_served_workload(SimulatedMachine(get_arch("sparc")))
+    assert sparc.elapsed_us > r3000.elapsed_us

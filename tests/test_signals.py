@@ -1,0 +1,93 @@
+"""Signal delivery tests (§3, §4.1)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.kernel.signals import Signal, SignalDispatcher
+from repro.kernel.system import SimulatedMachine
+from repro.threads.user import UserThreadPackage
+
+
+@pytest.fixture
+def setup():
+    machine = SimulatedMachine(get_arch("r3000"))
+    process = machine.create_process("app")
+    dispatcher = SignalDispatcher(machine)
+    return machine, process, dispatcher
+
+
+def test_install_costs_a_syscall(setup):
+    machine, process, dispatcher = setup
+    t0 = machine.clock_us
+    us = dispatcher.install(process, Signal.SIGUSR1, lambda m: None)
+    assert machine.clock_us - t0 == pytest.approx(us)
+    assert dispatcher.stats.installed == 1
+
+
+def test_delivery_runs_handler_and_charges_costs(setup):
+    machine, process, dispatcher = setup
+    seen = []
+    dispatcher.install(process, Signal.SIGUSR1, lambda m: seen.append(m.clock_us))
+    t0 = machine.clock_us
+    assert dispatcher.post(process, Signal.SIGUSR1) is True
+    assert seen
+    assert machine.clock_us - t0 >= dispatcher.delivery_cost_us() * 0.99
+    assert dispatcher.stats.delivered == 1
+    assert machine.counters.traps == 1
+    assert machine.counters.syscalls >= 2  # install + sigreturn
+
+
+def test_unhandled_signal_ignored(setup):
+    machine, process, dispatcher = setup
+    assert dispatcher.post(process, Signal.SIGIO) is False
+    assert dispatcher.stats.delivered == 0
+
+
+def test_masking_defers_delivery(setup):
+    machine, process, dispatcher = setup
+    fired = []
+    dispatcher.install(process, Signal.SIGALRM, lambda m: fired.append(1))
+    dispatcher.block(process, Signal.SIGALRM)
+    assert dispatcher.post(process, Signal.SIGALRM) is False
+    assert dispatcher.pending_count == 1
+    assert not fired
+    delivered = dispatcher.unblock(process, Signal.SIGALRM)
+    assert delivered == 1
+    assert fired == [1]
+    assert dispatcher.pending_count == 0
+
+
+def test_unblock_only_releases_matching_signal(setup):
+    machine, process, dispatcher = setup
+    dispatcher.install(process, Signal.SIGALRM, lambda m: None)
+    dispatcher.install(process, Signal.SIGIO, lambda m: None)
+    dispatcher.block(process, Signal.SIGALRM)
+    dispatcher.block(process, Signal.SIGIO)
+    dispatcher.post(process, Signal.SIGALRM)
+    dispatcher.post(process, Signal.SIGIO)
+    dispatcher.unblock(process, Signal.SIGALRM)
+    assert dispatcher.pending_count == 1  # SIGIO still pending
+
+
+def test_delivery_cost_scales_with_architecture():
+    costs = {}
+    for name in ("r3000", "sparc", "cvax"):
+        machine = SimulatedMachine(get_arch(name))
+        machine.create_process("p")
+        costs[name] = SignalDispatcher(machine).delivery_cost_us()
+    assert costs["r3000"] < costs["sparc"]
+    assert costs["r3000"] < costs["cvax"]
+
+
+def test_preemptive_user_thread_switch():
+    """A SIGVTALRM-driven involuntary switch costs delivery + switch."""
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("p")
+    dispatcher = SignalDispatcher(machine)
+    package = UserThreadPackage(machine.arch)
+    a, b = package.create(), package.create()
+    package.switch_to(a)
+    voluntary = package.switch_us
+    us = package.preempt(b, dispatcher.delivery_cost_us())
+    assert us > voluntary
+    assert package.current is b

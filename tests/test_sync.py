@@ -1,0 +1,80 @@
+"""Synchronization primitive tests (§4.1)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.threads.sync import (
+    KernelTrapLock,
+    LamportFastMutex,
+    RestartableAtomicLock,
+    TestAndSetLock,
+    best_lock_for,
+)
+
+
+def test_tas_lock_rejected_on_mips():
+    with pytest.raises(ValueError):
+        TestAndSetLock(get_arch("r3000"))
+    TestAndSetLock(get_arch("sparc"))  # fine
+
+
+def test_kernel_trap_lock_costs_a_syscall():
+    arch = get_arch("r3000")
+    ktrap = KernelTrapLock(arch)
+    tas = TestAndSetLock(get_arch("sparc"))
+    trap_us = ktrap.acquire(owner=1)
+    tas_us = tas.acquire(owner=1)
+    assert trap_us > 20 * tas_us  # "Both are expensive."
+    assert ktrap.stats.kernel_traps == 1
+    ktrap.release(owner=1)
+    assert ktrap.stats.kernel_traps == 2  # release traps too
+
+
+def test_lamport_mutex_dozens_of_cycles():
+    arch = get_arch("r3000")
+    lamport = LamportFastMutex(arch)
+    us = lamport.acquire(owner=1)
+    cycles = arch.us_to_cycles(us)
+    assert 12 <= cycles <= 80  # "on the order of dozens of cycles"
+    ktrap = KernelTrapLock(arch)
+    assert us < ktrap.acquire(owner=1)
+
+
+def test_restartable_lock_pays_pretouch():
+    i860 = get_arch("i860")
+    restartable = RestartableAtomicLock(i860)
+    plain = TestAndSetLock(i860)
+    assert restartable.acquire(owner=1) > plain.acquire(owner=1)
+
+
+def test_best_lock_choices():
+    assert isinstance(best_lock_for(get_arch("sparc")), TestAndSetLock)
+    assert isinstance(best_lock_for(get_arch("r2000")), KernelTrapLock)
+    assert isinstance(best_lock_for(get_arch("r3000")), KernelTrapLock)
+    assert isinstance(best_lock_for(get_arch("i860")), RestartableAtomicLock)
+    assert isinstance(best_lock_for(get_arch("cvax")), TestAndSetLock)
+
+
+def test_lock_protocol_enforced():
+    lock = TestAndSetLock(get_arch("sparc"))
+    with pytest.raises(RuntimeError):
+        lock.release(owner=1)  # not held
+    lock.acquire(owner=1)
+    with pytest.raises(RuntimeError):
+        lock.release(owner=2)  # wrong owner
+    lock.release(owner=1)
+
+
+def test_contention_counted():
+    lock = TestAndSetLock(get_arch("sparc"))
+    lock.acquire(owner=1)
+    lock.acquire(owner=2)  # steal: counted as contended
+    assert lock.stats.contended == 1
+
+
+def test_average_acquire_us():
+    lock = LamportFastMutex(get_arch("cvax"))
+    assert lock.average_acquire_us == 0.0
+    lock.acquire(owner=1)
+    lock.release(owner=1)
+    assert lock.average_acquire_us > 0.0

@@ -1,0 +1,68 @@
+"""Driver-object tests for the Table 3 and Table 4 analyses."""
+
+import pytest
+
+from repro.analysis import table3, table4
+from repro.core import papertargets as pt
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3.compute()
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return table4.compute()
+
+
+def test_table3_properties(t3):
+    assert abs(t3.wire_fraction_small - pt.TABLE3_WIRE_FRACTION_SMALL) < 0.05
+    low, high = pt.TABLE3_WIRE_FRACTION_LARGE_RANGE
+    assert low <= t3.wire_fraction_large <= high
+    glow, ghigh = pt.TABLE3_CHECKSUM_SHARE_GROWTH_RANGE
+    assert glow <= t3.checksum_share_growth <= ghigh
+
+
+def test_table3_components_complete(t3):
+    for key in table3.COMPONENT_LABELS:
+        assert key in t3.small.components_us
+        assert key in t3.large.components_us
+
+
+def test_table3_large_reply_parameter():
+    custom = table3.compute(reply_bytes_large=4000)
+    default = table3.compute()
+    assert custom.large.total_us > default.large.total_us
+    assert custom.wire_fraction_large > default.wire_fraction_large
+
+
+def test_table3_render_has_percentages(t3):
+    text = table3.render(t3)
+    assert "%" in text and "Total" in text
+    assert "Network wire time" in text
+
+
+def test_table4_cvax_fractions(t4):
+    low, high = pt.TABLE4_HARDWARE_FRACTION_RANGE
+    assert low <= t4.hardware_fraction <= high
+    assert t4.tlb_fraction == pytest.approx(pt.TABLE4_TLB_MISS_FRACTION, abs=0.07)
+    assert t4.total_us() == pytest.approx(pt.TABLE4_NULL_LRPC_US, rel=0.3)
+
+
+def test_table4_tagged_comparisons(t4):
+    assert "r3000" in t4.others and "sparc" in t4.others
+    assert t4.others["r3000"].tlb_fraction < 0.02
+    assert t4.total_us("r3000") < t4.total_us()
+
+
+def test_table4_custom_extra_systems():
+    custom = table4.compute(extra_systems=("r2000",))
+    assert set(custom.others) == {"r2000"}
+    assert custom.total_us("r2000") > 0
+
+
+def test_table4_render_mentions_tagging(t4):
+    text = table4.render(t4)
+    assert "PID-tagged TLB" in text
+    assert "hardware minimum" in text

@@ -1,0 +1,129 @@
+"""Table 7 structure model tests.
+
+Tolerances are deliberately explicit: the monolithic row is calibrated
+(tight), the kernelized row is emergent (looser), and the *ratios* the
+paper's argument rests on are checked against the paper's shape.
+"""
+
+import pytest
+
+from repro.analysis import table7
+from repro.core import papertargets as pt
+from repro.os_models.mach import MachOS, OSStructure, run_both
+from repro.os_models.services import TABLE7_PROFILES, profile_by_name
+
+#: column index -> (name, monolithic tolerance factor, kernelized factor)
+COLUMNS = {
+    0: ("elapsed_s", 1.35, 2.0),
+    1: ("addr_space_switches", 1.6, 2.2),
+    2: ("thread_switches", 1.35, 2.2),
+    3: ("syscalls", 1.05, 2.0),
+    4: ("emulated_instructions", 1.05, 3.0),
+    5: ("kernel_tlb_misses", 3.0, 3.5),
+    6: ("other_exceptions", 1.5, 2.0),
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return table7.compute()
+
+
+def _check(value, paper, factor, label):
+    assert paper / factor <= value <= paper * factor, (
+        f"{label}: model {value} vs paper {paper} (allowed x{factor})"
+    )
+
+
+@pytest.mark.parametrize("profile", TABLE7_PROFILES, ids=lambda p: p.name)
+def test_monolithic_row_within_tolerance(table, profile):
+    row = table.monolithic[profile.name]
+    paper = pt.TABLE7_MACH25[profile.name]
+    for idx, (name, mono_factor, _) in COLUMNS.items():
+        if paper[idx]:
+            _check(row.as_tuple()[idx], paper[idx], mono_factor, f"{profile.name}/{name}")
+
+
+@pytest.mark.parametrize("profile", TABLE7_PROFILES, ids=lambda p: p.name)
+def test_kernelized_row_within_tolerance(table, profile):
+    row = table.kernelized[profile.name]
+    paper = pt.TABLE7_MACH30[profile.name]
+    for idx, (name, _, kern_factor) in COLUMNS.items():
+        if paper[idx]:
+            _check(row.as_tuple()[idx], paper[idx], kern_factor, f"{profile.name}/{name}")
+
+
+@pytest.mark.parametrize("profile", TABLE7_PROFILES, ids=lambda p: p.name)
+def test_pct_time_in_band(table, profile):
+    """Mach 3.0 spends 5-20% of its time in the primitives."""
+    low, high = pt.CLAIMS["mach3_pct_time_range"]
+    pct = table.pct_time(profile.name)
+    assert low * 0.5 <= pct <= high * 1.3, profile.name
+
+
+def test_andrew_remote_context_switch_blowup(table):
+    """"a 33-fold increase in context switches for the remote Andrew
+    benchmark on Mach 3.0 over Mach 2.5"."""
+    blowup = table.context_switch_blowup("andrew-remote")
+    paper = pt.CLAIMS["mach3_context_switch_ratio_andrew_remote"]
+    assert paper * 0.6 <= blowup <= paper * 1.5
+
+
+def test_kernel_tlb_misses_grow_order_of_magnitude(table):
+    """"These effects increase the number of second-level misses by an
+    order of magnitude" — checked as >=4x on every file workload."""
+    for workload in ("spellcheck-1", "latex-150", "andrew-local", "andrew-remote", "link-vmunix"):
+        assert table.tlb_miss_growth(workload) >= 4.0, workload
+
+
+def test_syscalls_grow_under_kernelization(table):
+    for workload in table.workloads:
+        assert table.syscall_growth(workload) > 1.3, workload
+
+
+def test_decomposed_system_never_faster(table):
+    for workload in table.workloads:
+        mono = table.monolithic[workload].elapsed_s
+        kern = table.kernelized[workload].elapsed_s
+        assert kern > mono, workload
+
+
+def test_parthenon_emulated_instructions_present_in_both(table):
+    """parthenon's user-level locks trap in both systems (no TAS)."""
+    mono = table.monolithic["parthenon-1"].emulated_instructions
+    kern = table.kernelized["parthenon-1"].emulated_instructions
+    assert mono > 1_000_000
+    assert kern >= mono
+
+
+def test_sequential_apps_have_few_emulated_in_monolithic(table):
+    for workload in ("spellcheck-1", "latex-150", "andrew-local"):
+        assert table.monolithic[workload].emulated_instructions < 1000
+
+
+def test_thread_switches_exceed_addr_switches(table):
+    """In Mach 3.0 an AS switch implies a thread switch, not vice versa."""
+    for workload in table.workloads:
+        row = table.kernelized[workload]
+        assert row.thread_switches >= row.addr_space_switches
+
+
+def test_run_both_returns_pair():
+    mono, kern = run_both(profile_by_name("spellcheck-1"))
+    assert mono.structure is OSStructure.MONOLITHIC
+    assert kern.structure is OSStructure.KERNELIZED
+
+
+def test_render_contains_both_halves(table):
+    text = table7.render(table)
+    assert "Mach 2.5" in text and "Mach 3.0" in text
+    assert "andrew-remote" in text
+    assert "% in prims" in text
+
+
+def test_primitive_time_matches_pct(table):
+    for workload in table.workloads:
+        row = table.kernelized[workload]
+        assert row.pct_time_in_primitives == pytest.approx(
+            row.primitive_time_s / row.elapsed_s
+        )

@@ -1,0 +1,53 @@
+"""TextTable rendering tests."""
+
+import pytest
+
+from repro.core.tables import TextTable, paper_vs_measured
+
+
+def test_basic_rendering_alignment():
+    table = TextTable(["name", "value"], title="T")
+    table.add_row(["alpha", 1])
+    table.add_row(["beta", 22])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) == {"-"}
+    # numeric column right-aligned: both rows end at the same column
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_cell_formatting():
+    table = TextTable(["x"])
+    assert table._format(None) == "-"
+    assert table._format(0.0) == "0"
+    assert table._format(3.14159) == "3.1"
+    assert table._format(0.25) == "0.25"
+    assert table._format(1234.5) == "1,234"  # wait: 1,234 or 1,235?
+    assert table._format(12345) == "12,345"
+    assert table._format(42) == "42"
+    assert table._format("text") == "text"
+
+
+def test_row_width_mismatch_rejected():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_str_matches_render():
+    table = TextTable(["a"])
+    table.add_row([1])
+    assert str(table) == table.render()
+
+
+def test_paper_vs_measured_deviation_column():
+    text = paper_vs_measured("cmp", [("syscall", 10.0, 11.0), ("trap", None, 5.0)])
+    assert "+10%" in text
+    assert "-" in text  # the None row gets no deviation
+
+
+def test_paper_vs_measured_negative_deviation():
+    text = paper_vs_measured("cmp", [("x", 10.0, 8.0)])
+    assert "-20%" in text

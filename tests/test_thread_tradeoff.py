@@ -1,0 +1,64 @@
+"""Kernel vs user vs activation thread management tests (§4)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.threads.tradeoff import (
+    ParallelPhase,
+    ThreadManagement,
+    compare,
+    granularity_crossover,
+    run_phase,
+)
+
+
+def test_activations_win_on_fine_grained_work():
+    for name in ("r3000", "sparc", "cvax"):
+        results = compare(get_arch(name))
+        activations = results[ThreadManagement.ACTIVATIONS].total_us
+        assert activations <= results[ThreadManagement.KERNEL].total_us
+        assert activations <= results[ThreadManagement.USER].total_us
+
+
+def test_pure_user_threads_lose_concurrency_on_blocks():
+    phase = ParallelPhase(blocking_fraction=0.3, block_us=1000.0)
+    user = run_phase(get_arch("r3000"), ThreadManagement.USER, phase)
+    kernel = run_phase(get_arch("r3000"), ThreadManagement.KERNEL, phase)
+    assert user.blocked_us > 0
+    assert kernel.blocked_us == 0
+    # with heavy blocking, the kernel's schedulability wins
+    assert kernel.total_us < user.total_us
+
+
+def test_no_blocking_favours_user_threads():
+    phase = ParallelPhase(blocking_fraction=0.0)
+    user = run_phase(get_arch("sparc"), ThreadManagement.USER, phase)
+    kernel = run_phase(get_arch("sparc"), ThreadManagement.KERNEL, phase)
+    assert user.total_us < kernel.total_us
+
+
+def test_kernel_tax_grows_with_granularity():
+    fine_ratio, coarse_ratio = granularity_crossover(get_arch("r3000"))
+    assert fine_ratio > coarse_ratio
+    assert fine_ratio > 1.5  # fine-grained work punishes kernel threads
+    assert coarse_ratio < 1.3  # coarse-grained work barely notices
+
+
+def test_sparc_kernel_threads_especially_costly():
+    """Table 1's SPARC context switch makes kernel threads dire."""
+    sparc_fine, _ = granularity_crossover(get_arch("sparc"))
+    r3000_fine, _ = granularity_crossover(get_arch("r3000"))
+    assert sparc_fine > r3000_fine
+
+
+def test_work_time_identical_across_managements():
+    results = compare(get_arch("r3000"))
+    work = {r.work_us for r in results.values()}
+    assert len(work) == 1
+
+
+def test_result_components_sum():
+    result = run_phase(get_arch("r3000"), ThreadManagement.USER)
+    assert result.total_us == pytest.approx(
+        result.work_us + result.thread_op_us + result.blocked_us
+    )

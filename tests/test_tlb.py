@@ -1,0 +1,163 @@
+"""TLB model tests: tags, purges, software refill costs, locking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import get_arch
+from repro.arch.specs import TLBSpec
+from repro.mem.pagetable import Protection
+from repro.mem.tlb import TLB
+
+
+def small_tlb(entries=4, pid_tagged=True, software=False, lockable=0):
+    return TLB(
+        TLBSpec(
+            entries=entries,
+            pid_tagged=pid_tagged,
+            software_managed=software,
+            lockable_entries=lockable,
+            hw_miss_cycles=20,
+            sw_user_miss_cycles=12,
+            sw_kernel_miss_cycles=300,
+        )
+    )
+
+
+def test_miss_then_hit():
+    tlb = small_tlb()
+    assert tlb.lookup(1) is None
+    tlb.insert(1, 10)
+    entry = tlb.lookup(1)
+    assert entry is not None and entry.pfn == 10
+    assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+
+def test_capacity_eviction_round_robin():
+    tlb = small_tlb(entries=2)
+    tlb.insert(1, 1)
+    tlb.insert(2, 2)
+    tlb.insert(3, 3)  # evicts vpn 1
+    assert tlb.probe(1) is None
+    assert tlb.probe(2) is not None
+    assert tlb.probe(3) is not None
+    assert tlb.occupancy == 2
+
+
+def test_pid_tags_preserve_entries_across_switch():
+    tlb = small_tlb(pid_tagged=True)
+    tlb.context_switch(1)
+    tlb.insert(7, 70)
+    purged = tlb.context_switch(2)
+    assert purged == 0
+    assert tlb.probe(7, asid=1) is not None
+    # but asid 2 does not see asid 1's entry
+    assert tlb.probe(7, asid=2) is None
+
+
+def test_untagged_tlb_purges_on_switch():
+    tlb = small_tlb(pid_tagged=False)
+    tlb.context_switch(1)
+    tlb.insert(7, 70)
+    purged = tlb.context_switch(2)
+    assert purged == 1
+    assert tlb.probe(7) is None
+    assert tlb.stats.flushes == 1
+    assert tlb.stats.entries_purged == 1
+
+
+def test_untagged_asid_collapses():
+    tlb = small_tlb(pid_tagged=False)
+    tlb.insert(7, 70, asid=1)
+    assert tlb.probe(7, asid=99) is not None  # tags ignored
+
+
+def test_invalidate_single_entry():
+    tlb = small_tlb()
+    tlb.insert(3, 30)
+    assert tlb.invalidate(3) is True
+    assert tlb.invalidate(3) is False
+    assert tlb.probe(3) is None
+
+
+def test_software_managed_miss_costs():
+    tlb = small_tlb(software=True)
+    assert tlb.miss_cost(kernel=False) == 12
+    assert tlb.miss_cost(kernel=True) == 300
+    hw = small_tlb(software=False)
+    assert hw.miss_cost(kernel=False) == hw.miss_cost(kernel=True) == 20
+
+
+def test_kernel_misses_counted_separately():
+    tlb = small_tlb(software=True)
+    tlb.lookup(1, kernel=True)
+    tlb.lookup(2, kernel=False)
+    assert tlb.stats.kernel_misses == 1
+    assert tlb.stats.user_misses == 1
+    assert tlb.stats.miss_cycles == 312
+
+
+def test_locked_entries_survive_flush_and_replacement():
+    tlb = small_tlb(entries=2, lockable=1)
+    tlb.insert(1, 1, locked=True)
+    tlb.insert(2, 2)
+    tlb.insert(3, 3)
+    tlb.insert(4, 4)
+    assert tlb.probe(1) is not None  # never evicted
+    tlb.flush(keep_locked=True)
+    assert tlb.probe(1) is not None
+    assert tlb.occupancy == 1
+
+
+def test_lockable_budget_enforced():
+    tlb = small_tlb(entries=4, lockable=1)
+    tlb.insert(1, 1, locked=True)
+    with pytest.raises(RuntimeError):
+        tlb.insert(2, 2, locked=True)
+
+
+def test_all_locked_insert_fails():
+    tlb = small_tlb(entries=1, lockable=1)
+    tlb.insert(1, 1, locked=True)
+    with pytest.raises(RuntimeError):
+        tlb.insert(2, 2)
+
+
+def test_arch_tlb_specs_behave():
+    cvax = TLB(get_arch("cvax").tlb)
+    cvax.insert(1, 1)
+    assert cvax.context_switch(5) == 1  # untagged: purge
+    mips = TLB(get_arch("r3000").tlb)
+    mips.insert(1, 1)
+    assert mips.context_switch(5) == 0  # PID-tagged
+
+
+def test_reinsert_same_key_updates_in_place():
+    tlb = small_tlb(entries=2)
+    tlb.insert(1, 10)
+    tlb.insert(1, 11, protection=Protection.READ)
+    assert tlb.occupancy == 1
+    entry = tlb.probe(1)
+    assert entry.pfn == 11 and entry.protection is Protection.READ
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=100))
+def test_occupancy_never_exceeds_capacity(vpns):
+    tlb = small_tlb(entries=8)
+    for vpn in vpns:
+        tlb.insert(vpn, vpn)
+    assert tlb.occupancy <= 8
+    assert len(tlb.resident_vpns()) == tlb.occupancy
+
+
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60),
+)
+def test_stats_consistency(accesses):
+    tlb = small_tlb(entries=4)
+    for vpn in accesses:
+        if tlb.lookup(vpn) is None:
+            tlb.insert(vpn, vpn)
+    stats = tlb.stats
+    assert stats.accesses == len(accesses)
+    assert stats.hits + stats.misses == stats.accesses
+    assert 0.0 <= stats.miss_rate <= 1.0

@@ -1,0 +1,89 @@
+"""Motivation-trace tests (§1: Agarwal et al., Clark & Emer)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_arch
+from repro.core.tracing import (
+    TraceConfig,
+    agarwal_system_reference_fraction,
+    clark_emer_tlb_shares,
+    generate_trace,
+    replay_trace,
+)
+
+
+def test_trace_length_exact():
+    config = TraceConfig(references=5000)
+    trace = list(generate_trace(config))
+    assert len(trace) == 5000
+
+
+def test_trace_is_deterministic():
+    config = TraceConfig(references=2000)
+    assert list(generate_trace(config)) == list(generate_trace(config))
+
+
+def test_system_fraction_realized():
+    config = TraceConfig(references=50_000, system_fraction=0.55)
+    trace = list(generate_trace(config))
+    system = sum(1 for _, is_system in trace if is_system)
+    assert system / len(trace) == pytest.approx(0.55, abs=0.06)
+
+
+def test_user_and_system_pages_disjoint():
+    config = TraceConfig(references=5000)
+    user_pages = {vpn for vpn, is_sys in generate_trace(config) if not is_sys}
+    system_pages = {vpn for vpn, is_sys in generate_trace(config) if is_sys}
+    assert not (user_pages & system_pages)
+    assert len(user_pages) <= config.user_working_set_pages
+
+
+def test_agarwal_over_half_system_references():
+    fraction = agarwal_system_reference_fraction(get_arch("cvax"))
+    assert fraction > 0.5  # "over 50% of the references were system references"
+
+
+def test_clark_emer_shape():
+    """OS ~1/5 of references but >2/3 of TLB misses."""
+    ref_share, miss_share = clark_emer_tlb_shares(get_arch("cvax"))
+    assert ref_share == pytest.approx(0.20, abs=0.05)
+    assert miss_share > 2.0 / 3.0
+
+
+def test_system_locality_worse_than_user():
+    stats = replay_trace(get_arch("cvax").tlb, TraceConfig(references=50_000))
+    user_rate = stats.user_misses / stats.user_references
+    system_rate = stats.system_misses / stats.system_references
+    assert system_rate > 3 * user_rate
+
+
+def test_bigger_tlb_reduces_system_misses():
+    from dataclasses import replace
+
+    small = get_arch("cvax").tlb
+    big = replace(small, entries=512)
+    config = TraceConfig(references=30_000)
+    small_stats = replay_trace(small, config)
+    big_stats = replay_trace(big, config)
+    assert big_stats.system_misses < small_stats.system_misses
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        TraceConfig(system_fraction=1.5)
+    with pytest.raises(ValueError):
+        TraceConfig(references=0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(fraction=st.floats(min_value=0.1, max_value=0.9))
+def test_stats_consistency(fraction):
+    stats = replay_trace(
+        get_arch("r3000").tlb,
+        TraceConfig(references=4000, system_fraction=fraction),
+    )
+    assert stats.references == 4000
+    assert stats.user_misses <= stats.user_references
+    assert stats.system_misses <= stats.system_references
+    assert 0.0 <= stats.system_miss_fraction <= 1.0

@@ -1,0 +1,131 @@
+"""Reliable transport + DSM analysis tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.dsm_analysis import (
+    network_scaling,
+    read_mostly,
+    sharing_pattern_gap,
+    write_ping_pong,
+)
+from repro.arch import get_arch
+from repro.ipc.network import Ethernet
+from repro.ipc.transport import (
+    MTU_BYTES,
+    DeterministicLoss,
+    ReliableChannel,
+    loss_amplification,
+)
+from repro.mem.dsm import DSMNetworkModel
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+
+def test_fragmentation():
+    channel = ReliableChannel()
+    assert channel.fragment(100) == [100]
+    assert channel.fragment(MTU_BYTES) == [MTU_BYTES]
+    assert channel.fragment(MTU_BYTES + 1) == [MTU_BYTES, 1]
+    assert channel.fragment(0) == [0]
+    assert sum(channel.fragment(64 * 1024)) == 64 * 1024
+
+
+def test_clean_send_no_retransmissions():
+    channel = ReliableChannel()
+    us = channel.send(10 * 1024)
+    assert us > 0
+    assert channel.stats.retransmissions == 0
+    assert channel.stats.fragments_sent == len(channel.fragment(10 * 1024))
+    assert channel.stats.acks_sent == channel.stats.fragments_sent
+
+
+def test_loss_forces_retransmission_and_backoff():
+    channel = ReliableChannel(loss=DeterministicLoss(drop_attempts={1}))
+    us = channel.send(100)
+    assert channel.stats.retransmissions == 1
+    assert channel.stats.backoff_us == channel.rto_us
+    clean = ReliableChannel().send(100)
+    assert us > clean + channel.rto_us * 0.99
+
+
+def test_exponential_backoff_doubles():
+    channel = ReliableChannel(loss=DeterministicLoss(drop_attempts={1, 2}))
+    channel.send(100)
+    assert channel.stats.backoff_us == channel.rto_us * 3  # rto + 2*rto
+
+
+def test_persistent_loss_times_out():
+    # drop every attempt via an explicit set larger than max retries
+    doomed = DeterministicLoss(drop_attempts=set(range(1, 20)))
+    channel = ReliableChannel(loss=doomed)
+    with pytest.raises(TimeoutError):
+        channel.send(100)
+
+
+def test_loss_amplification_hits_os_path():
+    clean, lossy = loss_amplification(loss_every=5)
+    assert lossy > clean
+    channel = ReliableChannel(loss=DeterministicLoss(drop_every=5))
+    channel.send(64 * 1024)
+    assert channel.stats.retransmissions > 0
+    # the retransmitted fragments re-pay the send path
+    clean_channel = ReliableChannel()
+    clean_channel.send(64 * 1024)
+    assert channel.stats.send_path_us > clean_channel.stats.send_path_us
+
+
+def test_goodput_improves_with_bandwidth():
+    slow = ReliableChannel(network=Ethernet(bandwidth_mbps=10.0))
+    fast = ReliableChannel(network=Ethernet(bandwidth_mbps=100.0))
+    assert fast.goodput_mbps(64 * 1024) > slow.goodput_mbps(64 * 1024)
+
+
+def test_drop_every_validation():
+    with pytest.raises(ValueError):
+        DeterministicLoss(drop_every=1)
+
+
+@given(nbytes=st.integers(min_value=1, max_value=200_000))
+def test_fragments_cover_payload(nbytes):
+    channel = ReliableChannel()
+    sizes = channel.fragment(nbytes)
+    assert sum(sizes) == nbytes
+    assert all(0 < size <= MTU_BYTES for size in sizes)
+
+
+# ----------------------------------------------------------------------
+# DSM analysis
+# ----------------------------------------------------------------------
+
+def test_ping_pong_much_worse_than_read_mostly():
+    read, ping_pong = sharing_pattern_gap()
+    assert ping_pong.us_per_access > 10 * read.us_per_access
+
+
+def test_read_mostly_faults_once_per_reader():
+    result = read_mostly(get_arch("r3000"), DSMNetworkModel(), readers=3, reads_per_node=50)
+    assert result.faults == 3
+    assert result.accesses == 150
+
+
+def test_ping_pong_faults_almost_every_round():
+    result = write_ping_pong(get_arch("r3000"), DSMNetworkModel(), rounds=20)
+    assert result.faults >= 18
+
+
+def test_network_scaling_shifts_to_software():
+    points = network_scaling(factors=(1.0, 10.0, 100.0))
+    fractions = [p.software_fraction for p in points]
+    assert fractions == sorted(fractions)
+    assert points[0].network_us_per_miss > points[-1].network_us_per_miss
+    # fault handling cost is network-invariant
+    assert points[0].fault_us_per_miss == pytest.approx(points[-1].fault_us_per_miss)
+
+
+def test_dsm_fault_cost_differs_by_architecture():
+    slow = write_ping_pong(get_arch("i860"), DSMNetworkModel(), rounds=10)
+    fast = write_ping_pong(get_arch("r3000"), DSMNetworkModel(), rounds=10)
+    assert slow.total_us > fast.total_us

@@ -1,0 +1,105 @@
+"""User-level thread package tests (§4.1)."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core import papertargets as pt
+from repro.threads.user import UserThreadPackage, procedure_call_us
+
+
+def test_create_is_small_multiple_of_procedure_call():
+    low, high = pt.CLAIMS["user_thread_create_over_procedure_call"]
+    for name in ("r3000", "sparc", "cvax"):
+        arch = get_arch(name)
+        package = UserThreadPackage(arch)
+        before = package.stats.total_us
+        package.create()
+        create_us = package.stats.total_us - before
+        ratio = create_us / procedure_call_us(arch)
+        assert low <= ratio <= high
+
+
+def test_switch_moves_table6_state():
+    """More thread state => slower user-level switches among the RISCs
+    (§4.1: "architectures are adding more processor state, which makes
+    fine-grained threads more expensive")."""
+    r3000 = UserThreadPackage(get_arch("r3000")).switch_us  # 37 words
+    m88000 = UserThreadPackage(get_arch("m88000")).switch_us  # 59 words
+    assert r3000 < m88000
+    # and FP-heavy state is worse still at comparable clocks
+    rs6000_fp = UserThreadPackage(get_arch("rs6000"), include_fp_state=True).switch_us
+    rs6000 = UserThreadPackage(get_arch("rs6000")).switch_us
+    assert rs6000 < rs6000_fp
+
+
+def test_fp_state_increases_switch_cost():
+    arch = get_arch("rs6000")  # 64 words of FP state
+    integer_only = UserThreadPackage(arch, include_fp_state=False).switch_us
+    with_fp = UserThreadPackage(arch, include_fp_state=True).switch_us
+    assert with_fp > integer_only
+
+
+def test_sparc_switch_needs_kernel_trap():
+    package = UserThreadPackage(get_arch("sparc"))
+    a, b = package.create(), package.create()
+    package.switch_to(a)
+    package.switch_to(b)
+    assert package.stats.kernel_traps >= 1
+
+
+def test_flat_register_machines_stay_at_user_level():
+    package = UserThreadPackage(get_arch("r3000"))
+    a, b = package.create(), package.create()
+    package.switch_to(a)
+    package.switch_to(b)
+    assert package.stats.kernel_traps == 0
+
+
+def test_sparc_switch_flushes_dirty_windows():
+    package = UserThreadPackage(get_arch("sparc"))
+    a, b = package.create(), package.create()
+    package.switch_to(a)
+    for _ in range(4):
+        package.procedure_call()  # deepen a's stack
+    flushed_before = package.stats.windows_flushed
+    package.switch_to(b)
+    assert package.stats.windows_flushed > flushed_before
+
+
+def test_deep_recursion_overflows_windows():
+    package = UserThreadPackage(get_arch("sparc"))
+    thread = package.create()
+    package.switch_to(thread)
+    total = 0.0
+    for _ in range(12):  # deeper than the 7 usable windows
+        total += package.procedure_call()
+    assert thread.windows.events.overflows > 0
+    # unwinding refills
+    for _ in range(12):
+        package.procedure_return()
+    assert thread.windows.events.underflows > 0
+
+
+def test_switch_to_finished_thread_rejected():
+    package = UserThreadPackage(get_arch("r3000"))
+    t = package.create()
+    t.finished = True
+    with pytest.raises(ValueError):
+        package.switch_to(t)
+
+
+def test_sparc_switch_over_call_near_paper_ratio():
+    ratio = UserThreadPackage(get_arch("sparc")).switch_over_procedure_call
+    paper = pt.CLAIMS["sparc_thread_switch_over_procedure_call"]
+    assert paper * 0.6 <= ratio <= paper * 1.6
+
+
+def test_flat_machines_have_much_smaller_ratio():
+    sparc = UserThreadPackage(get_arch("sparc")).switch_over_procedure_call
+    r3000 = UserThreadPackage(get_arch("r3000")).switch_over_procedure_call
+    assert r3000 < sparc / 3
+
+
+def test_procedure_call_cheaper_with_windows():
+    """Windows do help sequential code: that was their point."""
+    assert procedure_call_us(get_arch("sparc")) < procedure_call_us(get_arch("cvax"))

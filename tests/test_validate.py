@@ -1,0 +1,100 @@
+"""Program validator tests — and validation of every built-in driver."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.isa.assembler import assemble
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.validate import assert_valid, errors, validate
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+
+DRIVER_SYSTEMS = ("cvax", "m88000", "r2000", "sparc", "i860")
+
+
+@pytest.mark.parametrize("system", DRIVER_SYSTEMS)
+@pytest.mark.parametrize("primitive", list(Primitive))
+def test_builtin_drivers_have_no_errors(system, primitive):
+    program = handler_program(get_arch(system), primitive)
+    assert errors(program) == []
+
+
+def test_empty_program_is_error():
+    program = Program(name="empty", instructions=())
+    findings = validate(program)
+    assert any(f.severity == "error" for f in findings)
+
+
+def test_trap_must_be_first():
+    b = ProgramBuilder()
+    b.alu(1)
+    b.trap_entry()
+    b.rfe()
+    findings = validate(b.build())
+    assert any("first instruction" in f.message for f in findings)
+
+
+def test_trap_without_rfe_is_error():
+    b = ProgramBuilder()
+    b.trap_entry()
+    b.alu(3)
+    findings = validate(b.build())
+    assert any("never returns" in f.message for f in findings)
+
+
+def test_code_after_rfe_warns():
+    b = ProgramBuilder()
+    b.trap_entry()
+    b.rfe()
+    b.alu(1)
+    findings = validate(b.build())
+    assert any("unreachable" in f.message for f in findings)
+
+
+def test_multiple_traps_is_error():
+    b = ProgramBuilder()
+    b.trap_entry()
+    b.trap_entry()
+    b.rfe()
+    findings = validate(b.build())
+    assert any("multiple trap" in f.message for f in findings)
+
+
+def test_pageless_store_warns():
+    b = ProgramBuilder()
+    b.stores(1)
+    findings = validate(b.build())
+    assert any("page id" in f.message for f in findings)
+    assert all(f.severity == "warning" for f in findings)
+
+
+def test_split_phase_warns():
+    b = ProgramBuilder()
+    with b.phase("a"):
+        b.alu(1)
+    with b.phase("b"):
+        b.alu(1)
+    with b.phase("a"):
+        b.alu(1)
+    findings = validate(b.build())
+    assert any("split" in f.message for f in findings)
+
+
+def test_assert_valid_raises_on_errors_only():
+    b = ProgramBuilder()
+    b.stores(1)  # warning only
+    assert_valid(b.build())  # fine
+
+    bad = ProgramBuilder()
+    bad.trap_entry()
+    bad.alu(1)
+    with pytest.raises(ValueError):
+        assert_valid(bad.build())
+
+
+def test_assembled_programs_validate():
+    program = assemble(
+        ".program ok\n.phase kernel_entry\ntrap\n"
+        ".phase body\nalu x3\nst x2 page=0\n.phase kernel_exit\nrfe\n"
+    )
+    assert errors(program) == []

@@ -1,0 +1,161 @@
+"""Virtual memory system tests: faults, COW, user reflection."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.mem.address_space import AddressSpace
+from repro.mem.pagetable import Protection
+from repro.mem.vm import FaultKind, PageFault, VirtualMemory
+
+
+@pytest.fixture
+def vm():
+    machine = VirtualMemory(get_arch("r3000"))
+    space = AddressSpace(name="test")
+    machine.activate(space)
+    return machine
+
+
+def space_of(vm):
+    return vm.current_space
+
+
+def test_translate_mapped_page(vm):
+    vm.map(1, 100)
+    pfn, cycles = vm.translate(1)
+    assert pfn == 100
+    assert cycles > 0  # first touch misses the TLB
+    pfn2, cycles2 = vm.translate(1)
+    assert pfn2 == 100 and cycles2 == 0.0  # TLB hit
+
+
+def test_unmapped_access_raises_translation_fault(vm):
+    with pytest.raises(PageFault) as err:
+        vm.translate(9)
+    assert err.value.kind is FaultKind.TRANSLATION
+    assert err.value.vpn == 9
+
+
+def test_write_to_readonly_raises_protection_fault(vm):
+    vm.map(2, 2, Protection.READ)
+    vm.translate(2, write=False)
+    with pytest.raises(PageFault) as err:
+        vm.translate(2, write=True)
+    assert err.value.kind is FaultKind.PROTECTION
+
+
+def test_set_protection_invalidates_tlb(vm):
+    vm.map(3, 3, Protection.READ_WRITE)
+    vm.translate(3, write=True)
+    vm.set_protection(3, Protection.READ)
+    with pytest.raises(PageFault):
+        vm.translate(3, write=True)  # stale RW entry must be gone
+
+
+def test_unmap_then_touch_faults(vm):
+    vm.map(4, 4)
+    vm.translate(4)
+    vm.unmap(4)
+    with pytest.raises(PageFault):
+        vm.touch(4)
+
+
+def test_copy_on_write_round_trip():
+    machine = VirtualMemory(get_arch("r3000"))
+    sender = AddressSpace(name="sender")
+    receiver = AddressSpace(name="receiver")
+    machine.activate(sender)
+    machine.map(10, 77, space=sender)
+    machine.share_copy_on_write(sender, receiver, 10)
+
+    # both sides read-only and share the frame
+    assert sender.lookup(10).protection is Protection.READ
+    assert receiver.lookup(10).protection is Protection.READ
+    assert receiver.lookup(10).pfn == 77
+
+    # reading does not copy
+    machine.touch(10, write=False, space=receiver)
+    assert receiver.lookup(10).pfn == 77
+
+    # writing breaks the share: receiver gets a private copy
+    cycles = machine.touch(10, write=True, space=receiver)
+    assert cycles > 0
+    assert receiver.lookup(10).protection is Protection.READ_WRITE
+    assert receiver.lookup(10).pfn != 77
+    assert machine.stats.cow_breaks == 1
+    # sender's original frame is untouched
+    assert sender.lookup(10).pfn == 77
+
+
+def test_cow_write_by_sender_also_breaks():
+    machine = VirtualMemory(get_arch("cvax"))
+    sender = AddressSpace(name="s")
+    receiver = AddressSpace(name="r")
+    machine.activate(sender)
+    machine.map(1, 50, space=sender)
+    machine.share_copy_on_write(sender, receiver, 1)
+    machine.touch(1, write=True, space=sender)
+    assert sender.lookup(1).protection is Protection.READ_WRITE
+    assert machine.stats.cow_breaks == 1
+
+
+def test_user_fault_reflection():
+    machine = VirtualMemory(get_arch("r3000"))
+    space = AddressSpace(name="runtime")
+    machine.activate(space)
+    handled = []
+
+    def handler(fault: PageFault) -> bool:
+        handled.append(fault.vpn)
+        space.map(fault.vpn, fault.vpn)  # user-level manager maps it
+        return True
+
+    machine.register_user_fault_handler(space, handler)
+    cycles = machine.touch(42)
+    assert handled == [42]
+    assert cycles > 0
+    assert machine.stats.user_reflections == 1
+
+    machine.unregister_user_fault_handler(space)
+    with pytest.raises(PageFault):
+        machine.touch(43)
+
+
+def test_user_reflection_costs_two_crossings():
+    machine = VirtualMemory(get_arch("sparc"))
+    single = machine.fault_entry_cycles()
+    reflection = machine.user_reflection_cycles()
+    assert reflection > single  # upcall + return dominates
+
+
+def test_untagged_activate_purges_tlb():
+    machine = VirtualMemory(get_arch("cvax"))
+    a = AddressSpace(name="a", page_table_kind="linear")
+    b = AddressSpace(name="b", page_table_kind="linear")
+    machine.activate(a)
+    machine.map(1, 1, space=a)
+    machine.translate(1, space=a)
+    machine.activate(b)
+    assert machine.tlb.probe(1, asid=a.asid) is None
+
+
+def test_tagged_activate_keeps_tlb():
+    machine = VirtualMemory(get_arch("r3000"))
+    a = AddressSpace(name="a")
+    b = AddressSpace(name="b")
+    machine.activate(a)
+    machine.map(1, 1, space=a)
+    machine.translate(1, space=a)
+    machine.activate(b)
+    machine.activate(a)
+    _, cycles = machine.translate(1, space=a)
+    assert cycles == 0.0  # survived both switches
+
+
+def test_region_entry_translation():
+    machine = VirtualMemory(get_arch("sparc"))
+    space = AddressSpace(name="k", page_table_kind="multilevel")
+    machine.activate(space)
+    space.page_table.map_region(0, 1000, level=1)
+    pfn, _ = machine.translate(17, space=space)
+    assert pfn == 1017

@@ -1,0 +1,118 @@
+"""Synapse, parthenon, and replay workload tests."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.core import papertargets as pt
+from repro.os_models.mach import OSStructure
+from repro.workloads.desktop import profile_by_name, replay_scaled
+from repro.workloads.parthenon import ParthenonConfig, multithread_speedup, run_parthenon
+from repro.workloads.synapse import SynapseConfig, run_synapse, sweep_granularity
+
+
+# ----------------------------------------------------------------------
+# Synapse (§4.1)
+# ----------------------------------------------------------------------
+
+def test_synapse_ratio_in_paper_band():
+    low, high = pt.CLAIMS["synapse_call_to_switch_ratio_range"]
+    results = [r for _, r in sweep_granularity(get_arch("sparc"))]
+    for result in results:
+        assert low * 0.8 <= result.call_to_switch_ratio <= high * 1.3
+
+
+def test_synapse_switches_dominate_on_sparc_only():
+    assert run_synapse(get_arch("sparc")).switches_dominate
+    assert not run_synapse(get_arch("r3000")).switches_dominate
+    assert not run_synapse(get_arch("cvax")).switches_dominate
+
+
+def test_synapse_ratio_independent_of_arch():
+    """The call:switch *count* ratio is a workload property."""
+    sparc = run_synapse(get_arch("sparc"))
+    r3000 = run_synapse(get_arch("r3000"))
+    assert sparc.call_to_switch_ratio == pytest.approx(r3000.call_to_switch_ratio)
+
+
+def test_synapse_granularity_moves_ratio():
+    coarse = run_synapse(get_arch("r3000"), SynapseConfig(calls_per_event=12))
+    fine = run_synapse(get_arch("r3000"), SynapseConfig(calls_per_event=6))
+    assert coarse.call_to_switch_ratio > fine.call_to_switch_ratio
+
+
+def test_synapse_switch_cost_ratio_large_on_sparc():
+    result = run_synapse(get_arch("sparc"))
+    assert result.switch_cost_over_call_cost > 40.0
+    assert run_synapse(get_arch("r3000")).switch_cost_over_call_cost < 20.0
+
+
+# ----------------------------------------------------------------------
+# parthenon (§4.1, Table 7)
+# ----------------------------------------------------------------------
+
+def test_parthenon_sync_fraction_near_one_fifth():
+    result = run_parthenon(get_arch("r3000"), ParthenonConfig(threads=1))
+    paper = pt.CLAIMS["parthenon_kernel_sync_time_fraction"]
+    assert result.sync_fraction == pytest.approx(paper, abs=0.08)
+
+
+def test_parthenon_elapsed_near_table7():
+    result = run_parthenon(get_arch("r3000"), ParthenonConfig(threads=1))
+    paper_elapsed = pt.TABLE7_MACH25["parthenon-1"][0]
+    assert result.elapsed_s == pytest.approx(paper_elapsed, rel=0.2)
+
+
+def test_parthenon_multithread_speedup_near_ten_percent():
+    speedup = multithread_speedup(get_arch("r3000"), threads=10)
+    assert 0.03 <= speedup <= 0.2
+
+
+def test_parthenon_sync_cheap_with_atomic_tas():
+    """On a TAS machine the kernel-sync tax disappears (§4.1)."""
+    mips = run_parthenon(get_arch("r3000"), ParthenonConfig(threads=1))
+    sparc = run_parthenon(get_arch("sparc"), ParthenonConfig(threads=1))
+    assert sparc.sync_s < mips.sync_s / 10
+    assert sparc.elapsed_s < mips.elapsed_s
+
+
+def test_parthenon_threads_overlap_blocking():
+    single = run_parthenon(get_arch("r3000"), ParthenonConfig(threads=1))
+    multi = run_parthenon(get_arch("r3000"), ParthenonConfig(threads=10))
+    assert multi.blocked_s < single.blocked_s
+    assert multi.thread_overhead_s > 0
+
+
+# ----------------------------------------------------------------------
+# scaled replay on the functional machine
+# ----------------------------------------------------------------------
+
+def test_replay_monolithic_counts_syscalls():
+    profile = profile_by_name("spellcheck-1")
+    result = replay_scaled(profile, OSStructure.MONOLITHIC, scale=0.1)
+    expected = round(profile.total_service_requests * 0.1 - 2)
+    assert result.counters["syscalls"] >= expected * 0.8
+    assert result.counters["address_space_switches"] == 0
+
+
+def test_replay_kernelized_multiplies_switches_and_syscalls():
+    profile = profile_by_name("spellcheck-1")
+    mono = replay_scaled(profile, OSStructure.MONOLITHIC, scale=0.1)
+    kern = replay_scaled(profile, OSStructure.KERNELIZED, scale=0.1)
+    assert kern.counters["syscalls"] > 1.5 * mono.counters["syscalls"]
+    assert kern.counters["address_space_switches"] > 100 * max(1, mono.counters["address_space_switches"])
+    assert kern.counters["thread_switches"] >= kern.counters["address_space_switches"]
+
+
+def test_replay_emulated_instructions_from_locks():
+    profile = profile_by_name("parthenon-1")
+    result = replay_scaled(profile, OSStructure.MONOLITHIC, scale=0.001)
+    assert result.counters["emulated_instructions"] == round(profile.app_lock_ops * 0.001)
+
+
+def test_replay_remote_routes_through_netmsg():
+    local = replay_scaled(profile_by_name("andrew-local"), OSStructure.KERNELIZED, scale=0.002)
+    remote = replay_scaled(profile_by_name("andrew-remote"), OSStructure.KERNELIZED, scale=0.002)
+    # remote ops take a longer server chain -> more switches per request
+    local_ratio = local.counters["address_space_switches"] / max(1, local.counters["syscalls"])
+    remote_ratio = remote.counters["address_space_switches"] / max(1, remote.counters["syscalls"])
+    assert remote_ratio >= local_ratio * 0.95

@@ -1,0 +1,105 @@
+"""Write buffer model tests — the §2.3 DS3100 vs DS5000 contrast."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.specs import WriteBufferSpec
+from repro.arch.writebuffer import NullWriteBuffer, WriteBufferSim, make_write_buffer
+
+DS3100 = WriteBufferSpec(depth=4, retire_cycles_same_page=5, retire_cycles_other_page=5)
+DS5000 = WriteBufferSpec(depth=6, retire_cycles_same_page=1, retire_cycles_other_page=5)
+
+
+def burst(buffer, count, page=0, start=0.0, gap=1.0):
+    """Issue ``count`` back-to-back stores; return total stall cycles."""
+    now = start
+    total_stall = 0.0
+    for _ in range(count):
+        stall, _ = buffer.issue_store(now, page)
+        total_stall += stall
+        now += gap + stall
+    return total_stall
+
+
+def test_ds3100_burst_stalls_once_full():
+    wb = WriteBufferSim(DS3100)
+    # first `depth` stores fit without stalling
+    assert burst(wb, 4) == 0.0
+    wb.reset()
+    stalls = burst(wb, 12)
+    assert stalls > 0.0
+    # steady-state: each extra store waits ~retire-issue gap
+    assert stalls == pytest.approx((12 - 4) * 4.0, rel=0.3)
+
+
+def test_ds5000_same_page_burst_never_stalls():
+    wb = WriteBufferSim(DS5000)
+    assert burst(wb, 32, page=7) == 0.0
+
+
+def test_ds5000_cross_page_burst_stalls():
+    wb = WriteBufferSim(DS5000)
+    now = 0.0
+    stalls = 0.0
+    for i in range(32):
+        stall, _ = wb.issue_store(now, page=i % 2)  # alternating pages
+        stalls += stall
+        now += 1.0 + stall
+    assert stalls > 0.0
+
+
+def test_drain_time_decreases_after_waiting():
+    wb = WriteBufferSim(DS3100)
+    burst(wb, 4)
+    d0 = wb.drain_time(4.0)
+    d1 = wb.drain_time(10.0)
+    assert d0 > d1 >= 0.0
+
+
+def test_reset_clears_state():
+    wb = WriteBufferSim(DS3100)
+    burst(wb, 8)
+    wb.reset()
+    assert wb.occupancy == 0
+    assert wb.total_stall_cycles == 0.0
+    assert burst(wb, 4) == 0.0
+
+
+def test_null_write_buffer_never_stalls():
+    nb = make_write_buffer(None)
+    assert isinstance(nb, NullWriteBuffer)
+    assert burst(nb, 100) == 0.0
+    assert nb.drain_time(0.0) == 0.0
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        WriteBufferSpec(depth=0, retire_cycles_same_page=1, retire_cycles_other_page=1)
+    with pytest.raises(ValueError):
+        WriteBufferSpec(depth=1, retire_cycles_same_page=0, retire_cycles_other_page=1)
+
+
+@given(
+    depth=st.integers(min_value=1, max_value=8),
+    retire=st.integers(min_value=1, max_value=8),
+    count=st.integers(min_value=0, max_value=40),
+)
+def test_stalls_monotone_nonnegative(depth, retire, count):
+    wb = WriteBufferSim(
+        WriteBufferSpec(depth=depth, retire_cycles_same_page=retire, retire_cycles_other_page=retire)
+    )
+    stalls = burst(wb, count)
+    assert stalls >= 0.0
+    assert wb.total_stall_cycles == stalls
+    # a buffer can never hold more than its depth
+    assert wb.occupancy <= depth
+
+
+@given(
+    count=st.integers(min_value=1, max_value=30),
+    gap=st.floats(min_value=1.0, max_value=20.0),
+)
+def test_wider_issue_gap_never_increases_stalls(count, gap):
+    tight = WriteBufferSim(DS3100)
+    loose = WriteBufferSim(DS3100)
+    assert burst(loose, count, gap=gap) <= burst(tight, count, gap=1.0) + 1e-9
