@@ -1,0 +1,78 @@
+"""Experiment-engine benchmarks: memoization, batching, fan-out.
+
+Three timings bracket the engine's value:
+
+* cold — a fresh engine regenerates all seven tables from scratch;
+* warm — the same engine regenerates them from the content-addressed
+  cache (this is the trajectory number ``scripts/perf_report.py``
+  snapshots into ``BENCH_engine.json``);
+* batched replay — the burst-schedule TLB replay against the scalar
+  reference loop.
+
+Each benchmark also asserts the correctness contract it depends on:
+cached output equals direct output, batched equals scalar.
+"""
+
+from repro.analysis import runner
+from repro.arch.registry import get_arch
+from repro.core.engine import ExperimentEngine
+from repro.core.tracing import TraceConfig, replay_trace, replay_trace_batched
+
+
+def bench_engine_tables_cold(benchmark, show):
+    """Full-table regeneration with an empty cache every round."""
+
+    def cold():
+        return runner.render_all(engine=ExperimentEngine())
+
+    tables = benchmark(cold)
+    assert sorted(tables) == list(runner.ALL_TABLE_NUMBERS)
+    show("Engine: cold full-table regeneration",
+         f"{len(tables)} tables rendered from scratch per round")
+
+
+def bench_engine_tables_warm(benchmark, show):
+    """Full-table regeneration served from the memoized engine."""
+    engine = ExperimentEngine()
+    cold = runner.render_all(engine=engine)
+
+    warm = benchmark(lambda: runner.render_all(engine=engine))
+    assert warm == cold  # cache hits are bit-identical to the cold render
+    assert engine.hits > 0
+    show("Engine: warm full-table regeneration",
+         f"{engine.hits} cache hits / {engine.misses} misses this session")
+
+
+def bench_engine_memoized_run(benchmark, show):
+    """A single memoized executor run (hit path: fingerprint + rehydrate)."""
+    from repro.kernel.handlers import handler_program
+    from repro.kernel.primitives import Primitive
+
+    engine = ExperimentEngine()
+    arch = get_arch("sparc")
+    program = handler_program(arch, Primitive.NULL_SYSCALL)
+    direct = engine.run(arch, program)
+
+    result = benchmark(lambda: engine.run(arch, program))
+    assert result == direct
+    show("Engine: memoized run", f"{program.name}: {result.cycles:.0f} cycles")
+
+
+def bench_replay_batched(benchmark, show):
+    """Burst-schedule trace replay; pinned bit-identical to scalar."""
+    tlb = get_arch("cvax").tlb
+    config = TraceConfig()
+    scalar = replay_trace(tlb, config)
+
+    stats = benchmark(lambda: replay_trace_batched(tlb, config))
+    assert stats == scalar
+    show("Engine: batched replay",
+         f"{stats.references:,} references, {stats.misses:,} misses "
+         "(bit-identical to the scalar loop)")
+
+
+def bench_replay_scalar_reference(benchmark, show):
+    """The scalar replay loop, kept as the comparison baseline."""
+    tlb = get_arch("cvax").tlb
+    stats = benchmark(lambda: replay_trace(tlb, TraceConfig()))
+    show("Engine: scalar replay baseline", f"{stats.references:,} references")

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Emit a machine-readable performance snapshot of the experiment engine.
+
+Times full-table regeneration cold (fresh engine), warm (memoized), and
+parallel (SweepRunner fan-out), plus the scalar/batched/cached trace
+replay ladder, and writes the result to ``BENCH_engine.json``::
+
+    PYTHONPATH=src python scripts/perf_report.py            # full snapshot
+    PYTHONPATH=src python scripts/perf_report.py --quick    # CI smoke
+
+The JSON is a versioned schema so future PRs can diff trajectories:
+``timings_ms`` holds best-of-N wall times, ``speedups`` the headline
+ratios (the repo pins ``warm_tables >= 3``), ``checks`` the
+correctness cross-checks the numbers are only valid under.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def best_of(repeats: int, fn) -> "tuple[float, object]":
+    """Best wall time in ms over ``repeats`` calls, plus the last value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, (time.perf_counter() - t0) * 1e3)
+    return best, value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="single repetition per measurement (CI smoke)")
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else 3
+
+    from repro.analysis import runner
+    from repro.arch.registry import get_arch
+    from repro.core.engine import ExperimentEngine
+    from repro.core.tracing import TraceConfig, replay_trace, replay_trace_batched
+
+    timings: "dict[str, float]" = {}
+    checks: "dict[str, bool]" = {}
+
+    # --- full-table regeneration: cold / warm / parallel ---------------
+    cold_ms, cold_tables = best_of(
+        repeats, lambda: runner.render_all(engine=ExperimentEngine())
+    )
+    timings["tables_cold"] = cold_ms
+
+    warm_engine = ExperimentEngine()
+    runner.render_all(engine=warm_engine)
+    warm_ms, warm_tables = best_of(
+        repeats, lambda: runner.render_all(engine=warm_engine)
+    )
+    timings["tables_warm"] = warm_ms
+    checks["warm_equals_cold"] = warm_tables == cold_tables
+
+    parallel_ms, parallel_tables = best_of(
+        repeats,
+        lambda: runner.render_all(parallel=True, engine=ExperimentEngine()),
+    )
+    timings["tables_parallel_cold"] = parallel_ms
+    checks["parallel_equals_serial"] = parallel_tables == cold_tables
+
+    # --- trace replay ladder: scalar / batched / cached ----------------
+    tlb = get_arch("cvax").tlb
+    config = TraceConfig()
+    scalar_ms, scalar_stats = best_of(repeats, lambda: replay_trace(tlb, config))
+    timings["replay_scalar"] = scalar_ms
+    batched_ms, batched_stats = best_of(
+        repeats, lambda: replay_trace_batched(tlb, config)
+    )
+    timings["replay_batched"] = batched_ms
+    checks["batched_equals_scalar"] = batched_stats == scalar_stats
+
+    replay_engine = ExperimentEngine()
+    replay_engine.replay(tlb, config)
+    cached_ms, cached_stats = best_of(
+        repeats, lambda: replay_engine.replay(tlb, config)
+    )
+    timings["replay_cached"] = cached_ms
+    checks["cached_equals_scalar"] = cached_stats == scalar_stats
+
+    snapshot = {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "timings_ms": {k: round(v, 3) for k, v in timings.items()},
+        "speedups": {
+            "warm_tables": round(timings["tables_cold"] / timings["tables_warm"], 2),
+            "batched_replay": round(
+                timings["replay_scalar"] / timings["replay_batched"], 2
+            ),
+            "cached_replay": round(
+                timings["replay_scalar"] / timings["replay_cached"], 2
+            ),
+        },
+        "checks": checks,
+    }
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    ok = all(checks.values())
+    if not ok:
+        print("FAIL: correctness cross-checks did not hold", file=sys.stderr)
+        return 1
+    if snapshot["speedups"]["warm_tables"] < 3.0:
+        print(
+            "WARN: warm-cache table regeneration below the 3x trajectory floor",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

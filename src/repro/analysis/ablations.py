@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 
 from repro.arch.registry import get_arch
 from repro.arch.specs import WriteBufferSpec
-from repro.isa.executor import Executor
+from repro.core.engine import run_cached
 from repro.kernel.handlers import handler_program
 from repro.kernel.primitives import Primitive
 from repro.kernel.system import SimulatedMachine
@@ -49,7 +49,7 @@ def write_buffer_sweep(
                     retire_cycles_other_page=retire,
                 )
             )
-            result = Executor(arch).run(program, drain_write_buffer=True)
+            result = run_cached(arch, program, drain_write_buffer=True)
             out.append((depth, retire, result.time_us))
     return out
 
@@ -58,11 +58,11 @@ def same_page_merge_benefit() -> Tuple[float, float]:
     """Trap time with and without the DS5000 same-page fast retire."""
     base = get_arch("r3000")
     program = handler_program(base, Primitive.TRAP)
-    fast = Executor(base).run(program, drain_write_buffer=True).time_us
+    fast = run_cached(base, program, drain_write_buffer=True).time_us
     slow_arch = base.with_overrides(
         write_buffer=WriteBufferSpec(depth=6, retire_cycles_same_page=5, retire_cycles_other_page=5)
     )
-    slow = Executor(slow_arch).run(program, drain_write_buffer=True).time_us
+    slow = run_cached(slow_arch, program, drain_write_buffer=True).time_us
     return fast, slow
 
 
@@ -119,7 +119,7 @@ def window_flush_sweep(windows_saved: Tuple[int, ...] = (0, 1, 2, 3, 5, 7)) -> L
                 b.stores(16, page=2)
                 b.loads(16, page=2)
                 b.branch(2)
-        result = Executor(arch).run(b.build(), drain_write_buffer=True)
+        result = run_cached(arch, b.build(), drain_write_buffer=True)
         out.append((saved, result.time_us))
     return out
 
@@ -133,7 +133,7 @@ def pipeline_exposure_ablation() -> Dict[str, float]:
     variant that skips the pipeline examination/save/restart phases."""
     arch = get_arch("m88000")
     program = handler_program(arch, Primitive.TRAP)
-    exposed = Executor(arch).run(program, drain_write_buffer=True)
+    exposed = run_cached(arch, program, drain_write_buffer=True)
     hidden_phases = {"pipeline_check", "pipeline_save", "fpu_restart"}
     from repro.isa.program import Program
 
@@ -141,7 +141,7 @@ def pipeline_exposure_ablation() -> Dict[str, float]:
         name="m88000:trap:precise",
         instructions=tuple(i for i in program if i.phase not in hidden_phases),
     )
-    precise = Executor(arch).run(trimmed, drain_write_buffer=True)
+    precise = run_cached(arch, trimmed, drain_write_buffer=True)
     return {
         "exposed_us": exposed.time_us,
         "precise_us": precise.time_us,

@@ -20,7 +20,7 @@ from typing import List
 
 from repro.arch.registry import get_arch
 from repro.arch.specs import ArchSpec, ThreadStateSpec, WriteBufferSpec
-from repro.isa.executor import Executor
+from repro.core.engine import run_cached
 from repro.kernel.handlers import handler_program
 from repro.kernel.primitives import Primitive
 
@@ -83,7 +83,7 @@ def derive_generation(base: ArchSpec, factor: float) -> ArchSpec:
 def _primitive_us(arch: ArchSpec, primitive: Primitive) -> float:
     program = handler_program(arch, primitive)
     drain = primitive in (Primitive.TRAP, Primitive.CONTEXT_SWITCH)
-    return Executor(arch).run(program, drain_write_buffer=drain).time_us
+    return run_cached(arch, program, drain_write_buffer=drain).time_us
 
 
 def generation_sweep(factors: "tuple[float, ...]" = (1.0, 2.0, 4.0, 8.0)) -> List[GenerationPoint]:

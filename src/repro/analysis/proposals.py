@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.arch.registry import get_arch
-from repro.isa.executor import Executor
+from repro.core.engine import run_cached
 from repro.isa.program import Program
 from repro.kernel.handlers import handler_program
 from repro.kernel.primitives import Primitive
@@ -51,7 +51,7 @@ def _strip_phases(program: Program, phases: "set[str]", name: str) -> Program:
 
 
 def _run(arch_name: str, program: Program) -> "tuple[float, int]":
-    result = Executor(get_arch(arch_name)).run(program)
+    result = run_cached(get_arch(arch_name), program)
     return result.time_us, result.instructions
 
 

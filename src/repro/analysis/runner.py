@@ -1,0 +1,102 @@
+"""Table regeneration through the experiment engine.
+
+One place knows how to regenerate the paper's seven tables: serially,
+memoized (same architecture content -> cached render), or fanned across
+worker processes with deterministic ordering.  The CLI, the full
+report, the benchmark harness and the perf snapshot all call this
+module instead of looping over table modules themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis import table1, table2, table3, table4, table5, table6, table7
+from repro.core.engine import (
+    ExperimentEngine,
+    SweepRunner,
+    default_engine,
+    fingerprint_spec,
+)
+
+#: the paper's tables, in presentation order.
+TABLE_MODULES = {
+    1: table1,
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+}
+
+ALL_TABLE_NUMBERS: Tuple[int, ...] = tuple(TABLE_MODULES)
+
+
+def registry_fingerprint() -> str:
+    """Combined content hash of every registered architecture.
+
+    Any change to any spec (a cost knob, a TLB size, a new machine)
+    changes this value, invalidating every memoized table render.
+    """
+    from repro.arch.registry import ALL_ARCH_NAMES, get_arch
+
+    from repro.core.engine import _digest  # stable content digest
+
+    return _digest([fingerprint_spec(get_arch(name)) for name in ALL_ARCH_NAMES])
+
+
+def _render_worker(number: int) -> str:
+    """Top-level (picklable) worker: render one table from scratch."""
+    return TABLE_MODULES[number].render()
+
+
+def render_table(number: int, engine: Optional[ExperimentEngine] = None) -> str:
+    """Render table ``number``, memoized under the registry content hash."""
+    if number not in TABLE_MODULES:
+        raise KeyError(f"unknown table {number!r}; choose 1-7")
+    engine = engine or default_engine()
+    key = ("table-render", number, registry_fingerprint())
+    return engine.memo(key, lambda: _render_worker(number))
+
+
+def render_all(
+    numbers: Optional[Sequence[int]] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> Dict[int, str]:
+    """Regenerate tables; returns {number: rendered text} in input order.
+
+    ``parallel=True`` fans cache-miss renders across a process pool via
+    :class:`SweepRunner` (falling back to serial where pools are
+    unavailable); results are keyed and ordered by table number either
+    way, so the two modes are observably identical.  Memoized renders
+    are served from the engine without touching the pool.
+    """
+    numbers = list(ALL_TABLE_NUMBERS if numbers is None else numbers)
+    for number in numbers:
+        if number not in TABLE_MODULES:
+            raise KeyError(f"unknown table {number!r}; choose 1-7")
+    engine = engine or default_engine()
+    fp = registry_fingerprint()
+    keys = {number: ("table-render", number, fp) for number in numbers}
+
+    out: Dict[int, str] = {}
+    missing = []
+    for number in numbers:
+        found, text = engine.memo_get(keys[number])
+        if found:
+            engine.hits += 1
+            out[number] = text
+        else:
+            missing.append(number)
+
+    if missing:
+        engine.misses += len(missing)
+        runner = SweepRunner(parallel=parallel, max_workers=max_workers)
+        for number, text in zip(missing, runner.map(_render_worker, missing)):
+            engine.memo_put(keys[number], text)
+            out[number] = text
+
+    return {number: out[number] for number in numbers}

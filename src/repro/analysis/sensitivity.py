@@ -20,7 +20,7 @@ from typing import Callable, Dict, List
 
 from repro.arch.registry import TABLE1_SYSTEMS, get_arch
 from repro.arch.specs import ArchSpec, WriteBufferSpec
-from repro.isa.executor import Executor
+from repro.core.engine import run_cached
 from repro.kernel.handlers import handler_program
 from repro.kernel.primitives import Primitive
 
@@ -68,7 +68,7 @@ PERTURBATIONS: Dict[str, Callable[[ArchSpec, float], ArchSpec]] = {
 def _primitive_us(arch: ArchSpec, primitive: Primitive) -> float:
     program = handler_program(arch, primitive)
     drain = primitive in (Primitive.TRAP, Primitive.CONTEXT_SWITCH)
-    return Executor(arch).run(program, drain_write_buffer=drain).time_us
+    return run_cached(arch, program, drain_write_buffer=drain).time_us
 
 
 @dataclass

@@ -3,6 +3,7 @@
 ::
 
     repro tables                 # print every reproduced table
+    repro --parallel tables      # same, fanned across worker processes
     repro table 1                # one table
     repro report                 # the full reproduction report
     repro claims                 # in-text claims, paper vs measured
@@ -56,25 +57,24 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    from repro.analysis import table1, table2, table3, table4, table5, table6, table7
+    from repro.analysis.runner import render_table
 
-    modules = {
-        "1": table1, "2": table2, "3": table3, "4": table4,
-        "5": table5, "6": table6, "7": table7,
-    }
-    module = modules.get(args.number)
-    if module is None:
+    try:
+        number = int(args.number)
+        text = render_table(number)
+    except (KeyError, ValueError):
         print(f"unknown table {args.number!r}; choose 1-7", file=sys.stderr)
         return 2
-    print(module.render())
+    print(text)
     return 0
 
 
-def _cmd_tables(_: argparse.Namespace) -> int:
-    from repro.analysis import table1, table2, table3, table4, table5, table6, table7
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import render_all
 
-    for module in (table1, table2, table3, table4, table5, table6, table7):
-        print(module.render())
+    tables = render_all(parallel=args.parallel, max_workers=args.jobs)
+    for number in sorted(tables):
+        print(tables[number])
         print()
     return 0
 
@@ -96,10 +96,10 @@ def _cmd_summary(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(_: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import full_report
 
-    print(full_report())
+    print(full_report(parallel=args.parallel, max_workers=args.jobs))
     return 0
 
 
@@ -127,11 +127,31 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Anderson et al., 'The Interaction of "
         "Architecture and Operating System Design' (ASPLOS 1991).",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan table regeneration across worker processes "
+        "(tables/report; falls back to serial where unavailable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker process count for --parallel (default: cpu count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

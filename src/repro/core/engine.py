@@ -1,0 +1,481 @@
+"""Content-addressed experiment engine: memoization, batching, fan-out.
+
+Every analysis table and benchmark ultimately executes (architecture,
+handler-program) pairs and replays synthetic reference traces.  Those
+computations are pure functions of frozen descriptions, so the engine
+treats them as *experiments* addressed by content:
+
+* :func:`fingerprint_spec` / :func:`fingerprint_program` derive stable
+  hashes from an :class:`~repro.arch.specs.ArchSpec` (the full cost
+  model and mechanism inventory) and a
+  :class:`~repro.isa.program.Program` instruction stream.  Any change
+  to a cost knob or an emitted instruction changes the key; comments do
+  not.
+* :class:`ExperimentEngine` memoizes :class:`ExecutionResult`s and
+  :class:`TraceStats` under those keys in a bounded in-memory LRU, with
+  an optional on-disk JSON cache for cross-process reuse.  Cached
+  results are rehydrated on every hit, so callers may mutate what they
+  receive without corrupting the cache.
+* :meth:`ExperimentEngine.replay` routes trace replays through the
+  batched fast path (:func:`repro.core.tracing.replay_trace_batched`),
+  which processes whole same-page bursts per TLB probe and is
+  bit-identical to the scalar loop.
+* :class:`SweepRunner` fans independent computations (table modules,
+  ablation grids, sensitivity sweeps) across ``concurrent.futures``
+  workers with deterministic result ordering, falling back to serial
+  execution when a pool cannot be created or a task cannot be pickled.
+
+The module-level :func:`default_engine` is what the microbenchmark and
+analysis layers use; tests build private engines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import os
+import weakref
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+)
+
+from repro.arch.specs import ArchSpec, TLBSpec
+from repro.isa.executor import ExecutionResult, Executor, PhaseCost
+from repro.isa.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tracing import TraceConfig, TraceStats
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: bump when the execution semantics change in a way that invalidates
+#: previously persisted results (schema version of the disk cache).
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# content addressing
+# ----------------------------------------------------------------------
+
+def _canonical(value: Any) -> Any:
+    """Reduce a spec tree to JSON-stable primitives, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Mapping):
+        return {str(_canonical(k)): _canonical(v) for k, v in sorted(
+            value.items(), key=lambda item: str(item[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for fingerprinting")
+
+
+def _digest(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: id -> (weakref guard, fingerprint).  ArchSpec is frozen but holds a
+#: dict (unhashable), so the memo is keyed by object identity with a
+#: weakref proving the identity still refers to the fingerprinted spec.
+_SPEC_FP_CACHE: Dict[int, "tuple[weakref.ref, str]"] = {}
+
+
+def fingerprint_spec(spec: ArchSpec) -> str:
+    """Stable hash of a complete architecture description.
+
+    Covers every cost-model knob and mechanism field: deriving a variant
+    with :meth:`ArchSpec.with_overrides` always changes the fingerprint,
+    while rebuilding an identical spec reproduces it.
+    """
+    entry = _SPEC_FP_CACHE.get(id(spec))
+    if entry is not None and entry[0]() is spec:
+        return entry[1]
+    fp = _digest(_canonical(spec))
+    if len(_SPEC_FP_CACHE) > 512:
+        for key in [k for k, (ref, _) in _SPEC_FP_CACHE.items() if ref() is None]:
+            del _SPEC_FP_CACHE[key]
+    _SPEC_FP_CACHE[id(spec)] = (weakref.ref(spec), fp)
+    return fp
+
+
+def fingerprint_tlb_spec(spec: TLBSpec) -> str:
+    """Stable hash of a TLB organization (trace-replay cache key)."""
+    return _digest(_canonical(spec))
+
+
+@functools.lru_cache(maxsize=1024)
+def fingerprint_program(program: Program) -> str:
+    """Stable hash of an instruction stream.
+
+    The hash covers the fields that affect execution (opclass, phase,
+    extra cycles, memory operand, cachedness) and the program name (it
+    appears in results); free-form comments are ignored.  Programs are
+    frozen dataclasses, so the memo is keyed by value — two separately
+    built but identical programs share one fingerprint computation.
+    """
+    records = [
+        (
+            inst.opclass.name,
+            inst.phase,
+            inst.mnemonic,
+            inst.extra_cycles,
+            inst.mem_page,
+            inst.uncached,
+        )
+        for inst in program.instructions
+    ]
+    return _digest([program.name, records])
+
+
+def experiment_key(spec: ArchSpec, program: Program, drain_write_buffer: bool) -> str:
+    """Content address of one executor run."""
+    return _digest(
+        [
+            "run",
+            CACHE_SCHEMA_VERSION,
+            fingerprint_spec(spec),
+            fingerprint_program(program),
+            bool(drain_write_buffer),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# result (de)serialization — the disk-cache schema
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: ExecutionResult) -> Dict[str, Any]:
+    return {
+        "program_name": result.program_name,
+        "arch_name": result.arch_name,
+        "clock_mhz": result.clock_mhz,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "stall_cycles": result.stall_cycles,
+        "nop_instructions": result.nop_instructions,
+        "by_phase": {
+            phase: [cost.instructions, cost.cycles, cost.stall_cycles]
+            for phase, cost in result.by_phase.items()
+        },
+    }
+
+
+def result_from_dict(payload: Mapping[str, Any]) -> ExecutionResult:
+    return ExecutionResult(
+        program_name=payload["program_name"],
+        arch_name=payload["arch_name"],
+        clock_mhz=payload["clock_mhz"],
+        instructions=payload["instructions"],
+        cycles=payload["cycles"],
+        stall_cycles=payload["stall_cycles"],
+        nop_instructions=payload["nop_instructions"],
+        by_phase={
+            phase: PhaseCost(instructions=ints, cycles=cyc, stall_cycles=stalls)
+            for phase, (ints, cyc, stalls) in payload["by_phase"].items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# caches
+# ----------------------------------------------------------------------
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Optional[Any]:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class DiskCache:
+    """One JSON file per experiment under a cache directory.
+
+    Robust by construction: unreadable or corrupt entries are treated
+    as misses, and writes go through a rename so a crashed process
+    never leaves a truncated entry behind.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return payload.get("value")
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"schema": CACHE_SCHEMA_VERSION, "value": value}, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# parallel sweeps
+# ----------------------------------------------------------------------
+
+class SweepRunner:
+    """Deterministically-ordered fan-out over independent computations.
+
+    ``map(fn, items)`` behaves like ``[fn(item) for item in items]`` —
+    results come back in item order regardless of completion order.
+    With ``parallel=True`` the calls run in a ``concurrent.futures``
+    process pool (``fn`` and items must be picklable); any failure to
+    *create or use* the pool (sandboxed environments, unpicklable
+    work) silently degrades to the serial path, so callers never need
+    two code paths.  Exceptions raised by ``fn`` itself propagate.
+    """
+
+    def __init__(self, parallel: bool = True, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.parallel = parallel
+        self.max_workers = max_workers
+        #: how the last ``map`` actually ran ("serial" | "parallel").
+        self.last_mode = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        self.last_mode = "serial"
+        if not self.parallel or len(items) < 2 or (self.max_workers or 2) < 2:
+            return [fn(item) for item in items]
+        try:
+            import concurrent.futures as cf
+            import pickle
+
+            pickle.dumps(fn)
+            pickle.dumps(items)
+            with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(fn, items))
+            self.last_mode = "parallel"
+            return results
+        except Exception:
+            # Pool creation/teardown can fail where fork or POSIX
+            # semaphores are unavailable; fall back rather than export
+            # the platform restriction to every caller.
+            return [fn(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+class ExperimentEngine:
+    """Memoized execution of handler programs and trace replays.
+
+    Parameters
+    ----------
+    cache_size:
+        Bound on the in-memory LRU (distinct experiments, not bytes).
+    disk_cache_dir:
+        Optional directory for the persistent JSON cache.  Executor
+        runs and trace replays are persisted; ad-hoc ``memo`` values
+        are memory-only (their schema is caller-defined).
+    """
+
+    def __init__(self, cache_size: int = 4096, disk_cache_dir: Optional[str] = None) -> None:
+        self._lru = LRUCache(cache_size)
+        self._disk = DiskCache(disk_cache_dir) if disk_cache_dir else None
+        self._memo: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- executor runs --------------------------------------------------
+    def run(
+        self,
+        arch: ArchSpec,
+        program: Program,
+        drain_write_buffer: bool = False,
+    ) -> ExecutionResult:
+        """Execute ``program`` on ``arch``, memoized by content.
+
+        Identical (spec, program, drain) triples return equal results
+        without re-simulating; each call gets a private copy.
+        """
+        key = experiment_key(arch, program, drain_write_buffer)
+        payload = self._lookup(key)
+        if payload is None:
+            self.misses += 1
+            result = Executor(arch).run(program, drain_write_buffer=drain_write_buffer)
+            payload = result_to_dict(result)
+            self._store(key, payload)
+            return result
+        self.hits += 1
+        return result_from_dict(payload)
+
+    # -- trace replays --------------------------------------------------
+    def replay(self, tlb_spec: TLBSpec, config: "TraceConfig | None" = None) -> "TraceStats":
+        """Replay a synthetic trace through a TLB, memoized and batched.
+
+        Uses the burst-schedule fast path, which differential tests pin
+        as bit-identical to the scalar :func:`repro.core.tracing.replay_trace`.
+        """
+        from repro.core.tracing import TraceConfig, TraceStats, replay_trace_batched
+
+        config = TraceConfig() if config is None else config
+        key = _digest(
+            [
+                "replay",
+                CACHE_SCHEMA_VERSION,
+                fingerprint_tlb_spec(tlb_spec),
+                _canonical(config),
+            ]
+        )
+        payload = self._lookup(key)
+        if payload is None:
+            self.misses += 1
+            stats = replay_trace_batched(tlb_spec, config)
+            self._store(key, dataclasses.asdict(stats))
+            return stats
+        self.hits += 1
+        return TraceStats(**payload)
+
+    # -- arbitrary derived computations ---------------------------------
+    def _memo_key(self, key_parts: Iterable[Any]) -> str:
+        return _digest(["memo", CACHE_SCHEMA_VERSION, _canonical(list(key_parts))])
+
+    def memo_get(self, key_parts: Iterable[Any]) -> "tuple[bool, Any]":
+        """Probe the memo store: (found, value)."""
+        key = self._memo_key(key_parts)
+        if key in self._memo:
+            return True, self._memo[key]
+        return False, None
+
+    def memo_put(self, key_parts: Iterable[Any], value: Any) -> None:
+        self._memo[self._memo_key(key_parts)] = value
+
+    def memo(self, key_parts: Iterable[Any], fn: Callable[[], T]) -> T:
+        """Memoize ``fn()`` under a content key (memory only).
+
+        ``key_parts`` should contain everything the computation depends
+        on — typically spec/program fingerprints plus literals.  Values
+        are returned by reference; callers must treat them as frozen.
+        """
+        key = self._memo_key(key_parts)
+        if key in self._memo:
+            self.hits += 1
+            return self._memo[key]
+        self.misses += 1
+        value = fn()
+        self._memo[key] = value
+        return value
+
+    # -- plumbing --------------------------------------------------------
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = self._lru.get(key)
+        if payload is not None:
+            return payload
+        if self._disk is not None:
+            payload = self._disk.get(key)
+            if payload is not None:
+                self._lru.put(key, payload)
+                return payload
+        return None
+
+    def _store(self, key: str, payload: Dict[str, Any]) -> None:
+        self._lru.put(key, payload)
+        if self._disk is not None:
+            self._disk.put(key, payload)
+
+    def clear(self) -> None:
+        """Drop the in-memory caches (the disk cache is left intact)."""
+        self._lru.clear()
+        self._memo.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cached_experiments(self) -> int:
+        return len(self._lru) + len(self._memo)
+
+
+# ----------------------------------------------------------------------
+# module-level default
+# ----------------------------------------------------------------------
+
+_DEFAULT: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    """The process-wide engine the measurement layers share.
+
+    Honors ``REPRO_CACHE_DIR`` for an on-disk cache; unset keeps the
+    cache memory-only (the common case for tests and one-shot CLI use).
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExperimentEngine(disk_cache_dir=os.environ.get("REPRO_CACHE_DIR"))
+    return _DEFAULT
+
+
+def set_default_engine(engine: Optional[ExperimentEngine]) -> None:
+    """Replace the process-wide engine (tests; ``None`` resets lazily)."""
+    global _DEFAULT
+    _DEFAULT = engine
+
+
+def run_cached(arch: ArchSpec, program: Program, drain_write_buffer: bool = False) -> ExecutionResult:
+    """Memoized drop-in for :func:`repro.isa.executor.run_on`."""
+    return default_engine().run(arch, program, drain_write_buffer=drain_write_buffer)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
 from repro.arch.specs import ArchSpec
-from repro.isa.executor import ExecutionResult, Executor
+from repro.isa.executor import ExecutionResult
 from repro.isa.program import Program, concat_programs
 from repro.kernel.handlers import handler_program
 from repro.kernel.primitives import (
@@ -74,7 +74,9 @@ class MicrobenchResult:
 
 
 def _run(arch: ArchSpec, program: Program, drain: bool = False) -> ExecutionResult:
-    return Executor(arch).run(program, drain_write_buffer=drain)
+    from repro.core.engine import default_engine
+
+    return default_engine().run(arch, program, drain_write_buffer=drain)
 
 
 def _time(arch: ArchSpec, program: Program, drain: bool = False) -> float:

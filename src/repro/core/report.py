@@ -9,19 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis import (
-    ablations,
-    crosstable,
-    intext,
-    scaling,
-    table1,
-    table2,
-    table3,
-    table4,
-    table5,
-    table6,
-    table7,
-)
+from repro.analysis import crosstable, intext, scaling
 from repro.core import papertargets as pt
 from repro.core.tables import TextTable
 
@@ -116,27 +104,25 @@ def _summary_section() -> str:
     return render_summary()
 
 
-def full_report() -> str:
-    """Every table + claim, regenerated live."""
+def full_report(parallel: bool = False, max_workers: "int | None" = None) -> str:
+    """Every table + claim, regenerated live.
+
+    ``parallel`` fans the table regeneration across worker processes
+    through the experiment engine's :class:`~repro.core.engine.SweepRunner`;
+    the output is identical either way.
+    """
+    from repro.analysis.runner import render_all
+
+    tables = render_all(parallel=parallel, max_workers=max_workers)
+    table_sections: List[str] = []
+    for number in sorted(tables):
+        table_sections.extend([tables[number], ""])
     sections: List[str] = [
         "REPRODUCTION REPORT — Anderson et al., ASPLOS 1991",
         "=" * 60,
         _motivation_section(),
         "",
-        table1.render(),
-        "",
-        table2.render(),
-        "",
-        table3.render(),
-        "",
-        table4.render(),
-        "",
-        table5.render(),
-        "",
-        table6.render(),
-        "",
-        table7.render(),
-        "",
+        *table_sections,
         _claims_table(),
         "",
         _crosstable_section(),

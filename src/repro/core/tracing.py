@@ -52,6 +52,10 @@ class TraceConfig:
             raise ValueError("system_fraction must be in [0, 1]")
         if self.references <= 0:
             raise ValueError("references must be positive")
+        if self.user_working_set_pages <= 0 or self.system_working_set_pages <= 0:
+            raise ValueError("working-set sizes must be positive")
+        if self.user_run_length <= 0 or self.system_run_length <= 0:
+            raise ValueError("run lengths must be positive")
 
 
 @dataclass
@@ -82,6 +86,25 @@ class TraceStats:
 _SYSTEM_PAGE_BASE = 1 << 20
 
 
+def _burst_plan(config: TraceConfig) -> Tuple[int, int, int]:
+    """Shared schedule parameters: (system step, sys bursts, usr bursts).
+
+    Both the scalar generator and the batched replay derive their
+    interleaving from this one computation, so the two paths cannot
+    drift apart.
+    """
+    # LCG step coprime to the system working set for full-period walks
+    step = max(1, (config.system_working_set_pages * 2) // 3) | 1
+    # alternate bursts; the duty cycle realizes system_fraction
+    sys_share = config.system_fraction
+    usr_share = 1.0 - sys_share
+    sys_bursts = max(1, round(sys_share * 100))
+    usr_bursts = max(
+        1, round(usr_share * 100 * config.system_run_length / config.user_run_length)
+    )
+    return step, sys_bursts, usr_bursts
+
+
 def generate_trace(config: TraceConfig) -> Iterator[Tuple[int, bool]]:
     """Yield (vpn, is_system) pairs, deterministically.
 
@@ -93,16 +116,9 @@ def generate_trace(config: TraceConfig) -> Iterator[Tuple[int, bool]]:
     user_page = 0
     user_pos = 0
     system_page = 0
-    # LCG step coprime to the system working set for full-period walks
-    step = max(1, (config.system_working_set_pages * 2) // 3) | 1
-    # alternate bursts; the duty cycle realizes system_fraction
+    step, sys_bursts, usr_bursts = _burst_plan(config)
     system_burst = config.system_run_length
     user_burst = config.user_run_length
-    # compute how many user/system bursts to interleave per macro-cycle
-    sys_share = config.system_fraction
-    usr_share = 1.0 - sys_share
-    sys_bursts = max(1, round(sys_share * 100))
-    usr_bursts = max(1, round(usr_share * 100 * system_burst / user_burst))
 
     while emitted < config.references:
         for _ in range(usr_bursts):
@@ -125,7 +141,12 @@ def generate_trace(config: TraceConfig) -> Iterator[Tuple[int, bool]]:
 
 
 def replay_trace(tlb_spec: TLBSpec, config: TraceConfig = TraceConfig()) -> TraceStats:
-    """Replay a synthetic trace through a TLB; returns the §1 stats."""
+    """Replay a synthetic trace through a TLB; returns the §1 stats.
+
+    This is the scalar reference implementation: one TLB probe per
+    reference.  :func:`replay_trace_batched` is the production path —
+    differential tests pin the two as bit-identical.
+    """
     tlb = TLB(tlb_spec)
     stats = TraceStats()
     for vpn, is_system in generate_trace(config):
@@ -143,9 +164,74 @@ def replay_trace(tlb_spec: TLBSpec, config: TraceConfig = TraceConfig()) -> Trac
     return stats
 
 
+def iter_trace_runs(config: TraceConfig) -> Iterator[Tuple[int, int, bool]]:
+    """Yield (vpn, run_length, is_system) bursts of :func:`generate_trace`.
+
+    Expanding each run back into ``run_length`` identical references
+    reproduces the scalar trace exactly (the interleaving comes from the
+    same :func:`_burst_plan`); the final run is truncated to honor
+    ``config.references``.
+    """
+    emitted = 0
+    user_page = 0
+    system_page = 0
+    step, sys_bursts, usr_bursts = _burst_plan(config)
+    system_burst = config.system_run_length
+    user_burst = config.user_run_length
+
+    while emitted < config.references:
+        for _ in range(usr_bursts):
+            if emitted >= config.references:
+                return
+            run = min(user_burst, config.references - emitted)
+            yield user_page % config.user_working_set_pages, run, False
+            emitted += run
+            user_page += 1
+        for _ in range(sys_bursts):
+            if emitted >= config.references:
+                return
+            run = min(system_burst, config.references - emitted)
+            vpn = _SYSTEM_PAGE_BASE + (system_page % config.system_working_set_pages)
+            yield vpn, run, True
+            emitted += run
+            system_page = (system_page + step) % max(1, config.system_working_set_pages)
+
+
+def replay_trace_batched(tlb_spec: TLBSpec, config: TraceConfig = TraceConfig()) -> TraceStats:
+    """Burst-schedule fast path for :func:`replay_trace`.
+
+    Within one run every reference targets the same page, and no TLB
+    entry is inserted or evicted between them — so the first probe
+    decides hit-or-miss for the whole run and the remaining
+    ``run_length - 1`` probes are guaranteed hits.  The replay
+    therefore probes once per *run* instead of once per *reference*,
+    charging the run's reference count in bulk.  The returned
+    :class:`TraceStats` and the final TLB contents are bit-identical to
+    the scalar path; only the TLB object's internal per-probe hit
+    counters (not part of the result) are skipped.
+    """
+    tlb = TLB(tlb_spec)
+    stats = TraceStats()
+    for vpn, run, is_system in iter_trace_runs(config):
+        if is_system:
+            stats.system_references += run
+        else:
+            stats.user_references += run
+        entry = tlb.lookup(vpn, kernel=is_system)
+        if entry is None:
+            if is_system:
+                stats.system_misses += 1
+            else:
+                stats.user_misses += 1
+            tlb.insert(vpn, vpn, kernel=is_system)
+    return stats
+
+
 def agarwal_system_reference_fraction(arch: ArchSpec) -> float:
     """Reproduce 'over 50% of the references were system references'."""
-    stats = replay_trace(arch.tlb, TraceConfig())
+    from repro.core.engine import default_engine
+
+    stats = default_engine().replay(arch.tlb, TraceConfig())
     return stats.system_reference_fraction
 
 
@@ -153,6 +239,8 @@ def clark_emer_tlb_shares(arch: ArchSpec,
                           system_fraction: float = 0.20) -> Tuple[float, float]:
     """Reproduce Clark & Emer: OS = ~1/5 of references but >2/3 of TLB
     misses.  Returns (system reference share, system miss share)."""
+    from repro.core.engine import default_engine
+
     config = TraceConfig(system_fraction=system_fraction)
-    stats = replay_trace(arch.tlb, config)
+    stats = default_engine().replay(arch.tlb, config)
     return stats.system_reference_fraction, stats.system_miss_fraction

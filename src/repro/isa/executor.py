@@ -187,6 +187,6 @@ def run_on(arch: "ArchSpec", program: Program, drain_write_buffer: bool = False)
     return Executor(arch).run(program, drain_write_buffer=drain_write_buffer)
 
 
-def merge_results(name: str, results: Mapping[str, ExecutionResult]) -> Dict[str, float]:
+def merge_results(results: Mapping[str, ExecutionResult]) -> Dict[str, float]:
     """Collapse several results into a {label: time_us} mapping."""
     return {label: result.time_us for label, result in results.items()}

@@ -128,7 +128,9 @@ def build_handler(arch: ArchSpec, primitive: Primitive) -> ExecutionResult:
     """
     program = handler_program(arch, primitive)
     drain = primitive in (Primitive.TRAP, Primitive.CONTEXT_SWITCH)
-    return Executor(arch).run(program, drain_write_buffer=drain)
+    from repro.core.engine import run_cached
+
+    return run_cached(arch, program, drain_write_buffer=drain)
 
 
 def instruction_count(arch: ArchSpec, primitive: Primitive) -> int:

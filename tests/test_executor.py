@@ -91,6 +91,26 @@ def test_drain_write_buffer_adds_cycles_only_when_pending():
     assert run_on(arch, no_stores, drain_write_buffer=True).cycles == 5
 
 
+def test_drain_phase_appears_only_when_drain_positive():
+    arch = get_arch("r2000")
+    burst = simple_program(alus=0, stores=8, page=1)
+    drained = run_on(arch, burst, drain_write_buffer=True)
+    phase = drained.by_phase["write_buffer_drain"]
+    assert phase.instructions == 0
+    assert phase.cycles > 0 and phase.stall_cycles == phase.cycles
+    # drain not requested: no synthetic phase even with pending stores
+    assert "write_buffer_drain" not in run_on(arch, burst).by_phase
+    # drain requested but nothing pending: no synthetic phase either
+    no_stores = run_on(arch, simple_program(alus=5), drain_write_buffer=True)
+    assert "write_buffer_drain" not in no_stores.by_phase
+    # a store that fully retires during later ALU work leaves nothing to drain
+    b = ProgramBuilder()
+    b.stores(1, page=0)
+    b.alu(100)
+    retired = run_on(arch, b.build(), drain_write_buffer=True)
+    assert "write_buffer_drain" not in retired.by_phase
+
+
 def test_time_us_uses_clock():
     arch = get_arch("r3000")  # 25 MHz
     result = run_on(arch, simple_program(alus=25))

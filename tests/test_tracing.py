@@ -74,6 +74,14 @@ def test_invalid_configs_rejected():
         TraceConfig(system_fraction=1.5)
     with pytest.raises(ValueError):
         TraceConfig(references=0)
+    with pytest.raises(ValueError):
+        TraceConfig(user_working_set_pages=0)
+    with pytest.raises(ValueError):
+        TraceConfig(system_working_set_pages=-1)
+    with pytest.raises(ValueError):
+        TraceConfig(user_run_length=0)
+    with pytest.raises(ValueError):
+        TraceConfig(system_run_length=0)
 
 
 @settings(deadline=None, max_examples=20)
