@@ -1,0 +1,85 @@
+"""Observability-layer benchmarks: the zero-cost-when-disabled contract.
+
+The headline assertion: with no sinks attached and metrics off, the
+instrumented executor (one ``observer is None`` branch per instruction)
+stays within 3% of a replica of the pre-telemetry run loop
+(:func:`repro.obs.overhead.baseline_run`).  The ratio is measured
+best-of-rounds and retried to damp scheduler noise; the same probe is
+what ``scripts/perf_report.py`` records into ``BENCH_engine.json``.
+
+The remaining benchmarks price the *enabled* paths so regressions in
+the hot instrumentation are visible too.
+"""
+
+from repro import obs
+from repro.arch.registry import get_arch
+from repro.core.engine import ExperimentEngine
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+from repro.obs.overhead import measure_overhead
+
+#: the acceptance ceiling for instrumented-but-disabled executor runs.
+MAX_DISABLED_OVERHEAD = 1.03
+
+
+def bench_obs_disabled_overhead(show):
+    """Pin the disabled-path overhead below 3% (best attempt of three)."""
+    best = None
+    for _ in range(3):
+        probe = measure_overhead()
+        assert probe["identical"], "instrumented loop diverged from baseline"
+        if best is None or probe["ratio"] < best["ratio"]:
+            best = probe
+        if best["ratio"] < MAX_DISABLED_OVERHEAD:
+            break
+    show("Obs: disabled-path executor overhead",
+         f"{best['program']}: baseline {best['baseline_ms']:.2f} ms vs "
+         f"instrumented {best['instrumented_ms']:.2f} ms "
+         f"-> ratio {best['ratio']:.4f} (ceiling {MAX_DISABLED_OVERHEAD})")
+    assert best["ratio"] < MAX_DISABLED_OVERHEAD, (
+        f"disabled observability costs {100 * (best['ratio'] - 1):.1f}% "
+        f"(ceiling {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)")
+
+
+def bench_obs_traced_run(benchmark, show):
+    """A fully-traced executor run (spans + metrics): the enabled price."""
+    arch = get_arch("i860")
+    program = handler_program(arch, Primitive.PTE_CHANGE)
+
+    def traced():
+        engine = ExperimentEngine()
+        with obs.capture() as cap:
+            engine.run(arch, program)
+        return cap
+
+    cap = benchmark(traced)
+    phases = [s for s in cap.spans if s.category == "phase"]
+    assert phases, "traced run emitted no phase spans"
+    show("Obs: fully-traced run",
+         f"{program.name}: {len(cap.spans)} spans per cold run")
+
+
+def bench_obs_metrics_inc(benchmark, show):
+    """One labelled counter increment (the instrumentation-site cost)."""
+    registry = obs.MetricsRegistry()
+    counter = registry.counter("bench_counter", "benchmark counter")
+
+    benchmark(lambda: counter.inc(1, arch="sparc", opclass="LOAD"))
+    assert counter.value(arch="sparc", opclass="LOAD") > 0
+    show("Obs: labelled counter increment",
+         "single-label-set Counter.inc under the registry lock")
+
+
+def bench_obs_snapshot_diff(benchmark, show):
+    """Snapshot + diff of a realistically-sized registry."""
+    registry = obs.MetricsRegistry()
+    for i in range(20):
+        c = registry.counter(f"metric_{i}", "bench")
+        for arch in ("cvax", "sparc", "r3000", "i860", "m88000"):
+            c.inc(i + 1, arch=arch)
+    before = registry.snapshot()
+    registry.counter("metric_0", "bench").inc(5, arch="sparc")
+
+    diff = benchmark(lambda: obs.snapshot_diff(before, registry.snapshot()))
+    assert diff["metrics"]["metric_0"]["cells"]["arch=sparc"] > 0
+    show("Obs: snapshot + diff", "20 metrics x 5 label sets round trip")

@@ -10,6 +10,9 @@
     repro measure r3000          # the four primitives on one system
     repro disasm sparc trap      # dump a handler driver as assembly
     repro arches                 # list known architectures
+    repro trace table2 --out trace.json       # Chrome trace of a table run
+    repro trace appmix --format folded ...    # flamegraph folded stacks
+    repro --metrics table 2      # any command + Prometheus metrics dump
 
 Also exposed as ``python -m repro``.
 """
@@ -127,6 +130,76 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+#: trace targets: the seven tables plus the integrated machine session.
+TRACE_TARGETS = tuple(f"table{n}" for n in range(1, 8)) + ("appmix",)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload under full telemetry and export the result."""
+    from repro import obs
+    from repro.obs.export import ExportPathError, export
+
+    target = args.target if not args.target.isdigit() else f"table{args.target}"
+    if target not in TRACE_TARGETS:
+        print(f"unknown trace target {args.target!r}; choose one of "
+              f"{', '.join(TRACE_TARGETS)}", file=sys.stderr)
+        return 2
+
+    was_on = obs.metrics_enabled()
+    obs.enable_metrics()
+    before = obs.REGISTRY.snapshot()
+    sink = obs.InMemorySink()
+    metadata = {"target": target, "tool": "repro trace"}
+
+    try:
+        if target == "appmix":
+            from repro.arch import get_arch
+            from repro.workloads.appmix import run_session
+
+            try:
+                arch = get_arch(args.arch) if args.arch else None
+            except KeyError as err:
+                print(err, file=sys.stderr)
+                return 2
+            session = run_session(arch=arch, iterations=args.iterations, sink=sink)
+            counters = obs.REGISTRY.gauge(
+                "machine_event_counters", "Table 7 event counters for the traced session")
+            for kind, value in session.counters.items():
+                counters.set(value, kind=kind, arch=session.arch_name)
+            metadata.update(arch=session.arch_name, iterations=args.iterations,
+                            elapsed_us=session.elapsed_us)
+        else:
+            from repro.analysis.runner import render_table
+            from repro.core.engine import ExperimentEngine, default_engine, set_default_engine
+
+            # A fresh engine makes the run cold, so the trace carries real
+            # handler/phase spans instead of memoized handler stubs.
+            previous = default_engine()
+            set_default_engine(ExperimentEngine())
+            obs.sim_clock().reset()
+            obs.tracer().add_sink(sink)
+            try:
+                render_table(int(target.removeprefix("table")))
+            finally:
+                obs.tracer().remove_sink(sink)
+                set_default_engine(previous)
+    finally:
+        if not was_on:
+            obs.disable_metrics()
+
+    snapshot = obs.snapshot_diff(before, obs.REGISTRY.snapshot())
+    try:
+        path = export(sink.spans, snapshot, args.out, args.format,
+                      metadata=metadata, force=args.force)
+    except ExportPathError as err:
+        print(err, file=sys.stderr)
+        return 2
+    what = ("metrics snapshot" if args.format == "prom"
+            else f"{len(sink.spans)} spans")
+    print(f"wrote {what} for {target} to {path} ({args.format})")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -153,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker process count for --parallel (default: cpu count)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the obs metrics registry for the run and print a "
+        "Prometheus-format dump after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("arches", help="list simulated architectures").set_defaults(func=_cmd_arches)
@@ -178,12 +257,47 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("primitive", help="null_syscall | trap | pte_change | context_switch")
     disasm.set_defaults(func=_cmd_disasm)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under telemetry and export spans/metrics",
+        description="Run one table regeneration or the integrated appmix "
+        "session with the repro.obs layer enabled, then export the span "
+        "stream (chrome/folded) or the metrics snapshot (prom).  Chrome "
+        "traces load in chrome://tracing or https://ui.perfetto.dev.",
+    )
+    trace.add_argument("target", help="table1..table7 (or a bare number) | appmix")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="output file (default: trace.json)")
+    trace.add_argument("--format", choices=("chrome", "prom", "folded"),
+                       default="chrome", help="export format (default: chrome)")
+    trace.add_argument("--arch", default=None,
+                       help="architecture for the appmix session (default: r3000)")
+    trace.add_argument("--iterations", type=_positive_int, default=5,
+                       help="appmix session rounds (default: 5)")
+    trace.add_argument("--force", action="store_true",
+                       help="overwrite even if the output file does not look "
+                       "like a previous export")
+    trace.set_defaults(func=_cmd_trace)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.metrics:
+        from repro import obs
+        from repro.obs.export import render_prometheus
+
+        obs.enable_metrics()
+        before = obs.REGISTRY.snapshot()
+        try:
+            status = args.func(args)
+        finally:
+            obs.disable_metrics()
+        print(render_prometheus(obs.snapshot_diff(before, obs.REGISTRY.snapshot())),
+              end="")
+        return status
     return args.func(args)
 
 

@@ -37,6 +37,7 @@ import functools
 import hashlib
 import json
 import os
+import time
 import weakref
 from collections import OrderedDict
 from typing import (
@@ -55,6 +56,9 @@ from typing import (
 from repro.arch.specs import ArchSpec, TLBSpec
 from repro.isa.executor import ExecutionResult, Executor, PhaseCost
 from repro.isa.program import Program
+from repro.obs import OBS_STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import PhaseSpanObserver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tracing import TraceConfig, TraceStats
@@ -208,6 +212,7 @@ class LRUCache:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        self.evictions = 0
         self._data: "OrderedDict[str, Any]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -228,6 +233,11 @@ class LRUCache:
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
+            if _OBS.metrics_on:
+                _METRICS.counter(
+                    "engine_lru_evictions_total",
+                    "experiments evicted from the in-memory LRU").inc()
 
     def clear(self) -> None:
         self._data.clear()
@@ -252,7 +262,15 @@ class DiskCache:
         try:
             with open(self._path(key), "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
+        except ValueError:
+            # An unparsable entry is a real (if survivable) defect —
+            # count it so a rotting cache directory is visible.
+            if _OBS.metrics_on:
+                _METRICS.counter(
+                    "engine_disk_corrupt_total",
+                    "disk-cache entries dropped as unparsable").inc()
+            return None
+        except OSError:
             return None
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
             return None
@@ -276,6 +294,22 @@ class DiskCache:
 # parallel sweeps
 # ----------------------------------------------------------------------
 
+def _metrics_task(fn: Callable[[Any], Any], item: Any) -> "tuple[Any, Dict[str, Any]]":
+    """Worker-side wrapper: run ``fn(item)`` with obs metrics enabled and
+    return (result, snapshot-diff of what the call recorded).
+
+    The diff (not the raw snapshot) is shipped back, so a forked worker
+    that inherited a non-empty parent registry never double-counts.
+    Top-level by necessity: it must be picklable for the process pool.
+    """
+    from repro import obs
+
+    obs.enable_metrics()
+    before = obs.REGISTRY.snapshot()
+    value = fn(item)
+    return value, obs.snapshot_diff(before, obs.REGISTRY.snapshot())
+
+
 class SweepRunner:
     """Deterministically-ordered fan-out over independent computations.
 
@@ -296,7 +330,17 @@ class SweepRunner:
         #: how the last ``map`` actually ran ("serial" | "parallel").
         self.last_mode = "serial"
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(self, fn: Callable[[T], R], items: Sequence[T],
+            collect_metrics: bool = False) -> List[R]:
+        """Apply ``fn`` to ``items`` in order (see class docstring).
+
+        ``collect_metrics=True`` additionally aggregates obs metrics
+        across the fan-out: pool workers run with metrics enabled and
+        ship their registry snapshot-diffs back, which are merged into
+        this process's registry — so ``obs.REGISTRY`` ends up with the
+        same totals whether the sweep ran parallel or degraded to the
+        serial path (where the work writes the registry directly).
+        """
         items = list(items)
         self.last_mode = "serial"
         if not self.parallel or len(items) < 2 or (self.max_workers or 2) < 2:
@@ -305,11 +349,21 @@ class SweepRunner:
             import concurrent.futures as cf
             import pickle
 
-            pickle.dumps(fn)
+            task: Callable[[T], Any] = (
+                functools.partial(_metrics_task, fn) if collect_metrics else fn)
+            pickle.dumps(task)
             pickle.dumps(items)
             with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(pool.map(fn, items))
+                results = list(pool.map(task, items))
             self.last_mode = "parallel"
+            if collect_metrics:
+                from repro.obs import REGISTRY
+
+                unwrapped: List[R] = []
+                for value, snapshot in results:
+                    REGISTRY.merge(snapshot)
+                    unwrapped.append(value)
+                return unwrapped
             return results
         except Exception:
             # Pool creation/teardown can fail where fork or POSIX
@@ -358,12 +412,61 @@ class ExperimentEngine:
         payload = self._lookup(key)
         if payload is None:
             self.misses += 1
-            result = Executor(arch).run(program, drain_write_buffer=drain_write_buffer)
+            if _OBS.metrics_on:
+                _METRICS.counter(
+                    "engine_cache_misses_total",
+                    "experiment-engine cache misses (fresh executions)",
+                ).inc(arch=arch.name)
+            result = self._execute(arch, program, drain_write_buffer)
             payload = result_to_dict(result)
             self._store(key, payload)
             return result
         self.hits += 1
-        return result_from_dict(payload)
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "engine_cache_hits_total",
+                "experiment-engine cache hits (rehydrated results)",
+            ).inc(arch=arch.name)
+            t0 = time.perf_counter()
+            result = result_from_dict(payload)
+            _METRICS.histogram(
+                "engine_rehydrate_ms",
+                "per-key wall time to rehydrate a cached ExecutionResult",
+            ).observe((time.perf_counter() - t0) * 1e3, arch=arch.name)
+        else:
+            result = result_from_dict(payload)
+        tracer = _OBS.tracer
+        if tracer.active:
+            # A memoized run still appears on the trace timeline: one
+            # handler span of the result's full duration, no phases.
+            clock = _OBS.clock
+            start = clock.now_us
+            clock.advance(result.time_us)
+            tracer.complete(
+                f"handler:{program.name}", "handler",
+                start_us=start, end_us=clock.now_us, track=arch.name,
+                arch=arch.name, cached=True, cycles=result.cycles,
+                instructions=result.instructions,
+            )
+        return result
+
+    def _execute(self, arch: ArchSpec, program: Program,
+                 drain_write_buffer: bool) -> ExecutionResult:
+        """One real executor run, with spans/metrics when obs is live."""
+        tracer = _OBS.tracer
+        if not tracer.active:
+            return Executor(arch).run(program, drain_write_buffer=drain_write_buffer)
+        clock = _OBS.clock
+        observer = PhaseSpanObserver(
+            tracer, clock, arch_name=arch.name, clock_mhz=arch.clock_mhz,
+            registry=_METRICS if _OBS.metrics_on else None)
+        with tracer.span(f"handler:{program.name}", "handler",
+                         clock=clock, track=arch.name,
+                         arch=arch.name, cached=False):
+            result = Executor(arch, observer=observer).run(
+                program, drain_write_buffer=drain_write_buffer)
+            observer.close()
+        return result
 
     # -- trace replays --------------------------------------------------
     def replay(self, tlb_spec: TLBSpec, config: "TraceConfig | None" = None) -> "TraceStats":

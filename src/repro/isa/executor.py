@@ -100,15 +100,34 @@ class ExecutionResult:
         return "\n".join(lines)
 
 
+class InstructionObserver:
+    """Per-instruction observation hook (duck-typed; see ``repro.obs``).
+
+    ``on_instruction`` fires after each record's cost is computed;
+    ``on_drain`` after an end-of-run write-buffer drain charge.  The
+    executor holds at most one observer, and the ``observer is None``
+    guard is the instrumented-but-disabled path's entire cost
+    (``benchmarks/bench_obs.py`` pins it under 3%).
+    """
+
+    def on_instruction(self, inst: Instruction, counted: int,
+                       cycles: float, stalls: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_drain(self, cycles: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
 class Executor:
     """Runs phase-labelled programs against an :class:`ArchSpec`."""
 
-    def __init__(self, arch: "ArchSpec") -> None:
+    def __init__(self, arch: "ArchSpec", observer: "InstructionObserver | None" = None) -> None:
         # Imported here to keep repro.isa importable without repro.arch
         # (the dependency is one-way at runtime: executor -> arch).
         from repro.arch.writebuffer import make_write_buffer
 
         self.arch = arch
+        self.observer = observer
         self._write_buffer = make_write_buffer(arch.write_buffer)
 
     # ------------------------------------------------------------------
@@ -161,6 +180,7 @@ class Executor:
             arch_name=self.arch.name,
             clock_mhz=self.arch.clock_mhz,
         )
+        observer = self.observer
         now = 0.0
         for inst in program:
             counted, cycles, stalls = self._instruction_cost(inst, now)
@@ -172,6 +192,8 @@ class Executor:
                 result.nop_instructions += 1
             phase = result.by_phase.setdefault(inst.phase, PhaseCost())
             phase.add(counted, cycles, stalls)
+            if observer is not None:
+                observer.on_instruction(inst, counted, cycles, stalls)
         if drain_write_buffer:
             drain = self._write_buffer.drain_time(now)
             result.cycles += drain
@@ -179,6 +201,8 @@ class Executor:
             if drain:
                 phase = result.by_phase.setdefault("write_buffer_drain", PhaseCost())
                 phase.add(0, drain, drain)
+                if observer is not None:
+                    observer.on_drain(drain)
         return result
 
 

@@ -4,9 +4,24 @@ Measurement needs instrumentation: §5's Table 7 exists because the
 authors "instrumented the operating system kernels to count the
 occurrences of the primitive operations".  The event log is that
 instrument for the simulator: a bounded ring of timestamped, typed
-events, attachable to a :class:`~repro.kernel.system.SimulatedMachine`
-without modifying it (it wraps the counter-bearing entry points), plus
-a small query API used by tests, examples, and debugging sessions.
+events, plus a small query API used by tests, examples, and debugging
+sessions.
+
+Since the telemetry layer landed, the log is no longer a parallel
+mechanism wrapping the machine's entry points — it is one
+:class:`~repro.obs.spans.SpanSink` on the span stream every
+:class:`~repro.kernel.system.SimulatedMachine` natively emits
+(``machine.tracer``).  Each primitive span (``syscall``, ``trap``,
+``thread_switch``, ``pte_change``, ...) is folded to one ring entry
+timestamped at the span's close; other sinks (Chrome-trace export, an
+ad-hoc :class:`~repro.obs.spans.InMemorySink`) can observe the same
+stream concurrently without coordination.
+
+Drop accounting counts **true overwrites only**: ``dropped`` ticks
+exactly when appending evicts the oldest live entry — the ring's own
+``maxlen`` is the authority, so attach/detach cycles can never
+desynchronize the count from the deque.  Drops are mirrored to the
+``eventlog_dropped_total`` obs counter when metrics are enabled.
 """
 
 from __future__ import annotations
@@ -15,9 +30,12 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.kernel.system import SimulatedMachine
+from repro.obs import OBS_STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import Span, SpanSink
 
 
 class EventKind(enum.Enum):
@@ -37,8 +55,12 @@ class Event:
     detail: str = ""
 
 
-class EventLog:
-    """Bounded ring of machine events."""
+#: span name (on the machine tracer) -> ring event kind.
+_SPAN_KINDS: Dict[str, EventKind] = {kind.value: kind for kind in EventKind}
+
+
+class EventLog(SpanSink):
+    """Bounded ring of machine events, fed by the machine's span stream."""
 
     def __init__(self, machine: SimulatedMachine, capacity: int = 4096) -> None:
         if capacity < 1:
@@ -48,74 +70,44 @@ class EventLog:
         self._events: Deque[Event] = deque(maxlen=capacity)
         self._sequence = itertools.count()
         self.dropped = 0
-        self._unhook: List[Callable[[], None]] = []
-        self._attach()
+        self.attach()
 
     # ------------------------------------------------------------------
-    def _record(self, kind: EventKind, detail: str = "") -> None:
-        if len(self._events) == self.capacity:
+    # the sink side
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """(Re-)subscribe to the machine's span stream (idempotent)."""
+        self.machine.tracer.add_sink(self)
+
+    def detach(self) -> None:
+        """Stop observing; the ring's contents stay queryable."""
+        self.machine.tracer.remove_sink(self)
+
+    def on_span(self, span: Span) -> None:
+        kind = _SPAN_KINDS.get(span.name)
+        if kind is None:
+            return
+        self._record(kind, at_us=span.end_us,
+                     detail=str(span.attrs.get("detail", "")))
+
+    def _record(self, kind: EventKind, at_us: float, detail: str = "") -> None:
+        events = self._events
+        if len(events) == events.maxlen:
+            # appending below evicts the oldest entry: a true overwrite
             self.dropped += 1
-        self._events.append(
+            if _OBS.metrics_on:
+                _METRICS.counter(
+                    "eventlog_dropped_total",
+                    "ring-buffer events lost to overwrites",
+                ).inc()
+        events.append(
             Event(
                 sequence=next(self._sequence),
                 kind=kind,
-                at_us=self.machine.clock_us,
+                at_us=at_us,
                 detail=detail,
             )
         )
-
-    def _attach(self) -> None:
-        machine = self.machine
-        original_syscall = machine.syscall
-        original_switch = machine.switch_to
-        original_trap = machine.trap
-        original_atomic = machine.atomic_or_trap_us
-
-        def syscall(name: str):
-            result = original_syscall(name)
-            self._record(EventKind.SYSCALL, detail=name)
-            return result
-
-        def switch_to(thread):
-            was_process = machine.current_process
-            us = original_switch(thread)
-            self._record(EventKind.THREAD_SWITCH, detail=thread.name)
-            if machine.current_process is not was_process:
-                self._record(
-                    EventKind.ADDRESS_SPACE_SWITCH,
-                    detail=machine.current_process.name if machine.current_process else "",
-                )
-            return us
-
-        def trap():
-            us = original_trap()
-            self._record(EventKind.TRAP)
-            return us
-
-        def atomic_or_trap_us():
-            before = machine.counters.emulated_instructions
-            us = original_atomic()
-            if machine.counters.emulated_instructions > before:
-                self._record(EventKind.EMULATED_INSTRUCTION)
-            return us
-
-        machine.syscall = syscall  # type: ignore[method-assign]
-        machine.switch_to = switch_to  # type: ignore[method-assign]
-        machine.trap = trap  # type: ignore[method-assign]
-        machine.atomic_or_trap_us = atomic_or_trap_us  # type: ignore[method-assign]
-
-        def restore() -> None:
-            machine.syscall = original_syscall  # type: ignore[method-assign]
-            machine.switch_to = original_switch  # type: ignore[method-assign]
-            machine.trap = original_trap  # type: ignore[method-assign]
-            machine.atomic_or_trap_us = original_atomic  # type: ignore[method-assign]
-
-        self._unhook.append(restore)
-
-    def detach(self) -> None:
-        """Restore the machine's original entry points."""
-        while self._unhook:
-            self._unhook.pop()()
 
     # ------------------------------------------------------------------
     # queries

@@ -129,8 +129,10 @@ def build_handler(arch: ArchSpec, primitive: Primitive) -> ExecutionResult:
     program = handler_program(arch, primitive)
     drain = primitive in (Primitive.TRAP, Primitive.CONTEXT_SWITCH)
     from repro.core.engine import run_cached
+    from repro.kernel.primitives import primitive_span
 
-    return run_cached(arch, program, drain_write_buffer=drain)
+    with primitive_span(primitive, arch.name):
+        return run_cached(arch, program, drain_write_buffer=drain)
 
 
 def instruction_count(arch: ArchSpec, primitive: Primitive) -> int:

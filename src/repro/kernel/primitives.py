@@ -16,6 +16,7 @@
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 
 
 class Primitive(enum.Enum):
@@ -33,6 +34,28 @@ class Primitive(enum.Enum):
             Primitive.PTE_CHANGE: "Page table entry change",
             Primitive.CONTEXT_SWITCH: "Context switch",
         }[self]
+
+
+@contextmanager
+def primitive_span(primitive: Primitive, arch_name: str):
+    """Open an obs span named for ``primitive`` (no-op when tracing is off).
+
+    This is the top of the span hierarchy the telemetry layer records:
+    primitive → handler program → instruction phase.  The span's name is
+    the primitive's enum value (``null_syscall``, ``trap``,
+    ``pte_change``, ``context_switch``) — the four operations the paper
+    counts — and it rides the architecture's trace track.
+    """
+    from repro.obs import OBS_STATE
+
+    tracer = OBS_STATE.tracer
+    if not tracer.active:
+        yield None
+        return
+    with tracer.span(primitive.value, "primitive", clock=OBS_STATE.clock,
+                     track=arch_name, arch=arch_name,
+                     label=primitive.label) as attrs:
+        yield attrs
 
 
 #: Phase labels grouped the way Table 5 groups them.

@@ -25,6 +25,7 @@ from repro.kernel.process import KernelThread, Process
 from repro.kernel.scheduler import Scheduler
 from repro.mem.pagetable import Protection
 from repro.mem.vm import PageFault, VirtualMemory
+from repro.obs.spans import Tracer
 
 
 @dataclass
@@ -57,6 +58,12 @@ class SimulatedMachine:
         self.vm = VirtualMemory(arch)
         self.scheduler = Scheduler()
         self.counters = EventCounters()
+        #: per-machine span stream: every kernel crossing is emitted as
+        #: a span timed on the virtual clock.  Inactive (one branch per
+        #: crossing) until a sink attaches — the
+        #: :class:`~repro.kernel.eventlog.EventLog` ring buffer and the
+        #: ``repro trace`` exporters are both just sinks on this tracer.
+        self.tracer = Tracer()
         self.clock_us = 0.0
         self.processes: Dict[int, Process] = {}
         self.current_process: Optional[Process] = None
@@ -78,6 +85,12 @@ class SimulatedMachine:
             )
             self._primitive_us[primitive] = result.time_us
         return self._primitive_us[primitive]
+
+    def _emit(self, name: str, start_us: float, detail: str = "") -> None:
+        """Emit one primitive span [start_us, now] on the machine track."""
+        self.tracer.complete(
+            name, "primitive", start_us=start_us, end_us=self.clock_us,
+            track=self.name, arch=self.arch.name, detail=detail)
 
     def advance(self, us: float) -> None:
         """Advance the virtual clock (application compute time etc.)."""
@@ -114,19 +127,29 @@ class SimulatedMachine:
         handler; crossing address spaces additionally pays the hardware
         switch costs (TLB purge on untagged parts, virtual cache flush).
         """
+        start_us = self.clock_us
         us = self.primitive_cost_us(Primitive.CONTEXT_SWITCH)
         self.counters.thread_switches += 1
         previous = self.scheduler.current
         if previous is not None and previous is not thread:
             self.scheduler.preempt_current()
         target_process = thread.process
+        crossed_spaces = False
         if target_process is not self.current_process:
             self.counters.address_space_switches += 1
+            crossed_spaces = True
             cycles = self.vm.activate(target_process.space)
             us += self.arch.cycles_to_us(cycles)
             self.current_process = target_process
         self.scheduler.dispatch(thread)
         self.clock_us += us
+        if self.tracer.active:
+            self._emit("thread_switch", start_us, detail=thread.name)
+            if crossed_spaces:
+                self.tracer.instant(
+                    "address_space_switch", "machine", at_us=self.clock_us,
+                    track=self.name,
+                    detail=self.current_process.name if self.current_process else "")
         return us
 
     def yield_to_next(self) -> float:
@@ -148,7 +171,10 @@ class SimulatedMachine:
         if handler is None:
             raise KeyError(f"unknown syscall {name!r}")
         self.counters.syscalls += 1
+        start_us = self.clock_us
         self.clock_us += self.primitive_cost_us(Primitive.NULL_SYSCALL)
+        if self.tracer.active:
+            self._emit("syscall", start_us, detail=name)
         return handler(self)
 
     # ------------------------------------------------------------------
@@ -175,22 +201,31 @@ class SimulatedMachine:
     def trap(self) -> float:
         """Charge one trap (fault path into a null handler)."""
         self.counters.traps += 1
+        start_us = self.clock_us
         us = self.primitive_cost_us(Primitive.TRAP)
         self.clock_us += us
+        if self.tracer.active:
+            self._emit("trap", start_us)
         return us
 
     def change_protection(self, vpn: int, protection: Protection) -> float:
         self.counters.pte_changes += 1
+        start_us = self.clock_us
         cycles = self.vm.set_protection(vpn, protection, space=self._space())
         us = self.arch.cycles_to_us(cycles)
         self.clock_us += us
+        if self.tracer.active:
+            self._emit("pte_change", start_us, detail=f"vpn={vpn}")
         return us
 
     def unmap_page(self, vpn: int) -> float:
         self.counters.pte_changes += 1
+        start_us = self.clock_us
         cycles = self.vm.unmap(vpn, space=self._space())
         us = self.arch.cycles_to_us(cycles)
         self.clock_us += us
+        if self.tracer.active:
+            self._emit("pte_change", start_us, detail=f"vpn={vpn} unmap")
         return us
 
     def map_page(self, vpn: int, pfn: Optional[int] = None,
@@ -216,4 +251,7 @@ class SimulatedMachine:
         self.counters.emulated_instructions += 1
         us = self.primitive_cost_us(Primitive.NULL_SYSCALL)
         self.clock_us += us
+        if self.tracer.active:
+            self.tracer.instant("emulated_instruction", "machine",
+                                at_us=self.clock_us, track=self.name)
         return us

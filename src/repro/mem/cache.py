@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Set, Tuple
 
 from repro.arch.specs import CacheSpec
+from repro.obs import OBS_STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
 
 
 @dataclass
@@ -74,6 +76,10 @@ class Cache:
             return True
         self.stats.misses += 1
         self.stats.maintenance_cycles += self.miss_cycles
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "cache_misses_total", "first-level cache line misses (refills)",
+            ).inc()
         if len(self._resident) >= self.spec.lines:
             self._resident.pop()
         self._resident.add(key)
@@ -91,6 +97,14 @@ class Cache:
         self.stats.context_flushes += 1
         self.stats.lines_flushed += flushed
         self.stats.maintenance_cycles += cycles
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "cache_flushes_total", "whole-cache maintenance flushes",
+            ).inc(reason="context_switch")
+            if flushed:
+                _METRICS.counter(
+                    "cache_lines_flushed_total", "lines lost to maintenance",
+                ).inc(flushed, reason="context_switch")
         return cycles
 
     def on_pte_change(self, vpn: int) -> float:
@@ -114,6 +128,14 @@ class Cache:
         self.stats.pte_sweeps += 1
         self.stats.lines_flushed += len(page_lines)
         self.stats.maintenance_cycles += cycles
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "cache_flushes_total", "whole-cache maintenance flushes",
+            ).inc(reason="pte_sweep")
+            if page_lines:
+                _METRICS.counter(
+                    "cache_lines_flushed_total", "lines lost to maintenance",
+                ).inc(len(page_lines), reason="pte_sweep")
         return cycles
 
     def invalidate_page(self, vpn: int) -> int:

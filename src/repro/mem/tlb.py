@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arch.specs import TLBSpec
 from repro.mem.pagetable import Protection
+from repro.obs import OBS_STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
 
 
 @dataclass
@@ -92,6 +94,10 @@ class TLB:
         else:
             self.stats.user_misses += 1
         self.stats.miss_cycles += self.miss_cost(kernel=kernel)
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "tlb_misses_total", "TLB lookup misses by mode",
+            ).inc(mode="kernel" if kernel else "user")
         return None
 
     def probe(self, vpn: int, asid: Optional[int] = None) -> Optional[TLBEntry]:
@@ -143,6 +149,10 @@ class TLB:
         )
         self._slots[slot] = entry
         self._index[key] = slot
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "tlb_refills_total", "TLB entry insertions (refills)",
+            ).inc(mode="kernel" if kernel else "user")
         return entry
 
     def invalidate(self, vpn: int, asid: Optional[int] = None) -> bool:
@@ -166,6 +176,12 @@ class TLB:
             purged += 1
         self.stats.flushes += 1
         self.stats.entries_purged += purged
+        if _OBS.metrics_on:
+            _METRICS.counter("tlb_flushes_total", "whole-TLB purges").inc()
+            if purged:
+                _METRICS.counter(
+                    "tlb_entries_purged_total", "live entries lost to purges",
+                ).inc(purged)
         return purged
 
     # ------------------------------------------------------------------

@@ -1,0 +1,300 @@
+"""Typed, labelled metrics with snapshot/diff/merge semantics.
+
+The paper's Table 7 is a metrics table: the authors "instrumented the
+operating system kernels to count the occurrences of the primitive
+operations".  This module is the registry those counts land in for the
+simulator — and for everything else the repo measures:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram`, each keyed by
+  a sorted label set (``counter.inc(1, arch="sparc", opclass="LOAD")``);
+* :meth:`MetricsRegistry.snapshot` produces a JSON-safe dict, and
+  :func:`snapshot_diff` / :func:`merge_snapshots` give windowed reads
+  and cross-process aggregation — a :class:`~repro.core.engine.SweepRunner`
+  worker ships its snapshot diff back to the parent, which merges it
+  into the live registry;
+* every mutator takes the registry lock, so threads may share one
+  registry; processes aggregate through snapshots (nothing is shared).
+
+Instrumentation sites gate on :data:`repro.obs.OBS_STATE` before
+touching the registry, so the disabled path costs one attribute load.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: histogram bucket upper bounds (unit-agnostic; +Inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+def _label_key(labels: Mapping[str, Any]) -> str:
+    """Canonical string form of a label set ("" for unlabelled)."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def parse_label_key(key: str) -> Dict[str, str]:
+    """Invert :func:`_label_key` (exporters need the pairs back)."""
+    if not key:
+        return {}
+    return dict(pair.split("=", 1) for pair in key.split(","))
+
+
+class _Metric:
+    """Shared plumbing: a name, a help string, per-label-set cells."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._cells: Dict[str, Any] = {}
+
+    def label_keys(self) -> List[str]:
+        return sorted(self._cells)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._cells[key] = self._cells.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._cells.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._cells.values())
+
+
+class Gauge(_Metric):
+    """A value that can go up and down, per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._cells[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._cells[key] = self._cells.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._cells.get(_label_key(labels), 0.0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics), per label set.
+
+    Each cell is ``[counts_per_bucket..., overflow]`` plus a running sum
+    and count; ``observe`` finds the first bucket whose bound is >= the
+    value.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, lock)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _cell(self, key: str) -> Dict[str, Any]:
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+            self._cells[key] = cell
+        return cell
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            cell = self._cell(key)
+            slot = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot = i
+                    break
+            cell["counts"][slot] += 1
+            cell["sum"] += value
+            cell["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        cell = self._cells.get(_label_key(labels))
+        return cell["count"] if cell else 0
+
+    def sum(self, **labels: Any) -> float:
+        cell = self._cells.get(_label_key(labels))
+        return cell["sum"] if cell else 0.0
+
+
+#: snapshot schema version (bump on incompatible layout changes).
+SNAPSHOT_SCHEMA = 1
+
+
+class MetricsRegistry:
+    """A named collection of metrics with windowed-read support.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling twice
+    with one name returns the same object (a ``kind`` clash raises).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: "Dict[str, _Metric]" = {}
+
+    # -- registration ---------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, self._lock, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe copy of every cell (deep enough to mutate freely)."""
+        with self._lock:
+            out: Dict[str, Any] = {"schema": SNAPSHOT_SCHEMA, "metrics": {}}
+            for name, metric in self._metrics.items():
+                entry: Dict[str, Any] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "cells": {},
+                }
+                if isinstance(metric, Histogram):
+                    entry["buckets"] = list(metric.buckets)
+                    for key, cell in metric._cells.items():
+                        entry["cells"][key] = {
+                            "counts": list(cell["counts"]),
+                            "sum": cell["sum"],
+                            "count": cell["count"],
+                        }
+                else:
+                    entry["cells"] = dict(metric._cells)
+                out["metrics"][name] = entry
+            return out
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot (typically a worker's diff) into this registry.
+
+        Counters and histograms add; gauges take the snapshot's value
+        (last writer wins, matching single-process semantics).
+        """
+        for name, entry in snapshot.get("metrics", {}).items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                metric: Any = self.counter(name, entry.get("help", ""))
+                with self._lock:
+                    for key, value in entry["cells"].items():
+                        metric._cells[key] = metric._cells.get(key, 0.0) + value
+            elif kind == "gauge":
+                metric = self.gauge(name, entry.get("help", ""))
+                with self._lock:
+                    metric._cells.update(entry["cells"])
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, entry.get("help", ""),
+                    buckets=tuple(entry.get("buckets", DEFAULT_BUCKETS)))
+                with self._lock:
+                    for key, cell in entry["cells"].items():
+                        mine = metric._cell(key)
+                        for i, c in enumerate(cell["counts"]):
+                            mine["counts"][i] += c
+                        mine["sum"] += cell["sum"]
+                        mine["count"] += cell["count"]
+
+    def clear(self) -> None:
+        """Zero every cell, keeping metric objects (and any handles
+        instrumentation sites hold) registered and valid."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._cells.clear()
+
+
+def snapshot_diff(before: Mapping[str, Any], after: Mapping[str, Any]) -> Dict[str, Any]:
+    """``after - before`` for counters/histograms; gauges keep ``after``.
+
+    The result is itself a snapshot, so it can be merged or diffed
+    again; cells that did not change are omitted.
+    """
+    out: Dict[str, Any] = {"schema": SNAPSHOT_SCHEMA, "metrics": {}}
+    before_metrics = before.get("metrics", {})
+    for name, entry in after.get("metrics", {}).items():
+        old = before_metrics.get(name, {"cells": {}})
+        kind = entry.get("kind")
+        cells: Dict[str, Any] = {}
+        if kind == "histogram":
+            zero = {"counts": [0] * (len(entry.get("buckets", ())) + 1),
+                    "sum": 0.0, "count": 0}
+            for key, cell in entry["cells"].items():
+                prev = old["cells"].get(key, zero)
+                delta = {
+                    "counts": [c - p for c, p in zip(cell["counts"], prev["counts"])],
+                    "sum": cell["sum"] - prev["sum"],
+                    "count": cell["count"] - prev["count"],
+                }
+                if delta["count"]:
+                    cells[key] = delta
+        elif kind == "counter":
+            for key, value in entry["cells"].items():
+                delta = value - old["cells"].get(key, 0.0)
+                if delta:
+                    cells[key] = delta
+        else:  # gauge: the window's final value
+            cells = dict(entry["cells"])
+        if cells:
+            out["metrics"][name] = {
+                "kind": kind, "help": entry.get("help", ""), "cells": cells}
+            if "buckets" in entry:
+                out["metrics"][name]["buckets"] = list(entry["buckets"])
+    return out
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Combine several snapshots into one (fresh registry round-trip)."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+#: the process-wide registry every instrumentation site writes to.
+REGISTRY = MetricsRegistry()

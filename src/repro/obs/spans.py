@@ -1,0 +1,293 @@
+"""Hierarchical spans over simulated time, with pluggable sinks.
+
+A span is one timed region on the simulated timeline — a primitive, a
+handler program, one phase of a handler — with the nesting recorded
+explicitly (``depth``, ``parent_seq``, and the full ``stack`` of
+enclosing names), the simulated duration in microseconds, and the
+wall-clock cost of producing it.  Spans are *emitted on close* to every
+attached :class:`SpanSink`; with no sinks attached the tracer is
+inactive and every entry point returns immediately, which is what makes
+instrumentation free to leave in place.
+
+Two timebases coexist:
+
+* machine-driven spans (:class:`~repro.kernel.system.SimulatedMachine`)
+  carry explicit ``start_us``/``end_us`` read from the machine's
+  virtual clock via :meth:`Tracer.complete`;
+* executor-driven spans advance a shared :class:`SimClock` cursor as
+  instructions retire (:class:`PhaseSpanObserver`), so a ``repro trace
+  table2`` run lays the primitives out sequentially on one timeline.
+
+Tracers are designed for single-threaded use (one per machine, or the
+process-global one in :mod:`repro.obs`); cross-process aggregation goes
+through metrics snapshots, not spans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+
+
+@dataclass
+class Span:
+    """One closed, timed region of the simulated execution."""
+
+    name: str
+    category: str
+    start_us: float
+    end_us: float
+    seq: int
+    parent_seq: Optional[int] = None
+    depth: int = 0
+    #: names of every enclosing span, outermost first, self last.
+    stack: Tuple[str, ...] = ()
+    #: chrome-trace row this span renders on ("main", an arch name, ...).
+    track: str = "main"
+    #: wall-clock nanoseconds spent producing the span (0 for instants).
+    wall_ns: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end_us == self.start_us
+
+
+class SpanSink:
+    """Receives every closed span; subclass or duck-type ``on_span``."""
+
+    def on_span(self, span: Span) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class InMemorySink(SpanSink):
+    """Collects spans in order of close (children before parents)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def names(self) -> List[str]:
+        return [s.name for s in self.spans]
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class SimClock:
+    """A simulated-microsecond cursor shared by executor-driven spans."""
+
+    __slots__ = ("now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self.now_us = start_us
+
+    def advance(self, us: float) -> None:
+        self.now_us += us
+
+    def reset(self, to_us: float = 0.0) -> None:
+        self.now_us = to_us
+
+
+class _OpenFrame:
+    __slots__ = ("name", "category", "seq", "start_us", "wall_start_ns",
+                 "track", "attrs", "stack")
+
+    def __init__(self, name, category, seq, start_us, wall_start_ns, track, attrs, stack):
+        self.name = name
+        self.category = category
+        self.seq = seq
+        self.start_us = start_us
+        self.wall_start_ns = wall_start_ns
+        self.track = track
+        self.attrs = attrs
+        self.stack = stack
+
+
+class Tracer:
+    """Produces spans; inactive (and near-free) until a sink attaches."""
+
+    def __init__(self) -> None:
+        self._sinks: List[SpanSink] = []
+        self._seq = itertools.count()
+        self._stack: List[_OpenFrame] = []
+
+    # -- sinks ----------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return bool(self._sinks)
+
+    def add_sink(self, sink: SpanSink) -> None:
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: SpanSink) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def _emit(self, span: Span) -> None:
+        for sink in self._sinks:
+            sink.on_span(span)
+
+    # -- span production -------------------------------------------------
+    def _lineage(self, name: str) -> "Tuple[Optional[int], int, Tuple[str, ...]]":
+        if self._stack:
+            top = self._stack[-1]
+            return top.seq, len(self._stack), top.stack + (name,)
+        return None, 0, (name,)
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", *,
+             clock: SimClock, track: str = "main", **attrs: Any):
+        """Open a nested span whose times are read from ``clock``.
+
+        Yields the mutable attrs dict (annotate mid-span) or ``None``
+        when inactive.  The span closes — and is emitted — when the
+        ``with`` block exits, even on exception.
+        """
+        if not self._sinks:
+            yield None
+            return
+        parent_seq, depth, stack = self._lineage(name)
+        frame = _OpenFrame(name, category, next(self._seq), clock.now_us,
+                           time.perf_counter_ns(), track, dict(attrs), stack)
+        self._stack.append(frame)
+        try:
+            yield frame.attrs
+        finally:
+            self._stack.pop()
+            self._emit(Span(
+                name=name, category=category,
+                start_us=frame.start_us, end_us=clock.now_us,
+                seq=frame.seq, parent_seq=parent_seq, depth=depth,
+                stack=stack, track=track,
+                wall_ns=time.perf_counter_ns() - frame.wall_start_ns,
+                attrs=frame.attrs,
+            ))
+
+    def complete(self, name: str, category: str = "span", *,
+                 start_us: float, end_us: float, track: str = "main",
+                 wall_ns: int = 0, **attrs: Any) -> Optional[Span]:
+        """Emit an already-timed span (explicit start/end, e.g. a
+        machine primitive charged against the virtual clock)."""
+        if not self._sinks:
+            return None
+        parent_seq, depth, stack = self._lineage(name)
+        span = Span(
+            name=name, category=category, start_us=start_us, end_us=end_us,
+            seq=next(self._seq), parent_seq=parent_seq, depth=depth,
+            stack=stack, track=track, wall_ns=wall_ns, attrs=dict(attrs),
+        )
+        self._emit(span)
+        return span
+
+    def instant(self, name: str, category: str = "instant", *,
+                at_us: float, track: str = "main", **attrs: Any) -> Optional[Span]:
+        """Emit a zero-duration marker (e.g. an emulated instruction)."""
+        return self.complete(name, category, start_us=at_us, end_us=at_us,
+                             track=track, **attrs)
+
+
+class PhaseSpanObserver:
+    """Executor instruction observer: phases become spans and metrics.
+
+    Plugged into :class:`repro.isa.executor.Executor`; contiguous
+    instructions sharing a phase label collapse into one span carrying
+    instruction/cycle/stall totals, the shared :class:`SimClock` cursor
+    advances by each instruction's simulated cost, and per-``OpClass``
+    instruction and cycle counters accumulate locally (one registry
+    transaction at :meth:`close`, not one per instruction).
+    """
+
+    def __init__(self, tracer: Tracer, clock: SimClock, *, arch_name: str,
+                 clock_mhz: float, track: Optional[str] = None,
+                 registry: Optional[_metrics.MetricsRegistry] = None) -> None:
+        self._tracer = tracer
+        self._clock = clock
+        self._arch = arch_name
+        self._us_per_cycle = 1.0 / clock_mhz
+        self._track = track or arch_name
+        self._registry = registry
+        self._phase: Optional[str] = None
+        self._start_us = 0.0
+        self._instructions = 0
+        self._cycles = 0.0
+        self._stalls = 0.0
+        #: opclass name -> [instructions, cycles]
+        self._by_opclass: Dict[str, List[float]] = {}
+
+    def on_instruction(self, inst, counted: int, cycles: float, stalls: float) -> None:
+        if inst.phase != self._phase:
+            self._flush()
+            self._phase = inst.phase
+            self._start_us = self._clock.now_us
+        self._clock.advance(cycles * self._us_per_cycle)
+        self._instructions += counted
+        self._cycles += cycles
+        self._stalls += stalls
+        cell = self._by_opclass.setdefault(inst.opclass.name, [0, 0.0])
+        cell[0] += counted
+        cell[1] += cycles
+
+    def on_drain(self, cycles: float) -> None:
+        """Write-buffer drain at end of run: its own stall span."""
+        self._flush()
+        self._phase = "write_buffer_drain"
+        self._start_us = self._clock.now_us
+        self._clock.advance(cycles * self._us_per_cycle)
+        self._cycles += cycles
+        self._stalls += cycles
+        self._flush()
+
+    def _flush(self) -> None:
+        if self._phase is None:
+            return
+        self._tracer.complete(
+            self._phase, "phase",
+            start_us=self._start_us, end_us=self._clock.now_us,
+            track=self._track, arch=self._arch,
+            instructions=self._instructions, cycles=self._cycles,
+            stall_cycles=self._stalls,
+        )
+        self._phase = None
+        self._instructions = 0
+        self._cycles = 0.0
+        self._stalls = 0.0
+
+    def close(self) -> None:
+        """Flush the open phase and commit per-opclass metrics."""
+        self._flush()
+        if self._registry is not None and self._by_opclass:
+            instructions = self._registry.counter(
+                "executor_instructions_total",
+                "instructions retired, by architecture and opclass")
+            cycle_counter = self._registry.counter(
+                "executor_cycles_total",
+                "cycles charged, by architecture and opclass")
+            for opclass, (counted, cycles) in self._by_opclass.items():
+                if counted:
+                    instructions.inc(counted, arch=self._arch, opclass=opclass)
+                cycle_counter.inc(cycles, arch=self._arch, opclass=opclass)
+            self._by_opclass.clear()

@@ -44,9 +44,17 @@ class SessionResult:
     cache_hit_rate: float
 
 
-def run_session(arch: "ArchSpec | None" = None, iterations: int = 5) -> SessionResult:
-    """Run the integrated session; returns the combined accounting."""
+def run_session(arch: "ArchSpec | None" = None, iterations: int = 5,
+                sink=None) -> SessionResult:
+    """Run the integrated session; returns the combined accounting.
+
+    ``sink`` (a :class:`repro.obs.spans.SpanSink`) subscribes to the
+    machine's span stream for the whole session — ``repro trace appmix``
+    uses this to export the timeline as a Chrome trace.
+    """
     machine = SimulatedMachine(arch or get_arch("r3000"))
+    if sink is not None:
+        machine.tracer.add_sink(sink)
     editor = machine.create_process("editor")
     compiler = machine.create_process("compiler")
 

@@ -111,6 +111,91 @@ def test_capacity_validated(logged_machine):
 
 
 # ----------------------------------------------------------------------
+# the log as a span sink
+# ----------------------------------------------------------------------
+
+def test_reattach_resumes_logging(logged_machine):
+    machine, log = logged_machine
+    machine.syscall("null")
+    log.detach()
+    machine.syscall("null")  # unobserved
+    log.attach()
+    machine.syscall("null")
+    assert log.counts()[EventKind.SYSCALL] == 2
+
+
+def test_attach_is_idempotent(logged_machine):
+    machine, log = logged_machine
+    log.attach()
+    log.attach()
+    machine.syscall("null")
+    assert log.counts()[EventKind.SYSCALL] == 1
+
+
+def test_dropped_counts_true_overwrites_only():
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("a")
+    log = EventLog(machine, capacity=4)
+    for _ in range(3):
+        machine.syscall("null")
+    assert log.dropped == 0  # ring not yet full: nothing lost
+    log.detach()
+    machine.syscall("null")  # unobserved != dropped
+    log.attach()
+    assert log.dropped == 0
+    for _ in range(2):
+        machine.syscall("null")
+    assert log.dropped == 1  # exactly one entry was overwritten
+    assert len(log) == 4
+
+
+def test_drops_mirrored_to_obs_counter():
+    from repro import obs
+
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("a")
+    log = EventLog(machine, capacity=2)
+    before = obs.REGISTRY.snapshot()
+    obs.enable_metrics()
+    try:
+        for _ in range(5):
+            machine.syscall("null")
+    finally:
+        obs.disable_metrics()
+    window = obs.snapshot_diff(before, obs.REGISTRY.snapshot())
+    assert window["metrics"]["eventlog_dropped_total"]["cells"][""] == 3
+    assert log.dropped == 3
+
+
+def test_log_matches_a_parallel_sink(logged_machine):
+    """The log is one sink among peers: same stream, same events."""
+    from repro.obs.spans import InMemorySink
+
+    machine, log = logged_machine
+    sink = InMemorySink()
+    machine.tracer.add_sink(sink)
+    other = machine.create_process("b")
+    machine.syscall("null")
+    machine.trap()
+    machine.switch_to(other.main_thread)
+    logged = [(e.kind.value, e.at_us) for e in log]
+    primitive_spans = [(s.name, s.end_us) for s in sink.spans
+                       if s.name in {k.value for k in EventKind}]
+    assert logged == primitive_spans
+
+
+def test_pte_changes_are_logged(logged_machine):
+    from repro.mem.pagetable import Protection
+
+    machine, log = logged_machine
+    machine.map_page(vpn=9)
+    machine.change_protection(9, Protection.READ)
+    machine.unmap_page(9)
+    events = log.events(EventKind.PTE_CHANGE)
+    assert [e.detail for e in events] == ["vpn=9", "vpn=9 unmap"]
+
+
+# ----------------------------------------------------------------------
 # integrated session
 # ----------------------------------------------------------------------
 

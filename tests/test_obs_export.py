@@ -1,0 +1,179 @@
+"""Exporters: chrome trace schema, folded stacks, prom text, safe writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    ExportPathError,
+    chrome_trace_dict,
+    export,
+    folded_lines,
+    render_prometheus,
+    safe_write_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+
+def make_spans():
+    """outer(0..10) containing inner(2..5), plus an instant at 7."""
+    outer = Span(name="handler:x", category="handler", start_us=0.0,
+                 end_us=10.0, seq=0, stack=("handler:x",), track="r3000")
+    inner = Span(name="kernel_entry", category="phase", start_us=2.0,
+                 end_us=5.0, seq=1, parent_seq=0, depth=1,
+                 stack=("handler:x", "kernel_entry"), track="r3000",
+                 attrs={"cycles": 60.0})
+    marker = Span(name="address_space_switch", category="instant",
+                  start_us=7.0, end_us=7.0, seq=2, track="main",
+                  stack=("address_space_switch",))
+    return [inner, marker, outer]
+
+
+# ----------------------------------------------------------------------
+# chrome trace_event
+# ----------------------------------------------------------------------
+
+def test_chrome_trace_schema_and_metadata():
+    payload = chrome_trace_dict(make_spans(), metadata={"target": "test"})
+    validate_chrome_trace(payload)
+    assert payload["otherData"] == {"target": "test"}
+    events = payload["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    # process name + one thread row per track
+    assert meta[0]["args"]["name"] == "repro simulated machine"
+    assert {e["args"]["name"] for e in meta[1:]} == {"r3000", "main"}
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"handler:x", "kernel_entry"}
+    inner = next(e for e in complete if e["name"] == "kernel_entry")
+    assert (inner["ts"], inner["dur"]) == (2.0, 3.0)
+    assert inner["args"]["cycles"] == 60.0
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants[0]["name"] == "address_space_switch"
+    # spans sharing a track share a tid; the instant rides another row
+    assert inner["tid"] != instants[0]["tid"]
+
+
+@pytest.mark.parametrize("payload", [
+    {},
+    {"traceEvents": {}},
+    {"traceEvents": [{"ph": "X", "name": "x", "pid": 1}]},        # no tid
+    {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1}]},
+    {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                      "ts": 0.0, "dur": -1.0}]},
+])
+def test_validate_chrome_trace_rejects(payload):
+    with pytest.raises(ValueError):
+        validate_chrome_trace(payload)
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = str(tmp_path / "trace.json")
+    assert write_chrome_trace(make_spans(), path) == path
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    validate_chrome_trace(payload)
+    # rewriting our own output needs no force
+    write_chrome_trace(make_spans(), path)
+    assert not [f for f in os.listdir(tmp_path) if ".tmp." in f]
+
+
+# ----------------------------------------------------------------------
+# defensive writing
+# ----------------------------------------------------------------------
+
+def test_refuses_to_overwrite_foreign_files(tmp_path):
+    victim = tmp_path / "module.py"
+    victim.write_text("def f():\n    return 1\n")
+    with pytest.raises(ExportPathError):
+        write_chrome_trace(make_spans(), str(victim))
+    assert "def f" in victim.read_text()  # untouched
+    write_chrome_trace(make_spans(), str(victim), force=True)
+    validate_chrome_trace(json.loads(victim.read_text()))
+
+
+def test_refuses_directories_even_with_force(tmp_path):
+    with pytest.raises(ExportPathError):
+        safe_write_text(str(tmp_path), "x", force=True)
+
+
+def test_empty_and_marker_files_are_ours(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.touch()
+    write_chrome_trace(make_spans(), str(empty))  # empty file: safe
+    prom = tmp_path / "dump.prom"
+    prom.write_text("# repro-obs prometheus dump\nx 1\n")
+    safe_write_text(str(prom), "# repro-obs prometheus dump\ny 2\n", "prom")
+
+
+def test_write_creates_parent_directories(tmp_path):
+    path = str(tmp_path / "deep" / "nested" / "trace.json")
+    write_chrome_trace(make_spans(), path)
+    assert os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# folded stacks
+# ----------------------------------------------------------------------
+
+def test_folded_lines_self_time_and_aggregation():
+    lines = folded_lines(make_spans())
+    # outer: 10us total minus 3us child = 7us self = 7000ns
+    assert "r3000;handler:x 7000" in lines
+    assert "r3000;handler:x;kernel_entry 3000" in lines
+    # instants carry no weight
+    assert not any("address_space_switch" in line for line in lines)
+
+    doubled = folded_lines(make_spans() + [
+        Span(name="kernel_entry", category="phase", start_us=5.0, end_us=6.0,
+             seq=3, parent_seq=0, depth=1,
+             stack=("handler:x", "kernel_entry"), track="r3000")])
+    assert "r3000;handler:x;kernel_entry 4000" in doubled
+    # the extra child shrinks the parent's self time
+    assert "r3000;handler:x 6000" in doubled
+
+
+# ----------------------------------------------------------------------
+# prometheus text
+# ----------------------------------------------------------------------
+
+def test_render_prometheus_format():
+    registry = MetricsRegistry()
+    registry.counter("ops_total", "operations").inc(3, arch="sparc")
+    registry.gauge("depth").set(2)
+    h = registry.histogram("lat", "latency", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(5.0)
+    text = render_prometheus(registry.snapshot())
+    assert text.startswith("# repro-obs prometheus dump\n")
+    assert "# HELP ops_total operations" in text
+    assert "# TYPE ops_total counter" in text
+    assert 'ops_total{arch="sparc"} 3' in text
+    assert "depth 2" in text
+    # cumulative buckets, then +Inf == count
+    assert 'lat_bucket{le="1.0"} 1' in text
+    assert 'lat_bucket{le="10.0"} 2' in text
+    assert 'lat_bucket{le="+Inf"} 2' in text
+    assert "lat_count 2" in text
+    assert "lat_sum 5.5" in text
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+
+def test_export_dispatch(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    snap = registry.snapshot()
+    for fmt, name in (("chrome", "t.json"), ("folded", "t.folded"),
+                      ("prom", "t.prom")):
+        assert os.path.exists(export(make_spans(), snap,
+                                     str(tmp_path / name), fmt))
+    with pytest.raises(ValueError):
+        export(make_spans(), snap, str(tmp_path / "x"), "svg")
+    with pytest.raises(ValueError):
+        export(make_spans(), None, str(tmp_path / "x"), "prom")

@@ -1,0 +1,198 @@
+"""Telemetry wired through the tree: engine, machine, memory, CLI."""
+
+import json
+
+import pytest
+
+from repro import cli, obs
+from repro.arch import get_arch
+from repro.core.engine import ExperimentEngine
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+from repro.kernel.system import SimulatedMachine
+from repro.mem.cache import Cache
+from repro.mem.pagetable import Protection
+from repro.mem.tlb import TLB
+from repro.obs.export import validate_chrome_trace
+from repro.obs.spans import InMemorySink
+
+
+# ----------------------------------------------------------------------
+# engine: spans and cache counters
+# ----------------------------------------------------------------------
+
+def test_cold_engine_run_emits_handler_and_phase_spans():
+    arch = get_arch("r3000")
+    program = handler_program(arch, Primitive.TRAP)
+    engine = ExperimentEngine()
+    obs.sim_clock().reset()
+    with obs.capture() as cap:
+        result = engine.run(arch, program)
+    handlers = [s for s in cap.spans if s.category == "handler"]
+    assert [s.name for s in handlers] == [f"handler:{program.name}"]
+    assert handlers[0].attrs["cached"] is False
+    assert handlers[0].duration_us == pytest.approx(result.time_us)
+    phases = [s for s in cap.spans if s.category == "phase"]
+    assert phases and all(s.parent_seq == handlers[0].seq for s in phases)
+    window = cap.metrics()["metrics"]
+    assert window["engine_cache_misses_total"]["cells"][f"arch={arch.name}"] == 1
+    assert window["executor_instructions_total"]["kind"] == "counter"
+
+
+def test_cached_engine_run_emits_stub_span_and_hit_metrics():
+    arch = get_arch("r3000")
+    program = handler_program(arch, Primitive.TRAP)
+    engine = ExperimentEngine()
+    first = engine.run(arch, program)  # warm the cache untraced
+    obs.sim_clock().reset()
+    with obs.capture() as cap:
+        engine.run(arch, program)
+    handlers = [s for s in cap.spans if s.category == "handler"]
+    assert handlers[0].attrs["cached"] is True
+    assert handlers[0].duration_us == pytest.approx(first.time_us)
+    assert not [s for s in cap.spans if s.category == "phase"]  # no re-run
+    window = cap.metrics()["metrics"]
+    assert window["engine_cache_hits_total"]["cells"][f"arch={arch.name}"] == 1
+    rehydrate = window["engine_rehydrate_ms"]["cells"][f"arch={arch.name}"]
+    assert rehydrate["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# machine: the four paper primitives as native spans
+# ----------------------------------------------------------------------
+
+def test_machine_emits_all_four_primitive_spans():
+    machine = SimulatedMachine(get_arch("r3000"))
+    machine.create_process("a")
+    b = machine.create_process("b")
+    sink = InMemorySink()
+    machine.tracer.add_sink(sink)
+    machine.syscall("null")
+    machine.trap()
+    machine.map_page(vpn=3)
+    machine.change_protection(3, Protection.READ)
+    machine.switch_to(b.main_thread)
+    names = set(sink.names())
+    assert {"syscall", "trap", "pte_change", "thread_switch"} <= names
+    assert "address_space_switch" in names
+    switch = next(s for s in sink.spans if s.name == "thread_switch")
+    assert switch.end_us == pytest.approx(machine.clock_us)
+    assert switch.track == machine.name
+    pte = next(s for s in sink.spans if s.name == "pte_change")
+    assert "vpn=3" in pte.attrs["detail"]
+
+
+def test_machine_spans_cover_elapsed_virtual_time():
+    machine = SimulatedMachine(get_arch("cvax"))
+    machine.create_process("a")
+    sink = InMemorySink()
+    machine.tracer.add_sink(sink)
+    before = machine.clock_us
+    machine.syscall("null")
+    span = sink.spans[-1]
+    assert span.start_us == pytest.approx(before)
+    assert span.end_us == pytest.approx(machine.clock_us)
+    assert span.duration_us > 0
+
+
+# ----------------------------------------------------------------------
+# memory hierarchy counters
+# ----------------------------------------------------------------------
+
+def test_tlb_counters_gate_on_obs_state():
+    tlb = TLB(get_arch("r3000").tlb)
+    tlb.lookup(1)  # metrics off: nothing recorded
+    before = obs.REGISTRY.snapshot()
+    obs.enable_metrics()
+    try:
+        tlb.lookup(2)
+        tlb.lookup(3, kernel=True)
+        tlb.insert(2, pfn=7)
+        tlb.flush()
+    finally:
+        obs.disable_metrics()
+    window = obs.snapshot_diff(before, obs.REGISTRY.snapshot())["metrics"]
+    assert window["tlb_misses_total"]["cells"] == {"mode=user": 1, "mode=kernel": 1}
+    assert window["tlb_refills_total"]["cells"] == {"mode=user": 1}
+    assert window["tlb_flushes_total"]["cells"][""] == 1
+    assert window["tlb_entries_purged_total"]["cells"][""] == 1
+
+
+def test_cache_counters_label_flush_reason():
+    i860 = get_arch("i860")
+    cache = Cache(i860.cache)
+    before = obs.REGISTRY.snapshot()
+    obs.enable_metrics()
+    try:
+        cache.access(1)
+        cache.access(1)  # hit: not counted
+        cache.on_context_switch(new_asid=2)
+        cache.access(2)
+        cache.on_pte_change(vpn=0)
+    finally:
+        obs.disable_metrics()
+    window = obs.snapshot_diff(before, obs.REGISTRY.snapshot())["metrics"]
+    assert window["cache_misses_total"]["cells"][""] == 2
+    flushes = window["cache_flushes_total"]["cells"]
+    assert flushes == {"reason=context_switch": 1, "reason=pte_sweep": 1}
+    assert window["cache_lines_flushed_total"]["cells"]["reason=context_switch"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: repro trace / --metrics
+# ----------------------------------------------------------------------
+
+def test_cli_trace_table2_emits_all_four_primitives(tmp_path):
+    out = str(tmp_path / "trace.json")
+    assert cli.main(["trace", "table2", "--out", out]) == 0
+    with open(out, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    validate_chrome_trace(payload)
+    assert payload["otherData"]["target"] == "table2"
+    names = {e["name"] for e in payload["traceEvents"]}
+    for primitive in Primitive:
+        assert primitive.value in names
+    # handler and phase spans made it through the pipeline too
+    categories = {e.get("cat") for e in payload["traceEvents"]}
+    assert {"handler", "phase", "primitive"} <= categories
+
+
+def test_cli_trace_bare_number_prom_and_folded(tmp_path):
+    prom = str(tmp_path / "metrics.prom")
+    assert cli.main(["trace", "2", "--format", "prom", "--out", prom]) == 0
+    text = open(prom, encoding="utf-8").read()
+    assert text.startswith("# repro-obs prometheus dump")
+    assert "engine_cache_misses_total" in text
+
+    folded = str(tmp_path / "stacks.folded")
+    assert cli.main(["trace", "table2", "--format", "folded",
+                     "--out", folded]) == 0
+    lines = open(folded, encoding="utf-8").read().splitlines()
+    assert lines and all(" " in line for line in lines)
+
+
+def test_cli_trace_appmix(tmp_path):
+    out = str(tmp_path / "appmix.json")
+    assert cli.main(["trace", "appmix", "--iterations", "2",
+                     "--out", out]) == 0
+    payload = json.load(open(out, encoding="utf-8"))
+    validate_chrome_trace(payload)
+    assert payload["otherData"]["iterations"] == 2
+    names = {e["name"] for e in payload["traceEvents"]}
+    assert {"syscall", "thread_switch"} <= names
+
+
+def test_cli_trace_refuses_foreign_out_and_bad_target(tmp_path, capsys):
+    victim = tmp_path / "notes.txt"
+    victim.write_text("do not clobber me\n")
+    assert cli.main(["trace", "table2", "--out", str(victim)]) == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert victim.read_text() == "do not clobber me\n"
+    assert cli.main(["trace", "table99"]) == 2
+
+
+def test_cli_metrics_flag_appends_prometheus_dump(capsys):
+    assert cli.main(["--metrics", "table", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "# repro-obs prometheus dump" in out
+    assert not obs.metrics_enabled()  # flag does not leak past the run

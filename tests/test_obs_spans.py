@@ -1,0 +1,156 @@
+"""Span primitive: nesting, ordering, sinks, the executor observer."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.isa.executor import Executor
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import InMemorySink, PhaseSpanObserver, SimClock, Tracer
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer()
+    sink = InMemorySink()
+    tracer.add_sink(sink)
+    return tracer, sink, SimClock()
+
+
+# ----------------------------------------------------------------------
+# tracer basics
+# ----------------------------------------------------------------------
+
+def test_inactive_tracer_is_a_no_op():
+    tracer = Tracer()
+    clock = SimClock()
+    assert not tracer.active
+    with tracer.span("outer", clock=clock) as attrs:
+        assert attrs is None
+    assert tracer.complete("x", start_us=0.0, end_us=1.0) is None
+    assert tracer.instant("x", at_us=0.0) is None
+
+
+def test_nesting_depth_parent_and_stack(traced):
+    tracer, sink, clock = traced
+    with tracer.span("outer", "handler", clock=clock):
+        clock.advance(1.0)
+        with tracer.span("inner", "phase", clock=clock):
+            clock.advance(2.0)
+        clock.advance(0.5)
+    inner, outer = sink.spans  # children close (and emit) first
+    assert inner.name == "inner" and outer.name == "outer"
+    assert inner.parent_seq == outer.seq
+    assert (inner.depth, outer.depth) == (1, 0)
+    assert inner.stack == ("outer", "inner")
+    assert outer.stack == ("outer",)
+    assert inner.start_us == 1.0 and inner.duration_us == 2.0
+    assert outer.duration_us == pytest.approx(3.5)
+    assert outer.wall_ns >= inner.wall_ns >= 0
+
+
+def test_complete_inherits_open_lineage(traced):
+    tracer, sink, clock = traced
+    with tracer.span("outer", clock=clock):
+        tracer.complete("leaf", start_us=0.0, end_us=4.0)
+    leaf = sink.spans[0]
+    assert leaf.parent_seq is not None
+    assert leaf.stack == ("outer", "leaf")
+    assert leaf.depth == 1
+
+
+def test_instants_and_category_filter(traced):
+    tracer, sink, clock = traced
+    tracer.instant("marker", "note", at_us=3.0)
+    with tracer.span("work", "phase", clock=clock):
+        clock.advance(1.0)
+    assert sink.spans[0].is_instant
+    assert not sink.spans[1].is_instant
+    assert [s.name for s in sink.by_category("note")] == ["marker"]
+    assert sink.names() == ["marker", "work"]
+    assert len(sink) == 2
+
+
+def test_span_survives_exceptions(traced):
+    tracer, sink, clock = traced
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed", clock=clock):
+            clock.advance(1.0)
+            raise RuntimeError("boom")
+    assert sink.names() == ["doomed"]
+    assert not tracer._stack  # the open-frame stack unwound
+
+
+def test_sink_management():
+    tracer = Tracer()
+    sink = InMemorySink()
+    tracer.add_sink(sink)
+    tracer.add_sink(sink)  # idempotent
+    assert tracer._sinks == [sink]
+    tracer.remove_sink(sink)
+    tracer.remove_sink(sink)  # tolerant
+    assert not tracer.active
+
+
+def test_sim_clock_advance_reset():
+    clock = SimClock(5.0)
+    clock.advance(2.5)
+    assert clock.now_us == 7.5
+    clock.reset()
+    assert clock.now_us == 0.0
+
+
+# ----------------------------------------------------------------------
+# the executor observer
+# ----------------------------------------------------------------------
+
+def test_phase_observer_collapses_phases_and_tracks_cycles(traced):
+    tracer, sink, clock = traced
+    arch = get_arch("r3000")
+    program = handler_program(arch, Primitive.NULL_SYSCALL)
+    registry = MetricsRegistry()
+    observer = PhaseSpanObserver(
+        tracer, clock, arch_name=arch.name, clock_mhz=arch.clock_mhz,
+        registry=registry)
+    result = Executor(arch, observer=observer).run(program)
+    observer.close()
+
+    phases = sink.by_category("phase")
+    assert phases and all(s.track == arch.name for s in phases)
+    # spans aggregate back to exactly the executor's per-phase totals
+    # (a phase may flush more than once if its instructions interleave)
+    by_name = {}
+    for span in phases:
+        agg = by_name.setdefault(span.name, [0, 0.0])
+        agg[0] += span.attrs["instructions"]
+        agg[1] += span.attrs["cycles"]
+    assert set(by_name) == set(result.by_phase)
+    for name, (instructions, cycles) in by_name.items():
+        assert instructions == result.by_phase[name].instructions
+        assert cycles == pytest.approx(result.by_phase[name].cycles)
+    # spans tile the timeline: contiguous, in order, no gaps
+    assert phases[0].start_us == 0.0
+    for prev, cur in zip(phases, phases[1:]):
+        assert cur.start_us == pytest.approx(prev.end_us)
+    # the clock cursor advanced by exactly the simulated run time
+    assert clock.now_us == pytest.approx(result.time_us)
+    # close() committed one registry transaction for the whole run
+    assert registry.counter("executor_instructions_total").total() \
+        == result.instructions
+    assert registry.counter("executor_cycles_total").total() \
+        == pytest.approx(result.cycles)
+
+
+def test_phase_observer_emits_drain_span(traced):
+    tracer, sink, clock = traced
+    arch = get_arch("m88000")  # write-buffer machine
+    program = handler_program(arch, Primitive.NULL_SYSCALL)
+    observer = PhaseSpanObserver(
+        tracer, clock, arch_name=arch.name, clock_mhz=arch.clock_mhz)
+    result = Executor(arch, observer=observer).run(program, drain_write_buffer=True)
+    observer.close()
+    names = [s.name for s in sink.spans]
+    if "write_buffer_drain" in result.by_phase:
+        assert names[-1] == "write_buffer_drain"
+    assert clock.now_us == pytest.approx(result.time_us)
