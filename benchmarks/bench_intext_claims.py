@@ -104,7 +104,6 @@ def bench_intext_rpc_scaling(benchmark, show):
 
 def bench_intext_crosstable(benchmark, show):
     paper_est = benchmark(crosstable.estimate_from_paper_counts, "sparc")
-    model_est = crosstable.estimate("sparc", "andrew-remote")
     sweep = crosstable.sweep_architectures()
     out = TextTable(["architecture", "syscall s", "switch s", "total s"],
                     title="andrew-remote syscall+switch overhead under Mach 3.0 (§5)")

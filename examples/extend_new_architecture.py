@@ -136,6 +136,16 @@ CTX = """
 
 
 def main() -> None:
+    # Zero-driver path: handler synthesis derives a full primitive set
+    # from the spec's capabilities alone (see `repro arch describe`).
+    synthesized = measure_primitives(RISCY)
+    print("Synthesized from the capability description (no drivers):")
+    for primitive in Primitive:
+        print(f"  {primitive.label:<26s} "
+              f"{synthesized.instructions[primitive]} instructions")
+    print()
+
+    # Hand-written drivers take precedence once registered.
     register_family(
         "riscy",
         ("riscy",),

@@ -10,7 +10,7 @@ Run:  python examples/kernelized_vs_monolithic.py
 """
 
 from repro.analysis import ablations, table7
-from repro.analysis.crosstable import estimate, sweep_architectures
+from repro.analysis.crosstable import sweep_architectures
 from repro.os_models.mach import OSStructure
 from repro.workloads.desktop import profile_by_name, replay_scaled
 

@@ -13,7 +13,7 @@ from repro.arch import get_arch
 from repro.kernel.interrupts import ClockSource, InterruptController
 from repro.kernel.system import SimulatedMachine
 from repro.mem.address_space import AddressSpace
-from repro.mem.overlays import Checkpointer, TransactionLockManager, WriteBarrier, barrier_cost
+from repro.mem.overlays import Checkpointer, TransactionLockManager, barrier_cost
 from repro.mem.pageout import ReplacementPolicy, hotset_scan_reference_string, run_reference_string
 from repro.mem.vm import VirtualMemory
 from repro.threads.multiprocessor import speedup_curve

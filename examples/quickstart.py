@@ -11,7 +11,6 @@ Run:  python examples/quickstart.py
 from repro import get_arch, measure_primitives
 from repro.analysis import table1, table5
 from repro.arch import TABLE1_SYSTEMS
-from repro.core.microbench import syscall_breakdown_us
 from repro.kernel.primitives import Primitive
 
 

@@ -12,7 +12,7 @@ while holding everything else fixed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.arch.registry import get_arch
@@ -94,32 +94,18 @@ def window_flush_sweep(windows_saved: Tuple[int, ...] = (0, 1, 2, 3, 5, 7)) -> L
 
     The §4.1 observation that "some researchers use a SPARC register
     window per thread as a way of optimizing context switches" is the
-    0-windows point of this sweep.
+    0-windows point of this sweep.  Each point overrides the window
+    geometry on the spec and lets handler synthesis regenerate the
+    context-switch stream: the flush loop repeats per the description's
+    ``windows_per_switch``, so this measures real re-synthesized code,
+    not a hand-maintained copy of the stream.
     """
     base = get_arch("sparc")
     out = []
     for saved in windows_saved:
         arch = base.with_overrides(windows=replace(base.windows, avg_windows_per_switch=saved))
-        # rebuild the context-switch stream for this window count
-        from repro.isa.program import ProgramBuilder
-
-        b = ProgramBuilder(f"sparc:ctx:{saved}w")
-        with b.phase("fixed"):
-            b.stores(10, page=0)
-            b.special_ops(12)
-            b.alu(120)
-            b.loads(28)
-            b.stores(12, page=0)
-            b.branch(18)
-            b.nops(16)
-        with b.phase("window_mgmt"):
-            for _ in range(saved):
-                b.special_ops(2)
-                b.alu(7)
-                b.stores(16, page=2)
-                b.loads(16, page=2)
-                b.branch(2)
-        result = run_cached(arch, b.build(), drain_write_buffer=True)
+        program = handler_program(arch, Primitive.CONTEXT_SWITCH)
+        result = run_cached(arch, program, drain_write_buffer=True)
         out.append((saved, result.time_us))
     return out
 
@@ -130,23 +116,51 @@ def window_flush_sweep(windows_saved: Tuple[int, ...] = (0, 1, 2, 3, 5, 7)) -> L
 
 def pipeline_exposure_ablation() -> Dict[str, float]:
     """Trap cost of the 88000's exposed pipelines vs a precise-interrupt
-    variant that skips the pipeline examination/save/restart phases."""
-    arch = get_arch("m88000")
-    program = handler_program(arch, Primitive.TRAP)
-    exposed = run_cached(arch, program, drain_write_buffer=True)
-    hidden_phases = {"pipeline_check", "pipeline_save", "fpu_restart"}
-    from repro.isa.program import Program
+    variant.
 
-    trimmed = Program(
-        name="m88000:trap:precise",
-        instructions=tuple(i for i in program if i.phase not in hidden_phases),
+    The precise point flips the pipeline capabilities on the spec
+    (``exposed=False``, no FPU freeze, no state registers); handler
+    synthesis then drops the gated pipeline_check/pipeline_save/
+    fpu_restart phases and produces a genuinely shorter stream.
+    """
+    arch = get_arch("m88000")
+    exposed = run_cached(arch, handler_program(arch, Primitive.TRAP),
+                         drain_write_buffer=True)
+    precise_arch = arch.with_overrides(
+        pipeline=replace(arch.pipeline, exposed=False, fpu_freeze_on_fault=False,
+                         state_registers=0)
     )
-    precise = run_cached(arch, trimmed, drain_write_buffer=True)
+    precise = run_cached(precise_arch, handler_program(precise_arch, Primitive.TRAP),
+                         drain_write_buffer=True)
     return {
         "exposed_us": exposed.time_us,
         "precise_us": precise.time_us,
         "pipeline_share": 1.0 - precise.cycles / exposed.cycles,
     }
+
+
+# ----------------------------------------------------------------------
+# capability-flip stream ablation
+# ----------------------------------------------------------------------
+
+def capability_stream_delta(
+    arch_name: str, primitive: Primitive, **overrides: object
+) -> Tuple[int, int]:
+    """(baseline, ablated) instruction counts after a capability flip.
+
+    The ablated spec synthesizes its own handler stream, so the two
+    counts differ whenever the flipped capability gates or sizes a
+    fragment — the direct evidence that ablations regenerate code
+    rather than rescaling costs.  E.g.::
+
+        capability_stream_delta("sparc", Primitive.CONTEXT_SWITCH, windows=None)
+    """
+    base = get_arch(arch_name)
+    ablated = base.with_overrides(**overrides)
+    return (
+        len(handler_program(base, primitive)),
+        len(handler_program(ablated, primitive)),
+    )
 
 
 # ----------------------------------------------------------------------

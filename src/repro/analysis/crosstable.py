@@ -17,7 +17,7 @@ from typing import Dict
 from repro.arch.registry import TABLE1_SYSTEMS, get_arch
 from repro.core.microbench import measure_primitives
 from repro.kernel.primitives import Primitive
-from repro.os_models.mach import MachOS, OSStructure, Table7Row
+from repro.os_models.mach import MachOS, OSStructure
 from repro.os_models.services import profile_by_name
 
 

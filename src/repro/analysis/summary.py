@@ -27,7 +27,6 @@ def headline_findings() -> List[Finding]:
     from repro.analysis.intext import all_claims
     from repro.analysis.scaling import sprite_measured
     from repro.analysis.sensitivity import sweep
-    from repro.core import papertargets as pt
     from repro.kernel.primitives import Primitive
 
     findings: List[Finding] = []

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.arch.specs import ArchSpec
 from repro.core.tables import TextTable
 from repro.os_models.mach import MachOS, OSStructure, Table7Row
 from repro.os_models.services import TABLE7_PROFILES, WorkloadProfile

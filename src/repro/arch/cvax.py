@@ -86,4 +86,7 @@ def build() -> ArchSpec:
         fault_address_provided=True,
         vectored_dispatch=True,
         callee_saved_registers=6,
+        microcoded_syscall_entry=True,  # CHMK/REI
+        microcoded_call_frame=True,  # CALLS/RET
+        microcoded_context_switch=True,  # SVPCTX/LDPCTX
     )

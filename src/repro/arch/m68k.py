@@ -86,4 +86,6 @@ def build() -> ArchSpec:
         fault_address_provided=True,
         vectored_dispatch=True,
         callee_saved_registers=7,
+        microcoded_syscall_entry=True,  # TRAP #n / RTE
+        microcoded_register_save=True,  # MOVEM
     )

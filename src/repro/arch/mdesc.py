@@ -1,0 +1,306 @@
+"""Capability-typed machine descriptions derived from :class:`ArchSpec`.
+
+The paper's argument is that primitive cost is determined by a small
+set of architectural *mechanisms* — how traps vector, how registers are
+saved, whether the pipeline is exposed, who manages the TLB, whether
+the cache needs sweeping — not by the architecture's name.  This module
+makes that set explicit: :func:`derive` projects a full
+:class:`~repro.arch.specs.ArchSpec` down to a frozen
+:class:`MachineDescription` holding only the *structural* capabilities
+that shape handler instruction streams.
+
+Two properties are load-bearing:
+
+* The description deliberately **excludes** the cost model, clock,
+  write-buffer parameters and thread-state word counts.  Those knobs
+  rescale cycle costs but never change which instructions a handler
+  must execute, so sensitivity sweeps that override them reuse the same
+  synthesized streams (and their cached execution results).
+* Two specs with equal descriptions share handler programs — the R2000
+  and R3000 collapse to one stream, and an ablated spec with a flipped
+  capability (``windows=None`` on the SPARC) produces a genuinely
+  different stream, not a rescaled copy of the original.
+
+:attr:`MachineDescription.fingerprint` is the content address the
+handler cache and the experiment engine key on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.specs import ArchSpec
+
+
+class VectoringStyle(enum.Enum):
+    """How exceptions reach their handler (§2.3)."""
+
+    #: all causes funnel through one software dispatcher (R2000, i860).
+    COMMON_HANDLER = "common_handler"
+    #: hardware vectors each cause to its own slot (88000, 68020).
+    VECTOR_TABLE = "vector_table"
+    #: hardware trap table with per-trap stub code (SPARC).
+    TRAP_TABLE = "trap_table"
+    #: entry/exit runs in microcode (CVAX CHMK/REI).
+    MICROCODED = "microcoded"
+
+
+class RegisterSaveStyle(enum.Enum):
+    """How a handler preserves the interrupted context's registers."""
+
+    #: one store per register (the RISC default).
+    INDIVIDUAL_STORES = "individual_stores"
+    #: the register file rotates; saves happen on window overflow (SPARC).
+    WINDOWS = "windows"
+    #: one microcoded masked move (68020 MOVEM).
+    MICROCODED_MASK = "microcoded_mask"
+    #: the call instruction saves registers per its mask (CVAX CALLS).
+    MICROCODED_FRAME = "microcoded_frame"
+
+
+class ContextSwitchStyle(enum.Enum):
+    """How a context switch moves the processor state."""
+
+    #: explicit store/load loop over the PCB (the RISC default).
+    STORE_LOOP = "store_loop"
+    #: store loop plus a flush of the live register windows (SPARC).
+    WINDOW_FLUSH = "window_flush"
+    #: one microcoded context move (CVAX SVPCTX/LDPCTX).
+    MICROCODED_PCB = "microcoded_pcb"
+    #: microcoded masked register move plus explicit misc state (68020).
+    MICROCODED_MASK = "microcoded_mask"
+
+
+class TLBManagementStyle(enum.Enum):
+    """Who refills and invalidates translations (§3.2)."""
+
+    #: the OS owns the page-table format and refills in software (MIPS).
+    SOFTWARE = "software"
+    #: a hardware walker refills; the OS pokes control registers.
+    HARDWARE = "hardware"
+    #: invalidation is a microcoded instruction over an architected
+    #: table format (CVAX TBIS).
+    MICROCODED = "microcoded"
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """The structural capabilities that shape handler streams.
+
+    Everything here is derivable from an :class:`ArchSpec`; nothing
+    here mentions cycle costs.  ``stream`` names the family of quirk
+    fragments to compose with (two arch names may share one stream —
+    R2000/R3000 — and unknown specs fall back to the generic stream).
+    """
+
+    stream: str
+    vectoring: VectoringStyle
+    register_save: RegisterSaveStyle
+    context_switch: ContextSwitchStyle
+    tlb_management: TLBManagementStyle
+    # --- register windows (§4.1) ---
+    window_count: int
+    window_regs: int
+    windows_per_switch: int
+    cwp_privileged: bool
+    # --- pipeline visibility (§3.1) ---
+    pipeline_exposed: bool
+    pipeline_state_registers: int
+    precise_interrupts: bool
+    fpu_freeze_on_fault: bool
+    fp_pipeline_save_instructions: int
+    # --- fault reporting and dispatch ---
+    fault_address_provided: bool
+    vectored_dispatch: bool
+    # --- synchronization ---
+    has_atomic_tas: bool
+    # --- translation and caching (§3.2) ---
+    software_managed_tlb: bool
+    pid_tagged_tlb: bool
+    cache_needs_sweep: bool
+    cache_sweep_lines: int
+    # --- delay-slot geometry (§2.3) ---
+    branch_delay_slots: int
+    load_delay_slots: int
+    unfilled_slot_fraction: float
+    # --- calling convention ---
+    callee_saved_registers: int
+    # --- microcode assists (§1.1) ---
+    microcoded_syscall_entry: bool
+    microcoded_call_frame: bool
+    microcoded_context_switch: bool
+    microcoded_register_save: bool
+
+    @property
+    def has_windows(self) -> bool:
+        return self.window_count > 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address: equal descriptions share handler programs."""
+        cached = _FP_CACHE.get(self)
+        if cached is None:
+            payload = {
+                f.name: (v.value if isinstance(v := getattr(self, f.name), enum.Enum) else v)
+                for f in dataclasses.fields(self)
+            }
+            blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            _FP_CACHE[self] = cached
+        return cached
+
+
+_FP_CACHE: Dict[MachineDescription, str] = {}
+
+
+def derive(spec: ArchSpec, stream: Optional[str] = None) -> MachineDescription:
+    """Project ``spec`` down to its structural capabilities.
+
+    ``stream`` overrides the quirk-fragment family; by default it is the
+    spec's own name (the dispatch layer maps R2000/R3000 to "mips").
+    The derivation reads only capability fields — never the spec name —
+    so an ablated variant lands on exactly the description its flipped
+    capabilities imply.
+    """
+    windows = spec.windows
+    window_count = windows.n_windows if windows is not None else 0
+    has_windows = window_count > 0
+
+    if spec.microcoded_syscall_entry:
+        vectoring = VectoringStyle.MICROCODED
+    elif not spec.vectored_dispatch:
+        vectoring = VectoringStyle.COMMON_HANDLER
+    elif has_windows:
+        vectoring = VectoringStyle.TRAP_TABLE
+    else:
+        vectoring = VectoringStyle.VECTOR_TABLE
+
+    if has_windows:
+        register_save = RegisterSaveStyle.WINDOWS
+    elif spec.microcoded_register_save:
+        register_save = RegisterSaveStyle.MICROCODED_MASK
+    elif spec.microcoded_call_frame:
+        register_save = RegisterSaveStyle.MICROCODED_FRAME
+    else:
+        register_save = RegisterSaveStyle.INDIVIDUAL_STORES
+
+    if spec.microcoded_context_switch:
+        context_switch = ContextSwitchStyle.MICROCODED_PCB
+    elif has_windows:
+        context_switch = ContextSwitchStyle.WINDOW_FLUSH
+    elif spec.microcoded_register_save:
+        context_switch = ContextSwitchStyle.MICROCODED_MASK
+    else:
+        context_switch = ContextSwitchStyle.STORE_LOOP
+
+    if spec.tlb.software_managed:
+        tlb_management = TLBManagementStyle.SOFTWARE
+    elif spec.microcoded_context_switch:
+        tlb_management = TLBManagementStyle.MICROCODED
+    else:
+        tlb_management = TLBManagementStyle.HARDWARE
+
+    cache_needs_sweep = spec.cache.virtually_addressed and not spec.cache.pid_tagged
+
+    return MachineDescription(
+        stream=stream if stream is not None else spec.name,
+        vectoring=vectoring,
+        register_save=register_save,
+        context_switch=context_switch,
+        tlb_management=tlb_management,
+        window_count=window_count,
+        window_regs=windows.regs_per_window if windows is not None else 0,
+        windows_per_switch=windows.avg_windows_per_switch if windows is not None else 0,
+        cwp_privileged=windows.cwp_privileged if windows is not None else False,
+        pipeline_exposed=spec.pipeline.exposed,
+        pipeline_state_registers=spec.pipeline.state_registers,
+        precise_interrupts=spec.pipeline.precise_interrupts,
+        fpu_freeze_on_fault=spec.pipeline.fpu_freeze_on_fault,
+        fp_pipeline_save_instructions=spec.pipeline.fp_pipeline_save_instructions,
+        fault_address_provided=spec.fault_address_provided,
+        vectored_dispatch=spec.vectored_dispatch,
+        has_atomic_tas=spec.has_atomic_tas,
+        software_managed_tlb=spec.tlb.software_managed,
+        pid_tagged_tlb=spec.tlb.pid_tagged,
+        cache_needs_sweep=cache_needs_sweep,
+        cache_sweep_lines=spec.cache.lines if cache_needs_sweep else 0,
+        branch_delay_slots=spec.delay_slots.branch_slots,
+        load_delay_slots=spec.delay_slots.load_slots,
+        unfilled_slot_fraction=spec.delay_slots.unfilled_fraction_os,
+        callee_saved_registers=spec.callee_saved_registers,
+        microcoded_syscall_entry=spec.microcoded_syscall_entry,
+        microcoded_call_frame=spec.microcoded_call_frame,
+        microcoded_context_switch=spec.microcoded_context_switch,
+        microcoded_register_save=spec.microcoded_register_save,
+    )
+
+
+#: id -> (weakref guard, {stream: description}).  Mirrors the engine's
+#: spec-fingerprint memo: ArchSpec holds a dict, so identity keying.
+_DESC_CACHE: Dict[int, "Tuple[weakref.ref, Dict[Optional[str], MachineDescription]]"] = {}
+
+
+def description_for(spec: ArchSpec, stream: Optional[str] = None) -> MachineDescription:
+    """Memoized :func:`derive` keyed on spec identity."""
+    entry = _DESC_CACHE.get(id(spec))
+    if entry is not None and entry[0]() is spec:
+        cached = entry[1].get(stream)
+        if cached is not None:
+            return cached
+        entry[1][stream] = derive(spec, stream=stream)
+        return entry[1][stream]
+    md = derive(spec, stream=stream)
+    if len(_DESC_CACHE) > 512:
+        for key in [k for k, (ref, _) in _DESC_CACHE.items() if ref() is None]:
+            del _DESC_CACHE[key]
+    _DESC_CACHE[id(spec)] = (weakref.ref(spec), {stream: md})
+    return md
+
+
+def describe_text(md: MachineDescription) -> str:
+    """Human-readable capability rundown for ``repro arch describe``."""
+    lines = [
+        f"stream              {md.stream}",
+        f"vectoring           {md.vectoring.value}",
+        f"register save       {md.register_save.value}",
+        f"context switch      {md.context_switch.value}",
+        f"TLB management      {md.tlb_management.value}"
+        f" ({'PID-tagged' if md.pid_tagged_tlb else 'untagged'})",
+        f"pipeline            "
+        + ("exposed, %d state regs" % md.pipeline_state_registers
+           if md.pipeline_exposed else "precise, hidden"),
+        f"fault address       {'provided' if md.fault_address_provided else 'not provided'}",
+        f"atomic test-and-set {'yes' if md.has_atomic_tas else 'no'}",
+        f"delay slots         branch={md.branch_delay_slots} load={md.load_delay_slots}"
+        f" unfilled={md.unfilled_slot_fraction:.0%}",
+        f"callee-saved regs   {md.callee_saved_registers}",
+    ]
+    if md.has_windows:
+        lines.append(
+            f"register windows    {md.window_count} x {md.window_regs} regs, "
+            f"~{md.windows_per_switch} flushed/switch"
+        )
+    if md.cache_needs_sweep:
+        lines.append(f"cache sweep         {md.cache_sweep_lines} lines (untagged virtual)")
+    if md.fpu_freeze_on_fault:
+        lines.append("FPU                 freezes on fault; drain/restart required")
+    micro = [
+        label
+        for flag, label in (
+            (md.microcoded_syscall_entry, "syscall entry/exit"),
+            (md.microcoded_call_frame, "call frame"),
+            (md.microcoded_context_switch, "context switch"),
+            (md.microcoded_register_save, "register save"),
+        )
+        if flag
+    ]
+    if micro:
+        lines.append(f"microcode assists   {', '.join(micro)}")
+    lines.append(f"fingerprint         {md.fingerprint[:16]}")
+    return "\n".join(lines)

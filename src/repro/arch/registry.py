@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, Tuple
 
-from repro.arch import cvax, i860, m68k, m88000, mips, rs6000, sparc
+from repro.arch import cvax, i860, m68k, m88000, mips, osfriendly, rs6000, sparc
 from repro.arch.specs import ArchSpec
 
 _BUILDERS: Dict[str, Callable[[], ArchSpec]] = {
@@ -22,6 +22,7 @@ _BUILDERS: Dict[str, Callable[[], ArchSpec]] = {
     "i860": i860.build,
     "rs6000": rs6000.build,
     "m68k": m68k.build,
+    "osfriendly": osfriendly.build,
 }
 
 _CACHE: Dict[str, ArchSpec] = {}

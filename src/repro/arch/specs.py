@@ -251,6 +251,17 @@ class ArchSpec:
     #: integer registers that must be preserved across a syscall by the
     #: callee per calling convention.
     callee_saved_registers: int = 9
+    #: system call entry/exit runs in microcode (CVAX CHMK/REI, 68020
+    #: TRAP/RTE) rather than as a software trampoline (§1.1).
+    microcoded_syscall_entry: bool = False
+    #: procedure linkage builds the call frame in microcode (CVAX
+    #: CALLS/RET with a register-save mask).
+    microcoded_call_frame: bool = False
+    #: one instruction moves the whole process context (CVAX
+    #: SVPCTX/LDPCTX).
+    microcoded_context_switch: bool = False
+    #: one instruction moves the register set under a mask (68020 MOVEM).
+    microcoded_register_save: bool = False
 
     def __post_init__(self) -> None:
         if self.clock_mhz <= 0:

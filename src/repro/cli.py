@@ -10,6 +10,7 @@
     repro measure r3000          # the four primitives on one system
     repro disasm sparc trap      # dump a handler driver as assembly
     repro arches                 # list known architectures
+    repro arch describe sparc    # derived capabilities + synthesized phases
     repro trace table2 --out trace.json       # Chrome trace of a table run
     repro trace appmix --format folded ...    # flamegraph folded stacks
     repro --metrics table 2      # any command + Prometheus metrics dump
@@ -31,6 +32,29 @@ def _cmd_arches(_: argparse.Namespace) -> int:
         arch = get_arch(name)
         print(f"{name:<8s} {arch.system_name:<24s} {arch.clock_mhz:6.2f} MHz "
               f"{arch.kind.value.upper()}")
+    return 0
+
+
+def _cmd_arch_describe(args: argparse.Namespace) -> int:
+    from repro.arch import get_arch
+    from repro.arch.mdesc import describe_text
+    from repro.kernel.handlers import handler_description, handler_program
+    from repro.kernel.primitives import Primitive
+
+    try:
+        arch = get_arch(args.name)
+    except KeyError as err:
+        print(err, file=sys.stderr)
+        return 2
+    print(f"{arch.name}: {arch.system_name} ({arch.clock_mhz:g} MHz, "
+          f"{arch.kind.value.upper()})")
+    print(describe_text(handler_description(arch)))
+    for primitive in Primitive:
+        program = handler_program(arch, primitive)
+        print(f"\n{primitive.value}: {len(program)} instructions ({program.name})")
+        counts = program.counts_by_phase()
+        for phase in program.phases:
+            print(f"  {phase:<18s} {counts[phase]:4d}")
     return 0
 
 
@@ -235,6 +259,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("arches", help="list simulated architectures").set_defaults(func=_cmd_arches)
+
+    arch = sub.add_parser(
+        "arch",
+        help="machine-description utilities",
+        description="Inspect the capability description handler synthesis "
+        "derives from an ArchSpec, and the per-primitive phase breakdown "
+        "of the synthesized streams.",
+    )
+    arch_sub = arch.add_subparsers(dest="arch_command", required=True)
+    describe = arch_sub.add_parser(
+        "describe", help="print derived capabilities + synthesized phase breakdown")
+    describe.add_argument("name")
+    describe.set_defaults(func=_cmd_arch_describe)
 
     measure = sub.add_parser("measure", help="measure the four primitives on one system")
     measure.add_argument("arch")

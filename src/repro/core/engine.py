@@ -68,7 +68,9 @@ R = TypeVar("R")
 
 #: bump when the execution semantics change in a way that invalidates
 #: previously persisted results (schema version of the disk cache).
-CACHE_SCHEMA_VERSION = 1
+#: v2: experiment keys incorporate the derived machine description, so
+#: capability-ablated specs address regenerated handler streams.
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -153,12 +155,23 @@ def fingerprint_program(program: Program) -> str:
 
 
 def experiment_key(spec: ArchSpec, program: Program, drain_write_buffer: bool) -> str:
-    """Content address of one executor run."""
+    """Content address of one executor run.
+
+    Besides the full spec and program fingerprints, the key carries the
+    spec's derived :class:`~repro.arch.mdesc.MachineDescription`
+    fingerprint, making the structural-capability provenance of every
+    cached result explicit: two specs that differ only in a capability
+    (and therefore synthesize different handler streams) can never
+    collide, even through a stale or hand-fed program argument.
+    """
+    from repro.arch.mdesc import description_for
+
     return _digest(
         [
             "run",
             CACHE_SCHEMA_VERSION,
             fingerprint_spec(spec),
+            description_for(spec).fingerprint,
             fingerprint_program(program),
             bool(drain_write_buffer),
         ]

@@ -122,7 +122,7 @@ def measure_lmbench(arch: ArchSpec) -> LmbenchRow:
 
     # mmap + first touch: install a mapping, fault it in
     mmap_machine = SimulatedMachine(arch)
-    proc = mmap_machine.create_process("mmap")
+    mmap_machine.create_process("mmap")
     mmap_start = mmap_machine.clock_us
     mmap_machine.syscall("null")  # the mmap call
     try:

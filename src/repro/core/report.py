@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis import crosstable, intext, scaling
-from repro.core import papertargets as pt
 from repro.core.tables import TextTable
 
 

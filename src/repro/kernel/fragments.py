@@ -1,0 +1,406 @@
+"""Composable trap-path fragments and the stream interpreter.
+
+A handler instruction stream is declared as a tuple of
+:class:`PhaseDecl` records — phase label, optional capability gate,
+optional repeat symbol, and a tuple of *steps*.  :func:`expand`
+interprets the declaration against a
+:class:`~repro.arch.mdesc.MachineDescription`, skipping phases whose
+gate fails and resolving symbolic counts, and produces the same
+:class:`~repro.isa.program.Program` the old hand-written builder
+functions did — but now flipping a capability on the spec (no register
+windows, precise pipeline, tagged cache) regenerates the stream instead
+of leaving a stale hand-written path in place.
+
+Step grammar (plain tuples, so the per-family modules stay data)::
+
+    ("alu", 3)                       # 3 ALU ops
+    ("stores", 6, {"page": 2})       # 6 stores to abstract page 2
+    ("special", 6, {"extra_cycles": 20})
+    ("stores", "window_regs", {"page": 2})   # count resolved from the md
+    ("microcoded", "chmk", 26)       # one microcoded instruction
+    ("trap_entry",) / ("rfe",)
+
+Symbolic counts (``"window_regs"`` above) resolve against description
+fields, which is how one declaration serves a whole capability family.
+:func:`generic_streams` composes the library fragments into a full
+handler set for *any* description — this is what gives the RS/6000 and
+hypothetical specs complete primitive rows without hand-written
+drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.arch.mdesc import (
+    ContextSwitchStyle,
+    MachineDescription,
+    RegisterSaveStyle,
+    TLBManagementStyle,
+    VectoringStyle,
+)
+from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.primitives import Primitive
+
+#: abstract page ids shared by every stream: PCB save area, kernel
+#: stack, window save area.
+PCB_PAGE = 0
+KSTACK_PAGE = 1
+WINDOW_SAVE_PAGE = 2
+
+Step = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class PhaseDecl:
+    """One phase of a handler stream, possibly capability-gated."""
+
+    name: str
+    steps: Tuple[Step, ...]
+    #: key into :data:`REQUIREMENTS`; the phase is dropped when the
+    #: predicate fails on the target description.
+    requires: Optional[str] = None
+    #: symbolic repeat count (e.g. ``"windows_per_switch"``): the step
+    #: list is emitted that many times inside one phase.
+    repeat: Optional[str] = None
+
+
+def ph(
+    name: str,
+    *steps: Step,
+    requires: Optional[str] = None,
+    repeat: Optional[str] = None,
+) -> PhaseDecl:
+    """Terse :class:`PhaseDecl` constructor for the stream tables."""
+    return PhaseDecl(name=name, steps=tuple(steps), requires=requires, repeat=repeat)
+
+
+#: capability gates available to ``PhaseDecl.requires``.
+REQUIREMENTS: Dict[str, Callable[[MachineDescription], bool]] = {
+    "windows": lambda md: md.has_windows,
+    "pipeline_exposed": lambda md: md.pipeline_exposed,
+    "fpu_freeze": lambda md: md.fpu_freeze_on_fault,
+    "cache_sweep": lambda md: md.cache_needs_sweep,
+    "no_fault_address": lambda md: not md.fault_address_provided,
+}
+
+#: symbolic count -> description field.
+_SYMBOLS: Dict[str, Callable[[MachineDescription], int]] = {
+    "window_regs": lambda md: md.window_regs,
+    "windows_per_switch": lambda md: md.windows_per_switch,
+    "pipeline_state_registers": lambda md: md.pipeline_state_registers,
+    "cache_sweep_lines": lambda md: md.cache_sweep_lines,
+    "callee_saved_registers": lambda md: md.callee_saved_registers,
+}
+
+
+def _count(md: MachineDescription, value: object) -> int:
+    if isinstance(value, str):
+        return _SYMBOLS[value](md)
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"step count must be int or symbol, got {value!r}")
+
+
+def _emit_step(b: ProgramBuilder, md: MachineDescription, step: Step) -> None:
+    op = step[0]
+    if op == "trap_entry":
+        b.trap_entry()
+        return
+    if op == "rfe":
+        b.rfe()
+        return
+    if op == "microcoded":
+        _, mnemonic, cycles = step
+        b.microcoded(str(mnemonic), int(cycles))  # type: ignore[arg-type]
+        return
+    count = _count(md, step[1])
+    kwargs: Mapping[str, object] = step[2] if len(step) > 2 else {}
+    if op == "alu":
+        b.alu(count)
+    elif op == "loads":
+        b.loads(count, page=kwargs.get("page"), uncached=bool(kwargs.get("uncached", False)))
+    elif op == "stores":
+        b.stores(count, page=kwargs.get("page"), uncached=bool(kwargs.get("uncached", False)))
+    elif op == "branch":
+        b.branch(count)
+    elif op == "nops":
+        b.nops(count)
+    elif op == "special":
+        b.special_ops(count, extra_cycles=int(kwargs.get("extra_cycles", 0)))
+    elif op == "fp":
+        b.fp(count)
+    elif op == "atomic":
+        b.atomic(count)
+    elif op == "tlb":
+        b.tlb_ops(count)
+    elif op == "cache_flush":
+        b.cache_flush(count)
+    else:
+        raise ValueError(f"unknown stream step op {op!r}")
+
+
+def expand(name: str, decls: Tuple[PhaseDecl, ...], md: MachineDescription) -> Program:
+    """Interpret a stream declaration into a concrete program."""
+    b = ProgramBuilder(name)
+    for decl in decls:
+        if decl.requires is not None and not REQUIREMENTS[decl.requires](md):
+            continue
+        repeats = _count(md, decl.repeat) if decl.repeat is not None else 1
+        with b.phase(decl.name):
+            for _ in range(repeats):
+                for step in decl.steps:
+                    _emit_step(b, md, step)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# generic stream synthesis: a full handler set from capabilities alone
+# ----------------------------------------------------------------------
+
+def _unfilled(md: MachineDescription, branches: int = 0, loads: int = 0) -> int:
+    """NOPs for the delay slots OS code leaves unfilled (§2.3)."""
+    slots = branches * md.branch_delay_slots + loads * md.load_delay_slots
+    return round(slots * md.unfilled_slot_fraction)
+
+
+def _nop_step(md: MachineDescription, branches: int = 0, loads: int = 0) -> Tuple[Step, ...]:
+    n = _unfilled(md, branches=branches, loads=loads)
+    return (("nops", n),) if n else ()
+
+
+def _vector_fragment(md: MachineDescription) -> Tuple[PhaseDecl, ...]:
+    """Exception dispatch per vectoring capability."""
+    if md.vectoring is VectoringStyle.MICROCODED:
+        return ()
+    if md.vectoring is VectoringStyle.COMMON_HANDLER:
+        steps: Tuple[Step, ...] = (
+            ("special", 2), ("alu", 3), ("branch", 2), *_nop_step(md, branches=2),
+        )
+    else:  # VECTOR_TABLE and TRAP_TABLE: hardware picks the slot
+        steps = (("alu", 4), ("branch", 2), *_nop_step(md, branches=2))
+    return (ph("vector", *steps),)
+
+
+def _window_fragments(md: MachineDescription) -> Tuple[PhaseDecl, ...]:
+    """SPARC-style window probe + interposed-frame parameter copy."""
+    return (
+        ph(
+            "window_mgmt",
+            ("special", 4), ("alu", 12), ("branch", 3),
+            ("stores", 6, {"page": WINDOW_SAVE_PAGE}),
+            ("loads", 6, {"page": WINDOW_SAVE_PAGE}),
+            ("alu", 4), ("special", 2),
+            *_nop_step(md, branches=3, loads=6),
+            requires="windows",
+        ),
+        ph(
+            "param_copy",
+            ("loads", 8, {"page": KSTACK_PAGE}), ("alu", 2),
+            ("stores", 6, {"page": KSTACK_PAGE}),
+            requires="windows",
+        ),
+    )
+
+
+def _pipeline_fragments(md: MachineDescription, save: bool) -> Tuple[PhaseDecl, ...]:
+    """Exposed-pipeline examination (every trap) and state save (§3.1)."""
+    regs = max(md.pipeline_state_registers, 1)
+    out = [
+        ph(
+            "pipeline_check",
+            ("special", (regs + 1) // 2), ("alu", regs // 2 + 1), ("branch", 4),
+            requires="pipeline_exposed",
+        ),
+    ]
+    if save:
+        out.append(
+            ph(
+                "pipeline_save",
+                ("special", regs),
+                ("stores", (regs + 1) // 2, {"page": KSTACK_PAGE}),
+                ("loads", (regs + 1) // 2, {"page": KSTACK_PAGE}),
+                ("alu", 4),
+                requires="pipeline_exposed",
+            )
+        )
+        out.append(
+            ph(
+                "fpu_restart",
+                ("stores", 4, {"page": KSTACK_PAGE}), ("special", 4),
+                ("fp", 2), ("alu", 5),
+                requires="fpu_freeze",
+            )
+        )
+    return tuple(out)
+
+
+def _reg_save_fragments(md: MachineDescription, count: int) -> Tuple[PhaseDecl, ...]:
+    """Save/restore the interrupted context per register-save capability."""
+    if md.register_save is RegisterSaveStyle.WINDOWS:
+        # the window file holds the context; the probe fragment paid it.
+        return ()
+    if md.register_save is RegisterSaveStyle.MICROCODED_MASK:
+        return (
+            ph("reg_save", ("microcoded", "movem_save", 2 * count + 8)),
+            ph("reg_restore", ("microcoded", "movem_restore", 2 * count + 8)),
+        )
+    if md.register_save is RegisterSaveStyle.MICROCODED_FRAME:
+        # the CALLS-style frame in the c_call fragment saves registers.
+        return ()
+    return (
+        ph("reg_save", ("stores", count, {"page": KSTACK_PAGE})),
+        ph("reg_restore", ("loads", count, {"page": KSTACK_PAGE})),
+    )
+
+
+def _c_call_fragment(md: MachineDescription) -> PhaseDecl:
+    """Call the C-level handler body and return."""
+    if md.microcoded_call_frame:
+        return ph(
+            "c_call",
+            ("microcoded", "calls", 46), ("alu", 1), ("microcoded", "ret", 43),
+        )
+    return ph(
+        "c_call",
+        ("branch", 1), ("alu", 5),
+        ("stores", 2, {"page": KSTACK_PAGE}), ("loads", 2),
+        *_nop_step(md, branches=2, loads=2),
+        ("branch", 1),
+    )
+
+
+def _entry_exit(md: MachineDescription) -> Tuple[PhaseDecl, PhaseDecl]:
+    if md.microcoded_syscall_entry:
+        return (
+            ph("kernel_entry", ("microcoded", "syscall_entry", 26)),
+            ph("kernel_exit", ("alu", 1), ("microcoded", "syscall_exit", 20)),
+        )
+    return (ph("kernel_entry", ("trap_entry",)), ph("kernel_exit", ("rfe",)))
+
+
+def _tlb_update_fragment(md: MachineDescription) -> PhaseDecl:
+    if md.tlb_management is TLBManagementStyle.SOFTWARE:
+        # the OS owns the table format: probe + single-entry rewrite.
+        return ph(
+            "tlb_update",
+            ("special", 4), ("tlb", 2), ("alu", 3), ("branch", 2),
+            *_nop_step(md, branches=2),
+        )
+    if md.tlb_management is TLBManagementStyle.MICROCODED:
+        return ph("tlb_update", ("tlb", 1), ("special", 2))
+    return ph("tlb_update", ("tlb", 2), ("special", 2), ("alu", 2))
+
+
+def generic_streams(md: MachineDescription) -> Dict[Primitive, Tuple[PhaseDecl, ...]]:
+    """A complete handler set synthesized from capabilities alone.
+
+    The structure follows the paper's anatomy of each primitive (§2.3,
+    §3.1-3.2): trap entry, dispatch per vectoring style, window/pipeline
+    fragments when the hardware demands them, register save per save
+    style, the C-call bridge, and mirrored restore/exit.  Unknown
+    third-party specs, the RS/6000, and hypothetical machines all route
+    through here; the per-family stream tables exist only for the six
+    measured systems whose exact sequences are pinned by goldens.
+    """
+    entry, exit_ = _entry_exit(md)
+    save_count = md.callee_saved_registers + 3
+    trap_save_count = md.callee_saved_registers + 11
+    syscall_save = _reg_save_fragments(md, save_count)
+    trap_save = _reg_save_fragments(md, trap_save_count)
+
+    null_syscall: Tuple[PhaseDecl, ...] = (
+        entry,
+        *_vector_fragment(md),
+        *_window_fragments(md),
+        *_pipeline_fragments(md, save=False),
+        ph("state_mgmt", ("special", 4), ("alu", 6), *_nop_step(md, loads=2)),
+        *syscall_save[:1],
+        ph("dispatch", ("loads", 2), ("alu", 2), ("branch", 2),
+           *_nop_step(md, branches=2, loads=2)),
+        _c_call_fragment(md),
+        *syscall_save[1:],
+        ph("state_restore", ("special", 3), ("alu", 5), ("branch", 2),
+           *_nop_step(md, branches=2)),
+        exit_,
+    )
+
+    fault_decode = (
+        ph("fault_decode", ("loads", 2), ("alu", 18), ("branch", 4),
+           *_nop_step(md, branches=4, loads=2), requires="no_fault_address")
+        if not md.fault_address_provided
+        else ph("fault_decode", ("special", 3), ("alu", 2),
+                ("stores", 3, {"page": KSTACK_PAGE}))
+    )
+    trap: Tuple[PhaseDecl, ...] = (
+        ph("kernel_entry", ("trap_entry",)),
+        *_vector_fragment(md),
+        *_window_fragments(md)[:1],  # probe only; no syscall args to copy
+        *_pipeline_fragments(md, save=True),
+        fault_decode,
+        ph("state_mgmt", ("special", 4), ("alu", 8), *_nop_step(md, loads=2)),
+        *trap_save[:1],
+        _c_call_fragment(md),
+        *trap_save[1:],
+        ph("state_restore", ("special", 3), ("alu", 7), ("branch", 2),
+           *_nop_step(md, branches=2)),
+        ph("kernel_exit", ("rfe",)),
+    )
+
+    pte_change: Tuple[PhaseDecl, ...] = (
+        ph("compute", ("alu", 6), *_nop_step(md, loads=1)),
+        ph("pte_update", ("loads", 1), ("alu", 2), ("stores", 1, {"page": PCB_PAGE})),
+        ph("cache_sweep", ("cache_flush", "cache_sweep_lines"), requires="cache_sweep"),
+        _tlb_update_fragment(md),
+        ph("return", ("alu", 4), ("branch", 2), *_nop_step(md, branches=2)),
+    )
+
+    if md.context_switch is ContextSwitchStyle.MICROCODED_PCB:
+        save_state = ph("save_state", ("microcoded", "save_ctx", 105))
+        restore_state = ph("restore_state", ("microcoded", "load_ctx", 190))
+    elif md.context_switch is ContextSwitchStyle.MICROCODED_MASK:
+        save_state = ph("save_state", ("microcoded", "movem_save", 2 * save_count + 8),
+                        ("special", 2))
+        restore_state = ph("restore_state",
+                           ("microcoded", "movem_restore", 2 * save_count + 8),
+                           ("special", 2))
+    else:
+        save_state = ph("save_state", ("stores", 20, {"page": PCB_PAGE}),
+                        ("special", 4), ("alu", 4))
+        restore_state = ph("restore_state", ("loads", 20, {"page": PCB_PAGE}),
+                           ("special", 4), ("alu", 4))
+
+    addr_space: Tuple[Step, ...] = (("special", 4), ("tlb", 1), ("alu", 4))
+    if not md.pid_tagged_tlb and md.tlb_management is not TLBManagementStyle.MICROCODED:
+        # untagged TLB: explicit purge on every address-space switch.
+        addr_space = addr_space + (("tlb", 4),)
+
+    context_switch: Tuple[PhaseDecl, ...] = (
+        save_state,
+        ph(
+            "window_mgmt",
+            ("special", 2), ("alu", 7),
+            ("stores", "window_regs", {"page": WINDOW_SAVE_PAGE}),
+            ("loads", "window_regs", {"page": WINDOW_SAVE_PAGE}),
+            ("branch", 2),
+            requires="windows",
+            repeat="windows_per_switch",
+        ),
+        *_pipeline_fragments(md, save=True)[1:2],  # pipeline_save only
+        ph("cache_flush", ("cache_flush", "cache_sweep_lines"), requires="cache_sweep"),
+        ph("pcb", ("loads", 4), ("alu", 6), ("branch", 2),
+           *_nop_step(md, branches=2, loads=4)),
+        ph("addr_space_switch", *addr_space),
+        restore_state,
+        ph("stack_misc", ("alu", 16), ("loads", 4), ("stores", 2, {"page": PCB_PAGE}),
+           ("branch", 4), *_nop_step(md, branches=4, loads=4)),
+        ph("return", ("branch", 2), ("alu", 4), *_nop_step(md, branches=2)),
+    )
+
+    return {
+        Primitive.NULL_SYSCALL: null_syscall,
+        Primitive.TRAP: trap,
+        Primitive.PTE_CHANGE: pte_change,
+        Primitive.CONTEXT_SWITCH: context_switch,
+    }

@@ -1,16 +1,31 @@
-"""Dispatch from (architecture, primitive) to handler programs.
+"""Synthesis of handler programs from machine descriptions.
 
-The R2000 and R3000 share one instruction stream (same ISA); every
-other architecture has its own drivers.  Programs are cached per
-(family, primitive) since they are immutable.
+``handler_program(spec, primitive)`` derives the spec's
+:class:`~repro.arch.mdesc.MachineDescription` and expands the matching
+declarative stream through :mod:`repro.kernel.fragments`:
+
+* the six measured systems carry hand-transcribed stream tables
+  (``handlers_{cvax,mips,sparc,m88000,i860,m68k}.STREAMS``) whose
+  expansion is bit-identical to the old builder functions — pinned by
+  the goldens in ``tests/goldens/``;
+* every other spec — the RS/6000, the hypothetical OS-friendly RISC,
+  third-party backends, ablated variants of unknown shape — synthesizes
+  a full handler set from capabilities alone via
+  :func:`~repro.kernel.fragments.generic_streams`.
+
+Programs are cached by ``(family, description fingerprint, primitive)``:
+the R2000 and R3000 collapse to one cached stream (equal descriptions),
+while an ablated spec with a flipped capability regenerates — and
+separately caches — its own stream.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.arch.mdesc import MachineDescription, description_for
 from repro.arch.specs import ArchSpec
-from repro.isa.executor import ExecutionResult, Executor
+from repro.isa.executor import ExecutionResult
 from repro.isa.program import Program
 from repro.kernel import (
     handlers_cvax,
@@ -20,9 +35,11 @@ from repro.kernel import (
     handlers_mips,
     handlers_sparc,
 )
+from repro.kernel.fragments import PhaseDecl, expand, generic_streams
 from repro.kernel.primitives import Primitive
 
-#: architecture name -> handler family (R2000/R3000 share "mips").
+#: architecture name -> stream family (R2000/R3000 share "mips").
+#: Unlisted names fall back to their own name and the generic streams.
 _FAMILY = {
     "cvax": "cvax",
     "m88000": "m88000",
@@ -33,34 +50,24 @@ _FAMILY = {
     "m68k": "m68k",
 }
 
-_BUILDERS: Dict[Tuple[str, Primitive], Callable[[], Program]] = {
-    ("cvax", Primitive.NULL_SYSCALL): handlers_cvax.null_syscall,
-    ("cvax", Primitive.TRAP): handlers_cvax.trap,
-    ("cvax", Primitive.PTE_CHANGE): handlers_cvax.pte_change,
-    ("cvax", Primitive.CONTEXT_SWITCH): handlers_cvax.context_switch,
-    ("mips", Primitive.NULL_SYSCALL): handlers_mips.null_syscall,
-    ("mips", Primitive.TRAP): handlers_mips.trap,
-    ("mips", Primitive.PTE_CHANGE): handlers_mips.pte_change,
-    ("mips", Primitive.CONTEXT_SWITCH): handlers_mips.context_switch,
-    ("sparc", Primitive.NULL_SYSCALL): handlers_sparc.null_syscall,
-    ("sparc", Primitive.TRAP): handlers_sparc.trap,
-    ("sparc", Primitive.PTE_CHANGE): handlers_sparc.pte_change,
-    ("sparc", Primitive.CONTEXT_SWITCH): handlers_sparc.context_switch,
-    ("m88000", Primitive.NULL_SYSCALL): handlers_m88000.null_syscall,
-    ("m88000", Primitive.TRAP): handlers_m88000.trap,
-    ("m88000", Primitive.PTE_CHANGE): handlers_m88000.pte_change,
-    ("m88000", Primitive.CONTEXT_SWITCH): handlers_m88000.context_switch,
-    ("i860", Primitive.NULL_SYSCALL): handlers_i860.null_syscall,
-    ("i860", Primitive.TRAP): handlers_i860.trap,
-    ("i860", Primitive.PTE_CHANGE): handlers_i860.pte_change,
-    ("i860", Primitive.CONTEXT_SWITCH): handlers_i860.context_switch,
-    ("m68k", Primitive.NULL_SYSCALL): handlers_m68k.null_syscall,
-    ("m68k", Primitive.TRAP): handlers_m68k.trap,
-    ("m68k", Primitive.PTE_CHANGE): handlers_m68k.pte_change,
-    ("m68k", Primitive.CONTEXT_SWITCH): handlers_m68k.context_switch,
+_BUILTIN_FAMILIES = frozenset({"cvax", "mips", "sparc", "m88000", "i860", "m68k"})
+
+#: per-family declarative stream tables for the measured systems.
+_FAMILY_STREAMS: Dict[str, Dict[Primitive, Tuple[PhaseDecl, ...]]] = {
+    "cvax": handlers_cvax.STREAMS,
+    "mips": handlers_mips.STREAMS,
+    "sparc": handlers_sparc.STREAMS,
+    "m88000": handlers_m88000.STREAMS,
+    "i860": handlers_i860.STREAMS,
+    "m68k": handlers_m68k.STREAMS,
 }
 
-_PROGRAM_CACHE: Dict[Tuple[str, Primitive], Program] = {}
+#: legacy escape hatch: opaque builder functions registered via
+#: :func:`register_family` take precedence over stream synthesis.
+_BUILDERS: Dict[Tuple[str, Primitive], Callable[[], Program]] = {}
+
+#: (family, description fingerprint | "builder", primitive) -> program.
+_PROGRAM_CACHE: Dict[Tuple[str, str, Primitive], Program] = {}
 
 
 def register_family(
@@ -68,14 +75,19 @@ def register_family(
     arch_names: "tuple[str, ...]",
     builders: Dict[Primitive, Callable[[], Program]],
 ) -> None:
-    """Plug in drivers for a new architecture family.
+    """Plug in opaque builder functions for a new architecture family.
 
-    Downstream users adding their own :class:`ArchSpec` call this once
-    with a builder per primitive; the microbenchmarks, the functional
-    machine, LRPC/RPC, and the lmbench suite then work unchanged.
-    Raises ``ValueError`` on an incomplete builder set or a name clash
-    with a built-in family.
+    Downstream users adding their own :class:`ArchSpec` normally need
+    nothing: any spec synthesizes a full handler set from its derived
+    capability description.  This hook remains for backends whose
+    streams cannot be expressed as declarations; see
+    :func:`register_streams` for the declarative equivalent.  Raises
+    ``ValueError`` on an incomplete builder set, a clash with a
+    built-in family name, or an arch name already claimed by another
+    family.
     """
+    if family in _BUILTIN_FAMILIES:
+        raise ValueError(f"cannot replace built-in family {family!r}")
     missing = [p for p in Primitive if p not in builders]
     if missing:
         raise ValueError(f"builders missing for: {[p.value for p in missing]}")
@@ -86,36 +98,79 @@ def register_family(
         _FAMILY[name] = family
     for primitive, builder in builders.items():
         _BUILDERS[(family, primitive)] = builder
-        _PROGRAM_CACHE.pop((family, primitive), None)
+        _PROGRAM_CACHE.pop((family, "builder", primitive), None)
+
+
+def register_streams(
+    family: str,
+    arch_names: "tuple[str, ...]",
+    streams: Dict[Primitive, Tuple[PhaseDecl, ...]],
+) -> None:
+    """Plug in a declarative stream table for a new family.
+
+    The streams are expanded against each spec's derived description,
+    so capability gates and symbolic counts work exactly as they do for
+    the built-in families.  Same clash rules as
+    :func:`register_family`.
+    """
+    if family in _BUILTIN_FAMILIES:
+        raise ValueError(f"cannot replace built-in family {family!r}")
+    missing = [p for p in Primitive if p not in streams]
+    if missing:
+        raise ValueError(f"streams missing for: {[p.value for p in missing]}")
+    for name in arch_names:
+        if _FAMILY.get(name, family) != family:
+            raise ValueError(f"architecture {name!r} already maps to {_FAMILY[name]!r}")
+    for name in arch_names:
+        _FAMILY[name] = family
+    _FAMILY_STREAMS[family] = dict(streams)
+    for key in [k for k in _PROGRAM_CACHE if k[0] == family]:
+        del _PROGRAM_CACHE[key]
 
 
 def unregister_family(family: str) -> None:
-    """Remove a family added with :func:`register_family`."""
-    if family in {"cvax", "mips", "sparc", "m88000", "i860", "m68k"}:
+    """Remove a family added with :func:`register_family` /
+    :func:`register_streams`."""
+    if family in _BUILTIN_FAMILIES:
         raise ValueError(f"cannot unregister built-in family {family!r}")
     for name in [n for n, f in _FAMILY.items() if f == family]:
         del _FAMILY[name]
     for key in [k for k in _BUILDERS if k[0] == family]:
         del _BUILDERS[key]
-        _PROGRAM_CACHE.pop(key, None)
+    _FAMILY_STREAMS.pop(family, None)
+    for key in [k for k in _PROGRAM_CACHE if k[0] == family]:
+        del _PROGRAM_CACHE[key]
 
 
 def handler_family(arch: ArchSpec) -> str:
-    """Handler family name for ``arch`` (R2000/R3000 -> "mips")."""
-    try:
-        return _FAMILY[arch.name]
-    except KeyError:
-        raise KeyError(
-            f"no handler drivers for architecture {arch.name!r}; "
-            f"families: {sorted(set(_FAMILY.values()))}"
-        ) from None
+    """Stream family for ``arch`` (R2000/R3000 -> "mips").
+
+    Names without a dedicated family — the RS/6000, hypothetical and
+    third-party specs — are their own family and expand the generic
+    capability streams.
+    """
+    return _FAMILY.get(arch.name, arch.name)
+
+
+def handler_description(arch: ArchSpec) -> MachineDescription:
+    """The machine description handler synthesis runs against."""
+    return description_for(arch, stream=handler_family(arch))
 
 
 def handler_program(arch: ArchSpec, primitive: Primitive) -> Program:
     """The driver instruction stream for ``primitive`` on ``arch``."""
-    key = (handler_family(arch), primitive)
+    family = handler_family(arch)
+    if (family, primitive) in _BUILDERS:
+        key = (family, "builder", primitive)
+        if key not in _PROGRAM_CACHE:
+            _PROGRAM_CACHE[key] = _BUILDERS[(family, primitive)]()
+        return _PROGRAM_CACHE[key]
+    md = description_for(arch, stream=family)
+    key = (family, md.fingerprint, primitive)
     if key not in _PROGRAM_CACHE:
-        _PROGRAM_CACHE[key] = _BUILDERS[key]()
+        table = _FAMILY_STREAMS.get(family)
+        decls = table[primitive] if table is not None else generic_streams(md)[primitive]
+        _PROGRAM_CACHE[key] = expand(f"{family}:{primitive.value}", decls, md)
     return _PROGRAM_CACHE[key]
 
 
@@ -143,3 +198,50 @@ def instruction_count(arch: ArchSpec, primitive: Primitive) -> int:
 def primitive_time_us(arch: ArchSpec, primitive: Primitive) -> float:
     """Table 1 cell: time in microseconds on this system."""
     return build_handler(arch, primitive).time_us
+
+
+# ----------------------------------------------------------------------
+# completeness validation
+# ----------------------------------------------------------------------
+
+def validate_handler_coverage(arch_names: Optional[Tuple[str, ...]] = None) -> List[str]:
+    """Check that every architecture resolves a usable handler set.
+
+    For each name in ``arch_names`` (default: the full registry) and
+    each :class:`Primitive`, the handler program must synthesize, be
+    non-empty, and pass the :mod:`repro.isa.validate` error checks.
+    Returns a list of human-readable problems; empty means complete.
+    This is the check that used to let the RS/6000 slip through with no
+    trap path at all.
+    """
+    from repro.arch.registry import ALL_ARCH_NAMES, get_arch
+    from repro.isa.validate import errors
+
+    problems: List[str] = []
+    for name in arch_names if arch_names is not None else ALL_ARCH_NAMES:
+        try:
+            arch = get_arch(name)
+        except KeyError as err:
+            problems.append(f"{name}: {err}")
+            continue
+        for primitive in Primitive:
+            try:
+                program = handler_program(arch, primitive)
+            except Exception as err:  # noqa: BLE001 - report, don't mask
+                problems.append(f"{name}/{primitive.value}: synthesis failed: {err}")
+                continue
+            if len(program) == 0:
+                problems.append(f"{name}/{primitive.value}: empty program")
+                continue
+            for finding in errors(program):
+                problems.append(f"{name}/{primitive.value}: {finding.message}")
+    return problems
+
+
+def assert_handler_coverage(arch_names: Optional[Tuple[str, ...]] = None) -> None:
+    """Raise ``ValueError`` listing problems when coverage is incomplete."""
+    problems = validate_handler_coverage(arch_names)
+    if problems:
+        raise ValueError(
+            "incomplete handler coverage:\n" + "\n".join(f"  - {p}" for p in problems)
+        )

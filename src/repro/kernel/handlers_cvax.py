@@ -1,6 +1,6 @@
-"""CVAX handler drivers.
+"""CVAX handler streams (declarative).
 
-The CVAX drivers are short because CHMK/REI, CALLS/RET, TBIS and
+The CVAX streams are short because CHMK/REI, CALLS/RET, TBIS and
 SVPCTX/LDPCTX do "large amounts of work in microcode" (§1.1).  Cycle
 costs for those instructions come from
 :data:`repro.arch.cvax.MICROCODE_CYCLES`.
@@ -8,97 +8,47 @@ costs for those instructions come from
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.arch.cvax import MICROCODE_CYCLES
-from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.fragments import PhaseDecl, ph
+from repro.kernel.primitives import Primitive
 
-
-def null_syscall() -> Program:
-    """12 instructions (Table 2); 15.8 us at 11.1 MHz (Table 1).
-
-    Table 5 decomposition: kernel entry/exit is CHMK + REI microcode
-    (4.5 us), call preparation a handful of native instructions
-    (3.1 us), and the C call/return dominated by CALLS/RET microcode
-    (8.2 us).
-    """
-    b = ProgramBuilder("cvax:null_syscall")
-    with b.phase("kernel_entry"):
-        b.microcoded("chmk", MICROCODE_CYCLES["chmk"], comment="change mode to kernel")
-    with b.phase("state_mgmt"):
-        b.special_ops(2, comment="PSL/stack pointer management")
-        b.alu(4, comment="syscall code range check + dispatch index")
-    with b.phase("c_call"):
-        b.microcoded("calls", MICROCODE_CYCLES["calls"], comment="CALLS with register-save mask")
-        b.alu(1, comment="null kernel procedure body")
-        b.microcoded("ret", MICROCODE_CYCLES["ret"], comment="RET unwinds frame")
-    with b.phase("kernel_exit"):
-        b.alu(1, comment="stage return value")
-        b.microcoded("rei", MICROCODE_CYCLES["rei"], comment="return from exception")
-    return b.build()
-
-
-def trap() -> Program:
-    """14 instructions; 23.1 us.
-
-    Hardware/microcode performs the memory-management fault entry
-    (pushing PC/PSL, probing, vectoring through the SCB), so the
-    software path only decodes the fault and calls the C handler.
-    """
-    b = ProgramBuilder("cvax:trap")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="microcoded MM-fault entry via SCB vector")
-    with b.phase("vector"):
-        b.special_ops(2, comment="read fault PSL / stack probe state")
-        b.alu(2, comment="select handler for access violation")
-    with b.phase("fault_decode"):
-        b.special_ops(2, comment="read faulting VA and reason from stack")
-        b.alu(2, comment="classify fault")
-    with b.phase("c_call"):
-        b.microcoded("calls", MICROCODE_CYCLES["calls"], comment="CALLS to null C handler")
-        b.alu(1, comment="null handler body")
-        b.microcoded("ret", MICROCODE_CYCLES["ret"])
-    with b.phase("kernel_exit"):
-        b.alu(2, comment="pop fault parameters")
-        b.microcoded("rei", MICROCODE_CYCLES["rei"])
-    return b.build()
-
-
-def pte_change() -> Program:
-    """11 instructions; 8.8 us, once in the kernel.
-
-    The linear VAX page table makes the PTE address one index
-    computation; TBIS microcode invalidates the (single) TB entry.
-    """
-    b = ProgramBuilder("cvax:pte_change")
-    with b.phase("compute"):
-        b.alu(3, comment="linear page table index from VA")
-    with b.phase("pte_update"):
-        b.loads(1, comment="fetch PTE")
-        b.stores(1, comment="store updated protection bits")
-    with b.phase("tlb_update"):
-        b.tlb_ops(1, comment="TBIS: invalidate single TB entry")
-        b.special_ops(2, comment="MTPR sequencing around TBIS")
-    with b.phase("return"):
-        b.alu(3, comment="result staging and return path")
-    return b.build()
-
-
-def context_switch() -> Program:
-    """9 instructions; 28.3 us, once in the kernel.
-
-    SVPCTX/LDPCTX move the whole process context in microcode; LDPCTX
-    also purges the untagged translation buffer (§3.2), which is why a
-    CVAX address-space switch implicitly costs the TB refill later.
-    """
-    b = ProgramBuilder("cvax:context_switch")
-    with b.phase("save_state"):
-        b.microcoded("svpctx", MICROCODE_CYCLES["svpctx"], comment="save process context")
-    with b.phase("pcb"):
-        b.loads(1, comment="fetch new PCB base")
-        b.alu(2, comment="PCB bookkeeping")
-        b.special_ops(1, comment="MTPR new PCB base")
-    with b.phase("restore_state"):
-        b.microcoded("ldpctx", MICROCODE_CYCLES["ldpctx"], comment="load context + TB purge")
-    with b.phase("return"):
-        b.alu(2, comment="resume bookkeeping")
-        b.branch(1, comment="jump to resumed thread")
-    return b.build()
+STREAMS: Dict[Primitive, Tuple[PhaseDecl, ...]] = {
+    # 12 instructions (Table 2); Table 5 decomposition: kernel
+    # entry/exit is CHMK + REI microcode, the C call dominated by
+    # CALLS/RET microcode.
+    Primitive.NULL_SYSCALL: (
+        ph("kernel_entry", ("microcoded", "chmk", MICROCODE_CYCLES["chmk"])),
+        ph("state_mgmt", ("special", 2), ("alu", 4)),
+        ph("c_call", ("microcoded", "calls", MICROCODE_CYCLES["calls"]), ("alu", 1),
+           ("microcoded", "ret", MICROCODE_CYCLES["ret"])),
+        ph("kernel_exit", ("alu", 1), ("microcoded", "rei", MICROCODE_CYCLES["rei"])),
+    ),
+    # hardware/microcode performs the fault entry (pushing PC/PSL,
+    # probing, vectoring through the SCB); software only decodes.
+    Primitive.TRAP: (
+        ph("kernel_entry", ("trap_entry",)),
+        ph("vector", ("special", 2), ("alu", 2)),
+        ph("fault_decode", ("special", 2), ("alu", 2)),
+        ph("c_call", ("microcoded", "calls", MICROCODE_CYCLES["calls"]), ("alu", 1),
+           ("microcoded", "ret", MICROCODE_CYCLES["ret"])),
+        ph("kernel_exit", ("alu", 2), ("microcoded", "rei", MICROCODE_CYCLES["rei"])),
+    ),
+    # linear VAX page table: one index computation; TBIS microcode
+    # invalidates the (single) TB entry.
+    Primitive.PTE_CHANGE: (
+        ph("compute", ("alu", 3)),
+        ph("pte_update", ("loads", 1), ("stores", 1)),
+        ph("tlb_update", ("tlb", 1), ("special", 2)),
+        ph("return", ("alu", 3)),
+    ),
+    # SVPCTX/LDPCTX move the whole process context in microcode; LDPCTX
+    # also purges the untagged translation buffer (§3.2).
+    Primitive.CONTEXT_SWITCH: (
+        ph("save_state", ("microcoded", "svpctx", MICROCODE_CYCLES["svpctx"])),
+        ph("pcb", ("loads", 1), ("alu", 2), ("special", 1)),
+        ph("restore_state", ("microcoded", "ldpctx", MICROCODE_CYCLES["ldpctx"])),
+        ph("return", ("alu", 2), ("branch", 1)),
+    ),
+}

@@ -1,26 +1,28 @@
-"""Intel i860 handler drivers (paper estimates, Table 2 only).
+"""Intel i860 handler streams (declarative; paper estimates, Table 2).
 
-Everything the paper flags about the i860 shows up here:
+Everything the paper flags about the i860 shows up here, and each
+quirk is now gated on the capability that causes it:
 
 * **one** handler for all exceptions — dispatch decodes the cause in
   software (§2.3);
 * the hardware provides **no faulting address**, so the trap handler
   fetches and interprets the faulting instruction: +26 instructions in
-  the paper's driver (§3.1);
+  the paper's driver (§3.1) — gated on ``no_fault_address``;
 * when the FP pipeline may be in use, its state must be saved and
-  restored around the handler — "60 or more instructions" (§3.1);
+  restored around the handler — "60 or more instructions" (§3.1) —
+  gated on ``pipeline_exposed``;
 * the **virtually addressed, untagged cache** must be swept when a
   PTE's protection changes (536 of 559 PTE-change instructions flush
   the cache) and flushed on a context switch, dominating the
-  618-instruction switch (§3.2).
+  618-instruction switch (§3.2) — gated on ``cache_sweep``.
 """
 
 from __future__ import annotations
 
-from repro.isa.program import Program, ProgramBuilder
+from typing import Dict, Tuple
 
-PCB_PAGE = 0
-KSTACK_PAGE = 1
+from repro.kernel.fragments import KSTACK_PAGE, PCB_PAGE, PhaseDecl, ph
+from repro.kernel.primitives import Primitive
 
 #: cache lines swept when changing a page's protection (536 of the 559
 #: PTE-change instructions in the paper's driver).
@@ -29,136 +31,54 @@ PTE_SWEEP_FLUSHES = 536
 #: cache lines flushed on a context switch (untagged virtual cache).
 CTX_SWITCH_FLUSHES = 512
 
+#: all exceptions funnel through one entry point.
+_COMMON_VECTOR = ph("vector", ("special", 2), ("alu", 4), ("branch", 2), ("nops", 2))
 
-def _common_vector(b: ProgramBuilder) -> None:
-    """All exceptions funnel through one entry point."""
-    with b.phase("vector"):
-        b.special_ops(2, comment="read psr/epsr: what kind of exception?")
-        b.alu(4, comment="decode trap class in software")
-        b.branch(2)
-        b.nops(2)
-
-
-def null_syscall() -> Program:
-    """86 instructions (estimate; no time reported in Table 1)."""
-    b = ProgramBuilder("i860:null_syscall")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="trap instruction; single vector")
-    _common_vector(b)
-    with b.phase("state_mgmt"):
-        b.special_ops(8, comment="psr/dirbase/fir staging")
-        b.alu(8)
-    with b.phase("reg_save"):
-        b.stores(12, page=KSTACK_PAGE)
-    with b.phase("dispatch"):
-        b.loads(2)
-        b.alu(4)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("c_call"):
-        b.branch(2)
-        b.alu(5)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(1)
-    with b.phase("reg_restore"):
-        b.loads(12, page=KSTACK_PAGE)
-    with b.phase("state_restore"):
-        b.special_ops(4)
-        b.alu(6)
-        b.branch(2)
-        b.nops(1)
-    with b.phase("kernel_exit"):
-        b.rfe()
-    return b.build()
-
-
-def trap() -> Program:
-    """155 instructions: the syscall skeleton plus 26 instructions of
-    faulting-instruction interpretation and ~53 of FP pipeline
-    save/restore."""
-    b = ProgramBuilder("i860:trap")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="data access fault; no fault address provided")
-    _common_vector(b)
-    with b.phase("pipeline_save"):
-        b.special_ops(16, comment="read FP pipeline stage registers")
-        b.stores(12, page=KSTACK_PAGE, comment="save pipeline stages")
-        b.loads(12, page=KSTACK_PAGE, comment="restore before rfe")
-        b.alu(9)
-        b.fp(4, comment="pipeline flush/reload operations")
-    with b.phase("fault_decode"):
-        b.loads(2, comment="fetch the faulting instruction itself")
-        b.alu(18, comment="interpret instruction to find type + address")
-        b.branch(4)
-        b.nops(2)
-    with b.phase("state_mgmt"):
-        b.special_ops(8)
-        b.alu(8)
-    with b.phase("reg_save"):
-        b.stores(12, page=KSTACK_PAGE)
-    with b.phase("c_call"):
-        b.branch(2)
-        b.alu(5)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(1)
-    with b.phase("reg_restore"):
-        b.loads(12, page=KSTACK_PAGE)
-    with b.phase("state_restore"):
-        b.special_ops(4)
-        b.alu(6)
-        b.branch(2)
-        b.nops(1)
-    with b.phase("kernel_exit"):
-        b.rfe()
-    return b.build()
-
-
-def pte_change() -> Program:
-    """559 instructions, 536 of which sweep the virtual cache."""
-    b = ProgramBuilder("i860:pte_change")
-    with b.phase("compute"):
-        b.alu(6)
-    with b.phase("pte_update"):
-        b.loads(1)
-        b.alu(2)
-        b.stores(1, page=PCB_PAGE)
-    with b.phase("cache_sweep"):
-        b.cache_flush(PTE_SWEEP_FLUSHES, comment="search/invalidate virtual cache for the page")
-    with b.phase("tlb_update"):
-        b.tlb_ops(2)
-        b.special_ops(4)
-    with b.phase("return"):
-        b.alu(4)
-        b.branch(1)
-        b.nops(2)
-    return b.build()
-
-
-def context_switch() -> Program:
-    """618 instructions, dominated by the virtual cache flush."""
-    b = ProgramBuilder("i860:context_switch")
-    with b.phase("save_state"):
-        b.stores(12, page=PCB_PAGE, comment="integer state")
-        b.special_ops(6)
-        b.alu(4)
-    with b.phase("pipeline_save"):
-        b.special_ops(20, comment="FP pipeline stage registers, both directions")
-        b.stores(12, page=PCB_PAGE)
-        b.loads(12, page=PCB_PAGE)
-        b.fp(6)
-    with b.phase("cache_flush"):
-        b.cache_flush(CTX_SWITCH_FLUSHES, comment="untagged virtual cache: full flush")
-    with b.phase("addr_space_switch"):
-        b.special_ops(4, comment="write dirbase with new page directory")
-        b.tlb_ops(1)
-    with b.phase("restore_state"):
-        b.loads(12, page=PCB_PAGE)
-        b.special_ops(4)
-        b.alu(6)
-    with b.phase("return"):
-        b.alu(3)
-        b.branch(2)
-        b.nops(2)
-    return b.build()
+STREAMS: Dict[Primitive, Tuple[PhaseDecl, ...]] = {
+    Primitive.NULL_SYSCALL: (
+        ph("kernel_entry", ("trap_entry",)),
+        _COMMON_VECTOR,
+        ph("state_mgmt", ("special", 8), ("alu", 8)),
+        ph("reg_save", ("stores", 12, {"page": KSTACK_PAGE})),
+        ph("dispatch", ("loads", 2), ("alu", 4), ("branch", 2), ("nops", 2)),
+        ph("c_call", ("branch", 2), ("alu", 5), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 1)),
+        ph("reg_restore", ("loads", 12, {"page": KSTACK_PAGE})),
+        ph("state_restore", ("special", 4), ("alu", 6), ("branch", 2), ("nops", 1)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.TRAP: (
+        ph("kernel_entry", ("trap_entry",)),
+        _COMMON_VECTOR,
+        ph("pipeline_save", ("special", 16), ("stores", 12, {"page": KSTACK_PAGE}),
+           ("loads", 12, {"page": KSTACK_PAGE}), ("alu", 9), ("fp", 4),
+           requires="pipeline_exposed"),
+        # no fault address from hardware: fetch and interpret the
+        # faulting instruction itself to find the type and address.
+        ph("fault_decode", ("loads", 2), ("alu", 18), ("branch", 4), ("nops", 2),
+           requires="no_fault_address"),
+        ph("state_mgmt", ("special", 8), ("alu", 8)),
+        ph("reg_save", ("stores", 12, {"page": KSTACK_PAGE})),
+        ph("c_call", ("branch", 2), ("alu", 5), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 1)),
+        ph("reg_restore", ("loads", 12, {"page": KSTACK_PAGE})),
+        ph("state_restore", ("special", 4), ("alu", 6), ("branch", 2), ("nops", 1)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.PTE_CHANGE: (
+        ph("compute", ("alu", 6)),
+        ph("pte_update", ("loads", 1), ("alu", 2), ("stores", 1, {"page": PCB_PAGE})),
+        ph("cache_sweep", ("cache_flush", PTE_SWEEP_FLUSHES), requires="cache_sweep"),
+        ph("tlb_update", ("tlb", 2), ("special", 4)),
+        ph("return", ("alu", 4), ("branch", 1), ("nops", 2)),
+    ),
+    Primitive.CONTEXT_SWITCH: (
+        ph("save_state", ("stores", 12, {"page": PCB_PAGE}), ("special", 6), ("alu", 4)),
+        ph("pipeline_save", ("special", 20), ("stores", 12, {"page": PCB_PAGE}),
+           ("loads", 12, {"page": PCB_PAGE}), ("fp", 6), requires="pipeline_exposed"),
+        ph("cache_flush", ("cache_flush", CTX_SWITCH_FLUSHES), requires="cache_sweep"),
+        ph("addr_space_switch", ("special", 4), ("tlb", 1)),
+        ph("restore_state", ("loads", 12, {"page": PCB_PAGE}), ("special", 4), ("alu", 6)),
+        ph("return", ("alu", 3), ("branch", 2), ("nops", 2)),
+    ),
+}

@@ -1,4 +1,4 @@
-"""Sun-3 (68020) handler drivers.
+"""Sun-3 (68020) handler streams (declarative).
 
 SunOS-era CISC paths: the TRAP instruction and RTE carry the format
 frame in microcode, MOVEM moves the register set in one instruction,
@@ -8,108 +8,54 @@ the CVAX's dozen and the RISCs' hundred.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.arch.m68k import MICROCODE_CYCLES
-from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.fragments import KSTACK_PAGE, PCB_PAGE, PhaseDecl, ph
+from repro.kernel.primitives import Primitive
 
-KSTACK_PAGE = 1
-PCB_PAGE = 0
+_MOVEM_SAVE = ("microcoded", "movem_save", MICROCODE_CYCLES["movem_save"])
+_MOVEM_RESTORE = ("microcoded", "movem_restore", MICROCODE_CYCLES["movem_restore"])
 
-
-def null_syscall() -> Program:
-    """~30 instructions, ~30 us on the Sun-3/75."""
-    b = ProgramBuilder("m68k:null_syscall")
-    with b.phase("kernel_entry"):
-        b.microcoded("trap_instruction", MICROCODE_CYCLES["trap_instruction"],
-                     comment="TRAP #0: push format frame, vector")
-    with b.phase("vector"):
-        b.alu(3, comment="syscall number from d0, range check")
-        b.branch(2)
-    with b.phase("state_mgmt"):
-        b.special_ops(3, comment="SR/USP juggling")
-        b.alu(4)
-    with b.phase("reg_save"):
-        b.microcoded("movem_save", MICROCODE_CYCLES["movem_save"],
-                     comment="MOVEM d2-d7/a2-a6 to the kernel stack")
-    with b.phase("c_call"):
-        b.branch(1, comment="jsr")
-        b.alu(4, comment="link/unlk prologue")
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.branch(1, comment="rts")
-    with b.phase("reg_restore"):
-        b.microcoded("movem_restore", MICROCODE_CYCLES["movem_restore"])
-    with b.phase("state_restore"):
-        b.alu(3, comment="stage return value")
-        b.special_ops(2)
-    with b.phase("kernel_exit"):
-        b.microcoded("rei", MICROCODE_CYCLES["rte"], comment="RTE")
-    return b.build()
-
-
-def trap() -> Program:
-    """Bus-error path: the long format frame plus fault decode."""
-    b = ProgramBuilder("m68k:trap")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="bus error: long format frame pushed")
-    with b.phase("vector"):
-        b.alu(3)
-        b.branch(2)
-    with b.phase("fault_decode"):
-        b.loads(3, comment="read fault address/status from the frame")
-        b.alu(4)
-    with b.phase("state_mgmt"):
-        b.special_ops(3)
-        b.alu(4)
-    with b.phase("reg_save"):
-        b.microcoded("movem_save", MICROCODE_CYCLES["movem_save"])
-    with b.phase("c_call"):
-        b.branch(1)
-        b.alu(4)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.branch(1)
-    with b.phase("reg_restore"):
-        b.microcoded("movem_restore", MICROCODE_CYCLES["movem_restore"])
-    with b.phase("state_restore"):
-        b.alu(4, comment="frame cleanup before RTE")
-    with b.phase("kernel_exit"):
-        b.microcoded("rei", MICROCODE_CYCLES["rte"])
-    return b.build()
-
-
-def pte_change() -> Program:
-    """Sun MMU: poke the page map entry directly (no TLB walk)."""
-    b = ProgramBuilder("m68k:pte_change")
-    with b.phase("compute"):
-        b.alu(4, comment="segment/page map index")
-    with b.phase("pte_update"):
-        b.loads(1)
-        b.stores(1, page=PCB_PAGE)
-    with b.phase("tlb_update"):
-        b.tlb_ops(1, comment="write the page map entry via control space")
-        b.special_ops(2)
-    with b.phase("return"):
-        b.alu(2)
-        b.branch(1)
-    return b.build()
-
-
-def context_switch() -> Program:
-    """Switch contexts by writing the Sun MMU context register."""
-    b = ProgramBuilder("m68k:context_switch")
-    with b.phase("save_state"):
-        b.microcoded("movem_save", MICROCODE_CYCLES["movem_save"])
-        b.special_ops(2, comment="capture SR/USP")
-    with b.phase("pcb"):
-        b.loads(2)
-        b.alu(3)
-    with b.phase("addr_space_switch"):
-        b.special_ops(2, comment="write MMU context register")
-        b.tlb_ops(1)
-    with b.phase("restore_state"):
-        b.microcoded("movem_restore", MICROCODE_CYCLES["movem_restore"])
-        b.special_ops(2)
-    with b.phase("return"):
-        b.alu(3)
-        b.branch(1)
-    return b.build()
+STREAMS: Dict[Primitive, Tuple[PhaseDecl, ...]] = {
+    Primitive.NULL_SYSCALL: (
+        ph("kernel_entry",
+           ("microcoded", "trap_instruction", MICROCODE_CYCLES["trap_instruction"])),
+        ph("vector", ("alu", 3), ("branch", 2)),
+        ph("state_mgmt", ("special", 3), ("alu", 4)),
+        ph("reg_save", _MOVEM_SAVE),
+        ph("c_call", ("branch", 1), ("alu", 4), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("branch", 1)),
+        ph("reg_restore", _MOVEM_RESTORE),
+        ph("state_restore", ("alu", 3), ("special", 2)),
+        ph("kernel_exit", ("microcoded", "rei", MICROCODE_CYCLES["rte"])),
+    ),
+    # bus-error path: the long format frame plus fault decode.
+    Primitive.TRAP: (
+        ph("kernel_entry", ("trap_entry",)),
+        ph("vector", ("alu", 3), ("branch", 2)),
+        ph("fault_decode", ("loads", 3), ("alu", 4)),
+        ph("state_mgmt", ("special", 3), ("alu", 4)),
+        ph("reg_save", _MOVEM_SAVE),
+        ph("c_call", ("branch", 1), ("alu", 4), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("branch", 1)),
+        ph("reg_restore", _MOVEM_RESTORE),
+        ph("state_restore", ("alu", 4)),
+        ph("kernel_exit", ("microcoded", "rei", MICROCODE_CYCLES["rte"])),
+    ),
+    # Sun MMU: poke the page map entry directly (no TLB walk).
+    Primitive.PTE_CHANGE: (
+        ph("compute", ("alu", 4)),
+        ph("pte_update", ("loads", 1), ("stores", 1, {"page": PCB_PAGE})),
+        ph("tlb_update", ("tlb", 1), ("special", 2)),
+        ph("return", ("alu", 2), ("branch", 1)),
+    ),
+    # switch contexts by writing the Sun MMU context register.
+    Primitive.CONTEXT_SWITCH: (
+        ph("save_state", _MOVEM_SAVE, ("special", 2)),
+        ph("pcb", ("loads", 2), ("alu", 3)),
+        ph("addr_space_switch", ("special", 2), ("tlb", 1)),
+        ph("restore_state", _MOVEM_RESTORE, ("special", 2)),
+        ph("return", ("alu", 3), ("branch", 1)),
+    ),
+}

@@ -1,4 +1,4 @@
-"""Motorola 88000 handler drivers.
+"""Motorola 88000 handler streams (declarative).
 
 What makes the 88000 paths long (§2.3, §3.1):
 
@@ -14,175 +14,74 @@ What makes the 88000 paths long (§2.3, §3.1):
   first so completing FP operations cannot corrupt live registers;
 * TLB and PTE maintenance goes through memory-mapped 88200 CMMU
   registers.
+
+The pipeline phases are gated on the ``pipeline_exposed`` and
+``fpu_freeze`` capabilities: a precise-interrupt ablation
+(``pipeline=replace(..., exposed=False)``) regenerates the streams
+without them rather than rescaling the exposed-path costs.
 """
 
 from __future__ import annotations
 
-from repro.isa.program import Program, ProgramBuilder
+from typing import Dict, Tuple
 
-PCB_PAGE = 0
-KSTACK_PAGE = 1
+from repro.kernel.fragments import KSTACK_PAGE, PCB_PAGE, PhaseDecl, ph
+from repro.kernel.primitives import Primitive
 
-#: internal pipeline-state registers visible to trap handlers.
-PIPELINE_STATE_REGS = 27
+#: examine fault/status control registers across the five pipelines
+#: before any handler can proceed — even the voluntary syscall (§2.5).
+_PIPELINE_CHECK = ph(
+    "pipeline_check",
+    ("special", 14), ("alu", 12), ("branch", 4),
+    requires="pipeline_exposed",
+)
 
-
-def _pipeline_check(b: ProgramBuilder) -> None:
-    """Examine pipeline/fault status before the handler can proceed."""
-    with b.phase("pipeline_check"):
-        b.special_ops(14, comment="read fault/status control registers across 5 pipelines")
-        b.alu(12, comment="test for outstanding faults in each unit")
-        b.branch(4, comment="per-pipeline fault dispatch")
-
-
-def null_syscall() -> Program:
-    """122 instructions; 11.8 us.
-
-    A system call is a *voluntary* exception, yet the 88000 handler
-    still pays the pipeline examination — the paper suggests hardware
-    could instead wait for outstanding exceptions before servicing the
-    call (§2.5).
-    """
-    b = ProgramBuilder("m88000:null_syscall")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="tb0 trap; shadow registers freeze")
-    with b.phase("vector"):
-        b.alu(4, comment="vectored dispatch: vector table slot")
-        b.branch(2)
-        b.nops(1)
-    _pipeline_check(b)
-    with b.phase("state_mgmt"):
-        b.special_ops(6, comment="shadow register unfreeze, PSR staging")
-        b.alu(10, comment="kernel stack setup")
-        b.nops(2)
-    with b.phase("reg_save"):
-        b.stores(14, page=KSTACK_PAGE, comment="caller-context registers")
-    with b.phase("dispatch"):
-        b.loads(2)
-        b.alu(4)
-        b.branch(2)
-        b.nops(1)
-    with b.phase("c_call"):
-        b.branch(2)
-        b.alu(5)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(1)
-    with b.phase("reg_restore"):
-        b.loads(14, page=KSTACK_PAGE)
-    with b.phase("state_restore"):
-        b.special_ops(6, comment="restore shadow/PSR state")
-        b.alu(7)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("kernel_exit"):
-        b.rfe(comment="rte")
-    return b.build()
-
-
-def trap() -> Program:
-    """156 instructions; 14.4 us.
-
-    Adds to the syscall path: saving pipeline state registers, the
-    FPU freeze/drain/restart dance, and fault decode + access emulation
-    setup from the fault status registers.
-    """
-    b = ProgramBuilder("m88000:trap")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="data access fault; pipelines hold partial state")
-    with b.phase("vector"):
-        b.alu(4)
-        b.branch(2)
-        b.nops(1)
-    _pipeline_check(b)
-    with b.phase("pipeline_save"):
-        b.special_ops(12, comment="read data-unit pipeline registers (addresses, data in flight)")
-        b.stores(8, page=KSTACK_PAGE, comment="save pipeline snapshot")
-    with b.phase("fpu_restart"):
-        b.stores(4, page=KSTACK_PAGE, comment="store interrupt context before enabling FPU")
-        b.special_ops(4, comment="unfreeze FPU, let pipeline drain")
-        b.fp(2, comment="pipeline drain operations complete")
-        b.alu(5, comment="wait/verify drain; registers now safe")
-    with b.phase("fault_decode"):
-        b.special_ops(6, comment="fault status: access type, address, data")
-        b.alu(8, comment="determine emulation needed for faulting access")
-        b.branch(2)
-    with b.phase("state_mgmt"):
-        b.special_ops(4)
-        b.alu(8)
-        b.nops(2)
-    with b.phase("reg_save"):
-        b.stores(12, page=KSTACK_PAGE)
-    with b.phase("c_call"):
-        b.branch(2)
-        b.alu(5)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(1)
-    with b.phase("reg_restore"):
-        b.loads(12, page=KSTACK_PAGE)
-        b.special_ops(4, comment="restore pipeline state registers")
-    with b.phase("state_restore"):
-        b.special_ops(4)
-        b.alu(5)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("kernel_exit"):
-        b.rfe(comment="rte restarts pipelines")
-    return b.build()
-
-
-def pte_change() -> Program:
-    """24 instructions; 3.9 us — CMMU register accesses dominate."""
-    b = ProgramBuilder("m88000:pte_change")
-    with b.phase("compute"):
-        b.alu(6, comment="page table index")
-    with b.phase("pte_update"):
-        b.loads(1)
-        b.alu(2)
-        b.stores(1, page=PCB_PAGE)
-    with b.phase("tlb_update"):
-        b.tlb_ops(3, comment="CMMU probe/invalidate via memory-mapped registers")
-        b.special_ops(2)
-        b.alu(4)
-        b.branch(2)
-    with b.phase("return"):
-        b.alu(2)
-        b.branch(1)
-    return b.build()
-
-
-def context_switch() -> Program:
-    """98 instructions; 22.8 us.
-
-    Moves the Table 6 state — 32 general registers plus 27 words of
-    pipeline/control state — through the XD88's slow memory interface.
-    """
-    b = ProgramBuilder("m88000:context_switch")
-    with b.phase("save_state"):
-        b.stores(22, page=PCB_PAGE, comment="general registers")
-        b.special_ops(6, extra_cycles=20, comment="capture control/pipeline context (stcr + sync)")
-        b.alu(2)
-    with b.phase("pcb"):
-        b.loads(4)
-        b.alu(4)
-        b.branch(2)
-    with b.phase("addr_space_switch"):
-        b.special_ops(2, comment="CMMU area pointer switch")
-        b.tlb_ops(1)
-        b.alu(2)
-    with b.phase("restore_state"):
-        b.loads(22, page=PCB_PAGE)
-        b.special_ops(6, extra_cycles=20, comment="restore control/pipeline context (ldcr + sync)")
-        b.alu(2)
-    with b.phase("stack_misc"):
-        b.alu(8)
-        b.loads(2)
-        b.stores(2, page=PCB_PAGE)
-        b.branch(4)
-        b.nops(2)
-    with b.phase("return"):
-        b.branch(2)
-        b.alu(2)
-        b.nops(1)
-    return b.build()
+STREAMS: Dict[Primitive, Tuple[PhaseDecl, ...]] = {
+    Primitive.NULL_SYSCALL: (
+        ph("kernel_entry", ("trap_entry",)),
+        ph("vector", ("alu", 4), ("branch", 2), ("nops", 1)),
+        _PIPELINE_CHECK,
+        ph("state_mgmt", ("special", 6), ("alu", 10), ("nops", 2)),
+        ph("reg_save", ("stores", 14, {"page": KSTACK_PAGE})),
+        ph("dispatch", ("loads", 2), ("alu", 4), ("branch", 2), ("nops", 1)),
+        ph("c_call", ("branch", 2), ("alu", 5), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 1)),
+        ph("reg_restore", ("loads", 14, {"page": KSTACK_PAGE})),
+        ph("state_restore", ("special", 6), ("alu", 7), ("branch", 2), ("nops", 2)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.TRAP: (
+        ph("kernel_entry", ("trap_entry",)),
+        ph("vector", ("alu", 4), ("branch", 2), ("nops", 1)),
+        _PIPELINE_CHECK,
+        ph("pipeline_save", ("special", 12), ("stores", 8, {"page": KSTACK_PAGE}),
+           requires="pipeline_exposed"),
+        ph("fpu_restart", ("stores", 4, {"page": KSTACK_PAGE}), ("special", 4),
+           ("fp", 2), ("alu", 5), requires="fpu_freeze"),
+        ph("fault_decode", ("special", 6), ("alu", 8), ("branch", 2)),
+        ph("state_mgmt", ("special", 4), ("alu", 8), ("nops", 2)),
+        ph("reg_save", ("stores", 12, {"page": KSTACK_PAGE})),
+        ph("c_call", ("branch", 2), ("alu", 5), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 1)),
+        ph("reg_restore", ("loads", 12, {"page": KSTACK_PAGE}), ("special", 4)),
+        ph("state_restore", ("special", 4), ("alu", 5), ("branch", 2), ("nops", 2)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.PTE_CHANGE: (
+        ph("compute", ("alu", 6)),
+        ph("pte_update", ("loads", 1), ("alu", 2), ("stores", 1, {"page": PCB_PAGE})),
+        ph("tlb_update", ("tlb", 3), ("special", 2), ("alu", 4), ("branch", 2)),
+        ph("return", ("alu", 2), ("branch", 1)),
+    ),
+    Primitive.CONTEXT_SWITCH: (
+        ph("save_state", ("stores", 22, {"page": PCB_PAGE}),
+           ("special", 6, {"extra_cycles": 20}), ("alu", 2)),
+        ph("pcb", ("loads", 4), ("alu", 4), ("branch", 2)),
+        ph("addr_space_switch", ("special", 2), ("tlb", 1), ("alu", 2)),
+        ph("restore_state", ("loads", 22, {"page": PCB_PAGE}),
+           ("special", 6, {"extra_cycles": 20}), ("alu", 2)),
+        ph("stack_misc", ("alu", 8), ("loads", 2), ("stores", 2, {"page": PCB_PAGE}),
+           ("branch", 4), ("nops", 2)),
+        ph("return", ("branch", 2), ("alu", 2), ("nops", 1)),
+    ),
+}

@@ -1,7 +1,7 @@
-"""MIPS R2000/R3000 handler drivers.
+"""MIPS R2000/R3000 handler streams (declarative).
 
-One instruction stream serves both systems (the R3000 executes the
-R2000 instruction set); the DECstation 3100 vs 5000/200 difference is
+One stream serves both systems (the R3000 executes the R2000
+instruction set); the DECstation 3100 vs 5000/200 difference is
 entirely in the cost model (clock, write buffer, load latency).
 
 Structural points from the paper baked into these streams:
@@ -23,161 +23,60 @@ Structural points from the paper baked into these streams:
 
 from __future__ import annotations
 
-from repro.isa.program import Program, ProgramBuilder
+from typing import Dict, Tuple
 
-#: abstract page ids for the store streams: PCB save area vs kernel stack
-PCB_PAGE = 0
-KSTACK_PAGE = 1
+from repro.kernel.fragments import KSTACK_PAGE, PCB_PAGE, PhaseDecl, ph
+from repro.kernel.primitives import Primitive
 
 
-def _common_vector(b: ProgramBuilder, nops: int = 2) -> None:
+def _common_vector(nops: int) -> PhaseDecl:
     """Common exception entry: save cause, jump to the shared handler."""
-    with b.phase("vector"):
-        b.special_ops(2, comment="read Cause / EPC")
-        b.alu(3, comment="mask cause, index dispatch table")
-        b.branch(2, comment="jump to common handler, then to case")
-        b.nops(nops)
+    return ph("vector", ("special", 2), ("alu", 3), ("branch", 2), ("nops", nops))
 
 
-def null_syscall() -> Program:
-    """84 instructions; 9.0 us on the R2000, 4.1 us on the R3000."""
-    b = ProgramBuilder("mips:null_syscall")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="syscall exception: hw writes EPC/Cause/Status")
-    _common_vector(b, nops=2)
-    with b.phase("state_mgmt"):
-        b.special_ops(4, comment="Status twiddling, kernel SP swap, re-enable interrupts")
-        b.alu(3, comment="stack frame setup")
-        b.nops(3)
-    with b.phase("reg_save"):
-        b.save_registers(12, page=KSTACK_PAGE, comment="save caller-context registers")
-    with b.phase("dispatch"):
-        b.loads(2, comment="load sysent entry")
-        b.alu(2, comment="range-check syscall number")
-        b.branch(2)
-        b.nops(2)
-    with b.phase("c_call"):
-        b.branch(1, comment="jal to null syscall procedure")
-        b.alu(5, comment="prologue/epilogue")
-        b.stores(4, page=KSTACK_PAGE, comment="spill ra/sp/frame")
-        b.loads(4, comment="reload ra/sp/frame")
-        b.nops(3)
-        b.branch(1, comment="jr return")
-    with b.phase("reg_restore"):
-        b.restore_registers(12, page=KSTACK_PAGE)
-    with b.phase("state_restore"):
-        b.special_ops(3, comment="restore Status/EPC")
-        b.alu(5, comment="stage return value, pop frame")
-        b.branch(2)
-        b.nops(4)
-    with b.phase("kernel_exit"):
-        b.rfe()
-    return b.build()
-
-
-def trap() -> Program:
-    """103 instructions; 15.4 us (R2000) / 5.2 us (R3000).
-
-    Unlike the syscall, the trap must save/restore every register not
-    preserved across procedure calls, and must decode the fault from
-    BadVAddr/Cause before it can call the C handler.
-    """
-    b = ProgramBuilder("mips:trap")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="data access fault", )
-    _common_vector(b, nops=3)
-    with b.phase("fault_decode"):
-        b.special_ops(3, comment="read BadVAddr, Cause, Status")
-        b.alu(2, comment="classify: protection vs translation fault")
-        b.stores(3, page=KSTACK_PAGE, comment="record fault info in exception frame")
-        b.nops(2)
-    with b.phase("state_mgmt"):
-        b.special_ops(4, comment="kernel stack swap, Status management")
-        b.alu(4, comment="build exception frame")
-        b.stores(4, page=KSTACK_PAGE, comment="frame head words")
-        b.nops(2)
-    with b.phase("reg_save"):
-        b.save_registers(20, page=KSTACK_PAGE, comment="caller-saved + temporaries")
-    with b.phase("c_call"):
-        b.branch(1, comment="jal to null fault handler")
-        b.alu(4)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(3)
-        b.branch(1)
-    with b.phase("reg_restore"):
-        b.restore_registers(20, page=KSTACK_PAGE)
-    with b.phase("state_restore"):
-        b.special_ops(3, comment="restore EPC/Status")
-        b.alu(7, comment="unwind exception frame")
-        b.branch(2)
-        b.nops(3)
-    with b.phase("kernel_exit"):
-        b.rfe()
-    return b.build()
-
-
-def pte_change() -> Program:
-    """36 instructions; 3.1 us (R2000) / 2.0 us (R3000).
-
-    The OS-chosen page table (software-managed TLB) keeps this short:
-    index the table, rewrite the entry, tlbp/tlbwi the cached copy.
-    """
-    b = ProgramBuilder("mips:pte_change")
-    with b.phase("compute"):
-        b.alu(6, comment="page table index from VA (kseg-resident table)")
-        b.nops(2)
-    with b.phase("pte_update"):
-        b.loads(1, comment="fetch PTE")
-        b.alu(2, comment="merge new protection bits")
-        b.stores(1, page=PCB_PAGE)
-    with b.phase("tlb_update"):
-        b.special_ops(4, comment="EntryHi/EntryLo staging")
-        b.tlb_ops(2, comment="tlbp probe + tlbwi rewrite")
-        b.alu(3, comment="hit/miss check on probe result")
-        b.branch(2)
-        b.nops(2)
-    with b.phase("return"):
-        b.alu(6)
-        b.branch(2)
-        b.nops(3)
-    return b.build()
-
-
-def context_switch() -> Program:
-    """135 instructions; 14.8 us (R2000) / 7.4 us (R3000).
-
-    Saves the outgoing thread's preserved registers and kernel state to
-    its PCB, switches address space by rewriting the ASID in EntryHi
-    (PID-tagged TLB: no purge), and restores the incoming context.
-    """
-    b = ProgramBuilder("mips:context_switch")
-    with b.phase("save_state"):
-        b.save_registers(22, page=PCB_PAGE, comment="s-regs, sp, ra, kernel state")
-        b.special_ops(4, comment="capture Status/EPC into PCB")
-        b.alu(4)
-    with b.phase("pcb"):
-        b.loads(4, comment="fetch incoming PCB pointers")
-        b.alu(6)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("addr_space_switch"):
-        b.special_ops(4, comment="write EntryHi with incoming ASID")
-        b.tlb_ops(1, comment="context register update")
-        b.alu(4)
-        b.nops(2)
-    with b.phase("restore_state"):
-        b.restore_registers(22, page=PCB_PAGE)
-        b.special_ops(4, comment="reload Status/EPC")
-        b.alu(4)
-    with b.phase("stack_misc"):
-        b.alu(20, comment="kernel stack switch, fp-ownership bookkeeping")
-        b.loads(4)
-        b.stores(2, page=PCB_PAGE)
-        b.branch(6)
-        b.nops(8)
-    with b.phase("return"):
-        b.branch(2)
-        b.alu(5)
-        b.nops(3)
-    return b.build()
+#: declarative streams; counts transcribed from the measured drivers
+#: (84/103/36/135 instructions: Table 2's R2000 column).
+STREAMS: Dict[Primitive, Tuple[PhaseDecl, ...]] = {
+    Primitive.NULL_SYSCALL: (
+        ph("kernel_entry", ("trap_entry",)),
+        _common_vector(nops=2),
+        ph("state_mgmt", ("special", 4), ("alu", 3), ("nops", 3)),
+        ph("reg_save", ("stores", 12, {"page": KSTACK_PAGE})),
+        ph("dispatch", ("loads", 2), ("alu", 2), ("branch", 2), ("nops", 2)),
+        ph("c_call", ("branch", 1), ("alu", 5), ("stores", 4, {"page": KSTACK_PAGE}),
+           ("loads", 4), ("nops", 3), ("branch", 1)),
+        ph("reg_restore", ("loads", 12, {"page": KSTACK_PAGE})),
+        ph("state_restore", ("special", 3), ("alu", 5), ("branch", 2), ("nops", 4)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.TRAP: (
+        ph("kernel_entry", ("trap_entry",)),
+        _common_vector(nops=3),
+        ph("fault_decode", ("special", 3), ("alu", 2),
+           ("stores", 3, {"page": KSTACK_PAGE}), ("nops", 2)),
+        ph("state_mgmt", ("special", 4), ("alu", 4),
+           ("stores", 4, {"page": KSTACK_PAGE}), ("nops", 2)),
+        ph("reg_save", ("stores", 20, {"page": KSTACK_PAGE})),
+        ph("c_call", ("branch", 1), ("alu", 4), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 3), ("branch", 1)),
+        ph("reg_restore", ("loads", 20, {"page": KSTACK_PAGE})),
+        ph("state_restore", ("special", 3), ("alu", 7), ("branch", 2), ("nops", 3)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.PTE_CHANGE: (
+        ph("compute", ("alu", 6), ("nops", 2)),
+        ph("pte_update", ("loads", 1), ("alu", 2), ("stores", 1, {"page": PCB_PAGE})),
+        ph("tlb_update", ("special", 4), ("tlb", 2), ("alu", 3), ("branch", 2),
+           ("nops", 2)),
+        ph("return", ("alu", 6), ("branch", 2), ("nops", 3)),
+    ),
+    Primitive.CONTEXT_SWITCH: (
+        ph("save_state", ("stores", 22, {"page": PCB_PAGE}), ("special", 4), ("alu", 4)),
+        ph("pcb", ("loads", 4), ("alu", 6), ("branch", 2), ("nops", 2)),
+        ph("addr_space_switch", ("special", 4), ("tlb", 1), ("alu", 4), ("nops", 2)),
+        ph("restore_state", ("loads", 22, {"page": PCB_PAGE}), ("special", 4), ("alu", 4)),
+        ph("stack_misc", ("alu", 20), ("loads", 4), ("stores", 2, {"page": PCB_PAGE}),
+           ("branch", 6), ("nops", 8)),
+        ph("return", ("branch", 2), ("alu", 5), ("nops", 3)),
+    ),
+}

@@ -1,4 +1,4 @@
-"""SPARC handler drivers.
+"""SPARC handler streams (declarative).
 
 The register window file shapes every one of these paths (§2.3, §4.1):
 
@@ -12,6 +12,11 @@ The register window file shapes every one of these paths (§2.3, §4.1):
   SPARCstation 1+, i.e. ~70% of the 53.9 us switch;
 * window processing is ~30% of the null system call time.
 
+Every window phase is gated on the ``windows`` capability and sized by
+the description's window geometry, so ``with_overrides(windows=None)``
+or a different ``avg_windows_per_switch`` regenerates the stream — the
+§4.1 "register window per thread" optimization is the 0-windows point.
+
 The PTE change, by contrast, is SPARC's best primitive: the Cypress
 3-level page table and context-tagged MMU need only a PTE rewrite and
 a TLB flush-probe (Table 1: 2.7 us, the best RISC ratio in the row).
@@ -19,177 +24,81 @@ a TLB flush-probe (Table 1: 2.7 us, the best RISC ratio in the row).
 
 from __future__ import annotations
 
-from repro.isa.program import Program, ProgramBuilder
+from typing import Dict, Tuple
 
-WINDOW_SAVE_PAGE = 2
-KSTACK_PAGE = 1
-PCB_PAGE = 0
+from repro.kernel.fragments import (
+    KSTACK_PAGE,
+    PCB_PAGE,
+    WINDOW_SAVE_PAGE,
+    PhaseDecl,
+    ph,
+)
+from repro.kernel.primitives import Primitive
 
-#: registers in one window (Table 6: 8 windows x 16 + 8 globals = 136).
-WINDOW_REGS = 16
+#: the average-path window probe: check WIM/CWP and spill half a
+#: window's worth in the common case (~30% of the null syscall).
+_WINDOW_PROBE = ph(
+    "window_mgmt",
+    ("special", 4), ("alu", 12), ("branch", 3),
+    ("stores", 6, {"page": WINDOW_SAVE_PAGE}),
+    ("loads", 6, {"page": WINDOW_SAVE_PAGE}),
+    ("alu", 4), ("special", 2), ("nops", 2),
+    requires="windows",
+)
 
-
-def _window_probe(b: ProgramBuilder) -> None:
-    """Check WIM/CWP and spill half a window's worth in the common case.
-
-    A full spill (16 stores) only happens when the next window is
-    dirty; the measured average path spills the in/local halves often
-    enough that the paper attributes ~30% of the null syscall to
-    window processing.  We emit the average path: probe + one
-    8-register spill + the matching 8-register reload before return.
-    """
-    with b.phase("window_mgmt"):
-        b.special_ops(4, comment="read PSR/WIM, compute next window")
-        b.alu(12, comment="window arithmetic, WIM rotate")
-        b.branch(3, comment="spill needed? branch to spill path")
-        b.stores(6, page=WINDOW_SAVE_PAGE, comment="spill in/local registers")
-        b.loads(6, page=WINDOW_SAVE_PAGE, comment="reload before return")
-        b.alu(4, comment="spill-path address generation")
-        b.special_ops(2, comment="write back WIM")
-        b.nops(2)
-
-
-def null_syscall() -> Program:
-    """128 instructions; 15.2 us — no faster than the CVAX (Table 1)."""
-    b = ProgramBuilder("sparc:null_syscall")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="trap into hardware trap table; one window guaranteed")
-    with b.phase("vector"):
-        b.alu(6, comment="trap-table stub: compute handler address")
-        b.branch(2)
-        b.nops(2)
-    _window_probe(b)
-    with b.phase("param_copy"):
-        b.loads(8, page=KSTACK_PAGE, comment="copy args past interposed handler frame")
-        b.alu(2, comment="stage words in registers")
-        b.stores(6, page=KSTACK_PAGE)
-    with b.phase("state_mgmt"):
-        b.special_ops(4, comment="PSR manipulation, re-enable traps")
-        b.alu(9, comment="kernel stack setup")
-        b.nops(2)
-    with b.phase("dispatch"):
-        b.loads(2, comment="syscall table entry")
-        b.alu(6)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("c_call"):
-        b.branch(1, comment="call null routine (save/restore in reg file)")
-        b.alu(5)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(2)
-        b.branch(1)
-    with b.phase("reg_restore"):
-        b.loads(6, page=KSTACK_PAGE, comment="reload user state")
-        b.special_ops(2)
-    with b.phase("state_restore"):
-        b.special_ops(3, comment="restore PSR/CWP")
-        b.alu(7)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("kernel_exit"):
-        b.rfe(comment="jmpl + rett pair")
-    return b.build()
-
-
-def trap() -> Program:
-    """145 instructions; 17.1 us."""
-    b = ProgramBuilder("sparc:trap")
-    with b.phase("kernel_entry"):
-        b.trap_entry(comment="data access exception via trap table")
-    with b.phase("vector"):
-        b.alu(4)
-        b.branch(2)
-        b.nops(2)
-    _window_probe(b)
-    with b.phase("fault_decode"):
-        b.special_ops(4, comment="read SFSR/SFAR from MMU")
-        b.alu(10, comment="classify fault")
-        b.nops(2)
-    with b.phase("state_mgmt"):
-        b.special_ops(4)
-        b.alu(12, comment="build fault frame")
-        b.nops(2)
-    with b.phase("reg_save"):
-        b.stores(8, page=KSTACK_PAGE, comment="globals + volatile state")
-        b.alu(8, comment="stage state in free window registers")
-    with b.phase("c_call"):
-        b.branch(1)
-        b.alu(5)
-        b.stores(2, page=KSTACK_PAGE)
-        b.loads(2)
-        b.nops(2)
-        b.branch(1)
-    with b.phase("reg_restore"):
-        b.loads(12, page=KSTACK_PAGE)
-        b.alu(4)
-        b.special_ops(2)
-    with b.phase("state_restore"):
-        b.special_ops(3)
-        b.alu(9)
-        b.branch(2)
-        b.nops(2)
-    with b.phase("kernel_exit"):
-        b.rfe(comment="jmpl + rett")
-    return b.build()
-
-
-def pte_change() -> Program:
-    """15 instructions; 2.7 us — the standard protection path works
-    because regions are mapped through PTEs/TLB entries (§3.2)."""
-    b = ProgramBuilder("sparc:pte_change")
-    with b.phase("compute"):
-        b.alu(4, comment="walk-free index: 3-level table pointers cached")
-    with b.phase("pte_update"):
-        b.loads(1)
-        b.stores(1, page=PCB_PAGE)
-    with b.phase("tlb_update"):
-        b.tlb_ops(2, comment="MMU flush-probe ASI access")
-        b.special_ops(3, comment="ASI setup")
-    with b.phase("return"):
-        b.branch(2)
-        b.nops(2)
-    return b.build()
-
-
-def context_switch() -> Program:
-    """326 instructions; 53.9 us, ~70% in window save/restore.
-
-    Emits the SunOS-average three window save/restore pairs (16 stores
-    + 16 loads each) plus flush-loop control, then the ordinary state
-    move and the SRMMU context-register switch (context-tagged TLB: no
-    purge).
-    """
-    b = ProgramBuilder("sparc:context_switch")
-    with b.phase("save_state"):
-        b.stores(10, page=PCB_PAGE, comment="globals, PSR, Y, PC/nPC")
-        b.special_ops(4)
-        b.alu(8)
-    with b.phase("window_mgmt"):
-        for window in range(3):
-            b.special_ops(2, comment=f"window {window}: rotate CWP/WIM")
-            b.alu(7, comment="flush-loop control")
-            b.stores(WINDOW_REGS, page=WINDOW_SAVE_PAGE, comment=f"spill window {window}")
-            b.loads(WINDOW_REGS, page=WINDOW_SAVE_PAGE, comment=f"fill incoming window {window}")
-            b.branch(2)
-    with b.phase("addr_space_switch"):
-        b.special_ops(4, comment="write SRMMU context register")
-        b.tlb_ops(1)
-        b.alu(4)
-    with b.phase("pcb"):
-        b.loads(10, page=PCB_PAGE, comment="incoming globals + state")
-        b.special_ops(4)
-        b.alu(20)
-        b.branch(4)
-        b.nops(4)
-    with b.phase("stack_misc"):
-        b.alu(80, comment="kernel stack switch, fp ownership, window bookkeeping")
-        b.loads(8)
-        b.stores(6, page=PCB_PAGE)
-        b.branch(10)
-        b.nops(10)
-    with b.phase("return"):
-        b.branch(2)
-        b.alu(6)
-        b.nops(2)
-    return b.build()
+STREAMS: Dict[Primitive, Tuple[PhaseDecl, ...]] = {
+    Primitive.NULL_SYSCALL: (
+        ph("kernel_entry", ("trap_entry",)),
+        ph("vector", ("alu", 6), ("branch", 2), ("nops", 2)),
+        _WINDOW_PROBE,
+        ph("param_copy", ("loads", 8, {"page": KSTACK_PAGE}), ("alu", 2),
+           ("stores", 6, {"page": KSTACK_PAGE}), requires="windows"),
+        ph("state_mgmt", ("special", 4), ("alu", 9), ("nops", 2)),
+        ph("dispatch", ("loads", 2), ("alu", 6), ("branch", 2), ("nops", 2)),
+        ph("c_call", ("branch", 1), ("alu", 5), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 2), ("branch", 1)),
+        ph("reg_restore", ("loads", 6, {"page": KSTACK_PAGE}), ("special", 2)),
+        ph("state_restore", ("special", 3), ("alu", 7), ("branch", 2), ("nops", 2)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.TRAP: (
+        ph("kernel_entry", ("trap_entry",)),
+        ph("vector", ("alu", 4), ("branch", 2), ("nops", 2)),
+        _WINDOW_PROBE,
+        ph("fault_decode", ("special", 4), ("alu", 10), ("nops", 2)),
+        ph("state_mgmt", ("special", 4), ("alu", 12), ("nops", 2)),
+        ph("reg_save", ("stores", 8, {"page": KSTACK_PAGE}), ("alu", 8)),
+        ph("c_call", ("branch", 1), ("alu", 5), ("stores", 2, {"page": KSTACK_PAGE}),
+           ("loads", 2), ("nops", 2), ("branch", 1)),
+        ph("reg_restore", ("loads", 12, {"page": KSTACK_PAGE}), ("alu", 4),
+           ("special", 2)),
+        ph("state_restore", ("special", 3), ("alu", 9), ("branch", 2), ("nops", 2)),
+        ph("kernel_exit", ("rfe",)),
+    ),
+    Primitive.PTE_CHANGE: (
+        ph("compute", ("alu", 4)),
+        ph("pte_update", ("loads", 1), ("stores", 1, {"page": PCB_PAGE})),
+        ph("tlb_update", ("tlb", 2), ("special", 3)),
+        ph("return", ("branch", 2), ("nops", 2)),
+    ),
+    Primitive.CONTEXT_SWITCH: (
+        ph("save_state", ("stores", 10, {"page": PCB_PAGE}), ("special", 4), ("alu", 8)),
+        # the SunOS-average window flush: one save/restore pair per
+        # window, sized and repeated by the description's geometry.
+        ph(
+            "window_mgmt",
+            ("special", 2), ("alu", 7),
+            ("stores", "window_regs", {"page": WINDOW_SAVE_PAGE}),
+            ("loads", "window_regs", {"page": WINDOW_SAVE_PAGE}),
+            ("branch", 2),
+            requires="windows",
+            repeat="windows_per_switch",
+        ),
+        ph("addr_space_switch", ("special", 4), ("tlb", 1), ("alu", 4)),
+        ph("pcb", ("loads", 10, {"page": PCB_PAGE}), ("special", 4), ("alu", 20),
+           ("branch", 4), ("nops", 4)),
+        ph("stack_misc", ("alu", 80), ("loads", 8), ("stores", 6, {"page": PCB_PAGE}),
+           ("branch", 10), ("nops", 10)),
+        ph("return", ("branch", 2), ("alu", 6), ("nops", 2)),
+    ),
+}

@@ -10,7 +10,7 @@ implemented here at the mapping level; the fault-side logic lives in
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.mem.pagetable import PageTableEntry, Protection, make_page_table

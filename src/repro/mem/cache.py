@@ -16,7 +16,7 @@ simulating data:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Set, Tuple
 
 from repro.arch.specs import CacheSpec

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.arch.specs import ArchSpec
 from repro.mem.address_space import AddressSpace

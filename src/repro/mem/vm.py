@@ -16,7 +16,7 @@ the architecture).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.arch.specs import ArchSpec
@@ -79,7 +79,7 @@ class VirtualMemory:
         flush (untagged virtual cache) — the §3.2 costs.
         """
         cycles = 0.0
-        purged = self.tlb.context_switch(space.asid)
+        self.tlb.context_switch(space.asid)
         # purged entries will re-miss later; charge the purge itself as
         # the refill cost paid on re-touch (accounted at lookup).  Here
         # we charge only the explicit cache flush work.

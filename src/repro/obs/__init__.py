@@ -31,7 +31,7 @@ Typical use::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List
 
 from repro.obs import export, metrics, spans  # noqa: F401 (public submodules)
 from repro.obs.metrics import (  # noqa: F401

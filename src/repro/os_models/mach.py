@@ -30,7 +30,7 @@ a re-measurement; see DESIGN.md).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.arch.registry import get_arch

@@ -28,7 +28,7 @@ from typing import Dict, Optional
 from repro.ipc.transport import ReliableChannel
 from repro.kernel.process import Process
 from repro.kernel.system import SimulatedMachine
-from repro.os_models.filesystem import BLOCK_BYTES, FileSystem, FileSystemError
+from repro.os_models.filesystem import BLOCK_BYTES, FileSystem
 
 #: microseconds to fetch one block from the (simulated) disk.
 DISK_BLOCK_US = 15_000.0

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.arch.registry import get_arch
-from repro.arch.specs import ArchSpec
 from repro.ipc.messages import Port
 from repro.kernel.interrupts import ClockSource, InterruptController
 from repro.kernel.system import SimulatedMachine

@@ -1,6 +1,5 @@
 """Tests for the table drivers (1, 2, 5, 6)."""
 
-import pytest
 
 from repro.analysis import table1, table2, table5, table6
 from repro.core import papertargets as pt

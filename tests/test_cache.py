@@ -1,6 +1,5 @@
 """Cache model tests: the §3.2 virtual-cache costs."""
 
-import pytest
 
 from repro.arch import get_arch
 from repro.arch.specs import CacheSpec, CacheWritePolicy

@@ -31,11 +31,35 @@ def test_measure_unknown_arch(capsys):
     assert "alpha" in err
 
 
-def test_measure_rs6000_without_drivers(capsys):
-    """RS6000 has no handler family; measure should fail cleanly."""
-    code, _, err = run(capsys, "measure", "rs6000")
+def test_measure_rs6000_synthesizes_generic_streams(capsys):
+    """RS6000 has no hand-written drivers; synthesis covers it."""
+    code, out, _ = run(capsys, "measure", "rs6000")
+    assert code == 0
+    assert "Null system call" in out
+    assert "kernel_entry_exit" in out
+
+
+def test_arch_describe(capsys):
+    code, out, _ = run(capsys, "arch", "describe", "sparc")
+    assert code == 0
+    assert "trap_table" in out
+    assert "register windows" in out
+    assert "window_mgmt" in out
+    assert "context_switch: 326 instructions" in out
+
+
+def test_arch_describe_generic_backend(capsys):
+    code, out, _ = run(capsys, "arch", "describe", "osfriendly")
+    assert code == 0
+    assert "precise, hidden" in out
+    for primitive in ("null_syscall", "trap", "pte_change", "context_switch"):
+        assert f"{primitive}:" in out
+
+
+def test_arch_describe_unknown(capsys):
+    code, _, err = run(capsys, "arch", "describe", "alpha")
     assert code == 2
-    assert "rs6000" in err or "handler" in err
+    assert "alpha" in err
 
 
 def test_table(capsys):

@@ -25,7 +25,6 @@ from repro.core.engine import (
 )
 from repro.core.tracing import TraceConfig, replay_trace
 from repro.isa.executor import Executor
-from repro.isa.instructions import OpClass
 from repro.isa.program import Program, ProgramBuilder
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import get_arch
-from repro.kernel.eventlog import Event, EventKind, EventLog
+from repro.kernel.eventlog import EventKind, EventLog
 from repro.kernel.system import SimulatedMachine
 from repro.workloads.appmix import run_session
 

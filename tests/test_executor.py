@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.arch import get_arch
 from repro.isa.executor import Executor, run_on
-from repro.isa.instructions import OpClass
 from repro.isa.program import ProgramBuilder
 
 

@@ -1,7 +1,5 @@
 """Experiments-markdown generator tests."""
 
-import pytest
-
 from repro.cli import main
 from repro.core.expgen import (
     claims_markdown,

@@ -1,0 +1,57 @@
+"""Handler-completeness validator: every registry arch x every primitive."""
+
+import pytest
+
+import repro.arch.registry as registry
+from repro.arch import ALL_ARCH_NAMES
+from repro.kernel.handlers import (
+    assert_handler_coverage,
+    register_streams,
+    unregister_family,
+    validate_handler_coverage,
+)
+from repro.kernel.primitives import Primitive
+from tests.test_register_family import make_spec
+
+
+def test_every_builtin_arch_covers_every_primitive():
+    assert validate_handler_coverage() == []
+
+
+def test_assert_handler_coverage_passes():
+    assert_handler_coverage()  # must not raise
+
+
+def test_coverage_spans_full_registry():
+    # the validator defaults to the registry, so new arches (rs6000,
+    # osfriendly, ...) are automatically in scope
+    assert {"rs6000", "osfriendly"} <= set(ALL_ARCH_NAMES)
+
+
+def test_unknown_arch_reported():
+    problems = validate_handler_coverage(("alpha",))
+    assert len(problems) == 1
+    assert "alpha" in problems[0]
+
+
+def test_empty_stream_family_detected(monkeypatch):
+    spec = make_spec("hollow")
+    monkeypatch.setitem(registry._BUILDERS, "hollow", lambda: spec)
+    register_streams("hollowfam", ("hollow",), {p: () for p in Primitive})
+    try:
+        problems = validate_handler_coverage(("hollow",))
+        assert problems
+        assert all("hollow" in p for p in problems)
+    finally:
+        unregister_family("hollowfam")
+
+
+def test_assert_raises_on_problem(monkeypatch):
+    spec = make_spec("hollow2")
+    monkeypatch.setitem(registry._BUILDERS, "hollow2", lambda: spec)
+    register_streams("hollowfam2", ("hollow2",), {p: () for p in Primitive})
+    try:
+        with pytest.raises(ValueError):
+            assert_handler_coverage(("hollow2",))
+    finally:
+        unregister_family("hollowfam2")

@@ -31,8 +31,19 @@ def test_handler_family_mapping():
     assert handler_family(get_arch("r2000")) == "mips"
     assert handler_family(get_arch("r3000")) == "mips"
     assert handler_family(get_arch("cvax")) == "cvax"
-    with pytest.raises(KeyError):
-        handler_family(get_arch("rs6000"))
+    # no dedicated stream table: the name is its own (generic) family
+    assert handler_family(get_arch("rs6000")) == "rs6000"
+
+
+def test_rs6000_synthesizes_full_primitive_rows():
+    arch = get_arch("rs6000")
+    for primitive in Primitive:
+        program = handler_program(arch, primitive)
+        assert len(program) > 0
+        assert program.name == f"rs6000:{primitive.value}"
+        # hardware trap entry is vectoring, not an executed instruction
+        expected = len(program) - program.count(opclass=OpClass.TRAP)
+        assert instruction_count(arch, primitive) == expected
 
 
 def test_cvax_syscall_uses_microcode():

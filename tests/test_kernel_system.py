@@ -46,7 +46,7 @@ def test_registered_syscall_runs_handler(machine):
 
 
 def test_cross_process_switch_counts_address_space(machine):
-    a = machine.create_process("a")
+    machine.create_process("a")
     b = machine.create_process("b")
     machine.switch_to(b.main_thread)
     assert machine.counters.thread_switches == 1

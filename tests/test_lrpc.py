@@ -32,7 +32,6 @@ def test_two_kernel_entries_and_switches(cvax_call):
     """Each LRPC enters the kernel twice and switches spaces twice."""
     entry = cvax_call.components_us["kernel_entry"]
     switch = cvax_call.components_us["context_switch"]
-    single_syscall = pt.TABLE1_TIMES_US  # sanity: roughly 2x Table 1 cells
     assert entry > 0 and switch > 0
     assert switch > entry  # context switch dominates kernel entry
 

@@ -1,0 +1,112 @@
+"""Machine-description derivation tests."""
+
+from dataclasses import replace
+
+from repro.arch import get_arch
+from repro.arch.mdesc import (
+    ContextSwitchStyle,
+    RegisterSaveStyle,
+    TLBManagementStyle,
+    VectoringStyle,
+    derive,
+    describe_text,
+    description_for,
+)
+
+
+def test_mips_description():
+    md = derive(get_arch("r2000"), stream="mips")
+    assert md.vectoring is VectoringStyle.COMMON_HANDLER
+    assert md.register_save is RegisterSaveStyle.INDIVIDUAL_STORES
+    assert md.context_switch is ContextSwitchStyle.STORE_LOOP
+    assert md.tlb_management is TLBManagementStyle.SOFTWARE
+    assert not md.has_windows
+    assert not md.pipeline_exposed
+    assert not md.has_atomic_tas
+    assert md.pid_tagged_tlb
+
+
+def test_sparc_description():
+    md = derive(get_arch("sparc"))
+    assert md.vectoring is VectoringStyle.TRAP_TABLE
+    assert md.register_save is RegisterSaveStyle.WINDOWS
+    assert md.context_switch is ContextSwitchStyle.WINDOW_FLUSH
+    assert md.window_count == 8
+    assert md.window_regs == 16
+    assert md.windows_per_switch == 3
+
+
+def test_cvax_description():
+    md = derive(get_arch("cvax"))
+    assert md.vectoring is VectoringStyle.MICROCODED
+    assert md.register_save is RegisterSaveStyle.MICROCODED_FRAME
+    assert md.context_switch is ContextSwitchStyle.MICROCODED_PCB
+    assert md.tlb_management is TLBManagementStyle.MICROCODED
+    assert not md.pid_tagged_tlb
+
+
+def test_m68k_description():
+    md = derive(get_arch("m68k"))
+    assert md.vectoring is VectoringStyle.MICROCODED
+    assert md.register_save is RegisterSaveStyle.MICROCODED_MASK
+    assert md.context_switch is ContextSwitchStyle.MICROCODED_MASK
+    assert md.tlb_management is TLBManagementStyle.HARDWARE
+
+
+def test_exposed_pipeline_and_cache_sweep():
+    m88000 = derive(get_arch("m88000"))
+    assert m88000.pipeline_exposed
+    assert m88000.pipeline_state_registers == 27
+    assert m88000.fpu_freeze_on_fault
+    assert not m88000.cache_needs_sweep
+
+    i860 = derive(get_arch("i860"))
+    assert i860.pipeline_exposed
+    assert not i860.fault_address_provided
+    assert i860.cache_needs_sweep
+    assert i860.cache_sweep_lines == get_arch("i860").cache.lines
+
+
+def test_r2000_r3000_descriptions_collapse():
+    """Same ISA, different system implementation: equal descriptions."""
+    r2 = derive(get_arch("r2000"), stream="mips")
+    r3 = derive(get_arch("r3000"), stream="mips")
+    assert r2 == r3
+    assert r2.fingerprint == r3.fingerprint
+
+
+def test_cost_only_overrides_do_not_change_description():
+    """Sensitivity sweeps rescale cycle costs; streams must not move."""
+    base = get_arch("r2000")
+    tweaked = base.with_overrides(
+        clock_mhz=40.0,
+        cost=replace(base.cost, load_extra_cycles=9),
+        thread_state=replace(base.thread_state, misc_state=20),
+    )
+    assert derive(base) == derive(tweaked)
+
+
+def test_capability_override_changes_fingerprint():
+    base = get_arch("sparc")
+    ablated = base.with_overrides(windows=None)
+    assert derive(base).fingerprint != derive(ablated).fingerprint
+    assert not derive(ablated).has_windows
+    assert derive(ablated).register_save is RegisterSaveStyle.INDIVIDUAL_STORES
+
+
+def test_description_for_memoizes_per_spec_and_stream():
+    spec = get_arch("r2000")
+    assert description_for(spec, stream="mips") is description_for(spec, stream="mips")
+    assert description_for(spec) is description_for(spec)
+    assert description_for(spec).stream == "r2000"
+    assert description_for(spec, stream="mips").stream == "mips"
+
+
+def test_describe_text_mentions_key_capabilities():
+    text = describe_text(derive(get_arch("sparc")))
+    assert "trap_table" in text
+    assert "register windows" in text
+    assert "8 x 16 regs" in text
+    text = describe_text(derive(get_arch("i860")))
+    assert "not provided" in text
+    assert "cache sweep" in text

@@ -7,7 +7,6 @@ import pytest
 from repro import obs
 from repro.core.engine import SweepRunner
 from repro.obs.metrics import (
-    DEFAULT_BUCKETS,
     MetricsRegistry,
     merge_snapshots,
     parse_label_key,

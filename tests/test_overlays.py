@@ -10,7 +10,6 @@ from repro.mem.overlays import (
     WriteBarrier,
     barrier_cost,
 )
-from repro.mem.pagetable import Protection
 from repro.mem.vm import PageFault, VirtualMemory
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.isa.instructions import OpClass
-from repro.isa.program import Program, ProgramBuilder, concat_programs
+from repro.isa.program import ProgramBuilder, concat_programs
 
 
 def build_sample():

@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.arch import get_arch
 from repro.core.microbench import measure_primitives
-from repro.isa.executor import Executor, run_on
+from repro.isa.executor import run_on
 from repro.isa.instructions import OpClass
 from repro.kernel.handlers import build_handler, handler_program
 from repro.kernel.primitives import (
@@ -134,7 +134,7 @@ def test_mach_model_monotone_in_service_intensity(factor):
     """Scaling a workload's services scales its kernelized event counts
     monotonically."""
     from repro.os_models.mach import MachOS, OSStructure
-    from repro.os_models.services import WorkloadProfile, profile_by_name
+    from repro.os_models.services import profile_by_name
     from dataclasses import replace
 
     base_profile = profile_by_name("spellcheck-1")

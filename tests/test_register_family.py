@@ -86,6 +86,39 @@ def test_name_clash_with_builtin_rejected():
         register_family("myfam", ("r3000",), trivial_builders())
 
 
+@pytest.mark.parametrize("family", ["mips", "sparc", "cvax", "m88000", "i860", "m68k"])
+def test_builtin_family_name_rejected(family):
+    """Registering a built-in family name must not silently overwrite
+    the built-in streams."""
+    with pytest.raises(ValueError):
+        register_family(family, (), trivial_builders())
+
+
+def test_register_streams_declaratively():
+    from repro.kernel.fragments import ph
+    from repro.kernel.handlers import handler_program, register_streams
+
+    streams = {
+        p: (ph("kernel_entry", ("trap_entry",)), ph("body", ("alu", 4)),
+            ph("kernel_exit", ("rfe",)))
+        for p in Primitive
+    }
+    register_streams("declfam", ("declarch",), streams)
+    try:
+        program = handler_program(make_spec("declarch"), Primitive.TRAP)
+        assert len(program) == 6
+        assert program.name == "declfam:trap"
+    finally:
+        unregister_family("declfam")
+
+
+def test_register_streams_builtin_family_rejected():
+    from repro.kernel.handlers import register_streams
+
+    with pytest.raises(ValueError):
+        register_streams("mips", (), {})
+
+
 def test_cannot_unregister_builtin():
     with pytest.raises(ValueError):
         unregister_family("mips")
@@ -95,8 +128,12 @@ def test_unregister_removes_mapping():
     register_family("ephemeral", ("ephem",), trivial_builders())
     unregister_family("ephemeral")
     spec = make_spec("ephem")
-    with pytest.raises(KeyError):
-        handler_family(spec)
+    # the dedicated family is gone; the spec falls back to generic
+    # synthesis under its own name.
+    assert handler_family(spec) == "ephem"
+    from repro.kernel.handlers import handler_program
+
+    assert handler_program(spec, Primitive.TRAP).name == "ephem:trap"
 
 
 def test_reregistration_after_unregister():

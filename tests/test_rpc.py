@@ -5,7 +5,7 @@ import pytest
 from repro.arch import get_arch
 from repro.core import papertargets as pt
 from repro.ipc.network import Ethernet
-from repro.ipc.rpc import NULL_RPC_BYTES, RPCChannel, firefly_machine
+from repro.ipc.rpc import RPCChannel, firefly_machine
 from repro.kernel.system import SimulatedMachine
 
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import table7
 from repro.core import papertargets as pt
-from repro.os_models.mach import MachOS, OSStructure, run_both
+from repro.os_models.mach import OSStructure, run_both
 from repro.os_models.services import TABLE7_PROFILES, profile_by_name
 
 #: column index -> (name, monolithic tolerance factor, kernelized factor)

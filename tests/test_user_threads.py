@@ -70,9 +70,8 @@ def test_deep_recursion_overflows_windows():
     package = UserThreadPackage(get_arch("sparc"))
     thread = package.create()
     package.switch_to(thread)
-    total = 0.0
     for _ in range(12):  # deeper than the 7 usable windows
-        total += package.procedure_call()
+        package.procedure_call()
     assert thread.windows.events.overflows > 0
     # unwinding refills
     for _ in range(12):
