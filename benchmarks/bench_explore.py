@@ -1,0 +1,79 @@
+"""Design-space exploration benchmarks: search throughput + cache reuse.
+
+Two numbers pin the explore subsystem's trajectory:
+
+* search throughput — trials scored per second on a cold engine over
+  the tiny space (grid, all points fresh);
+* cache-reuse rate — a second search of the same space against a warm
+  engine must serve **more than half** its executor runs from the
+  content-addressed cache (in practice all of them), which is the
+  property that makes halving rungs and resumed searches cheap.
+
+Each benchmark asserts the contract it depends on: deterministic
+frontiers across runs and the >50% reuse floor.
+"""
+
+from repro.core.engine import ExperimentEngine, default_engine, set_default_engine
+from repro.explore import ExploreRunner, ResultStore, tiny_space
+
+
+class _fresh_engine:
+    """Swap in an empty default engine for the duration of a block."""
+
+    def __enter__(self):
+        self._previous = default_engine()
+        set_default_engine(ExperimentEngine())
+        return self
+
+    def __exit__(self, *exc):
+        set_default_engine(self._previous)
+        return False
+
+
+def bench_explore_grid_cold(benchmark, show):
+    """Full tiny-space grid search against an empty engine every round."""
+
+    def cold():
+        with _fresh_engine():
+            return ExploreRunner(tiny_space(), store=ResultStore()).run(seed=0)
+
+    result = benchmark(cold)
+    assert result.stats.trials == tiny_space().size
+    assert result.stats.frontier_size > 0
+    show("Explore: cold grid search",
+         f"{result.stats.trials} trials, frontier of "
+         f"{result.stats.frontier_size}")
+
+
+def bench_explore_cache_reuse(benchmark, show):
+    """Re-searching a space on a warm engine is nearly simulation-free."""
+    with _fresh_engine():
+        first = ExploreRunner(tiny_space(), store=ResultStore()).run(seed=0)
+
+        result = benchmark(
+            lambda: ExploreRunner(tiny_space(), store=ResultStore()).run(seed=0))
+
+    # the acceptance floor: a repeated search reuses >50% of its
+    # executor runs via the content-addressed engine cache.
+    assert result.stats.engine_hit_rate > 0.5
+    assert ([t.spec_fingerprint for t in result.frontier()]
+            == [t.spec_fingerprint for t in first.frontier()])
+    show("Explore: warm-engine cache reuse",
+         f"engine hit rate {result.stats.engine_hit_rate:.0%} on the "
+         f"re-searched space (floor: 50%)")
+
+
+def bench_explore_store_resume(benchmark, show):
+    """Resuming from a populated store skips evaluation entirely."""
+    with _fresh_engine():
+        store = ResultStore()
+        first = ExploreRunner(tiny_space(), store=store).run(seed=0)
+
+        result = benchmark(lambda: ExploreRunner(tiny_space(), store=store).run(seed=0))
+
+    assert result.stats.store_hits == result.stats.trials
+    assert ([t.spec_fingerprint for t in result.frontier()]
+            == [t.spec_fingerprint for t in first.frontier()])
+    show("Explore: store resume",
+         f"{result.stats.store_hits}/{result.stats.trials} trials served "
+         "from the result store")

@@ -40,6 +40,49 @@ def best_of(repeats: int, fn) -> "tuple[float, object]":
     return best, value
 
 
+def load_snapshot(path: str) -> "dict | None":
+    """Read a previous snapshot; ``None`` for missing/corrupt/foreign files.
+
+    A first run (no file), a truncated write, or a hand-edited JSON must
+    not break the report — the delta section is simply skipped.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(snapshot, dict):
+        return None
+    return snapshot
+
+
+def delta_summary(current: "dict", previous: "dict | None") -> "list[str]":
+    """Human-readable timing deltas vs a previous snapshot.
+
+    Tolerates a partial previous snapshot: sections or keys that are
+    absent (or not numbers) on either side are skipped rather than
+    raising, so a snapshot written by an older schema still diffs on
+    whatever it does share.
+    """
+    if not previous:
+        return []
+    lines: "list[str]" = []
+    for section in ("timings_ms", "speedups"):
+        now = current.get(section)
+        then = previous.get(section)
+        if not isinstance(now, dict) or not isinstance(then, dict):
+            continue
+        for key in sorted(now):
+            a, b = then.get(key), now[key]
+            if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                continue
+            if a == 0:
+                continue
+            change = (b - a) / a * 100.0
+            lines.append(f"{section}.{key}: {a} -> {b} ({change:+.1f}%)")
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_engine.json")
@@ -98,6 +141,30 @@ def main(argv=None) -> int:
     timings["replay_cached"] = cached_ms
     checks["cached_equals_scalar"] = cached_stats == scalar_stats
 
+    # --- design-space exploration: cold search + engine-cache resume ---
+    from repro.core.engine import default_engine, set_default_engine
+    from repro.explore import ExploreRunner, ResultStore, tiny_space
+
+    previous_engine = default_engine()
+    set_default_engine(ExperimentEngine())
+    try:
+        explore_cold_ms, explore_cold = best_of(
+            1, lambda: ExploreRunner(tiny_space(), store=ResultStore()).run(seed=0)
+        )
+        explore_resumed_ms, explore_resumed = best_of(
+            1, lambda: ExploreRunner(tiny_space(), store=ResultStore()).run(seed=0)
+        )
+    finally:
+        set_default_engine(previous_engine)
+    timings["explore_cold"] = explore_cold_ms
+    timings["explore_resumed"] = explore_resumed_ms
+    checks["explore_frontier_nonempty"] = explore_cold.stats.frontier_size > 0
+    checks["explore_resumed_cache_reuse"] = (
+        explore_resumed.stats.engine_hit_rate > 0.5)
+    checks["explore_resumed_same_frontier"] = (
+        [t.spec_fingerprint for t in explore_resumed.frontier()]
+        == [t.spec_fingerprint for t in explore_cold.frontier()])
+
     # --- observability: disabled-path overhead + a metrics snapshot ----
     probe = measure_overhead(repeats=30 if args.quick else 150,
                              rounds=2 if args.quick else 5)
@@ -133,6 +200,13 @@ def main(argv=None) -> int:
             ),
         },
         "checks": checks,
+        "explore": {
+            "space": explore_cold.space.name,
+            "trials": explore_cold.stats.trials,
+            "frontier_size": explore_cold.stats.frontier_size,
+            "resumed_engine_hit_rate": round(
+                explore_resumed.stats.engine_hit_rate, 4),
+        },
         "obs": {
             "disabled_overhead_ratio": round(probe["ratio"], 4),
             "probe_program": probe["program"],
@@ -141,11 +215,17 @@ def main(argv=None) -> int:
         },
     }
 
+    previous = load_snapshot(args.output)
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
     print(json.dumps(snapshot, indent=2, sort_keys=True))
+    deltas = delta_summary(snapshot, previous)
+    if deltas:
+        print("\ndeltas vs previous snapshot:")
+        for line in deltas:
+            print(f"  {line}")
     ok = all(checks.values())
     if not ok:
         print("FAIL: correctness cross-checks did not hold", file=sys.stderr)

@@ -16,6 +16,10 @@ from typing import Mapping, Optional
 from repro.isa.instructions import OpClass
 
 
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
 class ArchKind(enum.Enum):
     CISC = "cisc"
     RISC = "risc"
@@ -53,6 +57,20 @@ class CostModel:
     fp_extra_cycles: int = 2
     #: extra cycles for special/privileged register access.
     special_extra_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        for opclass, cycles in self.base_cycles.items():
+            if cycles < 1:
+                raise ValueError(
+                    f"base_cycles[{opclass}] must be >= 1, got {cycles}")
+        for name in ("load_extra_cycles", "uncached_load_extra_cycles",
+                     "cache_flush_line_cycles", "tlb_op_cycles",
+                     "trap_entry_cycles", "trap_exit_extra_cycles",
+                     "atomic_extra_cycles", "fp_extra_cycles",
+                     "special_extra_cycles"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
 
     def cycles_for_class(self, opclass: OpClass) -> int:
         return self.base_cycles.get(opclass, 1)
@@ -98,6 +116,17 @@ class RegisterWindowSpec:
     #: Williams measured 3 for 8-window SPARCs under SunOS).
     avg_windows_per_switch: int = 3
 
+    def __post_init__(self) -> None:
+        if self.n_windows < 2:
+            raise ValueError("a window file needs >= 2 windows "
+                             "(use windows=None for a flat register file)")
+        if self.regs_per_window < 1:
+            raise ValueError("regs_per_window must be >= 1")
+        if not 0 <= self.avg_windows_per_switch <= self.n_windows:
+            raise ValueError(
+                "avg_windows_per_switch must be in [0, n_windows], got "
+                f"{self.avg_windows_per_switch} with {self.n_windows} windows")
+
 
 @dataclass(frozen=True)
 class PipelineSpec:
@@ -117,6 +146,14 @@ class PipelineSpec:
     #: instructions needed to save+restore FP pipeline state on a trap
     #: when the FPU might be in use (i860: "60 or more").
     fp_pipeline_save_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_pipelines < 1:
+            raise ValueError("n_pipelines must be >= 1")
+        if self.state_registers < 0:
+            raise ValueError("state_registers must be >= 0")
+        if self.fp_pipeline_save_instructions < 0:
+            raise ValueError("fp_pipeline_save_instructions must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -142,6 +179,19 @@ class TLBSpec:
     #: contiguous region with a single entry (SPARC/Cypress 3-level).
     supports_region_entries: bool = False
 
+    def __post_init__(self) -> None:
+        # entries need not be a power of two: the 88200 really has 56.
+        if self.entries < 1:
+            raise ValueError("tlb entries must be >= 1")
+        if not 0 <= self.lockable_entries <= self.entries:
+            raise ValueError(
+                f"lockable_entries must be in [0, entries], got "
+                f"{self.lockable_entries} with {self.entries} entries")
+        for name in ("hw_miss_cycles", "sw_user_miss_cycles",
+                     "sw_kernel_miss_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
 
 class CacheWritePolicy(enum.Enum):
     WRITE_THROUGH = "write-through"
@@ -160,6 +210,18 @@ class CacheSpec:
     #: context switch and swept on PTE protection changes.
     pid_tagged: bool = False
 
+    def __post_init__(self) -> None:
+        # the cache model indexes with `address % lines` and derives
+        # lines-per-page as `4096 // line_bytes`, so both geometries
+        # must be powers of two and a line cannot exceed a page.
+        if not _is_power_of_two(self.lines):
+            raise ValueError(f"cache lines must be a power of two, got {self.lines}")
+        if not _is_power_of_two(self.line_bytes):
+            raise ValueError(
+                f"cache line_bytes must be a power of two, got {self.line_bytes}")
+        if self.line_bytes > 4096:
+            raise ValueError("cache line_bytes cannot exceed the 4096-byte page")
+
     @property
     def size_bytes(self) -> int:
         return self.lines * self.line_bytes
@@ -172,6 +234,11 @@ class ThreadStateSpec:
     registers: int
     fp_state: int
     misc_state: int
+
+    def __post_init__(self) -> None:
+        for name in ("registers", "fp_state", "misc_state"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
 
     @property
     def total_words(self) -> int:
@@ -197,6 +264,10 @@ class MemorySpec:
     copy_bandwidth_mbps: float = 30.0
     checksum_bandwidth_mbps: float = 12.0
 
+    def __post_init__(self) -> None:
+        if self.copy_bandwidth_mbps <= 0 or self.checksum_bandwidth_mbps <= 0:
+            raise ValueError("memory bandwidths must be positive")
+
     def copy_us(self, nbytes: int) -> float:
         return nbytes / self.copy_bandwidth_mbps
 
@@ -215,6 +286,8 @@ class DelaySlotSpec:
     unfilled_fraction_os: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.branch_slots < 0 or self.load_slots < 0:
+            raise ValueError("delay slot counts must be >= 0")
         if not 0.0 <= self.unfilled_fraction_os <= 1.0:
             raise ValueError("unfilled_fraction_os must be in [0, 1]")
 
@@ -268,6 +341,8 @@ class ArchSpec:
             raise ValueError("clock_mhz must be positive")
         if self.app_performance_ratio <= 0:
             raise ValueError("app_performance_ratio must be positive")
+        if self.callee_saved_registers < 0:
+            raise ValueError("callee_saved_registers must be >= 0")
 
     # ------------------------------------------------------------------
     def cycles_to_us(self, cycles: float) -> float:

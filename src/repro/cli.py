@@ -14,6 +14,11 @@
     repro trace table2 --out trace.json       # Chrome trace of a table run
     repro trace appmix --format folded ...    # flamegraph folded stacks
     repro --metrics table 2      # any command + Prometheus metrics dump
+    repro arch ablate sparc windows           # handler delta, capability off
+    repro explore run --space tiny            # design-space search + report
+    repro explore run --strategy halving --budget 32 --store trials.jsonl
+    repro explore frontier --store trials.jsonl
+    repro explore show --store trials.jsonl
 
 Also exposed as ``python -m repro``.
 """
@@ -55,6 +60,86 @@ def _cmd_arch_describe(args: argparse.Namespace) -> int:
         counts = program.counts_by_phase()
         for phase in program.phases:
             print(f"  {phase:<18s} {counts[phase]:4d}")
+    return 0
+
+
+#: ablatable capability -> (description, overrides-builder).  Each
+#: builder maps the base spec to the with_overrides() kwargs that strip
+#: the capability; synthesis then regenerates the handler streams.
+def _ablate_windows(arch):
+    return {"windows": None}
+
+
+def _ablate_pipeline(arch):
+    from dataclasses import replace
+
+    return {"pipeline": replace(arch.pipeline, exposed=False,
+                                fpu_freeze_on_fault=False, state_registers=0)}
+
+
+def _ablate_software_tlb(arch):
+    from dataclasses import replace
+
+    return {"tlb": replace(arch.tlb, software_managed=False)}
+
+
+def _ablate_tlb_tags(arch):
+    from dataclasses import replace
+
+    return {"tlb": replace(arch.tlb, pid_tagged=False)}
+
+
+def _ablate_cache_tags(arch):
+    from dataclasses import replace
+
+    return {"cache": replace(arch.cache, pid_tagged=False)}
+
+
+def _ablate_cache_virtual(arch):
+    from dataclasses import replace
+
+    return {"cache": replace(arch.cache, virtually_addressed=False)}
+
+
+ABLATABLE_CAPABILITIES = {
+    "windows": ("flatten the register file (windows=None)", _ablate_windows),
+    "pipeline": ("hide the pipeline (precise interrupts, no state registers)",
+                 _ablate_pipeline),
+    "software_tlb": ("reload the TLB in hardware instead of software",
+                     _ablate_software_tlb),
+    "tlb_tags": ("drop PID tags from the TLB (flush on switch)", _ablate_tlb_tags),
+    "cache_tags": ("drop PID tags from the cache", _ablate_cache_tags),
+    "cache_virtual": ("address the cache physically", _ablate_cache_virtual),
+    "atomic_tas": ("remove the atomic test-and-set instruction",
+                   lambda arch: {"has_atomic_tas": False}),
+    "fault_address": ("stop providing the faulting address to handlers",
+                      lambda arch: {"fault_address_provided": False}),
+    "vectoring": ("dispatch traps through a common entry, not vectors",
+                  lambda arch: {"vectored_dispatch": False}),
+}
+
+
+def _cmd_arch_ablate(args: argparse.Namespace) -> int:
+    from repro.analysis.ablations import capability_stream_delta
+    from repro.arch import get_arch
+    from repro.kernel.primitives import Primitive
+
+    if args.capability not in ABLATABLE_CAPABILITIES:
+        print(f"unknown capability {args.capability!r}; choose one of "
+              f"{', '.join(sorted(ABLATABLE_CAPABILITIES))}", file=sys.stderr)
+        return 2
+    try:
+        arch = get_arch(args.name)
+    except KeyError as err:
+        print(err, file=sys.stderr)
+        return 2
+    description, build = ABLATABLE_CAPABILITIES[args.capability]
+    overrides = build(arch)
+    print(f"{arch.name}: ablate {args.capability} — {description}")
+    print(f"{'primitive':<18s} {'base':>6s} {'ablated':>8s} {'delta':>6s}")
+    for primitive in Primitive:
+        base, ablated = capability_stream_delta(arch.name, primitive, **overrides)
+        print(f"{primitive.value:<18s} {base:6d} {ablated:8d} {ablated - base:+6d}")
     return 0
 
 
@@ -224,6 +309,93 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explore_schema(args: argparse.Namespace):
+    from repro.explore import ObjectiveSchema
+
+    if getattr(args, "objectives", None):
+        names = tuple(n.strip() for n in args.objectives.split(",") if n.strip())
+        return ObjectiveSchema(names=names)
+    return ObjectiveSchema()
+
+
+def _cmd_explore_run(args: argparse.Namespace) -> int:
+    from repro.explore import (ExploreRunner, ResultStore, get_space,
+                               make_strategy, render_report)
+
+    try:
+        space = get_space(args.space)
+        strategy = make_strategy(args.strategy, args.budget)
+        schema = _explore_schema(args)
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    if store.skipped_lines:
+        print(f"note: skipped {store.skipped_lines} unusable store line(s)",
+              file=sys.stderr)
+    runner = ExploreRunner(
+        space, schema=schema, strategy=strategy, store=store,
+        resume=not args.no_resume, budget=args.budget,
+        parallel=args.parallel, max_workers=args.jobs,
+    )
+    result = runner.run(seed=args.seed)
+    report = render_report(result)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"\nwrote report to {args.report}")
+    return 0
+
+
+def _cmd_explore_frontier(args: argparse.Namespace) -> int:
+    from repro.core.tables import TextTable
+    from repro.explore import ResultStore, frontier_from_records
+
+    try:
+        schema = _explore_schema(args)
+    except ValueError as err:
+        print(err, file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    records = store.records_for_schema(schema.digest)
+    if not records:
+        print(f"no records for schema [{schema.describe()}] in {args.store}",
+              file=sys.stderr)
+        return 2
+    frontier = frontier_from_records(records, schema)
+    table = TextTable(["point", *schema.names, "knobs"],
+                      title=f"Pareto frontier of {len(records)} stored trials")
+    for record in sorted(frontier,
+                         key=lambda r: r["objectives"][schema.names[0]]):
+        knobs = " ".join(f"{k}={v}"
+                         for k, v in sorted(record.get("point", {}).items()))
+        table.add_row([record.get("arch_name", "?"),
+                       *[f"{record['objectives'][n]:.2f}" for n in schema.names],
+                       knobs])
+    print(table.render())
+    return 0
+
+
+def _cmd_explore_show(args: argparse.Namespace) -> int:
+    from repro.explore import ResultStore
+
+    store = ResultStore(args.store)
+    if not len(store):
+        print(f"empty store: {args.store}", file=sys.stderr)
+        return 2
+    print(f"{args.store}: {len(store)} trial(s), "
+          f"{len(store.schema_digests())} objective schema(s)"
+          + (f", {store.skipped_lines} unusable line(s) skipped"
+             if store.skipped_lines else ""))
+    for record in store.records():
+        objectives = record.get("objectives", {})
+        scores = " ".join(f"{k}={v:.2f}" for k, v in sorted(objectives.items()))
+        print(f"  {record.get('arch_name', '?'):<16s} "
+              f"space={record.get('space', '?'):<12s} {scores}")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -272,6 +444,18 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="print derived capabilities + synthesized phase breakdown")
     describe.add_argument("name")
     describe.set_defaults(func=_cmd_arch_describe)
+    ablate = arch_sub.add_parser(
+        "ablate",
+        help="resynthesize handlers with one capability stripped",
+        description="Flip one architectural capability off and show the "
+        "per-primitive handler stream length against the baseline — the "
+        "direct evidence that ablations regenerate code rather than "
+        "rescaling costs.",
+    )
+    ablate.add_argument("name")
+    ablate.add_argument("capability",
+                        help=" | ".join(sorted(ABLATABLE_CAPABILITIES)))
+    ablate.set_defaults(func=_cmd_arch_ablate)
 
     measure = sub.add_parser("measure", help="measure the four primitives on one system")
     measure.add_argument("arch")
@@ -315,6 +499,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="overwrite even if the output file does not look "
                        "like a previous export")
     trace.set_defaults(func=_cmd_trace)
+
+    explore = sub.add_parser(
+        "explore",
+        help="search the design space for OS-friendly architectures",
+        description="Run a deterministic search over a declared space of "
+        "architectural knobs, scoring points on OS-primitive objectives "
+        "through the content-addressed experiment engine, and report the "
+        "Pareto frontier with the paper's machines placed on it.",
+    )
+    explore_sub = explore.add_subparsers(dest="explore_command", required=True)
+
+    run = explore_sub.add_parser("run", help="run a search and print the report")
+    run.add_argument("--space", default="mechanisms",
+                     help="design space to search (default: mechanisms)")
+    run.add_argument("--strategy", default="grid",
+                     help="grid | random | halving (default: grid)")
+    run.add_argument("--budget", type=_positive_int, default=None, metavar="N",
+                     help="max trials (default: whole space for grid, 64 else)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="search seed (default: 0)")
+    run.add_argument("--objectives", default=None, metavar="A,B,...",
+                     help="comma-separated objective names "
+                     "(default: the four OS primitives)")
+    run.add_argument("--store", default=None, metavar="PATH",
+                     help="JSONL trial store to resume from / append to")
+    run.add_argument("--no-resume", action="store_true",
+                     help="re-evaluate points even when stored")
+    run.add_argument("--report", default=None, metavar="PATH",
+                     help="also write the rendered report to a file")
+    run.set_defaults(func=_cmd_explore_run)
+
+    frontier = explore_sub.add_parser(
+        "frontier", help="Pareto frontier of a stored trial set")
+    frontier.add_argument("--store", required=True, metavar="PATH")
+    frontier.add_argument("--objectives", default=None, metavar="A,B,...")
+    frontier.set_defaults(func=_cmd_explore_frontier)
+
+    show = explore_sub.add_parser("show", help="list a store's trials")
+    show.add_argument("--store", required=True, metavar="PATH")
+    show.set_defaults(func=_cmd_explore_show)
 
     return parser
 

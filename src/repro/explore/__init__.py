@@ -1,0 +1,89 @@
+"""repro.explore — design-space search for OS-friendly architectures.
+
+The subsystem inverts the paper's measurement: define a space of
+architectural knobs (:mod:`~repro.explore.space`), score points on
+OS-primitive objectives (:mod:`~repro.explore.objectives`) through the
+content-addressed experiment engine, search it with deterministic
+strategies (:mod:`~repro.explore.strategies`), persist trials
+(:mod:`~repro.explore.store`), and report the Pareto frontier with the
+paper's named machines placed on it (:mod:`~repro.explore.frontier`).
+"""
+
+from repro.explore.frontier import (
+    ADJACENCY,
+    NAMED_MACHINES,
+    MachineRow,
+    direction_summary,
+    frontier_from_records,
+    place_named_machines,
+    placement,
+    rediscovers_osfriendly,
+    render_report,
+)
+from repro.explore.objectives import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVES,
+    ObjectiveSchema,
+    dominates,
+    evaluate,
+    pareto_indices,
+)
+from repro.explore.runner import ExploreResult, ExploreRunner, ExploreStats, Trial
+from repro.explore.space import (
+    KNOBS,
+    SPACES,
+    DesignSpace,
+    Dimension,
+    baseline_spec,
+    describe_space,
+    get_space,
+    mechanisms_space,
+    tiny_space,
+)
+from repro.explore.store import STORE_SCHEMA_VERSION, ResultStore, trial_key
+from repro.explore.strategies import (
+    STRATEGIES,
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+    make_strategy,
+)
+
+__all__ = [
+    "ADJACENCY",
+    "DEFAULT_OBJECTIVES",
+    "DesignSpace",
+    "Dimension",
+    "ExploreResult",
+    "ExploreRunner",
+    "ExploreStats",
+    "GridSearch",
+    "KNOBS",
+    "MachineRow",
+    "NAMED_MACHINES",
+    "OBJECTIVES",
+    "ObjectiveSchema",
+    "RandomSearch",
+    "ResultStore",
+    "SPACES",
+    "STORE_SCHEMA_VERSION",
+    "STRATEGIES",
+    "SuccessiveHalving",
+    "Trial",
+    "baseline_spec",
+    "describe_space",
+    "direction_summary",
+    "dominates",
+    "evaluate",
+    "frontier_from_records",
+    "get_space",
+    "make_strategy",
+    "mechanisms_space",
+    "pareto_indices",
+    "place_named_machines",
+    "placement",
+    "rediscovers_osfriendly",
+    "render_report",
+    "tiny_space",
+    "trial_key",
+]

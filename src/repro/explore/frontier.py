@@ -1,0 +1,223 @@
+"""Pareto-frontier extraction and the rendered exploration report.
+
+The report answers the paper's question in reverse: instead of
+*measuring* that 1990's machines lag on OS primitives (§3), the search
+asks *what the frontier of good designs looks like* — and then checks
+where the named machines land on it.  Section 6's "OS-friendly"
+direction (fast vectored traps, no register windows, a hidden pipeline
+with precise exceptions) should be *rediscovered* by the search: the
+frontier of a mechanisms sweep should skew toward low trap latency,
+flat register files, and precise interrupts, and the paper's
+``osfriendly`` spec should sit on — or immediately adjacent to — the
+trial frontier for the OS-primitive objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.tables import TextTable
+from repro.explore.objectives import ObjectiveSchema, dominates, evaluate, pareto_indices
+from repro.explore.runner import ExploreResult, Trial
+
+#: the §3 machines (plus the §6 proposal) the report situates; r3000 is
+#: the paper's MIPS data point.
+NAMED_MACHINES: Tuple[str, ...] = ("cvax", "r3000", "sparc", "i860", "osfriendly")
+
+#: a named machine counts as "adjacent" to the frontier when its worst
+#: relative objective gap to some frontier point is within this factor.
+ADJACENCY = 0.25
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MachineRow:
+    """A named machine scored under the search's objective schema."""
+
+    name: str
+    objectives: Dict[str, float]
+    #: "frontier" | "adjacent" | "dominated"
+    placement: str
+    #: max relative objective gap to the nearest frontier trial (0 == on it).
+    gap: float
+
+
+def named_machine_rows(schema: ObjectiveSchema,
+                       names: Sequence[str] = NAMED_MACHINES) -> Dict[str, Dict[str, float]]:
+    """Score the paper's machines under ``schema`` (engine-cached)."""
+    from repro.arch.registry import get_arch
+
+    return {name: evaluate(get_arch(name), schema) for name in names}
+
+
+def _gap_to(row: Mapping[str, float], other: Mapping[str, float],
+            names: Sequence[str]) -> float:
+    """Worst-case relative shortfall of ``row`` vs ``other`` (0 if row wins)."""
+    worst = 0.0
+    for name in names:
+        rel = (row[name] - other[name]) / max(abs(other[name]), _EPS)
+        worst = max(worst, rel)
+    return worst
+
+
+def placement(row: Mapping[str, float],
+              frontier_rows: Sequence[Mapping[str, float]],
+              names: Sequence[str],
+              adjacency: float = ADJACENCY) -> Tuple[str, float]:
+    """Classify a point against a trial frontier.
+
+    Returns ``(status, gap)`` where status is ``"frontier"`` when no
+    frontier trial dominates the point, ``"adjacent"`` when dominated
+    but within ``adjacency`` relative distance of its nearest frontier
+    point, and ``"dominated"`` otherwise.
+    """
+    if not frontier_rows:
+        return "frontier", 0.0
+    gap = min(_gap_to(row, other, names) for other in frontier_rows)
+    if not any(dominates(other, row, names) for other in frontier_rows):
+        return "frontier", max(gap, 0.0)
+    return ("adjacent" if gap <= adjacency else "dominated"), gap
+
+
+def place_named_machines(result: ExploreResult,
+                         names: Sequence[str] = NAMED_MACHINES,
+                         adjacency: float = ADJACENCY) -> List[MachineRow]:
+    """Score and place each named machine against the result's frontier."""
+    frontier_rows = [t.objectives for t in result.frontier()]
+    rows: List[MachineRow] = []
+    for name, objectives in named_machine_rows(result.schema, names).items():
+        status, gap = placement(objectives, frontier_rows, result.schema.names,
+                                adjacency)
+        rows.append(MachineRow(name=name, objectives=objectives,
+                               placement=status, gap=gap))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Direction check: does the frontier point the way §6 points?
+# ----------------------------------------------------------------------
+
+def _dimension_values(trials: Sequence[Trial], dim: str) -> List[object]:
+    return [t.point[dim] for t in trials if dim in t.point]
+
+
+def direction_summary(result: ExploreResult) -> Dict[str, object]:
+    """Compare frontier knob statistics against the whole trial set.
+
+    For each §6-relevant dimension present in the space, report the
+    frontier's tendency; :func:`rediscovers_osfriendly` turns this into
+    a single verdict.
+    """
+    frontier = result.frontier()
+    everyone = result.unique_trials()
+    out: Dict[str, object] = {}
+    fr_trap = _dimension_values(frontier, "trap_entry_cycles")
+    all_trap = _dimension_values(everyone, "trap_entry_cycles")
+    if fr_trap and all_trap:
+        out["frontier_mean_trap_entry"] = sum(fr_trap) / len(fr_trap)
+        out["space_mean_trap_entry"] = sum(all_trap) / len(all_trap)
+    fr_win = _dimension_values(frontier, "window_count")
+    if fr_win:
+        out["frontier_windowless_fraction"] = (
+            sum(1 for v in fr_win if v == 0) / len(fr_win))
+    fr_pipe = _dimension_values(frontier, "pipeline_exposed")
+    if fr_pipe:
+        out["frontier_precise_fraction"] = (
+            sum(1 for v in fr_pipe if not v) / len(fr_pipe))
+    return out
+
+
+def rediscovers_osfriendly(result: ExploreResult) -> bool:
+    """True when the frontier leans the way §6's proposal leans.
+
+    Checks only the dimensions the space actually varies: faster-than-
+    average trap entry, a majority of windowless points, and a majority
+    of precise (unexposed) pipelines on the frontier.
+    """
+    summary = direction_summary(result)
+    checks: List[bool] = []
+    if "frontier_mean_trap_entry" in summary:
+        checks.append(summary["frontier_mean_trap_entry"]
+                      < summary["space_mean_trap_entry"])
+    if "frontier_windowless_fraction" in summary:
+        checks.append(summary["frontier_windowless_fraction"] >= 0.5)
+    if "frontier_precise_fraction" in summary:
+        checks.append(summary["frontier_precise_fraction"] >= 0.5)
+    return bool(checks) and all(checks)
+
+
+# ----------------------------------------------------------------------
+# Rendered report
+# ----------------------------------------------------------------------
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def render_report(result: ExploreResult,
+                  names: Sequence[str] = NAMED_MACHINES,
+                  adjacency: float = ADJACENCY) -> str:
+    """The human-facing exploration report (tables + verdicts)."""
+    schema = result.schema
+    frontier = result.frontier()
+    stats = result.stats
+    lines: List[str] = []
+    lines.append(f"design-space exploration: {result.space.name}")
+    lines.append(
+        f"  strategy={result.strategy} seed={result.seed} "
+        f"trials={stats.trials} unique={stats.unique_points}")
+    lines.append(
+        f"  store hits={stats.store_hits} engine hit rate="
+        f"{stats.engine_hit_rate:.0%} frontier={len(frontier)}")
+    lines.append(f"  objectives: {schema.describe()}")
+    lines.append("")
+
+    table = TextTable(["point", *schema.names, "knobs"],
+                      title="Pareto frontier (all objectives minimized)")
+    for trial in sorted(frontier, key=lambda t: t.objectives[schema.names[0]]):
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(trial.point.items()))
+        table.add_row([trial.arch_name,
+                       *[_fmt(trial.objectives[n]) for n in schema.names], knobs])
+    lines.append(table.render())
+    lines.append("")
+
+    machines = place_named_machines(result, names, adjacency)
+    table = TextTable(["machine", *schema.names, "placement", "gap"],
+                      title="named machines vs the searched frontier")
+    for row in machines:
+        table.add_row([row.name, *[_fmt(row.objectives[n]) for n in schema.names],
+                       row.placement, f"{row.gap:+.0%}"])
+    lines.append(table.render())
+    lines.append("")
+
+    summary = direction_summary(result)
+    if summary:
+        lines.append("frontier direction (the paper's §6 argument):")
+        if "frontier_mean_trap_entry" in summary:
+            lines.append(
+                f"  mean trap-entry cycles: frontier "
+                f"{summary['frontier_mean_trap_entry']:.1f} vs space "
+                f"{summary['space_mean_trap_entry']:.1f}")
+        if "frontier_windowless_fraction" in summary:
+            lines.append(
+                f"  windowless frontier points: "
+                f"{summary['frontier_windowless_fraction']:.0%}")
+        if "frontier_precise_fraction" in summary:
+            lines.append(
+                f"  precise-pipeline frontier points: "
+                f"{summary['frontier_precise_fraction']:.0%}")
+        verdict = "yes" if rediscovers_osfriendly(result) else "no"
+        lines.append(f"  rediscovers the OS-friendly direction: {verdict}")
+    return "\n".join(lines)
+
+
+def frontier_from_records(records: Sequence[Mapping[str, object]],
+                          schema: ObjectiveSchema) -> List[Mapping[str, object]]:
+    """Pareto-filter raw store records (for ``repro explore frontier``)."""
+    usable = [r for r in records
+              if isinstance(r.get("objectives"), dict)
+              and all(n in r["objectives"] for n in schema.names)]
+    rows = [r["objectives"] for r in usable]
+    return [usable[i] for i in pareto_indices(rows, schema.names)]

@@ -1,0 +1,183 @@
+"""Multi-metric objectives over engine measurements, plus Pareto tools.
+
+An :class:`ObjectiveSchema` names the metrics a search minimizes; every
+objective is *lower-is-better* so dominance has one orientation.  The
+built-in registry covers:
+
+* the four §1.1 primitive costs via the paper's subtraction-method
+  microbenchmarks (``null_syscall_us`` … ``context_switch_us``);
+* ``os_lag`` — the Table 1 headline in one number: application
+  performance ratio over the geometric-mean relative OS speed vs the
+  CVAX baseline (1.0 means primitives track applications; bigger means
+  they lag);
+* ``switch_memory_words`` — the Table 6 memory-interference proxy: the
+  32-bit words a context switch must move (thread state plus the
+  register-window flush traffic §4.1 charges).
+
+Evaluations route every executor run through
+:mod:`repro.core.engine`'s content-addressed cache, so re-scoring a
+previously visited point is nearly free — which is what makes
+successive-halving rungs and resumed searches cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.arch.specs import ArchSpec
+from repro.core.microbench import MicrobenchResult, measure_primitives
+from repro.kernel.primitives import Primitive
+
+#: schema version: bump when an objective's definition changes, so
+#: stores written under the old meaning stop matching.
+OBJECTIVE_SCHEMA_VERSION = 1
+
+_EPS = 1e-9
+
+ObjectiveFn = Callable[[ArchSpec, MicrobenchResult, MicrobenchResult], float]
+
+
+def _primitive_objective(primitive: Primitive) -> ObjectiveFn:
+    def compute(spec: ArchSpec, m: MicrobenchResult, baseline: MicrobenchResult) -> float:
+        return m.times_us[primitive]
+
+    return compute
+
+
+def _os_lag(spec: ArchSpec, m: MicrobenchResult, baseline: MicrobenchResult) -> float:
+    """App-performance ratio over geomean relative OS speed (>1 == lags)."""
+    log_sum = 0.0
+    for primitive in Primitive:
+        rel = baseline.times_us[primitive] / max(m.times_us[primitive], _EPS)
+        log_sum += math.log(max(rel, _EPS))
+    geomean = math.exp(log_sum / len(Primitive))
+    return spec.app_performance_ratio / max(geomean, _EPS)
+
+
+def _switch_memory_words(spec: ArchSpec, m: MicrobenchResult,
+                         baseline: MicrobenchResult) -> float:
+    words = float(spec.thread_state.total_words)
+    if spec.windows is not None:
+        words += spec.windows.avg_windows_per_switch * spec.windows.regs_per_window
+    return words
+
+
+#: objective name -> (description, compute fn).  All minimized.
+OBJECTIVES: Dict[str, Tuple[str, ObjectiveFn]] = {
+    "null_syscall_us": ("null system call time (us)",
+                        _primitive_objective(Primitive.NULL_SYSCALL)),
+    "trap_us": ("user-level trap time (us)", _primitive_objective(Primitive.TRAP)),
+    "pte_change_us": ("PTE change time (us)", _primitive_objective(Primitive.PTE_CHANGE)),
+    "context_switch_us": ("process context switch time (us)",
+                          _primitive_objective(Primitive.CONTEXT_SWITCH)),
+    "os_lag": ("application speedup over geomean relative OS speed vs CVAX", _os_lag),
+    "switch_memory_words": ("32-bit words moved per context switch (Table 6 proxy)",
+                            _switch_memory_words),
+}
+
+#: the OS-primitive objectives the frontier report defaults to.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = (
+    "null_syscall_us", "trap_us", "pte_change_us", "context_switch_us",
+)
+
+
+@dataclass(frozen=True)
+class ObjectiveSchema:
+    """An ordered, validated selection from :data:`OBJECTIVES`."""
+
+    names: Tuple[str, ...] = DEFAULT_OBJECTIVES
+    version: int = OBJECTIVE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("objective schema needs at least one objective")
+        for name in self.names:
+            if name not in OBJECTIVES:
+                raise ValueError(
+                    f"unknown objective {name!r}; known: {', '.join(sorted(OBJECTIVES))}")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("duplicate objective names")
+
+    @property
+    def digest(self) -> str:
+        """Content address of the schema (store keying)."""
+        blob = json.dumps({"version": self.version, "names": list(self.names)},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        return ", ".join(self.names)
+
+
+_BASELINE: "MicrobenchResult | None" = None
+
+
+def cvax_baseline() -> MicrobenchResult:
+    """The CVAX microbenchmark row the relative objectives divide by."""
+    global _BASELINE
+    if _BASELINE is None:
+        from repro.arch.registry import get_arch
+
+        _BASELINE = measure_primitives(get_arch("cvax"))
+    return _BASELINE
+
+
+def evaluate(spec: ArchSpec, schema: ObjectiveSchema) -> Dict[str, float]:
+    """Score ``spec`` on every objective in ``schema``.
+
+    All executor runs inside go through the default experiment engine,
+    so repeated evaluations of identical specs are cache hits.
+    """
+    measurement = measure_primitives(spec)
+    baseline = cvax_baseline()
+    return {
+        name: OBJECTIVES[name][1](spec, measurement, baseline)
+        for name in schema.names
+    }
+
+
+# ----------------------------------------------------------------------
+# Pareto dominance
+# ----------------------------------------------------------------------
+
+#: relative tolerance under which two objective values count as equal.
+#: Cycle counts are exact but the cycles->us conversion leaves ~1-ulp
+#: noise; without a tolerance a 5e-16 "win" can keep a point that is
+#: 0.64us worse elsewhere on the frontier.
+DOMINANCE_REL_TOL = 1e-9
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              names: Sequence[str], rel_tol: float = DOMINANCE_REL_TOL) -> bool:
+    """True when ``a`` is no worse everywhere and strictly better somewhere.
+
+    Comparisons treat values within ``rel_tol`` (relative, floored at
+    an absolute scale of 1.0) as equal.
+    """
+    strictly = False
+    for name in names:
+        scale = max(abs(a[name]), abs(b[name]), 1.0)
+        diff = a[name] - b[name]
+        if diff > rel_tol * scale:
+            return False
+        if diff < -rel_tol * scale:
+            strictly = True
+    return strictly
+
+
+def pareto_indices(rows: Sequence[Mapping[str, float]],
+                   names: Sequence[str]) -> List[int]:
+    """Indices of the non-dominated rows, in input order.
+
+    Duplicate objective vectors all survive (none strictly beats the
+    other), which keeps equal-cost design points visible side by side.
+    """
+    out: List[int] = []
+    for i, row in enumerate(rows):
+        if not any(dominates(other, row, names) for j, other in enumerate(rows) if j != i):
+            out.append(i)
+    return out

@@ -1,0 +1,119 @@
+"""Append-only JSONL result store: resumable, incremental searches.
+
+Each evaluated trial is one JSON line keyed by the digest of
+
+* the materialized spec's **machine-description fingerprint** (the
+  capability content that selected its handler streams),
+* the spec's full content fingerprint (cost knobs the description
+  deliberately excludes), and
+* the **objective schema digest** (which metrics, which version).
+
+A resumed search loads the file, skips every point whose key is
+present, and appends only fresh evaluations — so a killed 500-point
+sweep restarts where it stopped, and a second strategy over the same
+space reuses the first strategy's trials.  Robust by construction:
+unparsable lines and foreign-schema records are skipped (counted), and
+writes are line-atomic appends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+#: bump when the record layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+
+def trial_key(mdesc_fingerprint: str, spec_fingerprint: str, schema_digest: str) -> str:
+    """The content address one stored trial answers for."""
+    blob = json.dumps(
+        ["trial", STORE_SCHEMA_VERSION, mdesc_fingerprint, spec_fingerprint, schema_digest],
+        separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A dict of trial records backed (optionally) by a JSONL file.
+
+    ``path=None`` keeps the store in memory — same API, nothing
+    persisted — which is what ad-hoc searches and tests use.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.skipped_lines = 0
+        self._records: Dict[str, Dict[str, Any]] = {}
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        self.skipped_lines += 1
+                        continue
+                    if (not isinstance(record, dict)
+                            or record.get("schema") != STORE_SCHEMA_VERSION
+                            or "key" not in record):
+                        self.skipped_lines += 1
+                        continue
+                    # duplicate keys: the latest append wins.
+                    self._records[record["key"]] = record
+        except OSError:
+            # an unreadable store behaves as empty; the search still runs.
+            pass
+
+    # -- mapping view ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """All records, in insertion (file) order."""
+        return iter(list(self._records.values()))
+
+    # -- writes ---------------------------------------------------------
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Insert (or supersede) ``key`` and append the line to disk."""
+        payload = dict(record)
+        payload["schema"] = STORE_SCHEMA_VERSION
+        payload["key"] = key
+        self._records[key] = payload
+        if self.path is None:
+            return
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+                fh.write("\n")
+        except OSError:
+            # persistence is best-effort; the in-memory search proceeds.
+            pass
+
+    # -- convenience ----------------------------------------------------
+    def records_for_schema(self, schema_digest: str) -> List[Dict[str, Any]]:
+        """Records evaluated under one objective schema, file order."""
+        return [r for r in self._records.values()
+                if r.get("schema_digest") == schema_digest]
+
+    def schema_digests(self) -> List[str]:
+        """Distinct objective-schema digests present, file order."""
+        seen: List[str] = []
+        for record in self._records.values():
+            digest = record.get("schema_digest")
+            if digest and digest not in seen:
+                seen.append(digest)
+        return seen

@@ -1,0 +1,162 @@
+"""Budget-bounded, deterministic search strategies over a DesignSpace.
+
+A strategy decides *which* point indices to evaluate and in what
+generations; the runner owns evaluation, caching, stores, and
+telemetry.  The contract is one method::
+
+    strategy.run(space, evaluate, seed)
+
+where ``evaluate(indices)`` scores a batch (one *generation*) and
+returns the objective mapping per index, in order — possibly truncated
+when the trial budget runs out, which is the strategy's signal to
+stop.  Everything is deterministic given (space, seed): random
+sampling uses a :class:`random.Random` seeded from the seed *and* the
+space fingerprint, and successive-halving rank ties break on point
+index.
+
+Successive halving deliberately **re-evaluates** survivors each rung:
+those repeats resolve into content-addressed engine cache hits, so a
+rung costs bookkeeping, not simulation — the explore subsystem's
+cache-reuse story in miniature.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.explore.space import DesignSpace
+
+#: evaluate-one-generation callback the runner provides.
+EvaluateFn = Callable[[Sequence[int]], List[Mapping[str, float]]]
+
+
+def _rng(space: DesignSpace, seed: int) -> random.Random:
+    """Deterministic RNG tied to both the seed and the space content."""
+    return random.Random(f"{seed}:{space.fingerprint}")
+
+
+def _scalar_rank(scores: Mapping[str, float]) -> float:
+    """Scale-free scalarization for rung selection: geometric mean.
+
+    Objectives are all positive lower-is-better magnitudes (us, words,
+    ratios), so the geomean ranks without letting one large-magnitude
+    metric drown the others.
+    """
+    log_sum = 0.0
+    for value in scores.values():
+        log_sum += math.log(max(value, 1e-9))
+    return math.exp(log_sum / max(len(scores), 1))
+
+
+class GridSearch:
+    """Exhaustive enumeration in index order, optionally budget-capped."""
+
+    name = "grid"
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+
+    def run(self, space: DesignSpace, evaluate: EvaluateFn, seed: int = 0) -> None:
+        count = space.size if self.budget is None else min(self.budget, space.size)
+        evaluate(list(range(count)))
+
+
+class RandomSearch:
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    def __init__(self, budget: int) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+
+    def run(self, space: DesignSpace, evaluate: EvaluateFn, seed: int = 0) -> None:
+        count = min(self.budget, space.size)
+        indices = _rng(space, seed).sample(range(space.size), count)
+        evaluate(indices)
+
+
+class SuccessiveHalving:
+    """Sample a cohort, then repeatedly keep the best ``1/eta`` fraction.
+
+    Rung 0 draws the largest cohort the budget affords (the geometric
+    series ``n0 * (1 + 1/eta + ...)`` is bounded by the budget); each
+    later rung re-evaluates the survivors — engine cache hits — and
+    halves again until one point remains or the budget is spent.
+    Survivor selection sorts by (scalar rank, point index), so ties are
+    deterministic.
+    """
+
+    name = "halving"
+
+    def __init__(self, budget: int, eta: int = 2) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        self.budget = budget
+        self.eta = eta
+
+    def _initial_cohort(self, space: DesignSpace) -> int:
+        # sum over rungs of ceil(n0 / eta^r) <= budget, solved greedily.
+        n0 = min(self.budget, space.size)
+        while n0 > 1:
+            total, n = 0, n0
+            while n >= 1:
+                total += n
+                if n == 1:
+                    break
+                n = max(1, n // self.eta)
+            if total <= self.budget:
+                break
+            n0 -= 1
+        return max(1, n0)
+
+    def run(self, space: DesignSpace, evaluate: EvaluateFn, seed: int = 0) -> None:
+        cohort = _rng(space, seed).sample(range(space.size), self._initial_cohort(space))
+        spent = 0
+        while cohort and spent < self.budget:
+            batch = cohort[: self.budget - spent]
+            results = evaluate(batch)
+            spent += len(results)
+            if len(results) < len(batch) or len(cohort) == 1:
+                break  # budget exhausted mid-generation, or converged
+            ranked = sorted(
+                zip(batch, results),
+                key=lambda pair: (_scalar_rank(pair[1]), pair[0]),
+            )
+            keep = max(1, len(ranked) // self.eta)
+            cohort = [index for index, _ in ranked[:keep]]
+
+
+#: CLI strategy registry: name -> factory(budget) -> strategy.
+def _make_grid(budget: Optional[int]) -> GridSearch:
+    return GridSearch(budget=budget)
+
+
+def _make_random(budget: Optional[int]) -> RandomSearch:
+    return RandomSearch(budget=budget if budget is not None else 64)
+
+
+def _make_halving(budget: Optional[int]) -> SuccessiveHalving:
+    return SuccessiveHalving(budget=budget if budget is not None else 64)
+
+
+STRATEGIES: Dict[str, Callable[[Optional[int]], object]] = {
+    "grid": _make_grid,
+    "random": _make_random,
+    "halving": _make_halving,
+}
+
+
+def make_strategy(name: str, budget: Optional[int] = None):
+    key = name.lower()
+    if key not in STRATEGIES:
+        raise KeyError(
+            f"unknown strategy {name!r}; known: {', '.join(sorted(STRATEGIES))}")
+    return STRATEGIES[key](budget)

@@ -112,3 +112,93 @@ def test_app_performance_ratios_match_table1():
     for name, ratio in pt.TABLE1_APP_PERFORMANCE.items():
         assert get_arch(name).app_performance_ratio == pytest.approx(ratio)
     assert get_arch("cvax").app_performance_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# range/positivity validation (rejecting unphysical descriptors)
+# ----------------------------------------------------------------------
+
+def test_cost_model_rejects_negative_latencies():
+    from repro.arch.specs import CostModel
+
+    with pytest.raises(ValueError, match="trap_entry_cycles"):
+        CostModel(trap_entry_cycles=-1)
+    with pytest.raises(ValueError, match="tlb_op_cycles"):
+        CostModel(tlb_op_cycles=-3)
+    with pytest.raises(ValueError, match="base_cycles"):
+        from repro.isa.instructions import OpClass
+
+        CostModel(base_cycles={OpClass.ALU: 0})
+    CostModel(trap_entry_cycles=0)  # zero-latency traps are a valid limit
+
+
+def test_arch_spec_rejects_zero_clock():
+    arch = get_arch("r3000")
+    with pytest.raises(ValueError, match="clock_mhz"):
+        arch.with_overrides(clock_mhz=0.0)
+    with pytest.raises(ValueError, match="app_performance_ratio"):
+        arch.with_overrides(app_performance_ratio=-1.0)
+    with pytest.raises(ValueError, match="callee_saved_registers"):
+        arch.with_overrides(callee_saved_registers=-1)
+
+
+def test_tlb_spec_bounds():
+    from repro.arch.specs import TLBSpec
+
+    with pytest.raises(ValueError, match="entries"):
+        TLBSpec(entries=0, pid_tagged=False, software_managed=False)
+    with pytest.raises(ValueError, match="lockable_entries"):
+        TLBSpec(entries=8, pid_tagged=False, software_managed=False,
+                lockable_entries=9)
+    with pytest.raises(ValueError, match="hw_miss_cycles"):
+        TLBSpec(entries=8, pid_tagged=False, software_managed=False,
+                hw_miss_cycles=-1)
+    # the 88200's 56 entries are real hardware: NOT a power of two, valid
+    assert get_arch("m88000").tlb.entries == 56
+
+
+def test_cache_spec_requires_power_of_two_geometry():
+    from repro.arch.specs import CacheSpec, CacheWritePolicy
+
+    with pytest.raises(ValueError, match="power of two"):
+        CacheSpec(lines=100, line_bytes=16, virtually_addressed=False,
+                  write_policy=CacheWritePolicy.WRITE_BACK)
+    with pytest.raises(ValueError, match="power of two"):
+        CacheSpec(lines=128, line_bytes=48, virtually_addressed=False,
+                  write_policy=CacheWritePolicy.WRITE_BACK)
+    with pytest.raises(ValueError, match="page"):
+        CacheSpec(lines=128, line_bytes=8192, virtually_addressed=False,
+                  write_policy=CacheWritePolicy.WRITE_BACK)
+
+
+def test_register_window_spec_bounds():
+    from repro.arch.specs import RegisterWindowSpec
+
+    with pytest.raises(ValueError, match="windows"):
+        RegisterWindowSpec(n_windows=1)
+    with pytest.raises(ValueError, match="regs_per_window"):
+        RegisterWindowSpec(n_windows=8, regs_per_window=0)
+    with pytest.raises(ValueError, match="avg_windows_per_switch"):
+        RegisterWindowSpec(n_windows=4, avg_windows_per_switch=5)
+
+
+def test_pipeline_memory_thread_state_bounds():
+    from repro.arch.specs import MemorySpec, PipelineSpec, ThreadStateSpec
+
+    with pytest.raises(ValueError, match="n_pipelines"):
+        PipelineSpec(n_pipelines=0)
+    with pytest.raises(ValueError, match="state_registers"):
+        PipelineSpec(state_registers=-1)
+    with pytest.raises(ValueError, match="bandwidths"):
+        MemorySpec(copy_bandwidth_mbps=0.0)
+    with pytest.raises(ValueError, match="fp_state"):
+        ThreadStateSpec(registers=32, fp_state=-1, misc_state=0)
+
+
+def test_delay_slot_bounds():
+    from repro.arch.specs import DelaySlotSpec
+
+    with pytest.raises(ValueError, match="slot counts"):
+        DelaySlotSpec(branch_slots=-1)
+    with pytest.raises(ValueError, match="unfilled_fraction_os"):
+        DelaySlotSpec(unfilled_fraction_os=1.5)

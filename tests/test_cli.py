@@ -104,3 +104,117 @@ def test_disasm_bad_primitive(capsys):
 def test_requires_subcommand(capsys):
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# arch ablate
+# ----------------------------------------------------------------------
+
+def test_arch_ablate_windows(capsys):
+    code, out, _ = run(capsys, "arch", "ablate", "sparc", "windows")
+    assert code == 0
+    assert "flatten the register file" in out
+    # context switch must shorten once the window flush loop is gone
+    for line in out.splitlines():
+        if line.startswith("context_switch"):
+            assert "-" in line.split()[-1]
+            break
+    else:
+        pytest.fail("no context_switch row in ablate output")
+
+
+def test_arch_ablate_pipeline_shrinks_trap(capsys):
+    code, out, _ = run(capsys, "arch", "ablate", "m88000", "pipeline")
+    assert code == 0
+    trap_row = next(ln for ln in out.splitlines() if ln.startswith("trap "))
+    base, ablated = int(trap_row.split()[1]), int(trap_row.split()[2])
+    assert ablated < base
+
+
+def test_arch_ablate_unknown_capability(capsys):
+    code, _, err = run(capsys, "arch", "ablate", "sparc", "turbo")
+    assert code == 2
+    assert "windows" in err  # the error lists valid capabilities
+
+
+def test_arch_ablate_unknown_arch(capsys):
+    code, _, err = run(capsys, "arch", "ablate", "alpha", "windows")
+    assert code == 2
+    assert "alpha" in err
+
+
+# ----------------------------------------------------------------------
+# explore
+# ----------------------------------------------------------------------
+
+def test_explore_run_tiny_reports_frontier(capsys):
+    code, out, _ = run(capsys, "explore", "run", "--space", "tiny")
+    assert code == 0
+    assert "design-space exploration: tiny" in out
+    assert "Pareto frontier" in out
+    assert "osfriendly" in out
+    assert "rediscovers the OS-friendly direction" in out
+
+
+def test_explore_run_resumes_from_store(tmp_path, capsys):
+    store = str(tmp_path / "trials.jsonl")
+    code, first, _ = run(capsys, "explore", "run", "--space", "tiny",
+                         "--store", store)
+    assert code == 0
+    assert "store hits=0" in first
+    code, second, _ = run(capsys, "explore", "run", "--space", "tiny",
+                          "--store", store)
+    assert code == 0
+    assert "store hits=8" in second
+
+
+def test_explore_run_writes_report_file(tmp_path, capsys):
+    report = tmp_path / "frontier.txt"
+    code, _, _ = run(capsys, "explore", "run", "--space", "tiny",
+                     "--report", str(report))
+    assert code == 0
+    text = report.read_text(encoding="utf-8")
+    assert "Pareto frontier" in text and "osfriendly" in text
+
+
+def test_explore_run_unknown_space(capsys):
+    code, _, err = run(capsys, "explore", "run", "--space", "galaxy")
+    assert code == 2
+    assert "mechanisms" in err
+
+
+def test_explore_run_bad_objectives(capsys):
+    code, _, err = run(capsys, "explore", "run", "--space", "tiny",
+                       "--objectives", "speed")
+    assert code == 2
+    assert "unknown objective" in err
+
+
+def test_explore_frontier_and_show(tmp_path, capsys):
+    store = str(tmp_path / "trials.jsonl")
+    code, _, _ = run(capsys, "explore", "run", "--space", "tiny",
+                     "--store", store)
+    assert code == 0
+
+    code, out, _ = run(capsys, "explore", "frontier", "--store", store)
+    assert code == 0
+    assert "Pareto frontier of 8 stored trials" in out
+
+    code, out, _ = run(capsys, "explore", "show", "--store", store)
+    assert code == 0
+    assert "8 trial(s)" in out
+    assert "space=tiny" in out
+
+
+def test_explore_frontier_empty_store(tmp_path, capsys):
+    code, _, err = run(capsys, "explore", "frontier", "--store",
+                       str(tmp_path / "nothing.jsonl"))
+    assert code == 2
+    assert "no records" in err
+
+
+def test_explore_show_empty_store(tmp_path, capsys):
+    code, _, err = run(capsys, "explore", "show", "--store",
+                       str(tmp_path / "nothing.jsonl"))
+    assert code == 2
+    assert "empty store" in err

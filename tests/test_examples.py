@@ -17,6 +17,8 @@ CASES = {
     "os_services.py": ["write barrier", "clock", "CLOCK", "kernel-trap lock"],
     "extend_new_architecture.py": ["Riscy-1", "null LRPC", "lmbench"],
     "reproduce_paper.py": ["Table 7", "In-text claims", "proposals"],
+    "explore_osfriendly.py": ["mechanisms", "Pareto frontier", "osfriendly",
+                              "rediscovers the OS-friendly direction"],
 }
 
 

@@ -1,0 +1,121 @@
+"""Frontier extraction, machine placement, and the §6 rediscovery check.
+
+The acceptance contract: a full mechanisms-grid search places the
+paper's machines in the report, with ``osfriendly`` on (or adjacent
+to) the trial frontier for the OS-primitive objectives, and the
+frontier's knob statistics lean the way §6 argues — fast traps, no
+register windows, precise (unexposed) pipelines.
+"""
+
+import pytest
+
+from repro.core.engine import ExperimentEngine, default_engine, set_default_engine
+from repro.explore import (
+    NAMED_MACHINES,
+    ExploreRunner,
+    ObjectiveSchema,
+    ResultStore,
+    direction_summary,
+    frontier_from_records,
+    mechanisms_space,
+    place_named_machines,
+    placement,
+    rediscovers_osfriendly,
+    render_report,
+    tiny_space,
+)
+
+
+@pytest.fixture(scope="module")
+def mechanisms_result():
+    """One full 96-point grid search shared by the module's tests."""
+    previous = default_engine()
+    set_default_engine(ExperimentEngine())
+    try:
+        yield ExploreRunner(mechanisms_space(), store=ResultStore()).run(seed=0)
+    finally:
+        set_default_engine(previous)
+
+
+def test_full_grid_completes_deterministically(mechanisms_result):
+    result = mechanisms_result
+    assert result.stats.trials == 96
+    assert result.stats.unique_points == 96
+    assert result.stats.frontier_size > 0
+    # no frontier trial dominates another (mutual non-dominance)
+    from repro.explore import dominates
+
+    frontier = result.frontier()
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a.objectives, b.objectives, result.schema.names)
+
+
+def test_report_places_all_named_machines(mechanisms_result):
+    report = render_report(mechanisms_result)
+    for name in NAMED_MACHINES:
+        assert name in report
+    assert "Pareto frontier" in report
+    assert "rediscovers the OS-friendly direction: yes" in report
+
+
+def test_osfriendly_on_or_adjacent_to_frontier(mechanisms_result):
+    rows = {m.name: m for m in place_named_machines(mechanisms_result)}
+    assert rows["osfriendly"].placement in ("frontier", "adjacent")
+    # the 1990 machines measurably trail the searched frontier
+    assert rows["cvax"].placement == "dominated"
+    assert rows["sparc"].placement == "dominated"
+    assert rows["osfriendly"].gap < rows["cvax"].gap
+    assert rows["osfriendly"].gap < rows["sparc"].gap
+    assert rows["osfriendly"].gap < rows["i860"].gap
+
+
+def test_frontier_leans_the_section6_way(mechanisms_result):
+    summary = direction_summary(mechanisms_result)
+    assert (summary["frontier_mean_trap_entry"]
+            < summary["space_mean_trap_entry"])
+    assert summary["frontier_windowless_fraction"] >= 0.5
+    assert summary["frontier_precise_fraction"] >= 0.5
+    assert rediscovers_osfriendly(mechanisms_result)
+
+
+def test_placement_classification():
+    names = ("a", "b")
+    frontier = [{"a": 1.0, "b": 4.0}, {"a": 4.0, "b": 1.0}]
+    status, gap = placement({"a": 1.0, "b": 4.0}, frontier, names)
+    assert status == "frontier" and gap == 0.0
+    # non-dominated trade-off point
+    status, _ = placement({"a": 0.5, "b": 8.0}, frontier, names)
+    assert status == "frontier"
+    # dominated but within the adjacency band
+    status, gap = placement({"a": 1.1, "b": 4.1}, frontier, names)
+    assert status == "adjacent" and 0 < gap <= 0.25
+    # far off the frontier
+    status, gap = placement({"a": 9.0, "b": 9.0}, frontier, names)
+    assert status == "dominated" and gap > 0.25
+    # empty frontier: everything counts as frontier
+    assert placement({"a": 1.0, "b": 1.0}, [], names) == ("frontier", 0.0)
+
+
+def test_frontier_from_records_filters_and_paretos():
+    schema = ObjectiveSchema(names=("trap_us",))
+    records = [
+        {"arch_name": "x1", "objectives": {"trap_us": 2.0}},
+        {"arch_name": "x2", "objectives": {"trap_us": 1.0}},
+        {"arch_name": "bad", "objectives": {"other": 1.0}},  # wrong columns
+        {"arch_name": "worse"},                              # no objectives
+    ]
+    frontier = frontier_from_records(records, schema)
+    assert [r["arch_name"] for r in frontier] == ["x2"]
+
+
+def test_tiny_space_report_is_selfconsistent():
+    previous = default_engine()
+    set_default_engine(ExperimentEngine())
+    try:
+        result = ExploreRunner(tiny_space(), store=ResultStore()).run(seed=0)
+    finally:
+        set_default_engine(previous)
+    report = render_report(result)
+    assert "tiny" in report
+    assert f"frontier={result.stats.frontier_size}" in report

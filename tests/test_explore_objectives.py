@@ -1,0 +1,112 @@
+"""Objective schemas, evaluation, and Pareto dominance."""
+
+import pytest
+
+from repro.arch.registry import get_arch
+from repro.explore.objectives import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVES,
+    ObjectiveSchema,
+    cvax_baseline,
+    dominates,
+    evaluate,
+    pareto_indices,
+)
+
+
+def test_schema_validates_names():
+    ObjectiveSchema()  # defaults are valid
+    with pytest.raises(ValueError, match="unknown objective"):
+        ObjectiveSchema(names=("speed",))
+    with pytest.raises(ValueError, match="duplicate"):
+        ObjectiveSchema(names=("trap_us", "trap_us"))
+    with pytest.raises(ValueError, match="at least one"):
+        ObjectiveSchema(names=())
+
+
+def test_schema_digest_tracks_content():
+    assert ObjectiveSchema().digest == ObjectiveSchema().digest
+    other = ObjectiveSchema(names=("trap_us", "os_lag"))
+    assert other.digest != ObjectiveSchema().digest
+    # order matters: stores must not conflate column orders
+    swapped = ObjectiveSchema(names=("os_lag", "trap_us"))
+    assert swapped.digest != other.digest
+
+
+def test_evaluate_matches_microbenchmarks():
+    from repro.core.microbench import measure_primitives
+    from repro.kernel.primitives import Primitive
+
+    arch = get_arch("r3000")
+    scores = evaluate(arch, ObjectiveSchema())
+    direct = measure_primitives(arch)
+    assert scores["null_syscall_us"] == direct.times_us[Primitive.NULL_SYSCALL]
+    assert scores["context_switch_us"] == direct.times_us[Primitive.CONTEXT_SWITCH]
+    assert set(scores) == set(DEFAULT_OBJECTIVES)
+
+
+def test_os_lag_is_one_for_the_baseline_machine():
+    scores = evaluate(get_arch("cvax"), ObjectiveSchema(names=("os_lag",)))
+    assert scores["os_lag"] == pytest.approx(1.0)
+
+
+def test_os_lag_shows_risc_primitives_lagging():
+    """Table 1's point: RISC apps speed up more than their primitives."""
+    scores = evaluate(get_arch("sparc"), ObjectiveSchema(names=("os_lag",)))
+    assert scores["os_lag"] > 1.0
+
+
+def test_switch_memory_words_charges_window_flush():
+    schema = ObjectiveSchema(names=("switch_memory_words",))
+    sparc = evaluate(get_arch("sparc"), schema)["switch_memory_words"]
+    spec = get_arch("sparc")
+    expected = (spec.thread_state.total_words
+                + spec.windows.avg_windows_per_switch * spec.windows.regs_per_window)
+    assert sparc == expected
+
+
+def test_cvax_baseline_is_cached():
+    assert cvax_baseline() is cvax_baseline()
+
+
+def test_every_registered_objective_evaluates():
+    schema = ObjectiveSchema(names=tuple(sorted(OBJECTIVES)))
+    scores = evaluate(get_arch("r3000"), schema)
+    assert all(isinstance(v, float) and v > 0 for v in scores.values())
+
+
+# ----------------------------------------------------------------------
+# dominance
+# ----------------------------------------------------------------------
+
+NAMES = ("a", "b")
+
+
+def test_dominates_requires_strict_improvement():
+    assert dominates({"a": 1, "b": 1}, {"a": 2, "b": 1}, NAMES)
+    assert not dominates({"a": 1, "b": 1}, {"a": 1, "b": 1}, NAMES)
+    assert not dominates({"a": 1, "b": 2}, {"a": 2, "b": 1}, NAMES)
+
+
+def test_dominates_tolerates_float_noise():
+    """A 1-ulp 'win' must not block dominance the other way."""
+    noisy = {"a": 1.0800000000000005, "b": 1.0}
+    clean = {"a": 1.08, "b": 2.0}
+    assert dominates(noisy, clean, NAMES)
+    assert not dominates(clean, noisy, NAMES)
+
+
+def test_pareto_indices_keeps_nondominated_and_duplicates():
+    rows = [
+        {"a": 1, "b": 5},   # frontier
+        {"a": 5, "b": 1},   # frontier
+        {"a": 3, "b": 3},   # frontier (trade-off)
+        {"a": 4, "b": 4},   # dominated by row 2
+        {"a": 1, "b": 5},   # duplicate of row 0: survives
+    ]
+    assert pareto_indices(rows, NAMES) == [0, 1, 2, 4]
+
+
+def test_pareto_single_row():
+    assert pareto_indices([{"a": 9, "b": 9}], NAMES) == [0]
+    assert pareto_indices([], NAMES) == []

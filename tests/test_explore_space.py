@@ -1,0 +1,138 @@
+"""DesignSpace: encoding, validation, materialization, identity."""
+
+import pytest
+
+from repro.arch.specs import ArchSpec
+from repro.explore.space import (
+    KNOBS,
+    DesignSpace,
+    Dimension,
+    baseline_spec,
+    describe_space,
+    get_space,
+    mechanisms_space,
+    tiny_space,
+)
+
+
+def test_registry_spaces_resolve():
+    assert get_space("tiny").size == 8
+    assert get_space("mechanisms").size == 96
+    with pytest.raises(KeyError):
+        get_space("bogus")
+
+
+def test_point_roundtrip_covers_whole_space():
+    space = mechanisms_space()
+    seen = set()
+    for index, point in space.points():
+        assert space.index_of(point) == index
+        seen.add(tuple(sorted(point.items())))
+    assert len(seen) == space.size
+
+
+def test_point_index_bounds():
+    space = tiny_space()
+    with pytest.raises(IndexError):
+        space.point(space.size)
+    with pytest.raises(IndexError):
+        space.point(-1)
+
+
+def test_first_dimension_is_most_significant():
+    space = tiny_space()
+    assert space.point(0)["trap_entry_cycles"] == 4
+    assert space.point(space.size - 1)["trap_entry_cycles"] == 20
+
+
+def test_materialize_applies_every_knob():
+    space = tiny_space()
+    spec = space.materialize(
+        {"trap_entry_cycles": 20, "window_count": 8, "software_tlb": True})
+    assert isinstance(spec, ArchSpec)
+    assert spec.cost.trap_entry_cycles == 20
+    assert spec.windows is not None and spec.windows.n_windows == 8
+    assert spec.tlb.software_managed is True
+    # windowless variant flattens the register file
+    flat = space.materialize(
+        {"trap_entry_cycles": 4, "window_count": 0, "software_tlb": False})
+    assert flat.windows is None
+    assert flat.thread_state.registers == 32
+
+
+def test_materialized_specs_are_content_named():
+    """Same configuration from different spaces -> identical spec."""
+    point = {"trap_entry_cycles": 4, "window_count": 0, "software_tlb": False}
+    a = tiny_space().materialize(point)
+    other = DesignSpace(
+        name="other",
+        dimensions=(
+            Dimension("software_tlb", (False,)),
+            Dimension("window_count", (0,)),
+            Dimension("trap_entry_cycles", (4, 8)),
+        ),
+    )
+    b = other.materialize(point)
+    assert a.name == b.name  # same content digest -> same engine cache keys
+    assert a == b
+
+
+def test_space_construction_validates_eagerly():
+    with pytest.raises(ValueError, match="power-of-two"):
+        DesignSpace("bad", (Dimension("tlb_entries", (48,)),))
+    with pytest.raises(ValueError, match="non-negative"):
+        DesignSpace("bad", (Dimension("trap_entry_cycles", (-1,)),))
+    with pytest.raises(ValueError, match="window_count"):
+        DesignSpace("bad", (Dimension("window_count", (1,)),))
+    with pytest.raises(ValueError, match="unknown knob"):
+        DesignSpace("bad", (Dimension("warp_drive", (1,)),))
+    with pytest.raises(ValueError, match="duplicate dimension"):
+        DesignSpace("bad", (Dimension("software_tlb", (True,)),
+                            Dimension("software_tlb", (False,))))
+    with pytest.raises(ValueError, match="duplicate values"):
+        DesignSpace("bad", (Dimension("software_tlb", (True, True)),))
+    with pytest.raises(ValueError, match="requires a bool"):
+        DesignSpace("bad", (Dimension("software_tlb", (1,)),))
+
+
+def test_materialize_names_the_bad_knob():
+    space = tiny_space()
+    with pytest.raises(ValueError, match="invalid explore point"):
+        space.materialize({"trap_entry_cycles": -3, "window_count": 0,
+                           "software_tlb": False})
+
+
+def test_fingerprint_tracks_content():
+    assert tiny_space().fingerprint == tiny_space().fingerprint
+    assert tiny_space().fingerprint != mechanisms_space().fingerprint
+
+
+def test_baseline_spec_is_valid_and_neutral():
+    spec = baseline_spec()
+    assert spec.windows is None
+    assert spec.pipeline.exposed is False
+    assert spec.tlb.software_managed is False
+
+
+def test_every_knob_materializes_from_baseline():
+    """Each knob applies cleanly to the baseline at a sane value."""
+    samples = {
+        "trap_entry_cycles": 12, "trap_exit_extra_cycles": 2,
+        "window_count": 8, "write_buffer_depth": 6,
+        "tlb_entries": 32, "cache_lines": 512, "cache_line_bytes": 32,
+        "software_tlb": True, "tlb_tags": False, "pipeline_exposed": True,
+        "atomic_tas": False, "cache_virtual": True,
+    }
+    assert set(samples) == set(KNOBS)
+    for name, value in samples.items():
+        space = DesignSpace(f"one_{name}", (Dimension(name, (value,)),))
+        spec = space.materialize({name: value})
+        assert isinstance(spec, ArchSpec)
+
+
+def test_describe_space_mentions_every_dimension():
+    space = mechanisms_space()
+    text = describe_space(space)
+    for dim in space.dimensions:
+        assert dim.knob in text
+    assert "96 points" in text

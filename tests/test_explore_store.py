@@ -1,0 +1,81 @@
+"""ResultStore: persistence, resume, and corruption tolerance."""
+
+import json
+
+from repro.explore.store import STORE_SCHEMA_VERSION, ResultStore, trial_key
+
+
+def _record(n):
+    return {"objectives": {"trap_us": float(n)}, "schema_digest": f"d{n % 2}"}
+
+
+def test_trial_key_is_content_addressed():
+    a = trial_key("md1", "spec1", "schema1")
+    assert a == trial_key("md1", "spec1", "schema1")
+    assert a != trial_key("md2", "spec1", "schema1")
+    assert a != trial_key("md1", "spec2", "schema1")
+    assert a != trial_key("md1", "spec1", "schema2")
+
+
+def test_memory_store_roundtrip():
+    store = ResultStore()
+    assert len(store) == 0
+    store.put("k1", _record(1))
+    assert "k1" in store
+    assert store.get("k1")["objectives"] == {"trap_us": 1.0}
+    assert store.get("missing") is None
+
+
+def test_jsonl_store_persists_and_reloads(tmp_path):
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    store.put("k1", _record(1))
+    store.put("k2", _record(2))
+
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 2
+    assert reloaded.get("k2")["objectives"] == {"trap_us": 2.0}
+    assert reloaded.skipped_lines == 0
+
+
+def test_reload_skips_garbage_and_foreign_schemas(tmp_path):
+    path = tmp_path / "trials.jsonl"
+    good = {"schema": STORE_SCHEMA_VERSION, "key": "ok", "objectives": {}}
+    lines = [
+        "not json at all",
+        json.dumps({"schema": 999, "key": "future"}),
+        json.dumps(["a", "list"]),
+        json.dumps({"schema": STORE_SCHEMA_VERSION}),  # no key
+        json.dumps(good),
+        "",
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    store = ResultStore(str(path))
+    assert len(store) == 1
+    assert "ok" in store
+    assert store.skipped_lines == 4
+
+
+def test_duplicate_keys_last_append_wins(tmp_path):
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    store.put("k", _record(1))
+    store.put("k", _record(2))
+    assert len(store) == 1
+    reloaded = ResultStore(path)
+    assert reloaded.get("k")["objectives"] == {"trap_us": 2.0}
+
+
+def test_unreadable_path_behaves_as_empty(tmp_path):
+    store = ResultStore(str(tmp_path / "no" / "such" / "dir" / "x.jsonl"))
+    assert len(store) == 0
+    store.put("k", _record(1))  # best-effort append must not raise
+    assert "k" in store  # in-memory still works
+
+
+def test_schema_digest_partitioning():
+    store = ResultStore()
+    for n in range(4):
+        store.put(f"k{n}", _record(n))
+    assert store.schema_digests() == ["d0", "d1"]
+    assert [r["key"] for r in store.records_for_schema("d0")] == ["k0", "k2"]

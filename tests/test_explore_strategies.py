@@ -1,0 +1,142 @@
+"""Search strategies: budgets, determinism, halving convergence."""
+
+import pytest
+
+from repro.explore.space import mechanisms_space, tiny_space
+from repro.explore.strategies import (
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+    make_strategy,
+)
+
+
+class RecordingEvaluator:
+    """Scores points by index (lower is better) and logs generations."""
+
+    def __init__(self, budget=None):
+        self.generations = []
+        self.budget = budget
+        self.spent = 0
+
+    def __call__(self, indices):
+        indices = list(indices)
+        if self.budget is not None:
+            indices = indices[: max(0, self.budget - self.spent)]
+        self.spent += len(indices)
+        self.generations.append(indices)
+        return [{"score": float(i + 1)} for i in indices]
+
+    @property
+    def trials(self):
+        return [i for gen in self.generations for i in gen]
+
+
+def test_grid_enumerates_in_index_order():
+    space = tiny_space()
+    ev = RecordingEvaluator()
+    GridSearch().run(space, ev, seed=0)
+    assert ev.trials == list(range(space.size))
+
+
+def test_grid_respects_budget():
+    ev = RecordingEvaluator()
+    GridSearch(budget=3).run(tiny_space(), ev, seed=0)
+    assert ev.trials == [0, 1, 2]
+
+
+def test_random_samples_without_replacement():
+    space = mechanisms_space()
+    ev = RecordingEvaluator()
+    RandomSearch(budget=24).run(space, ev, seed=5)
+    assert len(ev.trials) == 24
+    assert len(set(ev.trials)) == 24
+    assert all(0 <= i < space.size for i in ev.trials)
+
+
+def test_random_budget_capped_by_space():
+    ev = RecordingEvaluator()
+    RandomSearch(budget=1000).run(tiny_space(), ev, seed=0)
+    assert sorted(ev.trials) == list(range(tiny_space().size))
+
+
+def test_random_same_seed_same_trial_sequence():
+    """Satellite: same seed + same space => identical trial sequence."""
+    space = mechanisms_space()
+    runs = []
+    for _ in range(2):
+        ev = RecordingEvaluator()
+        RandomSearch(budget=16).run(space, ev, seed=42)
+        runs.append(ev.trials)
+    assert runs[0] == runs[1]
+
+
+def test_random_different_seed_different_sequence():
+    space = mechanisms_space()
+    sequences = []
+    for seed in (0, 1):
+        ev = RecordingEvaluator()
+        RandomSearch(budget=16).run(space, ev, seed=seed)
+        sequences.append(ev.trials)
+    assert sequences[0] != sequences[1]
+
+
+def test_random_seed_is_space_scoped():
+    """The RNG mixes in the space fingerprint, not just the seed."""
+    a, b = RecordingEvaluator(), RecordingEvaluator()
+    RandomSearch(budget=6).run(tiny_space(), a, seed=3)
+    RandomSearch(budget=6).run(mechanisms_space(), b, seed=3)
+    assert a.trials != b.trials
+
+
+def test_halving_converges_to_best_point():
+    space = mechanisms_space()
+    ev = RecordingEvaluator()
+    SuccessiveHalving(budget=30).run(space, ev, seed=9)
+    # each rung keeps the best 1/eta; with index-as-score the rung
+    # minimum is monotone and the final survivor is the cohort minimum.
+    assert len(ev.generations) > 1
+    cohort = ev.generations[0]
+    assert ev.generations[-1] == [min(cohort)]
+    for earlier, later in zip(ev.generations, ev.generations[1:]):
+        assert set(later) <= set(earlier)
+        assert len(later) <= max(1, len(earlier) // 2)
+
+
+def test_halving_respects_budget():
+    ev = RecordingEvaluator()
+    SuccessiveHalving(budget=20).run(mechanisms_space(), ev, seed=0)
+    assert len(ev.trials) <= 20
+
+
+def test_halving_stops_on_truncated_generation():
+    """A short evaluate() return means the runner's budget ran dry."""
+    ev = RecordingEvaluator(budget=5)
+    SuccessiveHalving(budget=30).run(mechanisms_space(), ev, seed=0)
+    assert ev.spent == 5
+
+
+def test_halving_deterministic_across_runs():
+    runs = []
+    for _ in range(2):
+        ev = RecordingEvaluator()
+        SuccessiveHalving(budget=24).run(mechanisms_space(), ev, seed=11)
+        runs.append(ev.generations)
+    assert runs[0] == runs[1]
+
+
+def test_strategy_registry():
+    assert isinstance(make_strategy("grid"), GridSearch)
+    assert isinstance(make_strategy("random", 10), RandomSearch)
+    assert isinstance(make_strategy("HALVING", 10), SuccessiveHalving)
+    with pytest.raises(KeyError):
+        make_strategy("annealing")
+
+
+def test_strategy_rejects_bad_budgets():
+    with pytest.raises(ValueError):
+        GridSearch(budget=0)
+    with pytest.raises(ValueError):
+        RandomSearch(budget=0)
+    with pytest.raises(ValueError):
+        SuccessiveHalving(budget=5, eta=1)

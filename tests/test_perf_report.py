@@ -1,0 +1,74 @@
+"""scripts/perf_report.py must tolerate missing/partial snapshots."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "perf_report.py"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location("perf_report", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("perf_report", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+perf_report = _load_module()
+
+
+def test_load_snapshot_missing_file(tmp_path):
+    assert perf_report.load_snapshot(str(tmp_path / "absent.json")) is None
+
+
+def test_load_snapshot_corrupt_json(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text("{truncated", encoding="utf-8")
+    assert perf_report.load_snapshot(str(path)) is None
+
+
+def test_load_snapshot_non_object(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    assert perf_report.load_snapshot(str(path)) is None
+
+
+def test_load_snapshot_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    snapshot = {"schema": 1, "timings_ms": {"tables_cold": 50.0}}
+    path.write_text(json.dumps(snapshot), encoding="utf-8")
+    assert perf_report.load_snapshot(str(path)) == snapshot
+
+
+def test_delta_summary_none_previous():
+    assert perf_report.delta_summary({"timings_ms": {"x": 1.0}}, None) == []
+
+
+def test_delta_summary_computes_percentages():
+    previous = {"timings_ms": {"tables_cold": 100.0},
+                "speedups": {"warm_tables": 4.0}}
+    current = {"timings_ms": {"tables_cold": 50.0},
+               "speedups": {"warm_tables": 8.0}}
+    lines = perf_report.delta_summary(current, previous)
+    assert any("tables_cold: 100.0 -> 50.0 (-50.0%)" in ln for ln in lines)
+    assert any("warm_tables: 4.0 -> 8.0 (+100.0%)" in ln for ln in lines)
+
+
+def test_delta_summary_tolerates_partial_previous():
+    """Keys/sections missing on either side are skipped, never raised."""
+    previous = {"timings_ms": {"only_old": 5.0, "shared": 2.0, "zero": 0.0,
+                               "text": "n/a"}}
+    current = {"timings_ms": {"only_new": 1.0, "shared": 4.0, "zero": 3.0,
+                              "text": 1.0},
+               "speedups": {"warm_tables": 3.0}}
+    lines = perf_report.delta_summary(current, previous)
+    assert lines == ["timings_ms.shared: 2.0 -> 4.0 (+100.0%)"]
+
+
+def test_delta_summary_tolerates_malformed_sections():
+    assert perf_report.delta_summary(
+        {"timings_ms": {"a": 1.0}}, {"timings_ms": "oops"}) == []
+    assert perf_report.delta_summary(
+        {"timings_ms": "oops"}, {"timings_ms": {"a": 1.0}}) == []
