@@ -3,7 +3,9 @@
 
 Times full-table regeneration cold (fresh engine), warm (memoized), and
 parallel (SweepRunner fan-out), plus the scalar/batched/cached trace
-replay ladder, and writes the result to ``BENCH_engine.json``::
+replay ladder and the serving layer's coalesce/shed/drain contracts
+with closed-loop latency, and writes the result to
+``BENCH_engine.json``::
 
     PYTHONPATH=src python scripts/perf_report.py            # full snapshot
     PYTHONPATH=src python scripts/perf_report.py --quick    # CI smoke
@@ -172,6 +174,18 @@ def main(argv=None) -> int:
     timings["obs_executor_disabled"] = probe["instrumented_ms"]
     checks["obs_loops_identical"] = probe["identical"]
 
+    # --- serving layer: coalesce/shed/drain contracts + load latency ---
+    import asyncio
+
+    from repro.serve.loadgen import run_bench
+
+    serve_bench = asyncio.run(run_bench(quick=args.quick))
+    serve_load = serve_bench["scenarios"]["load"]
+    timings["serve_closed_p50_ms"] = serve_load["closed"]["latency_ms"]["p50"]
+    timings["serve_closed_p99_ms"] = serve_load["closed"]["latency_ms"]["p99"]
+    for name, ok in serve_bench["checks"].items():
+        checks[f"serve_{name}"] = ok
+
     with obs.capture() as capture:
         runner.render_all(engine=ExperimentEngine())
     window = capture.metrics()
@@ -212,6 +226,15 @@ def main(argv=None) -> int:
             "probe_program": probe["program"],
             "spans_per_cold_render_all": len(capture.spans),
             "metric_totals": metric_totals,
+        },
+        "serve": {
+            "coalesce_rate_identical": serve_bench["scenarios"]["coalesce"][
+                "coalesce_rate"],
+            "shed_rate_under_load": serve_load["shed_rate"],
+            "closed_loop_throughput_rps": serve_load["closed"][
+                "throughput_rps"],
+            "closed_loop_latency_ms": serve_load["closed"]["latency_ms"],
+            "open_loop_latency_ms": serve_load["open"]["latency_ms"],
         },
     }
 

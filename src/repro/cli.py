@@ -19,6 +19,8 @@
     repro explore run --strategy halving --budget 32 --store trials.jsonl
     repro explore frontier --store trials.jsonl
     repro explore show --store trials.jsonl
+    repro serve run --port 8023               # simulation-as-a-service
+    repro serve bench --out BENCH_serve.json  # serving-discipline benchmark
 
 Also exposed as ``python -m repro``.
 """
@@ -396,6 +398,66 @@ def _cmd_explore_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+
+    try:
+        asyncio.run(serve_forever(_serve_config(args)))
+    except KeyboardInterrupt:
+        # The signal handler normally wins and drains; a second ^C
+        # lands here after asyncio.run has already torn down.
+        pass
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import run_bench, write_snapshot
+
+    snapshot = asyncio.run(run_bench(quick=args.quick, seed=args.seed))
+    write_snapshot(snapshot, args.out)
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    scenarios = snapshot["scenarios"]
+    closed = scenarios["load"]["closed"]
+    print(f"\nwrote {args.out}")
+    print(f"coalesce: {scenarios['coalesce']['coalesced']} of "
+          f"{scenarios['coalesce']['requests']} requests coalesced onto "
+          f"{scenarios['coalesce']['executions']} execution(s)")
+    print(f"shed: {scenarios['shed']['shed']} of {scenarios['shed']['burst']} "
+          f"burst requests refused (peak pending "
+          f"{scenarios['shed']['peak_pending']}/{scenarios['shed']['max_pending']})")
+    print(f"drain: {scenarios['drain']['completed']} completed + "
+          f"{scenarios['drain']['refused']} refused of "
+          f"{scenarios['drain']['issued']} issued, "
+          f"{scenarios['drain']['unanswered']} unanswered")
+    print(f"closed-loop: {closed['throughput_rps']} req/s, "
+          f"p50 {closed['latency_ms']['p50']} ms, "
+          f"p99 {closed['latency_ms']['p99']} ms")
+    failed = sorted(name for name, ok in snapshot["checks"].items() if not ok)
+    if failed:
+        print(f"FAIL: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -539,6 +601,50 @@ def build_parser() -> argparse.ArgumentParser:
     show = explore_sub.add_parser("show", help="list a store's trials")
     show.add_argument("--store", required=True, metavar="PATH")
     show.set_defaults(func=_cmd_explore_show)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve measurements over HTTP (simulation-as-a-service)",
+        description="Run the asyncio JSON-over-HTTP server that exposes "
+        "measure, table, arch describe and explore frontier as endpoints, "
+        "with request coalescing, micro-batching, admission control and "
+        "graceful drain — or benchmark those disciplines with the "
+        "deterministic load generator.",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="start the server (SIGINT/SIGTERM drain gracefully)")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=8023,
+                           help="TCP port (0 picks an ephemeral port)")
+    serve_run.add_argument("--max-pending", type=_positive_int, default=64,
+                           metavar="N",
+                           help="admission-control bound; past it requests "
+                           "shed with 429 (default: 64)")
+    serve_run.add_argument("--batch-window-ms", type=float, default=2.0,
+                           metavar="MS",
+                           help="micro-batch collection window (default: 2)")
+    serve_run.add_argument("--max-batch", type=_positive_int, default=16,
+                           metavar="N",
+                           help="flush a batch early at this size (default: 16)")
+    serve_run.add_argument("--workers", type=_positive_int, default=2,
+                           metavar="N",
+                           help="executor threads running batches (default: 2)")
+    serve_run.add_argument("--deadline-ms", type=float, default=None,
+                           metavar="MS",
+                           help="default per-request deadline (default: none)")
+    serve_run.set_defaults(func=_cmd_serve_run)
+
+    serve_bench = serve_sub.add_parser(
+        "bench",
+        help="benchmark the serving disciplines and write BENCH_serve.json")
+    serve_bench.add_argument("--out", default="BENCH_serve.json", metavar="PATH")
+    serve_bench.add_argument("--seed", type=int, default=0,
+                             help="load-mix seed (default: 0)")
+    serve_bench.add_argument("--quick", action="store_true",
+                             help="smaller load scenario (CI smoke)")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

@@ -37,6 +37,7 @@ import functools
 import hashlib
 import json
 import os
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -219,41 +220,52 @@ def result_from_dict(payload: Mapping[str, Any]) -> ExecutionResult:
 # ----------------------------------------------------------------------
 
 class LRUCache:
-    """A bounded mapping with least-recently-used eviction."""
+    """A bounded mapping with least-recently-used eviction.
+
+    Thread-safe: the serving layer probes and fills one shared cache
+    from a pool of worker threads, so every access that touches the
+    recency order runs under an internal lock.
+    """
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self.evictions = 0
+        self._lock = threading.RLock()
         self._data: "OrderedDict[str, Any]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: str) -> Optional[Any]:
-        try:
-            self._data.move_to_end(key)
-        except KeyError:
-            return None
-        return self._data[key]
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
 
     def put(self, key: str, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            if _OBS.metrics_on:
-                _METRICS.counter(
-                    "engine_lru_evictions_total",
-                    "experiments evicted from the in-memory LRU").inc()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                if _OBS.metrics_on:
+                    _METRICS.counter(
+                        "engine_lru_evictions_total",
+                        "experiments evicted from the in-memory LRU").inc()
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 class DiskCache:
@@ -291,12 +303,19 @@ class DiskCache:
 
     def put(self, key: str, value: Dict[str, Any]) -> None:
         path = self._path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        tmp = f"{path}.tmp.{os.getpid()}-{threading.get_ident()}"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump({"schema": CACHE_SCHEMA_VERSION, "value": value}, fh)
             os.replace(tmp, path)
         except OSError:
+            # A full disk or revoked permissions silently degrades the
+            # cache to memory-only; count the drop so it is visible,
+            # mirroring the corrupt-entry counter on the read side.
+            if _OBS.metrics_on:
+                _METRICS.counter(
+                    "engine_disk_write_failed_total",
+                    "disk-cache writes dropped on OSError").inc()
             try:
                 os.unlink(tmp)
             except OSError:
@@ -392,6 +411,15 @@ class SweepRunner:
 class ExperimentEngine:
     """Memoized execution of handler programs and trace replays.
 
+    Thread-safe: the serving layer shares one engine across a worker
+    pool, so cache state (LRU, memo table, hit/miss counters) is
+    guarded by a lock.  Executions themselves run outside the lock —
+    two threads racing on one cold key may both simulate, but they
+    produce identical results (executions are pure functions of frozen
+    descriptions) and the second store is a harmless overwrite; the
+    cache is never corrupted and callers never block behind another
+    thread's simulation.
+
     Parameters
     ----------
     cache_size:
@@ -406,6 +434,7 @@ class ExperimentEngine:
         self._lru = LRUCache(cache_size)
         self._disk = DiskCache(disk_cache_dir) if disk_cache_dir else None
         self._memo: Dict[str, Any] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -424,7 +453,8 @@ class ExperimentEngine:
         key = experiment_key(arch, program, drain_write_buffer)
         payload = self._lookup(key)
         if payload is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             if _OBS.metrics_on:
                 _METRICS.counter(
                     "engine_cache_misses_total",
@@ -434,7 +464,8 @@ class ExperimentEngine:
             payload = result_to_dict(result)
             self._store(key, payload)
             return result
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         if _OBS.metrics_on:
             _METRICS.counter(
                 "engine_cache_hits_total",
@@ -501,11 +532,13 @@ class ExperimentEngine:
         )
         payload = self._lookup(key)
         if payload is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             stats = replay_trace_batched(tlb_spec, config)
             self._store(key, dataclasses.asdict(stats))
             return stats
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return TraceStats(**payload)
 
     # -- arbitrary derived computations ---------------------------------
@@ -515,12 +548,15 @@ class ExperimentEngine:
     def memo_get(self, key_parts: Iterable[Any]) -> "tuple[bool, Any]":
         """Probe the memo store: (found, value)."""
         key = self._memo_key(key_parts)
-        if key in self._memo:
-            return True, self._memo[key]
+        with self._lock:
+            if key in self._memo:
+                return True, self._memo[key]
         return False, None
 
     def memo_put(self, key_parts: Iterable[Any], value: Any) -> None:
-        self._memo[self._memo_key(key_parts)] = value
+        key = self._memo_key(key_parts)
+        with self._lock:
+            self._memo[key] = value
 
     def memo(self, key_parts: Iterable[Any], fn: Callable[[], T]) -> T:
         """Memoize ``fn()`` under a content key (memory only).
@@ -528,15 +564,20 @@ class ExperimentEngine:
         ``key_parts`` should contain everything the computation depends
         on — typically spec/program fingerprints plus literals.  Values
         are returned by reference; callers must treat them as frozen.
+        ``fn`` runs outside the lock (a slow computation must not
+        serialize unrelated probes); racing threads on one cold key
+        both compute, and the first store wins so every caller sees one
+        value.
         """
         key = self._memo_key(key_parts)
-        if key in self._memo:
-            self.hits += 1
-            return self._memo[key]
-        self.misses += 1
+        with self._lock:
+            if key in self._memo:
+                self.hits += 1
+                return self._memo[key]
+            self.misses += 1
         value = fn()
-        self._memo[key] = value
-        return value
+        with self._lock:
+            return self._memo.setdefault(key, value)
 
     # -- plumbing --------------------------------------------------------
     def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
@@ -557,14 +598,16 @@ class ExperimentEngine:
 
     def clear(self) -> None:
         """Drop the in-memory caches (the disk cache is left intact)."""
-        self._lru.clear()
-        self._memo.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._lru.clear()
+            self._memo.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def cached_experiments(self) -> int:
-        return len(self._lru) + len(self._memo)
+        with self._lock:
+            return len(self._lru) + len(self._memo)
 
 
 # ----------------------------------------------------------------------
@@ -572,6 +615,7 @@ class ExperimentEngine:
 # ----------------------------------------------------------------------
 
 _DEFAULT: Optional[ExperimentEngine] = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def default_engine() -> ExperimentEngine:
@@ -579,10 +623,15 @@ def default_engine() -> ExperimentEngine:
 
     Honors ``REPRO_CACHE_DIR`` for an on-disk cache; unset keeps the
     cache memory-only (the common case for tests and one-shot CLI use).
+    Safe to call from concurrent threads: lazy creation is locked so
+    every caller sees the same engine.
     """
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = ExperimentEngine(disk_cache_dir=os.environ.get("REPRO_CACHE_DIR"))
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = ExperimentEngine(
+                    disk_cache_dir=os.environ.get("REPRO_CACHE_DIR"))
     return _DEFAULT
 
 

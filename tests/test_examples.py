@@ -19,6 +19,8 @@ CASES = {
     "reproduce_paper.py": ["Table 7", "In-text claims", "proposals"],
     "explore_osfriendly.py": ["mechanisms", "Pareto frontier", "osfriendly",
                               "rediscovers the OS-friendly direction"],
+    "serve_client.py": ["serving on http://", "null syscall",
+                        "coalesced onto one engine execution", "drained"],
 }
 
 

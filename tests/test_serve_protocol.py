@@ -1,0 +1,157 @@
+"""Protocol-layer tests: validation, content keys, the outcome envelope."""
+
+import pytest
+
+from repro.serve.protocol import (
+    ENDPOINTS,
+    ROUTES,
+    ServeError,
+    coalesce_key,
+    execute_one,
+)
+
+
+def test_every_endpoint_is_routed():
+    assert set(ROUTES) == {"/v1/measure", "/v1/table", "/v1/arch/describe",
+                           "/v1/explore/frontier"}
+    for endpoint in ENDPOINTS.values():
+        assert ROUTES[endpoint.path] is endpoint
+
+
+@pytest.mark.parametrize("params", [
+    None, [], "r3000", 7,
+    {"arch": None}, {"arch": ""}, {"arch": 3}, {"arch": "alpha"},
+    {"arch": "r3000", "nonce": 1.5},
+])
+def test_measure_validation_rejects(params):
+    with pytest.raises(ServeError) as excinfo:
+        ENDPOINTS["measure"].validate(params)
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "bad_request"
+    assert excinfo.value.payload()["error"] == "bad_request"
+
+
+@pytest.mark.parametrize("params", [
+    {}, {"number": "2"}, {"number": True}, {"number": 0}, {"number": 9},
+])
+def test_table_validation_rejects(params):
+    with pytest.raises(ServeError) as excinfo:
+        ENDPOINTS["table"].validate(params)
+    assert excinfo.value.status == 400
+
+
+@pytest.mark.parametrize("params", [
+    {}, {"store": 3}, {"store": "x.jsonl", "objectives": "os_lag"},
+    {"store": "x.jsonl", "objectives": ["not_an_objective"]},
+    {"store": "x.jsonl", "objectives": [1, 2]},
+])
+def test_explore_frontier_validation_rejects(params):
+    with pytest.raises(ServeError) as excinfo:
+        ENDPOINTS["explore_frontier"].validate(params)
+    assert excinfo.value.status == 400
+
+
+def test_validation_normalizes_and_drops_unknown_fields():
+    normalized = ENDPOINTS["measure"].validate(
+        {"arch": "r3000", "extra": "ignored"})
+    assert normalized == {"arch": "r3000"}
+    with_nonce = ENDPOINTS["measure"].validate({"arch": "r3000", "nonce": 7})
+    assert with_nonce == {"arch": "r3000", "nonce": 7}
+
+
+def test_coalesce_keys_are_content_addressed():
+    measure = ENDPOINTS["measure"]
+    a = coalesce_key(measure, measure.validate({"arch": "r3000"}))
+    b = coalesce_key(measure, measure.validate({"arch": "r3000"}))
+    c = coalesce_key(measure, measure.validate({"arch": "sparc"}))
+    assert a == b
+    assert a != c
+
+
+def test_nonce_defeats_coalescing_key():
+    measure = ENDPOINTS["measure"]
+    base = coalesce_key(measure, {"arch": "r3000"})
+    nonced = coalesce_key(measure, {"arch": "r3000", "nonce": 0})
+    other = coalesce_key(measure, {"arch": "r3000", "nonce": 1})
+    assert len({base, nonced, other}) == 3
+
+
+def test_keys_differ_across_endpoints_with_same_params():
+    measure = ENDPOINTS["measure"]
+    describe = ENDPOINTS["arch_describe"]
+    assert (coalesce_key(measure, {"arch": "r3000"})
+            != coalesce_key(describe, {"name": "r3000"}))
+
+
+def test_execute_one_measure_payload():
+    outcome = execute_one(("measure", {"arch": "r3000"}))
+    assert outcome["ok"]
+    value = outcome["value"]
+    assert value["arch"] == "r3000"
+    assert set(value["times_us"]) == {"null_syscall", "trap", "pte_change",
+                                      "context_switch"}
+    assert all(t > 0 for t in value["times_us"].values())
+    assert value["instructions"]["null_syscall"] > 0
+
+
+def test_execute_one_table_matches_cli_render():
+    from repro.analysis.runner import render_table
+
+    outcome = execute_one(("table", {"number": 2}))
+    assert outcome["ok"]
+    assert outcome["value"]["text"] == render_table(2)
+
+
+def test_execute_one_describe_payload():
+    outcome = execute_one(("arch_describe", {"name": "sparc"}))
+    assert outcome["ok"]
+    value = outcome["value"]
+    assert value["name"] == "sparc"
+    assert "register windows" in value["description"]
+    assert value["primitives"]["context_switch"]["instructions"] > 0
+
+
+def test_execute_one_frontier_reads_store(tmp_path):
+    from repro.core.engine import ExperimentEngine, default_engine, set_default_engine
+    from repro.explore import ExploreRunner, ResultStore, tiny_space
+
+    store_path = str(tmp_path / "trials.jsonl")
+    previous = default_engine()
+    set_default_engine(ExperimentEngine())
+    try:
+        ExploreRunner(tiny_space(), store=ResultStore(store_path)).run(seed=0)
+    finally:
+        set_default_engine(previous)
+    outcome = execute_one(("explore_frontier", {"store": store_path}))
+    assert outcome["ok"]
+    value = outcome["value"]
+    assert value["trials"] > 0
+    assert value["frontier"], "expected a non-empty frontier"
+    assert all(set(row) == {"arch_name", "objectives", "point"}
+               for row in value["frontier"])
+
+
+def test_execute_one_frontier_empty_store(tmp_path):
+    outcome = execute_one(
+        ("explore_frontier", {"store": str(tmp_path / "none.jsonl")}))
+    assert outcome["ok"]
+    assert outcome["value"]["trials"] == 0
+    assert outcome["value"]["frontier"] == []
+
+
+def test_execute_one_envelopes_unknown_endpoint_and_failure():
+    unknown = execute_one(("nope", {}))
+    assert not unknown["ok"] and unknown["status"] == 400
+    # A worker-level explosion is enveloped, never raised.
+    broken = execute_one(("table", {"number": "not-validated"}))
+    assert not broken["ok"]
+    assert broken["status"] == 500
+    assert broken["code"] == "internal"
+
+
+def test_serve_error_payload_shapes():
+    err = ServeError(429, "overloaded", "full", retry_after_s=0.05)
+    assert err.payload() == {"error": "overloaded", "message": "full",
+                             "retry_after_s": 0.05}
+    plain = ServeError(503, "draining", "bye")
+    assert "retry_after_s" not in plain.payload()
