@@ -1,22 +1,40 @@
 """Experiment-engine benchmarks: memoization, batching, fan-out.
 
-Three timings bracket the engine's value:
+Four timings bracket the engine's value:
 
 * cold — a fresh engine regenerates all seven tables from scratch;
 * warm — the same engine regenerates them from the content-addressed
   cache (this is the trajectory number ``scripts/perf_report.py``
   snapshots into ``BENCH_engine.json``);
 * batched replay — the burst-schedule TLB replay against the scalar
-  reference loop.
+  reference loop;
+* compiled cold grid — the full executor workload of a cold
+  mechanisms-grid sweep through the compiled batch path against the
+  interpreter (the ``compiled_cold_grid`` snapshot number).
 
 Each benchmark also asserts the correctness contract it depends on:
-cached output equals direct output, batched equals scalar.
+cached output equals direct output, batched equals scalar, compiled
+bit-identical to interpreted.
 """
 
 from repro.analysis import runner
 from repro.arch.registry import get_arch
 from repro.core.engine import ExperimentEngine
 from repro.core.tracing import TraceConfig, replay_trace, replay_trace_batched
+
+
+def _grid_jobs():
+    """Every executor job a cold mechanisms-grid sweep generates."""
+    from repro.core.microbench import measurement_jobs
+    from repro.explore.space import mechanisms_space
+
+    space = mechanisms_space()
+    return [
+        (spec, program, drain)
+        for _, point in space.points()
+        for spec in (space.materialize(point),)
+        for program, drain in measurement_jobs(spec)
+    ]
 
 
 def bench_engine_tables_cold(benchmark, show):
@@ -76,3 +94,35 @@ def bench_replay_scalar_reference(benchmark, show):
     tlb = get_arch("cvax").tlb
     stats = benchmark(lambda: replay_trace(tlb, TraceConfig()))
     show("Engine: scalar replay baseline", f"{stats.references:,} references")
+
+
+def bench_compiled_grid(benchmark, show):
+    """Compiled batch execution of the cold grid; pinned bit-identical."""
+    from repro.core.engine import result_to_dict
+    from repro.isa.compiled import run_grid
+    from repro.isa.executor import run_on
+
+    jobs = _grid_jobs()
+    reference = [
+        result_to_dict(run_on(spec, program, drain_write_buffer=drain))
+        for spec, program, drain in jobs
+    ]
+
+    results = benchmark(lambda: run_grid(jobs))
+    assert [result_to_dict(r) for r in results] == reference
+    show("Engine: compiled grid sweep",
+         f"{len(jobs)} executor jobs over {len({id(s) for s, _, _ in jobs})} "
+         "design points (bit-identical to the interpreter)")
+
+
+def bench_interpreted_grid_reference(benchmark, show):
+    """The interpreter on the same grid workload, kept as the baseline."""
+    from repro.isa.executor import run_on
+
+    jobs = _grid_jobs()
+    results = benchmark(lambda: [
+        run_on(spec, program, drain_write_buffer=drain)
+        for spec, program, drain in jobs
+    ])
+    assert len(results) == len(jobs)
+    show("Engine: interpreted grid baseline", f"{len(jobs)} executor jobs")

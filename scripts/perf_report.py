@@ -2,18 +2,23 @@
 """Emit a machine-readable performance snapshot of the experiment engine.
 
 Times full-table regeneration cold (fresh engine), warm (memoized), and
-parallel (SweepRunner fan-out), plus the scalar/batched/cached trace
-replay ladder and the serving layer's coalesce/shed/drain contracts
-with closed-loop latency, and writes the result to
-``BENCH_engine.json``::
+parallel (SweepRunner fan-out), the scalar/batched/cached trace replay
+ladder, the compiled-executor cold path over the mechanisms design
+grid, and the serving layer's coalesce/shed/drain contracts with
+closed-loop latency.  Writes two snapshots: ``BENCH_engine.json``
+(engine + compiled + explore + obs) and ``BENCH_serve.json`` (the
+serving scenarios, same shape as ``repro serve bench --out``)::
 
     PYTHONPATH=src python scripts/perf_report.py            # full snapshot
     PYTHONPATH=src python scripts/perf_report.py --quick    # CI smoke
 
 The JSON is a versioned schema so future PRs can diff trajectories:
 ``timings_ms`` holds best-of-N wall times, ``speedups`` the headline
-ratios (the repo pins ``warm_tables >= 3``), ``checks`` the
-correctness cross-checks the numbers are only valid under.
+ratios (the repo pins ``warm_tables >= 3`` and a 10x floor on
+``compiled_cold_grid``), ``checks`` the correctness cross-checks the
+numbers are only valid under.  Both output files are diffed against
+their previously committed contents, so a PR's perf delta is printed
+by just rerunning the script.
 """
 
 from __future__ import annotations
@@ -85,9 +90,47 @@ def delta_summary(current: "dict", previous: "dict | None") -> "list[str]":
     return lines
 
 
+def serve_delta_summary(current: "dict", previous: "dict | None") -> "list[str]":
+    """Timing/ratio deltas between two ``BENCH_serve.json`` snapshots.
+
+    The serve snapshot nests its numbers under scenarios, so the
+    comparable scalars are picked out explicitly; missing keys on
+    either side are skipped (older schemas still diff on what they
+    share).
+    """
+    if not previous:
+        return []
+
+    def pick(snapshot: "dict", path: "tuple[str, ...]"):
+        node = snapshot
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return node if isinstance(node, (int, float)) else None
+
+    tracked = {
+        "coalesce_rate": ("scenarios", "coalesce", "coalesce_rate"),
+        "shed_rate": ("scenarios", "load", "shed_rate"),
+        "closed_throughput_rps": ("scenarios", "load", "closed", "throughput_rps"),
+        "closed_p50_ms": ("scenarios", "load", "closed", "latency_ms", "p50"),
+        "closed_p99_ms": ("scenarios", "load", "closed", "latency_ms", "p99"),
+        "open_p50_ms": ("scenarios", "load", "open", "latency_ms", "p50"),
+        "open_p99_ms": ("scenarios", "load", "open", "latency_ms", "p99"),
+    }
+    lines: "list[str]" = []
+    for label, path in tracked.items():
+        a, b = pick(previous, path), pick(current, path)
+        if a is None or b is None or a == 0:
+            continue
+        lines.append(f"{label}: {a} -> {b} ({(b - a) / a * 100.0:+.1f}%)")
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--serve-output", default="BENCH_serve.json")
     parser.add_argument("--quick", action="store_true",
                         help="single repetition per measurement (CI smoke)")
     args = parser.parse_args(argv)
@@ -167,6 +210,80 @@ def main(argv=None) -> int:
         [t.spec_fingerprint for t in explore_resumed.frontier()]
         == [t.spec_fingerprint for t in explore_cold.frontier()])
 
+    # --- compiled executor: cold explore-grid fast path ----------------
+    # The gated workload: every executor job a cold sweep of the
+    # 96-point mechanisms grid generates (measure_primitives' 12 jobs
+    # per point), run once through the interpreter and once through the
+    # compiled batch path.  Lowering happens during handler synthesis
+    # (once per distinct stream, shared across points) exactly as a
+    # production cold `explore run` pays it; its marginal cost is
+    # measured separately below for transparency.
+    from repro.core.engine import result_to_dict, set_compiled_enabled
+    from repro.core.microbench import measurement_jobs
+    from repro.explore.space import mechanisms_space
+    from repro.isa.compiled import _ARTIFACT_ATTR, compile_program, run_grid
+    from repro.isa.executor import run_on
+
+    grid_space = mechanisms_space()
+    grid_jobs = [
+        (spec, program, drain)
+        for _, point in grid_space.points()
+        for spec in (grid_space.materialize(point),)
+        for program, drain in measurement_jobs(spec)
+    ]
+    interp_ms, interp_results = best_of(
+        1, lambda: [run_on(spec, program, drain_write_buffer=drain)
+                    for spec, program, drain in grid_jobs])
+    timings["compiled_grid_interpreted"] = interp_ms
+    first_ms, grid_results = best_of(1, lambda: run_grid(grid_jobs))
+    timings["compiled_grid_first"] = first_ms
+    steady_ms, steady_results = best_of(repeats, lambda: run_grid(grid_jobs))
+    timings["compiled_grid_steady"] = steady_ms
+    checks["compiled_grid_bit_identical"] = (
+        len(interp_results) == len(grid_results)
+        and all(
+            result_to_dict(a) == result_to_dict(b) == result_to_dict(c)
+            for a, b, c in zip(interp_results, grid_results, steady_results)))
+
+    # Marginal lowering cost: strip and re-lower each distinct stream
+    # once (what synthesis pays per structure on a cold run).
+    representatives = {}
+    for _, program, _ in grid_jobs:
+        representatives[id(compile_program(program))] = program
+    def relower():
+        for program in representatives.values():
+            if _ARTIFACT_ATTR in program.__dict__:
+                object.__delattr__(program, _ARTIFACT_ATTR)
+            compile_program(program)
+        return len(representatives)
+    lowering_ms, lowered_streams = best_of(1, relower)
+    timings["compiled_grid_lowering"] = lowering_ms
+
+    # End-to-end cold explore run, both modes, fresh engines each.
+    from repro.explore import ExploreRunner, ResultStore
+
+    def cold_explore():
+        set_default_engine(ExperimentEngine())
+        try:
+            return ExploreRunner(mechanisms_space(), store=ResultStore()).run(seed=0)
+        finally:
+            set_default_engine(previous_engine)
+
+    from repro.core.engine import compiled_enabled
+
+    was_compiled = compiled_enabled()
+    set_compiled_enabled(False)
+    try:
+        explore_interp_ms, explore_interp = best_of(1, cold_explore)
+    finally:
+        set_compiled_enabled(was_compiled)
+    explore_compiled_ms, explore_compiled = best_of(1, cold_explore)
+    timings["explore_grid_interpreted"] = explore_interp_ms
+    timings["explore_grid_compiled"] = explore_compiled_ms
+    checks["compiled_explore_identical"] = (
+        [(t.spec_fingerprint, t.objectives) for t in explore_interp.trials]
+        == [(t.spec_fingerprint, t.objectives) for t in explore_compiled.trials])
+
     # --- observability: disabled-path overhead + a metrics snapshot ----
     probe = measure_overhead(repeats=30 if args.quick else 150,
                              rounds=2 if args.quick else 5)
@@ -212,8 +329,28 @@ def main(argv=None) -> int:
             "cached_replay": round(
                 timings["replay_scalar"] / timings["replay_cached"], 2
             ),
+            "compiled_cold_grid": round(
+                timings["compiled_grid_interpreted"]
+                / timings["compiled_grid_first"], 2
+            ),
+            "compiled_steady_grid": round(
+                timings["compiled_grid_interpreted"]
+                / timings["compiled_grid_steady"], 2
+            ),
+            "compiled_explore_end_to_end": round(
+                timings["explore_grid_interpreted"]
+                / timings["explore_grid_compiled"], 2
+            ),
         },
         "checks": checks,
+        "compiled": {
+            "space": grid_space.name,
+            "points": len({id(spec) for spec, _, _ in grid_jobs}),
+            "jobs": len(grid_jobs),
+            "instructions": sum(len(p) for _, p, _ in grid_jobs),
+            "lowered_streams": lowered_streams,
+            "lowering_ms": round(lowering_ms, 3),
+        },
         "explore": {
             "space": explore_cold.space.name,
             "trials": explore_cold.stats.trials,
@@ -243,16 +380,34 @@ def main(argv=None) -> int:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
+    previous_serve = load_snapshot(args.serve_output)
+    with open(args.serve_output, "w", encoding="utf-8") as fh:
+        json.dump(serve_bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
     print(json.dumps(snapshot, indent=2, sort_keys=True))
     deltas = delta_summary(snapshot, previous)
     if deltas:
         print("\ndeltas vs previous snapshot:")
         for line in deltas:
             print(f"  {line}")
+    serve_deltas = serve_delta_summary(serve_bench, previous_serve)
+    if serve_deltas:
+        print(f"\nserve deltas vs previous {args.serve_output}:")
+        for line in serve_deltas:
+            print(f"  {line}")
     ok = all(checks.values())
     if not ok:
         print("FAIL: correctness cross-checks did not hold", file=sys.stderr)
         return 1
+    if snapshot["speedups"]["compiled_cold_grid"] < 10.0:
+        # Advisory here; the hard >=10x gate lives in the CI engine-bench
+        # job against a freshly generated snapshot.
+        print(
+            "WARN: compiled cold-grid speedup at "
+            f"{snapshot['speedups']['compiled_cold_grid']}x (target >= 10x)",
+            file=sys.stderr,
+        )
     if snapshot["speedups"]["warm_tables"] < 3.0:
         print(
             "WARN: warm-cache table regeneration below the 3x trajectory floor",

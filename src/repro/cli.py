@@ -490,6 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the obs metrics registry for the run and print a "
         "Prometheus-format dump after the command",
     )
+    parser.add_argument(
+        "--compiled",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the compiled executor fast path on (--compiled) or "
+        "off (--no-compiled); default follows REPRO_COMPILED (on). The "
+        "interpreter remains the semantic oracle either way — results "
+        "are bit-identical",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("arches", help="list simulated architectures").set_defaults(func=_cmd_arches)
@@ -652,6 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.compiled is not None:
+        from repro.core.engine import set_compiled_enabled
+
+        set_compiled_enabled(args.compiled)
     if args.metrics:
         from repro import obs
         from repro.obs.export import render_prometheus

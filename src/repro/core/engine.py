@@ -55,6 +55,7 @@ from typing import (
 )
 
 from repro.arch.specs import ArchSpec, TLBSpec
+from repro.isa.compiled import CompiledUnsupported, run_compiled
 from repro.isa.executor import ExecutionResult, Executor, PhaseCost
 from repro.isa.program import Program
 from repro.obs import OBS_STATE as _OBS
@@ -71,7 +72,29 @@ R = TypeVar("R")
 #: previously persisted results (schema version of the disk cache).
 #: v2: experiment keys incorporate the derived machine description, so
 #: capability-ablated specs address regenerated handler streams.
-CACHE_SCHEMA_VERSION = 2
+#: v3: programs are addressed by their *structural* fingerprint — the
+#: name no longer splits the key, and rehydrated results are re-stamped
+#: with the caller's program name.
+CACHE_SCHEMA_VERSION = 3
+
+#: process-wide default for routing cold executions through the
+#: compiled fast path (:mod:`repro.isa.compiled`).  ``REPRO_COMPILED=0``
+#: in the environment or ``--no-compiled`` on the CLI turns it off; the
+#: interpreter remains the semantic oracle either way (traced runs and
+#: unsupported constructs always fall back to it).
+_COMPILED_ENABLED = os.environ.get(
+    "REPRO_COMPILED", "1").strip().lower() not in ("0", "false", "no", "off")
+
+
+def compiled_enabled() -> bool:
+    """Whether engines without an explicit override use the compiled path."""
+    return _COMPILED_ENABLED
+
+
+def set_compiled_enabled(on: bool) -> None:
+    """Flip the process-wide compiled-path default (CLI / tests)."""
+    global _COMPILED_ENABLED
+    _COMPILED_ENABLED = bool(on)
 
 
 # ----------------------------------------------------------------------
@@ -131,39 +154,58 @@ def fingerprint_tlb_spec(spec: TLBSpec) -> str:
     return _digest(_canonical(spec))
 
 
-@functools.lru_cache(maxsize=1024)
-def fingerprint_program(program: Program) -> str:
-    """Stable hash of an instruction stream.
+def fingerprint_stream(program: Program) -> str:
+    """Stable hash of an instruction stream, ignoring the program name.
 
-    The hash covers the fields that affect execution (opclass, phase,
-    extra cycles, memory operand, cachedness) and the program name (it
-    appears in results); free-form comments are ignored.  Programs are
-    frozen dataclasses, so the memo is keyed by value — two separately
-    built but identical programs share one fingerprint computation.
+    Covers the fields that affect execution (opclass, phase, extra
+    cycles, memory operand, cachedness); free-form comments are
+    ignored.  Memoized on the program object, and carried across
+    :meth:`~repro.isa.program.Program.renamed` clones — a handler
+    re-labelled per architecture hashes its instructions exactly once.
     """
-    records = [
-        (
-            inst.opclass.name,
-            inst.phase,
-            inst.mnemonic,
-            inst.extra_cycles,
-            inst.mem_page,
-            inst.uncached,
-        )
-        for inst in program.instructions
-    ]
-    return _digest([program.name, records])
+    fp = program.__dict__.get("_structural_fp")
+    if fp is None:
+        records = [
+            (
+                inst.opclass.name,
+                inst.phase,
+                inst.mnemonic,
+                inst.extra_cycles,
+                inst.mem_page,
+                inst.uncached,
+            )
+            for inst in program.instructions
+        ]
+        fp = _digest(records)
+        object.__setattr__(program, "_structural_fp", fp)
+    return fp
+
+
+def fingerprint_program(program: Program) -> str:
+    """Stable hash of a named program: stream fingerprint plus name.
+
+    Identical streams under identical names share a fingerprint no
+    matter how they were built; comments never contribute.
+    """
+    fp = program.__dict__.get("_full_fp")
+    if fp is None:
+        fp = _digest([program.name, fingerprint_stream(program)])
+        object.__setattr__(program, "_full_fp", fp)
+    return fp
 
 
 def experiment_key(spec: ArchSpec, program: Program, drain_write_buffer: bool) -> str:
     """Content address of one executor run.
 
-    Besides the full spec and program fingerprints, the key carries the
-    spec's derived :class:`~repro.arch.mdesc.MachineDescription`
-    fingerprint, making the structural-capability provenance of every
-    cached result explicit: two specs that differ only in a capability
-    (and therefore synthesize different handler streams) can never
-    collide, even through a stale or hand-fed program argument.
+    Besides the full spec fingerprint and the program's *structural*
+    fingerprint (the name is presentation, not semantics: renamed
+    copies of one stream share the cached result, re-stamped on
+    rehydration), the key carries the spec's derived
+    :class:`~repro.arch.mdesc.MachineDescription` fingerprint, making
+    the structural-capability provenance of every cached result
+    explicit: two specs that differ only in a capability (and therefore
+    synthesize different handler streams) can never collide, even
+    through a stale or hand-fed program argument.
     """
     from repro.arch.mdesc import description_for
 
@@ -173,7 +215,7 @@ def experiment_key(spec: ArchSpec, program: Program, drain_write_buffer: bool) -
             CACHE_SCHEMA_VERSION,
             fingerprint_spec(spec),
             description_for(spec).fingerprint,
-            fingerprint_program(program),
+            fingerprint_stream(program),
             bool(drain_write_buffer),
         ]
     )
@@ -428,15 +470,41 @@ class ExperimentEngine:
         Optional directory for the persistent JSON cache.  Executor
         runs and trace replays are persisted; ad-hoc ``memo`` values
         are memory-only (their schema is caller-defined).
+    compiled:
+        ``True``/``False`` pins this engine to/away from the compiled
+        fast path; ``None`` (default) follows the process-wide
+        :func:`compiled_enabled` switch.
     """
 
-    def __init__(self, cache_size: int = 4096, disk_cache_dir: Optional[str] = None) -> None:
+    def __init__(self, cache_size: int = 4096, disk_cache_dir: Optional[str] = None,
+                 compiled: Optional[bool] = None) -> None:
         self._lru = LRUCache(cache_size)
         self._disk = DiskCache(disk_cache_dir) if disk_cache_dir else None
         self._memo: Dict[str, Any] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.compiled = compiled
+        #: cold executions served by the compiled path.
+        self.compiled_runs = 0
+        #: cold executions that fell back to the interpreter while the
+        #: compiled path was enabled (see :attr:`last_fallback_reason`).
+        self.compiled_fallbacks = 0
+        self.last_fallback_reason: Optional[str] = None
+
+    def _compiled_active(self) -> bool:
+        return self.compiled if self.compiled is not None else _COMPILED_ENABLED
+
+    def _note_fallback(self, arch: ArchSpec, reason: str) -> None:
+        with self._lock:
+            self.compiled_fallbacks += 1
+            self.last_fallback_reason = reason
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "engine_compiled_fallbacks_total",
+                "cold executions that fell back from the compiled path "
+                "to the interpreter",
+            ).inc(arch=arch.name, reason=reason)
 
     # -- executor runs --------------------------------------------------
     def run(
@@ -479,6 +547,10 @@ class ExperimentEngine:
             ).observe((time.perf_counter() - t0) * 1e3, arch=arch.name)
         else:
             result = result_from_dict(payload)
+        # The key is name-agnostic (structural program fingerprint), so
+        # the payload may carry the name of whichever equal-stream
+        # program filled it first; stamp the caller's.
+        result.program_name = program.name
         tracer = _OBS.tracer
         if tracer.active:
             # A memoized run still appears on the trace timeline: one
@@ -496,10 +568,31 @@ class ExperimentEngine:
 
     def _execute(self, arch: ArchSpec, program: Program,
                  drain_write_buffer: bool) -> ExecutionResult:
-        """One real executor run, with spans/metrics when obs is live."""
+        """One real execution: compiled fast path when admissible,
+        interpreter otherwise, with spans/metrics when obs is live."""
         tracer = _OBS.tracer
         if not tracer.active:
+            if self._compiled_active():
+                try:
+                    result = run_compiled(
+                        arch, program, drain_write_buffer=drain_write_buffer)
+                except CompiledUnsupported as exc:
+                    self._note_fallback(arch, exc.reason)
+                else:
+                    with self._lock:
+                        self.compiled_runs += 1
+                    if _OBS.metrics_on:
+                        _METRICS.counter(
+                            "engine_compiled_runs_total",
+                            "cold executions served by the compiled path",
+                        ).inc(arch=arch.name)
+                    return result
             return Executor(arch).run(program, drain_write_buffer=drain_write_buffer)
+        # A per-instruction observer needs the interpreter's
+        # instruction-by-instruction walk; the compiled path cannot
+        # honor it, so traced runs always fall back.
+        if self._compiled_active():
+            self._note_fallback(arch, "observer")
         clock = _OBS.clock
         observer = PhaseSpanObserver(
             tracer, clock, arch_name=arch.name, clock_mhz=arch.clock_mhz,
@@ -511,6 +604,25 @@ class ExperimentEngine:
                 program, drain_write_buffer=drain_write_buffer)
             observer.close()
         return result
+
+    def run_many(
+        self,
+        arch: ArchSpec,
+        jobs: Sequence["tuple[Program, bool]"],
+    ) -> List[ExecutionResult]:
+        """Batched :meth:`run`: ``(program, drain)`` jobs on one spec.
+
+        Results come back in job order with identical cache accounting
+        to a :meth:`run` loop.  Cold jobs share one unit-cost table
+        across the batch (the compiled layer memoizes it per cost
+        model), so a microbenchmark's dozen runs per spec pay one table
+        build; the public array-batch entry point for uncached work is
+        :func:`repro.isa.compiled.run_batch`.
+        """
+        return [
+            self.run(arch, program, drain_write_buffer=drain)
+            for program, drain in jobs
+        ]
 
     # -- trace replays --------------------------------------------------
     def replay(self, tlb_spec: TLBSpec, config: "TraceConfig | None" = None) -> "TraceStats":

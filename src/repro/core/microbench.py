@@ -21,7 +21,7 @@ times are also reported so tests can bound the discrepancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 from repro.arch.specs import ArchSpec
 from repro.isa.executor import ExecutionResult
@@ -83,49 +83,94 @@ def _time(arch: ArchSpec, program: Program, drain: bool = False) -> float:
     return _run(arch, program, drain=drain).time_us
 
 
-def measure_primitives(arch: ArchSpec) -> MicrobenchResult:
-    """Measure the four §1.1 primitives on ``arch`` the paper's way."""
+#: (child stream fingerprints) -> shared composed program.  The special
+#: syscalls and the trap loop concatenate the same cached handler
+#: streams for every cost-variant of one capability class, so the
+#: composition — and its structural fingerprint and compiled artifact,
+#: primed here and carried by :meth:`Program.renamed` — is built once
+#: per class instead of once per explore point.
+_COMPOSED_CACHE: Dict[Tuple[str, ...], Program] = {}
+
+
+def _composed(parts: "list[Program]", name: str) -> Program:
+    from repro.core.engine import fingerprint_stream
+    from repro.isa.compiled import try_compile
+
+    key = tuple(fingerprint_stream(part) for part in parts)
+    base = _COMPOSED_CACHE.get(key)
+    if base is None:
+        base = concat_programs(parts, name="+".join(p.name for p in parts))
+        fingerprint_stream(base)
+        try_compile(base)
+        if len(_COMPOSED_CACHE) > 4096:
+            _COMPOSED_CACHE.clear()
+        _COMPOSED_CACHE[key] = base
+    return base.renamed(name)
+
+
+def measurement_jobs(arch: ArchSpec) -> "list[Tuple[Program, bool]]":
+    """The engine jobs :func:`measure_primitives` runs, in order.
+
+    Twelve ``(program, drain_write_buffer)`` pairs: the four direct
+    handler executions, the four shortest-path count runs, and the
+    subtraction method's composed measurements.  Exposed so benchmarks
+    and the differential harness can replay the exact executor workload
+    a design-space sweep generates per point.
+    """
     syscall = handler_program(arch, Primitive.NULL_SYSCALL)
     trap = handler_program(arch, Primitive.TRAP)
     pte = handler_program(arch, Primitive.PTE_CHANGE)
     ctx = handler_program(arch, Primitive.CONTEXT_SWITCH)
 
+    # "special system calls" performing the PTE change / context switch
+    # inside an ordinary syscall shell, and the trap loop that unmaps a
+    # page via syscall, touches it (fault), and remaps it in the handler.
+    sys_pte = _composed([syscall, pte], f"{arch.name}:sys+pte")
+    sys_ctx = _composed([syscall, ctx], f"{arch.name}:sys+ctx")
+    trap_remap = _composed([trap, pte], f"{arch.name}:trap+remap")
+
+    return [
+        # direct executions (drain after asynchronous-exit primitives)
+        (syscall, False), (trap, True), (pte, False), (ctx, True),
+        # shortest-path instruction counts
+        (syscall, False), (trap, False), (pte, False), (ctx, False),
+        # the subtraction method's measurements
+        (syscall, False), (sys_pte, False), (sys_ctx, True), (trap_remap, True),
+    ]
+
+
+def measure_primitives(arch: ArchSpec) -> MicrobenchResult:
+    """Measure the four §1.1 primitives on ``arch`` the paper's way."""
     result = MicrobenchResult(
         arch_name=arch.name,
         system_name=arch.system_name,
         clock_mhz=arch.clock_mhz,
     )
 
-    # Direct executions (drain after asynchronous-exit primitives).
+    from repro.core.engine import default_engine
+
+    rows = default_engine().run_many(arch, measurement_jobs(arch))
+
     result.direct_times_us = {
-        Primitive.NULL_SYSCALL: _time(arch, syscall),
-        Primitive.TRAP: _time(arch, trap, drain=True),
-        Primitive.PTE_CHANGE: _time(arch, pte),
-        Primitive.CONTEXT_SWITCH: _time(arch, ctx, drain=True),
+        Primitive.NULL_SYSCALL: rows[0].time_us,
+        Primitive.TRAP: rows[1].time_us,
+        Primitive.PTE_CHANGE: rows[2].time_us,
+        Primitive.CONTEXT_SWITCH: rows[3].time_us,
     }
     result.instructions = {
-        Primitive.NULL_SYSCALL: _run(arch, syscall).instructions,
-        Primitive.TRAP: _run(arch, trap).instructions,
-        Primitive.PTE_CHANGE: _run(arch, pte).instructions,
-        Primitive.CONTEXT_SWITCH: _run(arch, ctx).instructions,
+        Primitive.NULL_SYSCALL: rows[4].instructions,
+        Primitive.TRAP: rows[5].instructions,
+        Primitive.PTE_CHANGE: rows[6].instructions,
+        Primitive.CONTEXT_SWITCH: rows[7].instructions,
     }
 
     # --- the subtraction method ---------------------------------------
-    t_sys = _time(arch, syscall)
-
-    # "special system calls" performing the PTE change / context switch
-    # inside an ordinary syscall shell, minus the null syscall time.
-    sys_pte = concat_programs([syscall, pte], name=f"{arch.name}:sys+pte")
-    sys_ctx = concat_programs([syscall, ctx], name=f"{arch.name}:sys+ctx")
-    t_sys_pte = _time(arch, sys_pte)
-    t_sys_ctx = _time(arch, sys_ctx, drain=True)
+    t_sys = rows[8].time_us
+    t_sys_pte = rows[9].time_us
+    t_sys_ctx = rows[10].time_us
     t_pte = t_sys_pte - t_sys
     t_ctx = t_sys_ctx - t_sys
-
-    # Trap loop: unmap page (special syscall), touch it (fault; handler
-    # remaps), minus syscall + unmap + remap components.
-    trap_remap = concat_programs([trap, pte], name=f"{arch.name}:trap+remap")
-    t_trap_loop = t_sys_pte + _time(arch, trap_remap, drain=True)
+    t_trap_loop = t_sys_pte + rows[11].time_us
     t_trap = t_trap_loop - t_sys - 2.0 * t_pte
 
     result.times_us = {

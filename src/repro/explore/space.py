@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Mapping, Tuple
 
@@ -257,6 +258,13 @@ def baseline_spec() -> ArchSpec:
     )
 
 
+#: space -> {point_id: spec}.  Weakly keyed so ad-hoc spaces built by
+#: tests do not accumulate; lives outside the dataclass so pickled
+#: spaces (parallel sweeps) never ship their materialized specs.
+_MATERIALIZE_CACHE: "weakref.WeakKeyDictionary[DesignSpace, Dict[str, ArchSpec]]" = (
+    weakref.WeakKeyDictionary())
+
+
 @dataclass(frozen=True)
 class DesignSpace:
     """A validated cartesian product of knob values.
@@ -365,8 +373,19 @@ class DesignSpace:
 
         Knobs apply in sorted-name order (they touch disjoint spec
         fields, so ordering is cosmetic but kept deterministic), then
-        the spec re-runs the full ``arch.specs`` validation.
+        the spec re-runs the full ``arch.specs`` validation.  Repeat
+        materializations of one point return the *same* frozen spec
+        object, so the identity-keyed fingerprint and description memos
+        downstream stay warm when a runner materializes a point once
+        for its store probe and again for evaluation.
         """
+        pid = self.point_id(point)
+        cache = _MATERIALIZE_CACHE.get(self)
+        if cache is None:
+            cache = _MATERIALIZE_CACHE[self] = {}
+        spec = cache.get(pid)
+        if spec is not None:
+            return spec
         spec = self.base_spec()
         for knob_name in sorted(point):
             knob = KNOBS.get(knob_name)
@@ -379,8 +398,9 @@ class DesignSpace:
                 spec = knob.apply(spec, value)
             except ValueError as err:
                 raise ValueError(f"invalid explore point {dict(point)!r}: {err}") from err
-        pid = self.point_id(point)
-        return spec.with_overrides(name=f"x{pid}", system_name=f"explore point {pid}")
+        spec = spec.with_overrides(name=f"x{pid}", system_name=f"explore point {pid}")
+        cache[pid] = spec
+        return spec
 
 
 # ----------------------------------------------------------------------

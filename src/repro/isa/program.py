@@ -24,6 +24,15 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.isa.instructions import Instruction, OpClass
 
+#: lazily-computed caches other layers stash on Program objects with
+#: ``object.__setattr__`` (the structural fingerprint from
+#: ``repro.core.engine``, the lowered artifact from
+#: ``repro.isa.compiled``).  They depend only on the instruction
+#: stream, never the name, so :meth:`Program.renamed` carries them to
+#: the clone — a renamed handler shares one fingerprint and one
+#: compiled artifact with its cached original.
+DERIVED_CACHE_ATTRS = ("_structural_fp", "_compiled_artifact")
+
 
 @dataclass(frozen=True)
 class Program:
@@ -68,6 +77,18 @@ class Program:
         """Return a sub-program containing only one phase's instructions."""
         kept = tuple(i for i in self.instructions if i.phase == phase)
         return Program(name=f"{self.name}:{phase}", instructions=kept)
+
+    def renamed(self, name: str) -> "Program":
+        """A copy under ``name`` sharing this program's instruction
+        tuple and derived caches (see :data:`DERIVED_CACHE_ATTRS`)."""
+        if name == self.name:
+            return self
+        clone = Program(name=name, instructions=self.instructions)
+        for attr in DERIVED_CACHE_ATTRS:
+            value = self.__dict__.get(attr)
+            if value is not None:
+                object.__setattr__(clone, attr, value)
+        return clone
 
     def concat(self, other: "Program", name: Optional[str] = None) -> "Program":
         return Program(

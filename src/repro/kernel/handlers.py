@@ -69,6 +69,16 @@ _BUILDERS: Dict[Tuple[str, Primitive], Callable[[], Program]] = {}
 #: (family, description fingerprint | "builder", primitive) -> program.
 _PROGRAM_CACHE: Dict[Tuple[str, str, Primitive], Program] = {}
 
+#: shared expansions for families without a stream table, keyed by a
+#: *stream-normalized* description fingerprint.  Every explore point is
+#: its own family (family == spec name), so without normalization a
+#: cost-only sweep re-expands identical generic streams once per point;
+#: with it, points whose capabilities agree share one expansion — and,
+#: via :meth:`Program.renamed`, one structural fingerprint and one
+#: compiled artifact.
+_GENERIC_STREAM = "generic"
+_GENERIC_CACHE: Dict[Tuple[str, Primitive], Program] = {}
+
 
 def register_family(
     family: str,
@@ -169,9 +179,38 @@ def handler_program(arch: ArchSpec, primitive: Primitive) -> Program:
     key = (family, md.fingerprint, primitive)
     if key not in _PROGRAM_CACHE:
         table = _FAMILY_STREAMS.get(family)
-        decls = table[primitive] if table is not None else generic_streams(md)[primitive]
-        _PROGRAM_CACHE[key] = expand(f"{family}:{primitive.value}", decls, md)
+        if table is not None:
+            _PROGRAM_CACHE[key] = expand(
+                f"{family}:{primitive.value}", table[primitive], md)
+        else:
+            _PROGRAM_CACHE[key] = _generic_program(arch, primitive).renamed(
+                f"{family}:{primitive.value}")
     return _PROGRAM_CACHE[key]
+
+
+def _generic_program(arch: ArchSpec, primitive: Primitive) -> Program:
+    """The capability-determined generic expansion, shared across names.
+
+    The generic streams and their expansion read only capability fields
+    of the description — never the stream label — so keying on the
+    stream-normalized fingerprint is exact.  The shared program's
+    structural fingerprint and compiled artifact are primed here so
+    every renamed per-family clone inherits them instead of recomputing
+    per explore point.
+    """
+    md = description_for(arch, stream=_GENERIC_STREAM)
+    key = (md.fingerprint, primitive)
+    program = _GENERIC_CACHE.get(key)
+    if program is None:
+        program = expand(
+            f"{_GENERIC_STREAM}:{primitive.value}", generic_streams(md)[primitive], md)
+        from repro.core.engine import fingerprint_stream
+        from repro.isa.compiled import try_compile
+
+        fingerprint_stream(program)
+        try_compile(program)
+        _GENERIC_CACHE[key] = program
+    return program
 
 
 def build_handler(arch: ArchSpec, primitive: Primitive) -> ExecutionResult:
