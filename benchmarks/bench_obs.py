@@ -17,9 +17,13 @@ from repro.core.engine import ExperimentEngine
 from repro.kernel.handlers import handler_program
 from repro.kernel.primitives import Primitive
 from repro.obs.overhead import measure_overhead
+from repro.provenance.overhead import measure_lineage_overhead
 
 #: the acceptance ceiling for instrumented-but-disabled executor runs.
 MAX_DISABLED_OVERHEAD = 1.03
+
+#: the acceptance ceiling for lineage recording on cold engine runs.
+MAX_LINEAGE_OVERHEAD = 1.02
 
 
 def bench_obs_disabled_overhead(show):
@@ -39,6 +43,35 @@ def bench_obs_disabled_overhead(show):
     assert best["ratio"] < MAX_DISABLED_OVERHEAD, (
         f"disabled observability costs {100 * (best['ratio'] - 1):.1f}% "
         f"(ceiling {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)")
+
+
+def bench_obs_lineage_overhead(show):
+    """Pin lineage recording below 2% on cold engine runs (best of three).
+
+    The workload regenerates every published table through a fresh
+    engine — the repo's headline cold path — with provenance on vs off,
+    interleaved within each round so CPU drift cancels in the ratio.
+    The true cost sits near 1% and the scheduler noise on a ~20 ms
+    workload is of the same order, so the probe is retried and the best
+    attempt is the estimate (same damping as the disabled-path gate).
+    """
+    best = None
+    for _ in range(5):
+        probe = measure_lineage_overhead(repeats=3, rounds=5)
+        assert probe["identical"], (
+            "tables diverged between provenance on and off")
+        if best is None or probe["ratio"] < best["ratio"]:
+            best = probe
+        if best["ratio"] < MAX_LINEAGE_OVERHEAD:
+            break
+    show("Provenance: lineage-recording overhead on cold runs",
+         f"{best['workload']} ({best['tables']} tables): "
+         f"off {best['disabled_ms']:.2f} ms vs on "
+         f"{best['enabled_ms']:.2f} ms -> ratio {best['ratio']:.4f} "
+         f"(ceiling {MAX_LINEAGE_OVERHEAD})")
+    assert best["ratio"] < MAX_LINEAGE_OVERHEAD, (
+        f"lineage recording costs {100 * (best['ratio'] - 1):.1f}% "
+        f"on cold runs (ceiling {100 * (MAX_LINEAGE_OVERHEAD - 1):.0f}%)")
 
 
 def bench_obs_traced_run(benchmark, show):

@@ -6,7 +6,7 @@ parallel (SweepRunner fan-out), the scalar/batched/cached trace replay
 ladder, the compiled-executor cold path over the mechanisms design
 grid, and the serving layer's coalesce/shed/drain contracts with
 closed-loop latency.  Writes two snapshots: ``BENCH_engine.json``
-(engine + compiled + explore + obs) and ``BENCH_serve.json`` (the
+(engine + compiled + explore + obs + provenance) and ``BENCH_serve.json`` (the
 serving scenarios, same shape as ``repro serve bench --out``)::
 
     PYTHONPATH=src python scripts/perf_report.py            # full snapshot
@@ -291,6 +291,15 @@ def main(argv=None) -> int:
     timings["obs_executor_disabled"] = probe["instrumented_ms"]
     checks["obs_loops_identical"] = probe["identical"]
 
+    # --- provenance: lineage-recording overhead on cold engine runs ----
+    from repro.provenance.overhead import measure_lineage_overhead
+
+    lineage_probe = measure_lineage_overhead(
+        repeats=2 if args.quick else 3, rounds=2 if args.quick else 5)
+    timings["provenance_cold_disabled"] = lineage_probe["disabled_ms"]
+    timings["provenance_cold_enabled"] = lineage_probe["enabled_ms"]
+    checks["provenance_results_identical"] = lineage_probe["identical"]
+
     # --- serving layer: coalesce/shed/drain contracts + load latency ---
     import asyncio
 
@@ -364,6 +373,11 @@ def main(argv=None) -> int:
             "spans_per_cold_render_all": len(capture.spans),
             "metric_totals": metric_totals,
         },
+        "provenance": {
+            "lineage_overhead_ratio": round(lineage_probe["ratio"], 4),
+            "workload": lineage_probe["workload"],
+            "tables": lineage_probe["tables"],
+        },
         "serve": {
             "coalesce_rate_identical": serve_bench["scenarios"]["coalesce"][
                 "coalesce_rate"],
@@ -419,6 +433,15 @@ def main(argv=None) -> int:
         print(
             "WARN: disabled-telemetry executor overhead at "
             f"{snapshot['obs']['disabled_overhead_ratio']:.4f} (target < 1.03)",
+            file=sys.stderr,
+        )
+    if snapshot["provenance"]["lineage_overhead_ratio"] >= 1.02:
+        # Advisory for the same reason; the hard gate with retries is
+        # bench_obs_lineage_overhead.
+        print(
+            "WARN: lineage-recording overhead on cold runs at "
+            f"{snapshot['provenance']['lineage_overhead_ratio']:.4f} "
+            "(target < 1.02)",
             file=sys.stderr,
         )
     return 0

@@ -353,6 +353,7 @@ def _cmd_explore_run(args: argparse.Namespace) -> int:
 def _cmd_explore_frontier(args: argparse.Namespace) -> int:
     from repro.core.tables import TextTable
     from repro.explore import ResultStore, frontier_from_records
+    from repro.explore.frontier import record_frontier
 
     try:
         schema = _explore_schema(args)
@@ -366,6 +367,7 @@ def _cmd_explore_frontier(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     frontier = frontier_from_records(records, schema)
+    record_frontier(frontier, schema, args.store, sink=store.lineage)
     table = TextTable(["point", *schema.names, "knobs"],
                       title=f"Pareto frontier of {len(records)} stored trials")
     for record in sorted(frontier,
@@ -395,6 +397,161 @@ def _cmd_explore_show(args: argparse.Namespace) -> int:
         scores = " ".join(f"{k}={v:.2f}" for k, v in sorted(objectives.items()))
         print(f"  {record.get('arch_name', '?'):<16s} "
               f"space={record.get('space', '?'):<12s} {scores}")
+    return 0
+
+
+def _lineage_graph(args: argparse.Namespace):
+    """Assemble one lineage graph from every named source.
+
+    With no sources named, falls back to ``REPRO_CACHE_DIR`` (the same
+    default the engine's disk cache honors) so ``repro lineage verify``
+    inspects the cache the previous runs actually wrote.
+    """
+    import os
+
+    from repro.provenance.replay import load_graph
+
+    stores = tuple(args.store or ())
+    cache_dirs = tuple(args.cache_dir or ())
+    result_stores = tuple(args.result_store or ())
+    if not (stores or cache_dirs or result_stores):
+        default = os.environ.get("REPRO_CACHE_DIR")
+        if default:
+            cache_dirs = (default,)
+    return load_graph(stores=stores, cache_dirs=cache_dirs,
+                      result_stores=result_stores)
+
+
+def _resolve_digest(graph, text: str) -> str:
+    """Exact digest, or a unique prefix of one."""
+    if graph.get(text) is not None:
+        return text
+    matches = [r.digest for r in graph.records() if r.digest.startswith(text)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"no lineage record matches {text!r}")
+    raise KeyError(
+        f"{text!r} is ambiguous ({len(matches)} records); give more digits")
+
+
+def _lineage_line(record) -> str:
+    bits = [f"{record.kind:<14s} {record.digest[:16]}"]
+    for label, value in (("engine", record.engine_path),
+                         ("fallback", record.fallback_reason),
+                         ("req", record.request_id)):
+        if value:
+            bits.append(f"{label}={value}")
+    if record.result_digest:
+        bits.append(f"result={record.result_digest[:12]}")
+    for key in ("arch", "program", "number", "space", "endpoint", "status"):
+        value = record.meta.get(key)
+        if value is not None:
+            bits.append(f"{key}={value}")
+    return "  ".join(bits)
+
+
+def _cmd_lineage_show(args: argparse.Namespace) -> int:
+    import json
+
+    graph = _lineage_graph(args)
+    try:
+        digest = _resolve_digest(graph, args.digest)
+    except KeyError as err:
+        print(err, file=sys.stderr)
+        return 2
+    print(json.dumps(graph.get(digest).to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_lineage_why(args: argparse.Namespace) -> int:
+    graph = _lineage_graph(args)
+    try:
+        digest = _resolve_digest(graph, args.digest)
+    except KeyError as err:
+        print(err, file=sys.stderr)
+        return 2
+    chain = graph.ancestry(digest)
+    print(f"ancestry of {digest[:16]} ({len(chain)} record(s), "
+          f"dependencies first):")
+    for record in chain:
+        print(f"  {_lineage_line(record)}")
+    return 0
+
+
+def _cmd_lineage_verify(args: argparse.Namespace) -> int:
+    from repro.provenance.replay import verify_graph
+
+    graph = _lineage_graph(args)
+    if not len(graph):
+        print("no lineage records found (name --store/--cache-dir/"
+              "--result-store, or set REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    report = verify_graph(graph)
+    print(f"lineage verify: {report.summary()}")
+    for digest in report.changed:
+        record = graph.get(digest)
+        print(f"  changed: {record.kind} {digest}")
+    for digest in report.stale:
+        record = graph.get(digest)
+        print(f"  stale:   {record.kind} {digest}")
+    for digest, absent in sorted(report.missing.items()):
+        print(f"  missing: {digest[:16]} names absent input(s) "
+              f"{', '.join(a[:16] for a in absent)}")
+    for digest in report.unknown:
+        print(f"  unknown: {digest} (pre-provenance; trusted for nothing)")
+    if not report.ok:
+        return 1
+    print("ok" + (" (with unknown-lineage records)" if report.unknown else ""))
+    return 0
+
+
+def _cmd_lineage_replay(args: argparse.Namespace) -> int:
+    from repro.provenance.replay import ReplayError, replay_ancestry
+
+    graph = _lineage_graph(args)
+    try:
+        digest = _resolve_digest(graph, args.digest)
+        outcomes = replay_ancestry(digest, graph, strict=args.strict)
+    except (KeyError, ReplayError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    failures = 0
+    for outcome in outcomes:
+        if outcome.get("skipped"):
+            print(f"  skip  {outcome['kind']:<12s} {outcome['digest'][:16]}  "
+                  f"{outcome['skipped']}")
+            continue
+        if outcome["identical"]:
+            mark = "ok  "
+        else:
+            mark = "DIFF"
+            failures += 1
+        print(f"  {mark}  {outcome['kind']:<12s} {outcome['digest'][:16]}  "
+              f"{outcome['detail']}")
+    if failures:
+        print(f"replay: {failures} record(s) did not reproduce",
+              file=sys.stderr)
+        return 1
+    print(f"replay: ancestry of {digest[:16]} re-derived "
+          f"({len(outcomes)} record(s)); target reproduced bit-identically")
+    return 0
+
+
+def _cmd_lineage_export(args: argparse.Namespace) -> int:
+    import json
+
+    graph = _lineage_graph(args)
+    lines = [json.dumps(record.to_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for record in graph.records()]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(lines)} record(s) to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -610,6 +767,63 @@ def build_parser() -> argparse.ArgumentParser:
     show = explore_sub.add_parser("show", help="list a store's trials")
     show.add_argument("--store", required=True, metavar="PATH")
     show.set_defaults(func=_cmd_explore_show)
+
+    lineage = sub.add_parser(
+        "lineage",
+        help="inspect, verify and replay experiment provenance",
+        description="Walk the content-addressed lineage graph recorded "
+        "at experiment time: show a record, explain a digest's full "
+        "ancestry, verify that every recorded artifact still fingerprints "
+        "identically (exact reachability staleness), replay the complete "
+        "ancestry of a result bit for bit, or export the graph as JSONL.",
+    )
+    lineage_sub = lineage.add_subparsers(dest="lineage_command", required=True)
+
+    def _lineage_sources(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", action="append", metavar="PATH",
+                       help="lineage JSONL sidecar (repeatable)")
+        p.add_argument("--cache-dir", action="append", metavar="DIR",
+                       help="engine disk-cache directory (repeatable; "
+                       "defaults to REPRO_CACHE_DIR when nothing is named)")
+        p.add_argument("--result-store", action="append", metavar="PATH",
+                       help="explore trial store (repeatable; reads its "
+                       ".lineage sidecar and adopts legacy rows)")
+
+    lineage_show = lineage_sub.add_parser(
+        "show", help="print one lineage record in full")
+    _lineage_sources(lineage_show)
+    lineage_show.add_argument("digest", help="record digest (or unique prefix)")
+    lineage_show.set_defaults(func=_cmd_lineage_show)
+
+    lineage_why = lineage_sub.add_parser(
+        "why", help="full ancestry of a digest, dependencies first")
+    _lineage_sources(lineage_why)
+    lineage_why.add_argument("digest", help="record digest (or unique prefix)")
+    lineage_why.set_defaults(func=_cmd_lineage_why)
+
+    lineage_verify = lineage_sub.add_parser(
+        "verify",
+        help="recompute artifact fingerprints; nonzero exit on stale results")
+    _lineage_sources(lineage_verify)
+    lineage_verify.set_defaults(func=_cmd_lineage_verify)
+
+    lineage_replay = lineage_sub.add_parser(
+        "replay",
+        help="re-execute the full ancestry of a digest, bit for bit")
+    _lineage_sources(lineage_replay)
+    lineage_replay.add_argument("digest",
+                                help="record digest (or unique prefix)")
+    lineage_replay.add_argument("--strict", action="store_true",
+                                help="fail on unreplayable ancestors instead "
+                                "of skipping them")
+    lineage_replay.set_defaults(func=_cmd_lineage_replay)
+
+    lineage_export = lineage_sub.add_parser(
+        "export", help="dump the assembled graph as JSONL")
+    _lineage_sources(lineage_export)
+    lineage_export.add_argument("--out", default=None, metavar="PATH",
+                                help="write here instead of stdout")
+    lineage_export.set_defaults(func=_cmd_lineage_export)
 
     serve = sub.add_parser(
         "serve",

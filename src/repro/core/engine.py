@@ -61,6 +61,15 @@ from repro.isa.program import Program
 from repro.obs import OBS_STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import PhaseSpanObserver
+from repro.provenance import (
+    PROV_STATE as _PROV,
+    PROVENANCE,
+    UNKNOWN_KIND,
+    LineageRecord,
+    LineageStore,
+    block_status,
+    get_request_id,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tracing import TraceConfig, TraceStats
@@ -89,6 +98,18 @@ _COMPILED_ENABLED = os.environ.get(
 def compiled_enabled() -> bool:
     """Whether engines without an explicit override use the compiled path."""
     return _COMPILED_ENABLED
+
+
+def _code_version() -> str:
+    """The package version stamped into lineage records (lazy import:
+    ``repro/__init__`` imports the measurement layers, so a module-level
+    import here would cycle)."""
+    try:
+        from repro import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - partial-init edge
+        return "unknown"
 
 
 def set_compiled_enabled(on: bool) -> None:
@@ -122,6 +143,25 @@ def _canonical(value: Any) -> Any:
 
 def _digest(payload: Any) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_digest(payload: Mapping[str, Any]) -> str:
+    """Content address of one execution result (lineage ``result_digest``).
+
+    A fixed-schema serialization of the :func:`result_to_dict` payload:
+    an order of magnitude cheaper than the generic JSON canonicalizer on
+    the engine's cold path, and process-stable (``repr`` of ints and
+    floats is shortest-roundtrip).  Record time and replay time must
+    agree on this function, never on its output format history.
+    """
+    by_phase = payload.get("by_phase") or {}
+    blob = "%s|%s|%r|%r|%r|%r|%r|%r" % (
+        payload.get("program_name"), payload.get("arch_name"),
+        payload.get("clock_mhz"), payload.get("instructions"),
+        payload.get("cycles"), payload.get("stall_cycles"),
+        payload.get("nop_instructions"), sorted(by_phase.items()),
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -305,6 +345,11 @@ class LRUCache:
                         "engine_lru_evictions_total",
                         "experiments evicted from the in-memory LRU").inc()
 
+    def pop(self, key: str) -> Optional[Any]:
+        """Remove and return ``key``'s value (``None`` when absent)."""
+        with self._lock:
+            return self._data.pop(key, None)
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -362,6 +407,27 @@ class DiskCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def delete(self, key: str) -> None:
+        """Drop one entry (per-key staleness invalidation; missing is fine)."""
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+
+def _unwrap_envelope(stored: Any) -> "tuple[Any, Optional[Dict[str, Any]]]":
+    """Split a cache entry into (result payload, lineage block).
+
+    Provenance-era entries are ``{"value": payload, "lineage": block}``;
+    anything else is a pre-provenance payload stored bare — returned
+    as-is with no block, which the caller treats as ``unknown-lineage``
+    (never a crash, never silent trust).
+    """
+    if isinstance(stored, Mapping) and "value" in stored:
+        block = stored.get("lineage")
+        return stored["value"], block if isinstance(block, Mapping) else None
+    return stored, None
 
 
 # ----------------------------------------------------------------------
@@ -450,6 +516,46 @@ class SweepRunner:
 # the engine
 # ----------------------------------------------------------------------
 
+#: (key, program, request-id, cached, path, fallback, result-digest) ->
+#: the four-record lineage chain.  Chains are pure functions of that
+#: tuple, so re-runs across engines reuse the same record objects and
+#: the recorder's identity fast path makes re-recording near-free.
+_CHAIN_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_CHAIN_MEMO_CAPACITY = 4096
+_CHAIN_MEMO_LOCK = threading.Lock()
+
+#: cache key -> result digest.  Sound under the same determinism
+#: assumption the result cache itself makes: within one process, equal
+#: keys produce equal payloads, so the content hash is a pure function
+#: of the key.  Replay verification never reads this memo — it always
+#: recomputes :func:`result_digest` from the fresh payload.
+#:
+#: Reads on these memos are lock-free: a single ``dict.get`` is atomic
+#: under the GIL, and a racing write can only make a reader miss (and
+#: recompute a value that is a pure function of the key anyway).  The
+#: lock guards writes, whose eviction loop is a multi-step mutation.
+_RDIGEST_MEMO: "OrderedDict[str, str]" = OrderedDict()
+
+#: (key, request-id, path, fallback) -> (envelope lineage block, the
+#: recorded chain).  Everything else in the block is a pure function of
+#: the key, so repeated cold runs of one experiment reuse one dict and
+#: re-deliver the one chain — the steady-state cold run's recording
+#: cost collapses to a dict probe plus a scope delivery.
+_BLOCK_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+
+def _memoized_result_digest(key: str, payload: Any,
+                            fn: Any = None) -> str:
+    digest = _RDIGEST_MEMO.get(key)
+    if digest is None:
+        digest = (fn or result_digest)(payload)
+        with _CHAIN_MEMO_LOCK:
+            _RDIGEST_MEMO[key] = digest
+            while len(_RDIGEST_MEMO) > _CHAIN_MEMO_CAPACITY:
+                _RDIGEST_MEMO.popitem(last=False)
+    return digest
+
+
 class ExperimentEngine:
     """Memoized execution of handler programs and trace replays.
 
@@ -480,10 +586,34 @@ class ExperimentEngine:
                  compiled: Optional[bool] = None) -> None:
         self._lru = LRUCache(cache_size)
         self._disk = DiskCache(disk_cache_dir) if disk_cache_dir else None
+        #: lineage sidecar persisted with the disk cache: roots the
+        #: cache entries cannot describe themselves (rendered tables,
+        #: unknown-lineage marks) land in ``lineage.jsonl`` next to the
+        #: entries they reference; per-run chains stay inside each
+        #: entry's envelope block and are re-derived on load by
+        #: ``adopt_disk_cache``, so ``repro lineage`` still sees the
+        #: full graph when auditing the directory offline.
+        self._lineage = (
+            LineageStore(os.path.join(disk_cache_dir, "lineage.jsonl"))
+            if disk_cache_dir else None)
         self._memo: Dict[str, Any] = {}
+        #: keys whose lineage block this process wrote or already
+        #: verified against freshly computed fingerprints.  A hit on a
+        #: verified key skips re-verification: the key itself is derived
+        #: from the current fingerprints, so in-process entries cannot
+        #: silently go stale — staleness only enters through entries
+        #: loaded from disk, which are verified on first sight.
+        self._verified: "set[str]" = set()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: cache hits re-executed because lineage reachability showed
+        #: the entry was derived from different artifacts than the key
+        #: implies (per-key invalidation; nothing else is flushed).
+        self.stale_results = 0
+        #: cache hits served from pre-provenance entries (no lineage
+        #: block): trusted for the value, flagged in the lineage graph.
+        self.unknown_lineage = 0
         self.compiled = compiled
         #: cold executions served by the compiled path.
         self.compiled_runs = 0
@@ -516,10 +646,38 @@ class ExperimentEngine:
         """Execute ``program`` on ``arch``, memoized by content.
 
         Identical (spec, program, drain) triples return equal results
-        without re-simulating; each call gets a private copy.
+        without re-simulating; each call gets a private copy.  With
+        provenance enabled, every execution (fresh or cached) records a
+        lineage chain (spec → mdesc → program → execution), and a
+        cached entry whose recorded ancestry disagrees with the freshly
+        computed fingerprints is *stale*: counted, evicted (this key
+        only), and transparently re-executed.
         """
-        key = experiment_key(arch, program, drain_write_buffer)
-        payload = self._lookup(key)
+        from repro.arch.mdesc import description_for
+
+        spec_fp = fingerprint_spec(arch)
+        mdesc_fp = description_for(arch).fingerprint
+        stream_fp = fingerprint_stream(program)
+        key = _digest(["run", CACHE_SCHEMA_VERSION, spec_fp, mdesc_fp,
+                       stream_fp, bool(drain_write_buffer)])
+        stored = self._lookup(key)
+        payload: Optional[Dict[str, Any]] = None
+        block: Optional[Dict[str, Any]] = None
+        if stored is not None:
+            payload, block = _unwrap_envelope(stored)
+            if _PROV.enabled and key not in self._verified:
+                status, artifact = block_status(block, {
+                    "spec_fp": spec_fp, "mdesc_fp": mdesc_fp,
+                    "stream_fp": stream_fp})
+                if status == "stale":
+                    self._note_stale(arch.name, artifact)
+                    self._evict(key)
+                    payload = block = None
+                elif status == "unknown":
+                    self._note_unknown(key, arch, program)
+                    block = None
+                else:
+                    self._verified.add(key)
         if payload is None:
             with self._lock:
                 self.misses += 1
@@ -528,9 +686,42 @@ class ExperimentEngine:
                     "engine_cache_misses_total",
                     "experiment-engine cache misses (fresh executions)",
                 ).inc(arch=arch.name)
-            result = self._execute(arch, program, drain_write_buffer)
+            result, engine_path, fallback_reason = self._execute(
+                arch, program, drain_write_buffer)
             payload = result_to_dict(result)
-            self._store(key, payload)
+            envelope: Dict[str, Any] = {"value": payload}
+            if _PROV.enabled:
+                rid = get_request_id()
+                block_key = (key, rid, engine_path, fallback_reason)
+                entry = _BLOCK_MEMO.get(block_key)
+                if entry is not None:
+                    block, chain = entry
+                    PROVENANCE.deliver_to_scopes(chain)
+                else:
+                    block = {
+                        "key": key,
+                        "spec_fp": spec_fp,
+                        "mdesc_fp": mdesc_fp,
+                        "stream_fp": stream_fp,
+                        "drain": bool(drain_write_buffer),
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "code": _code_version(),
+                        "engine_path": engine_path,
+                        "fallback_reason": fallback_reason,
+                        "request_id": rid,
+                        "result_digest": _memoized_result_digest(
+                            key, payload),
+                        "arch": arch.name,
+                        "program": program.name,
+                    }
+                    chain = self._record_execution(arch, program, block)
+                    with _CHAIN_MEMO_LOCK:
+                        _BLOCK_MEMO[block_key] = (block, chain)
+                        while len(_BLOCK_MEMO) > _CHAIN_MEMO_CAPACITY:
+                            _BLOCK_MEMO.popitem(last=False)
+                envelope["lineage"] = block
+                self._verified.add(key)
+            self._store(key, envelope)
             return result
         with self._lock:
             self.hits += 1
@@ -551,6 +742,8 @@ class ExperimentEngine:
         # the payload may carry the name of whichever equal-stream
         # program filled it first; stamp the caller's.
         result.program_name = program.name
+        if _PROV.enabled and block is not None:
+            self._record_execution(arch, program, block)
         tracer = _OBS.tracer
         if tracer.active:
             # A memoized run still appears on the trace timeline: one
@@ -558,26 +751,118 @@ class ExperimentEngine:
             clock = _OBS.clock
             start = clock.now_us
             clock.advance(result.time_us)
+            attrs: Dict[str, Any] = {}
+            rid = get_request_id()
+            if rid is not None:
+                attrs["request_id"] = rid
             tracer.complete(
                 f"handler:{program.name}", "handler",
                 start_us=start, end_us=clock.now_us, track=arch.name,
                 arch=arch.name, cached=True, cycles=result.cycles,
-                instructions=result.instructions,
+                instructions=result.instructions, **attrs,
             )
         return result
 
+    # -- lineage accounting --------------------------------------------
+    def _note_stale(self, arch_name: str, artifact: Optional[str]) -> None:
+        with self._lock:
+            self.stale_results += 1
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "provenance_stale_results_total",
+                "cached results re-executed because lineage reachability "
+                "showed a changed upstream artifact",
+            ).inc(arch=arch_name, artifact=artifact or "unknown")
+
+    def _note_unknown(self, key: str, arch: ArchSpec, program: Program) -> None:
+        with self._lock:
+            self.unknown_lineage += 1
+        if _OBS.metrics_on:
+            _METRICS.counter(
+                "provenance_unknown_lineage_total",
+                "cache hits served from pre-provenance entries",
+            ).inc(layer="engine")
+        PROVENANCE.record(LineageRecord(
+            digest=key, kind=UNKNOWN_KIND, request_id=get_request_id(),
+            meta={"arch": arch.name, "program": program.name,
+                  "layer": "engine-cache"}))
+
+    def _record_execution(self, arch: ArchSpec, program: Program,
+                          block: Mapping[str, Any]) -> "tuple":
+        """Record the spec → mdesc → program → execution chain described
+        by ``block`` into the in-process recorder (scopes, request ids),
+        returning the chain so callers can memoize the delivery.
+
+        Nothing is written to the lineage sidecar here: the chain is
+        already durable inside the cache entry's envelope block, and
+        :func:`repro.provenance.replay.adopt_disk_cache` re-derives it
+        on load, so sinking it again would double-write every cold run.
+        The record describes how the result was *produced*
+        (``engine_path`` from the block), never how this sighting was
+        served — cached sightings are visible in metrics and spans, and
+        keeping the record content sighting-independent lets every hit
+        reuse the memoized chain object unchanged.
+        """
+        rid = get_request_id()
+        memo_key = (str(block["key"]), program.name, rid,
+                    block.get("engine_path"), block.get("fallback_reason"),
+                    block.get("result_digest"))
+        records = _CHAIN_MEMO.get(memo_key)
+        if records is not None:
+            # the registry already holds these exact objects (recorded
+            # when the memo entry was created); a re-sighting only has
+            # to reach this thread's collect scopes
+            PROVENANCE.deliver_to_scopes(records)
+            return records
+        spec_fp = str(block["spec_fp"])
+        mdesc_fp = str(block["mdesc_fp"])
+        stream_fp = str(block["stream_fp"])
+        records = (
+            LineageRecord(digest=spec_fp, kind="spec",
+                          meta={"arch": arch.name}),
+            LineageRecord(digest=mdesc_fp, kind="mdesc", inputs=(spec_fp,),
+                          spec_fp=spec_fp, meta={"arch": arch.name}),
+            LineageRecord(digest=stream_fp, kind="program",
+                          meta={"program": program.name,
+                                "instructions": len(program.instructions)}),
+            LineageRecord(
+                digest=str(block["key"]), kind="execution",
+                inputs=(spec_fp, mdesc_fp, stream_fp),
+                spec_fp=spec_fp, mdesc_fp=mdesc_fp,
+                schema_version=block.get("schema"),
+                code_version=block.get("code"),
+                engine_path=block.get("engine_path"),
+                fallback_reason=block.get("fallback_reason"),
+                request_id=rid, result_digest=block.get("result_digest"),
+                meta={"arch": arch.name, "program": program.name,
+                      "drain": bool(block.get("drain")),
+                      "stream_fp": stream_fp}),
+        )
+        with _CHAIN_MEMO_LOCK:
+            _CHAIN_MEMO[memo_key] = records
+            while len(_CHAIN_MEMO) > _CHAIN_MEMO_CAPACITY:
+                _CHAIN_MEMO.popitem(last=False)
+        PROVENANCE.record_chain(records)
+        return records
+
     def _execute(self, arch: ArchSpec, program: Program,
-                 drain_write_buffer: bool) -> ExecutionResult:
+                 drain_write_buffer: bool) -> "tuple[ExecutionResult, str, Optional[str]]":
         """One real execution: compiled fast path when admissible,
-        interpreter otherwise, with spans/metrics when obs is live."""
+        interpreter otherwise, with spans/metrics when obs is live.
+
+        Returns ``(result, engine_path, fallback_reason)`` — the
+        lineage record of the execution carries how it actually ran.
+        """
         tracer = _OBS.tracer
         if not tracer.active:
+            fallback_reason: Optional[str] = None
             if self._compiled_active():
                 try:
                     result = run_compiled(
                         arch, program, drain_write_buffer=drain_write_buffer)
                 except CompiledUnsupported as exc:
                     self._note_fallback(arch, exc.reason)
+                    fallback_reason = exc.reason
                 else:
                     with self._lock:
                         self.compiled_runs += 1
@@ -586,24 +871,32 @@ class ExperimentEngine:
                             "engine_compiled_runs_total",
                             "cold executions served by the compiled path",
                         ).inc(arch=arch.name)
-                    return result
-            return Executor(arch).run(program, drain_write_buffer=drain_write_buffer)
+                    return result, "compiled", None
+            result = Executor(arch).run(
+                program, drain_write_buffer=drain_write_buffer)
+            return result, "interpreted", fallback_reason
         # A per-instruction observer needs the interpreter's
         # instruction-by-instruction walk; the compiled path cannot
         # honor it, so traced runs always fall back.
+        fallback_reason = None
         if self._compiled_active():
             self._note_fallback(arch, "observer")
+            fallback_reason = "observer"
         clock = _OBS.clock
         observer = PhaseSpanObserver(
             tracer, clock, arch_name=arch.name, clock_mhz=arch.clock_mhz,
             registry=_METRICS if _OBS.metrics_on else None)
+        attrs: Dict[str, Any] = {}
+        rid = get_request_id()
+        if rid is not None:
+            attrs["request_id"] = rid
         with tracer.span(f"handler:{program.name}", "handler",
                          clock=clock, track=arch.name,
-                         arch=arch.name, cached=False):
+                         arch=arch.name, cached=False, **attrs):
             result = Executor(arch, observer=observer).run(
                 program, drain_write_buffer=drain_write_buffer)
             observer.close()
-        return result
+        return result, "interpreted", fallback_reason
 
     def run_many(
         self,
@@ -634,24 +927,91 @@ class ExperimentEngine:
         from repro.core.tracing import TraceConfig, TraceStats, replay_trace_batched
 
         config = TraceConfig() if config is None else config
-        key = _digest(
-            [
-                "replay",
-                CACHE_SCHEMA_VERSION,
-                fingerprint_tlb_spec(tlb_spec),
-                _canonical(config),
-            ]
-        )
-        payload = self._lookup(key)
+        tlb_fp = fingerprint_tlb_spec(tlb_spec)
+        config_canonical = _canonical(config)
+        config_digest = _digest(config_canonical)
+        key = _digest(["replay", CACHE_SCHEMA_VERSION, tlb_fp, config_canonical])
+        stored = self._lookup(key)
+        payload: Optional[Dict[str, Any]] = None
+        block: Optional[Dict[str, Any]] = None
+        if stored is not None:
+            payload, block = _unwrap_envelope(stored)
+            if _PROV.enabled:
+                if block is None:
+                    with self._lock:
+                        self.unknown_lineage += 1
+                    if _OBS.metrics_on:
+                        _METRICS.counter(
+                            "provenance_unknown_lineage_total",
+                            "cache hits served from pre-provenance entries",
+                        ).inc(layer="engine")
+                    PROVENANCE.record(LineageRecord(
+                        digest=key, kind=UNKNOWN_KIND,
+                        request_id=get_request_id(),
+                        meta={"layer": "engine-replay"}))
+                else:
+                    artifact = None
+                    if block.get("tlb_fp") != tlb_fp:
+                        artifact = "tlb"
+                    elif block.get("config_digest") != config_digest:
+                        artifact = "config"
+                    if artifact is not None:
+                        self._note_stale("tlb", artifact)
+                        self._evict(key)
+                        payload = block = None
         if payload is None:
             with self._lock:
                 self.misses += 1
             stats = replay_trace_batched(tlb_spec, config)
-            self._store(key, dataclasses.asdict(stats))
+            payload = dataclasses.asdict(stats)
+            envelope: Dict[str, Any] = {"value": payload}
+            if _PROV.enabled:
+                block = {
+                    "key": key, "tlb_fp": tlb_fp,
+                    "config_digest": config_digest,
+                    "schema": CACHE_SCHEMA_VERSION, "code": _code_version(),
+                    "engine_path": "interpreted",
+                    "request_id": get_request_id(),
+                    "result_digest": _memoized_result_digest(
+                        key, payload, fn=_digest),
+                }
+                envelope["lineage"] = block
+                self._record_replay(tlb_spec, config_canonical, block)
+            self._store(key, envelope)
             return stats
         with self._lock:
             self.hits += 1
+        if _PROV.enabled and block is not None:
+            self._record_replay(tlb_spec, config_canonical, block)
         return TraceStats(**payload)
+
+    def _record_replay(self, tlb_spec: TLBSpec, config_canonical: Any,
+                       block: Mapping[str, Any]) -> None:
+        rid = get_request_id()
+        memo_key = (block["key"], rid, block.get("result_digest"))
+        records = _CHAIN_MEMO.get(memo_key)
+        if records is not None:
+            PROVENANCE.deliver_to_scopes(records)
+            return
+        tlb_fp = str(block["tlb_fp"])
+        records = (
+            LineageRecord(digest=tlb_fp, kind="tlb",
+                          meta={"tlb": _canonical(tlb_spec)}),
+            LineageRecord(
+                digest=str(block["key"]), kind="replay", inputs=(tlb_fp,),
+                schema_version=block.get("schema"),
+                code_version=block.get("code"),
+                engine_path=block.get("engine_path"),
+                request_id=rid,
+                result_digest=block.get("result_digest"),
+                meta={"config": config_canonical,
+                      "config_digest": block.get("config_digest")}),
+        )
+        with _CHAIN_MEMO_LOCK:
+            _CHAIN_MEMO[memo_key] = records
+            while len(_CHAIN_MEMO) > _CHAIN_MEMO_CAPACITY:
+                _CHAIN_MEMO.popitem(last=False)
+        PROVENANCE.record_chain(records)
 
     # -- arbitrary derived computations ---------------------------------
     def _memo_key(self, key_parts: Iterable[Any]) -> str:
@@ -708,11 +1068,23 @@ class ExperimentEngine:
         if self._disk is not None:
             self._disk.put(key, payload)
 
+    def _evict(self, key: str) -> None:
+        """Per-key invalidation: drop one stale entry from both tiers.
+
+        This is the whole point of reachability staleness — nothing but
+        the stale key is touched, unlike a schema bump which flushes
+        every entry in the cache."""
+        self._lru.pop(key)
+        self._verified.discard(key)
+        if self._disk is not None:
+            self._disk.delete(key)
+
     def clear(self) -> None:
         """Drop the in-memory caches (the disk cache is left intact)."""
         with self._lock:
             self._lru.clear()
             self._memo.clear()
+            self._verified.clear()
             self.hits = 0
             self.misses = 0
 

@@ -221,3 +221,45 @@ def frontier_from_records(records: Sequence[Mapping[str, object]],
               and all(n in r["objectives"] for n in schema.names)]
     rows = [r["objectives"] for r in usable]
     return [usable[i] for i in pareto_indices(rows, schema.names)]
+
+
+# ----------------------------------------------------------------------
+# frontier lineage
+# ----------------------------------------------------------------------
+
+def frontier_digest(schema_digest: str, member_keys: Sequence[str]) -> str:
+    """Content address of one extracted frontier: exactly the
+    (objective schema, sorted member trial keys) pair, so re-filtering
+    the same store content reproduces the same digest bit for bit."""
+    from repro.provenance import digest_of
+
+    return digest_of(["frontier", schema_digest, sorted(member_keys)])
+
+
+def record_frontier(frontier: Sequence[Mapping[str, object]],
+                    schema: ObjectiveSchema, store_path: str,
+                    sink=None) -> "str | None":
+    """Record the lineage node of a frontier extracted from a store.
+
+    Inputs are the member trial keys — the frontier is derived from
+    exactly those trials, so a stale trial makes the frontier stale by
+    reachability.  Returns the frontier digest (None when provenance
+    is off or the members carry no keys)."""
+    from repro.provenance import (
+        PROV_STATE,
+        PROVENANCE,
+        LineageRecord,
+        get_request_id,
+    )
+
+    if not PROV_STATE.enabled:
+        return None
+    members = sorted(str(r["key"]) for r in frontier if r.get("key"))
+    digest = frontier_digest(schema.digest, members)
+    PROVENANCE.record(LineageRecord(
+        digest=digest, kind="frontier", inputs=tuple(members),
+        request_id=get_request_id(), result_digest=digest,
+        meta={"store": store_path, "schema_names": list(schema.names),
+              "schema_digest": schema.digest, "members": len(members)},
+    ), sink=sink)
+    return digest

@@ -35,6 +35,15 @@ from repro.explore.strategies import GridSearch
 from repro.obs import OBS_STATE as _OBS
 from repro.obs import REGISTRY as _METRICS
 from repro.obs import snapshot_diff
+from repro.provenance import (
+    PROV_STATE as _PROV,
+    PROVENANCE,
+    LineageRecord,
+    digest_of,
+    get_request_id,
+    lineage_payload,
+    merge_lineage_payload,
+)
 
 
 @dataclass(frozen=True)
@@ -113,13 +122,26 @@ class ExploreResult:
 
 
 def _evaluate_point(args: Tuple[DesignSpace, int, ObjectiveSchema]) -> Dict[str, Any]:
-    """Top-level (picklable) worker: materialize and score one point."""
+    """Top-level (picklable) worker: materialize and score one point.
+
+    The lineage records produced while scoring (spec → mdesc → program
+    → execution chains, including cache hits) ride back on the row —
+    like the worker metrics snapshots — so a process-pool sweep loses
+    no provenance.
+    """
     from repro.arch.mdesc import description_for
 
     space, index, schema = args
     point = space.point(index)
     spec = space.materialize(point)
-    objectives = evaluate_objectives(spec, schema)
+    if _PROV.enabled:
+        with PROVENANCE.collect() as records:
+            objectives = evaluate_objectives(spec, schema)
+        lineage = lineage_payload(records)
+        executions = [r.digest for r in records if r.kind == "execution"]
+    else:
+        objectives = evaluate_objectives(spec, schema)
+        lineage, executions = [], []
     return {
         "index": index,
         "point": point,
@@ -127,6 +149,8 @@ def _evaluate_point(args: Tuple[DesignSpace, int, ObjectiveSchema]) -> Dict[str,
         "spec_fp": fingerprint_spec(spec),
         "mdesc_fp": description_for(spec).fingerprint,
         "objectives": objectives,
+        "lineage": lineage,
+        "executions": executions,
     }
 
 
@@ -187,6 +211,37 @@ class ExploreRunner:
         return result
 
     # ------------------------------------------------------------------
+    def _record_trial(self, key: str, trial: Trial, engine_path: str,
+                      executions: "Tuple[str, ...]" = ()) -> None:
+        """Record one trial's lineage node (and persist it when the
+        store is path-backed).  ``executions`` are the engine keys the
+        evaluation actually touched — empty for store hits, whose
+        richer inputs survive from the original run via record merge."""
+        # Enrich the spec node with rematerialization metadata: the
+        # engine records it name-only, but a materialized spec ("x3f…")
+        # is only reconstructible from (space, point).
+        PROVENANCE.record(LineageRecord(
+            digest=trial.spec_fingerprint, kind="spec",
+            meta={"arch": trial.arch_name, "space": self.space.name,
+                  "base": self.space.base, "point": trial.point},
+        ), sink=self.store.lineage)
+        PROVENANCE.record(LineageRecord(
+            digest=key, kind="trial",
+            inputs=(trial.spec_fingerprint, trial.mdesc_fingerprint,
+                    *executions),
+            spec_fp=trial.spec_fingerprint,
+            mdesc_fp=trial.mdesc_fingerprint,
+            engine_path=engine_path,
+            request_id=get_request_id(),
+            result_digest=digest_of(trial.objectives),
+            meta={"space": self.space.name, "base": self.space.base,
+                  "point": trial.point, "arch": trial.arch_name,
+                  "objectives": trial.objectives,
+                  "schema_names": list(self.schema.names),
+                  "schema_digest": self.schema.digest},
+        ), sink=self.store.lineage)
+
+    # ------------------------------------------------------------------
     def _generation(self, indices: Sequence[int],
                     result: ExploreResult) -> List[Mapping[str, float]]:
         """Evaluate one strategy generation, store-first then engine."""
@@ -215,12 +270,15 @@ class ExploreRunner:
             record = self.store.get(key) if self.resume else None
             if record is not None:
                 stats.store_hits += 1
-                trials_by_index[index] = Trial(
+                trial = Trial(
                     index=index, point=point, arch_name=spec.name,
                     spec_fingerprint=spec_fp, mdesc_fingerprint=mdesc_fp,
                     objectives=dict(record["objectives"]), source="store",
                     generation=generation,
                 )
+                trials_by_index[index] = trial
+                if _PROV.enabled:
+                    self._record_trial(key, trial, engine_path="store")
             else:
                 fresh.append(index)
 
@@ -238,6 +296,15 @@ class ExploreRunner:
                     objectives=row["objectives"], source="engine", generation=generation,
                 )
                 trials_by_index[trial.index] = trial
+                if _PROV.enabled:
+                    # Worker-produced records (possibly from another
+                    # process) re-enter the local recorder + sidecar,
+                    # then the trial node itself links them.
+                    merge_lineage_payload(row.get("lineage"),
+                                          sink=self.store.lineage)
+                    self._record_trial(
+                        keys[trial.index], trial, engine_path="engine",
+                        executions=tuple(row.get("executions") or ()))
                 self.store.put(keys[trial.index], {
                     "space": self.space.name,
                     "space_fp": self.space.fingerprint,
@@ -271,11 +338,16 @@ class ExploreRunner:
                                  "context_switch_us")
                 )
                 clock.advance(max(span_us, 0.0))
+                attrs: Dict[str, Any] = {}
+                rid = get_request_id()
+                if rid is not None:
+                    attrs["request_id"] = rid
                 tracer.complete(
                     f"trial:{trial.arch_name}", "trial",
                     start_us=start, end_us=clock.now_us, track="explore",
                     index=trial.index, source=trial.source,
                     generation=trial.generation, space=self.space.name,
+                    **attrs,
                 )
         if _OBS.metrics_on:
             _METRICS.counter(

@@ -12,8 +12,19 @@ A resumed search loads the file, skips every point whose key is
 present, and appends only fresh evaluations — so a killed 500-point
 sweep restarts where it stopped, and a second strategy over the same
 space reuses the first strategy's trials.  Robust by construction:
-unparsable lines and foreign-schema records are skipped (counted), and
-writes are line-atomic appends.
+unparsable lines and foreign-schema records are skipped (counted),
+writes are flushed line-atomic appends, and a *torn tail* — a writer
+died mid-append, leaving the file without a final newline — is
+repaired on load: a parseable tail is completed (counted recovered),
+an unparsable one truncated away (counted dropped), and the file is
+rewritten newline-terminated either way so the next append can never
+concatenate onto the torn record.  Both outcomes surface as obs
+counters (``explore_store_tail_recovered_total`` /
+``explore_store_lines_dropped_total``).
+
+Path-backed stores also keep a lineage sidecar (``<path>.lineage``, a
+:class:`repro.provenance.LineageStore`) where the explore runner
+persists each trial's provenance chain.
 """
 
 from __future__ import annotations
@@ -22,6 +33,10 @@ import hashlib
 import json
 import os
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import OBS_STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.provenance import LineageStore
 
 #: bump when the record layout changes incompatibly.
 STORE_SCHEMA_VERSION = 1
@@ -45,32 +60,80 @@ class ResultStore:
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
         self.skipped_lines = 0
+        #: torn final line completed (parseable) on load.
+        self.recovered_tail = 0
+        #: torn final line truncated away (unparsable) on load.
+        self.dropped_tail = 0
         self._records: Dict[str, Dict[str, Any]] = {}
+        #: provenance sidecar the runner persists trial lineage into.
+        self.lineage: Optional[LineageStore] = (
+            LineageStore(f"{path}.lineage") if path is not None else None)
         if path is not None and os.path.exists(path):
             self._load(path)
 
     def _load(self, path: str) -> None:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        self.skipped_lines += 1
-                        continue
-                    if (not isinstance(record, dict)
-                            or record.get("schema") != STORE_SCHEMA_VERSION
-                            or "key" not in record):
-                        self.skipped_lines += 1
-                        continue
-                    # duplicate keys: the latest append wins.
-                    self._records[record["key"]] = record
+            with open(path, "rb") as fh:
+                data = fh.read()
         except OSError:
             # an unreadable store behaves as empty; the search still runs.
-            pass
+            return
+        if data and not data.endswith(b"\n"):
+            data = self._recover_tail(path, data)
+        for raw in data.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.skipped_lines += 1
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("schema") != STORE_SCHEMA_VERSION
+                    or "key" not in record):
+                self.skipped_lines += 1
+                continue
+            # duplicate keys: the latest append wins.
+            self._records[record["key"]] = record
+
+    def _recover_tail(self, path: str, data: bytes) -> bytes:
+        """Repair a file whose writer died mid-append (no final newline)."""
+        head, _, tail = data.rpartition(b"\n")
+        keep = head + b"\n" if head else b""
+        try:
+            record = json.loads(tail.decode("utf-8"))
+            usable = isinstance(record, dict)
+        except (ValueError, UnicodeDecodeError):
+            usable = False
+        if usable:
+            self.recovered_tail += 1
+            self._count("explore_store_tail_recovered_total",
+                        "torn store tails completed on load")
+            repaired = keep + tail + b"\n"
+        else:
+            self.dropped_tail += 1
+            self._count("explore_store_lines_dropped_total",
+                        "torn store tails truncated away on load")
+            repaired = keep
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(repaired)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return repaired
+
+    @staticmethod
+    def _count(name: str, help_text: str) -> None:
+        if _OBS.metrics_on:
+            _METRICS.counter(name, help_text).inc()
 
     # -- mapping view ---------------------------------------------------
     def __len__(self) -> int:
@@ -99,9 +162,11 @@ class ResultStore:
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
                 fh.write("\n")
+                fh.flush()
         except OSError:
             # persistence is best-effort; the in-memory search proceeds.
-            pass
+            self._count("explore_store_write_failed_total",
+                        "store appends dropped on OSError")
 
     # -- convenience ----------------------------------------------------
     def records_for_schema(self, schema_digest: str) -> List[Dict[str, Any]]:

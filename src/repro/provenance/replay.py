@@ -1,0 +1,560 @@
+"""Re-derive lineage: verify recorded ancestry, re-execute artifacts.
+
+Two levels of checking, increasingly expensive:
+
+* :func:`verify_graph` *recomputes fingerprints* — every spec/mdesc
+  node whose metadata names a reconstructible architecture is
+  re-derived and its digest compared with what the graph recorded; any
+  mismatch marks exactly the downstream reachability closure stale
+  (:meth:`~repro.provenance.graph.LineageGraph.stale_from`).  It also
+  flags ``unknown-lineage`` records (artifacts adopted from
+  pre-provenance stores) and inputs the graph names but does not hold.
+* :func:`replay_record` *re-executes work* — an execution record is
+  re-run through a fresh interpreter/compiled path, a trial re-scores
+  its objectives, a table re-renders, a frontier re-filters its store —
+  and the fresh result digest must equal the recorded one bit for bit.
+  :func:`replay_ancestry` does this for the full upstream closure,
+  dependencies first, which is what ``repro lineage replay`` runs.
+
+Reconstruction is digest-checked: a spec rebuilt from its recorded
+name/point must reproduce the recorded fingerprint before anything is
+re-executed against it, so replay can never silently validate a result
+against the wrong machine.
+
+This module imports the engine and the arch registry, so it must stay
+out of ``repro.provenance.__init__`` (the engine imports that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.provenance.graph import (
+    UNKNOWN_KIND,
+    LineageGraph,
+    LineageRecord,
+    digest_of,
+)
+
+
+# ----------------------------------------------------------------------
+# artifact reconstruction
+# ----------------------------------------------------------------------
+
+class ReplayError(Exception):
+    """An artifact could not be reconstructed or did not reproduce."""
+
+
+def reconstruct_spec(record: LineageRecord):
+    """Rebuild the :class:`ArchSpec` a spec record describes.
+
+    Registry machines rebuild by name; explore-materialized specs
+    rebuild by (space, point).  The rebuilt spec's fingerprint must
+    equal the record digest — a mismatch means the description that
+    produced downstream results no longer exists in this tree.
+    """
+    from repro.core.engine import fingerprint_spec
+
+    meta = record.meta
+    spec = None
+    if isinstance(meta.get("space"), str) and isinstance(meta.get("point"), Mapping):
+        from repro.explore.space import get_space
+
+        try:
+            space = get_space(meta["space"])
+            spec = space.materialize(dict(meta["point"]))
+        except (KeyError, ValueError, TypeError) as err:
+            raise ReplayError(
+                f"spec {record.digest[:12]}: cannot rematerialize point in "
+                f"space {meta.get('space')!r}: {err}")
+    elif isinstance(meta.get("arch"), str):
+        from repro.arch.registry import get_arch
+
+        try:
+            spec = get_arch(meta["arch"])
+        except KeyError as err:
+            raise ReplayError(f"spec {record.digest[:12]}: {err}")
+    if spec is None:
+        raise ReplayError(
+            f"spec {record.digest[:12]}: no reconstruction metadata "
+            f"(need meta.arch or meta.space+meta.point)")
+    fresh = fingerprint_spec(spec)
+    if fresh != record.digest:
+        raise ReplayError(
+            f"spec {record.digest[:12]}: reconstruction fingerprints to "
+            f"{fresh[:12]} — the recorded description no longer exists")
+    return spec
+
+
+def _spec_for(graph: LineageGraph, record: LineageRecord):
+    """Resolve the spec a derived record was produced from."""
+    spec_fp = record.spec_fp
+    if spec_fp is None:
+        for parent in record.inputs:
+            node = graph.get(parent)
+            if node is not None and node.kind == "spec":
+                spec_fp = node.digest
+                break
+    if spec_fp is None:
+        raise ReplayError(
+            f"{record.kind} {record.digest[:12]}: no spec ancestor recorded")
+    spec_record = graph.get(spec_fp)
+    if spec_record is None:
+        raise ReplayError(
+            f"{record.kind} {record.digest[:12]}: spec {spec_fp[:12]} "
+            f"is named but absent from the graph")
+    return reconstruct_spec(spec_record)
+
+
+def _candidate_programs(spec) -> "List[Any]":
+    """Every program an engine execution on ``spec`` can have run."""
+    from repro.core.microbench import measurement_jobs
+    from repro.kernel.handlers import handler_program
+    from repro.kernel.primitives import Primitive
+
+    programs = [program for program, _ in measurement_jobs(spec)]
+    for primitive in Primitive:
+        programs.append(handler_program(spec, primitive))
+    return programs
+
+
+# ----------------------------------------------------------------------
+# per-kind replay
+# ----------------------------------------------------------------------
+
+def replay_execution(record: LineageRecord, graph: LineageGraph) -> Dict[str, Any]:
+    """Re-run one executor experiment and compare result digests."""
+    from repro.core.engine import (
+        fingerprint_stream,
+        result_digest,
+        result_to_dict,
+    )
+    from repro.isa.executor import Executor
+
+    spec = _spec_for(graph, record)
+    stream_fp = record.meta.get("stream_fp")
+    if not isinstance(stream_fp, str):
+        raise ReplayError(
+            f"execution {record.digest[:12]}: no stream fingerprint in meta")
+    program = None
+    for candidate in _candidate_programs(spec):
+        if fingerprint_stream(candidate) == stream_fp:
+            program = candidate
+            break
+    if program is None:
+        raise ReplayError(
+            f"execution {record.digest[:12]}: no synthesizable program "
+            f"matches stream {stream_fp[:12]} on {spec.name}")
+    drain = bool(record.meta.get("drain"))
+    result = Executor(spec).run(program, drain_write_buffer=drain)
+    fresh = result_digest(result_to_dict(result))
+    return {
+        "digest": record.digest,
+        "kind": "execution",
+        "identical": fresh == record.result_digest,
+        "recorded": record.result_digest,
+        "recomputed": fresh,
+        "detail": f"{spec.name}:{program.name} drain={drain}",
+    }
+
+
+def replay_trial(record: LineageRecord, graph: LineageGraph) -> Dict[str, Any]:
+    """Re-score one explore trial's objectives, exactly."""
+    from repro.explore.objectives import ObjectiveSchema
+    from repro.explore.objectives import evaluate as evaluate_objectives
+
+    spec = _spec_for(graph, record)
+    names = record.meta.get("schema_names")
+    schema = (ObjectiveSchema(names=tuple(names))
+              if isinstance(names, (list, tuple)) and names else ObjectiveSchema())
+    objectives = evaluate_objectives(spec, schema)
+    fresh = digest_of(objectives)
+    recorded = record.result_digest or digest_of(record.meta.get("objectives"))
+    return {
+        "digest": record.digest,
+        "kind": "trial",
+        "identical": fresh == recorded,
+        "recorded": recorded,
+        "recomputed": fresh,
+        "detail": f"{spec.name} objectives={sorted(objectives)}",
+    }
+
+
+def replay_table(record: LineageRecord, graph: LineageGraph) -> Dict[str, Any]:
+    """Re-render one published table on a cold engine, compare text."""
+    import hashlib
+
+    from repro.analysis.runner import render_table
+    from repro.core.engine import (
+        ExperimentEngine,
+        default_engine,
+        set_default_engine,
+    )
+
+    number = record.meta.get("number")
+    if not isinstance(number, int):
+        raise ReplayError(f"table {record.digest[:12]}: no table number in meta")
+    # Table modules execute through the process-default engine; swap in
+    # a cold one so the replay genuinely re-runs the ancestry instead of
+    # reading this process's warm caches.
+    previous = default_engine()
+    set_default_engine(ExperimentEngine())
+    try:
+        text = render_table(number)
+    finally:
+        set_default_engine(previous)
+    fresh = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return {
+        "digest": record.digest,
+        "kind": "table",
+        "identical": fresh == record.result_digest,
+        "recorded": record.result_digest,
+        "recomputed": fresh,
+        "detail": f"table {number} ({len(text.splitlines())} lines)",
+    }
+
+
+def replay_frontier(record: LineageRecord, graph: LineageGraph) -> Dict[str, Any]:
+    """Re-filter the frontier's store and compare memberships."""
+    from repro.explore.frontier import frontier_from_records
+    from repro.explore.objectives import ObjectiveSchema
+    from repro.explore.store import ResultStore
+
+    path = record.meta.get("store")
+    if not isinstance(path, str) or not path:
+        raise ReplayError(
+            f"frontier {record.digest[:12]}: no store path in meta")
+    names = record.meta.get("schema_names")
+    schema = (ObjectiveSchema(names=tuple(names))
+              if isinstance(names, (list, tuple)) and names else ObjectiveSchema())
+    store = ResultStore(path)
+    records = store.records_for_schema(schema.digest)
+    frontier = frontier_from_records(records, schema) if records else []
+    members = sorted(str(r.get("key")) for r in frontier)
+    fresh = digest_of(["frontier", schema.digest, members])
+    return {
+        "digest": record.digest,
+        "kind": "frontier",
+        "identical": fresh == record.digest,
+        "recorded": record.digest,
+        "recomputed": fresh,
+        "detail": f"{len(members)} frontier point(s) of {len(records)} trial(s)",
+    }
+
+
+def _check_fingerprint_node(record: LineageRecord,
+                            graph: LineageGraph) -> Dict[str, Any]:
+    """Replay for spec/mdesc/program nodes: recompute the digest."""
+    fresh = _recompute_artifact(record, graph)
+    return {
+        "digest": record.digest,
+        "kind": record.kind,
+        "identical": fresh == record.digest,
+        "recorded": record.digest,
+        "recomputed": fresh if fresh is not None else "unreconstructible",
+        "detail": record.kind,
+    }
+
+
+_REPLAYERS = {
+    "execution": replay_execution,
+    "trial": replay_trial,
+    "table": replay_table,
+    "frontier": replay_frontier,
+    "spec": _check_fingerprint_node,
+    "mdesc": _check_fingerprint_node,
+    "program": _check_fingerprint_node,
+}
+
+
+def replay_record(record: LineageRecord, graph: LineageGraph) -> Dict[str, Any]:
+    """Replay one record; raises :class:`ReplayError` when impossible."""
+    replayer = _REPLAYERS.get(record.kind)
+    if replayer is None:
+        raise ReplayError(
+            f"{record.kind} {record.digest[:12]}: kind is not replayable")
+    return replayer(record, graph)
+
+
+def replay_ancestry(digest: str, graph: LineageGraph,
+                    strict: bool = False) -> List[Dict[str, Any]]:
+    """Replay the full upstream closure of ``digest``, roots first.
+
+    Unreplayable ancestors (request stubs, unknown-lineage adoptions)
+    are reported as skipped rather than failing the walk, unless
+    ``strict``.  The target itself must be replayable.
+    """
+    chain = graph.ancestry(digest)
+    if not chain or chain[-1].digest != digest:
+        raise ReplayError(f"{digest[:12]}: not present in the lineage graph")
+    outcomes: List[Dict[str, Any]] = []
+    for record in chain:
+        try:
+            outcomes.append(replay_record(record, graph))
+        except ReplayError as err:
+            if strict or record.digest == digest:
+                raise
+            outcomes.append({
+                "digest": record.digest, "kind": record.kind,
+                "identical": None, "skipped": str(err), "detail": record.kind,
+            })
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# fingerprint verification (cheap, no re-execution)
+# ----------------------------------------------------------------------
+
+def _recompute_artifact(record: LineageRecord,
+                        graph: LineageGraph) -> Optional[str]:
+    """Recompute a description-level record's content digest, or None
+    when the record carries no reconstruction metadata."""
+    from repro.core.engine import fingerprint_spec, fingerprint_stream
+
+    if record.kind == "spec":
+        try:
+            spec = reconstruct_spec(record)
+        except ReplayError:
+            return None
+        return fingerprint_spec(spec)
+    if record.kind == "mdesc":
+        from repro.arch.mdesc import description_for
+
+        spec_fp = record.spec_fp or next(iter(record.inputs), None)
+        spec_record = graph.get(spec_fp) if spec_fp else None
+        if spec_record is None:
+            return None
+        try:
+            spec = reconstruct_spec(spec_record)
+        except ReplayError:
+            return None
+        return description_for(spec).fingerprint
+    if record.kind == "program":
+        # Programs are reconstructible only through a spec that emits
+        # them; any execution child of this stream names one.
+        for child in graph.records():
+            if child.kind != "execution" or record.digest not in child.inputs:
+                continue
+            try:
+                spec = _spec_for(graph, child)
+            except ReplayError:
+                continue
+            for candidate in _candidate_programs(spec):
+                if fingerprint_stream(candidate) == record.digest:
+                    return record.digest
+        return None
+    return None
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """What :func:`verify_graph` found."""
+
+    records: int = 0
+    checked: int = 0
+    #: artifact digests whose recomputation no longer matches.
+    changed: List[str] = dataclasses.field(default_factory=list)
+    #: downstream closure of ``changed`` — results derived from
+    #: artifacts that no longer exist in this tree.
+    stale: List[str] = dataclasses.field(default_factory=list)
+    #: records adopted from pre-provenance stores (no known ancestry).
+    unknown: List[str] = dataclasses.field(default_factory=list)
+    #: record digest -> inputs it names that the graph does not hold.
+    missing: Dict[str, List[str]] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.changed or self.stale or self.missing)
+
+    @property
+    def clean(self) -> bool:
+        return self.ok and not self.unknown
+
+    def summary(self) -> str:
+        parts = [f"{self.records} record(s), {self.checked} fingerprint(s) "
+                 f"recomputed"]
+        if self.changed:
+            parts.append(f"{len(self.changed)} changed artifact(s)")
+        if self.stale:
+            parts.append(f"{len(self.stale)} stale result(s)")
+        if self.unknown:
+            parts.append(f"{len(self.unknown)} unknown-lineage record(s)")
+        if self.missing:
+            absent = sum(len(v) for v in self.missing.values())
+            parts.append(f"{absent} missing input(s)")
+        return "; ".join(parts)
+
+
+def verify_graph(graph: LineageGraph) -> VerifyReport:
+    """Recompute every reconstructible artifact fingerprint and flag
+    exactly the downstream closure of anything that changed."""
+    report = VerifyReport(records=len(graph))
+    for record in graph.records():
+        if record.kind == UNKNOWN_KIND:
+            report.unknown.append(record.digest)
+            continue
+        if record.kind in ("spec", "mdesc"):
+            fresh = _recompute_artifact(record, graph)
+            if fresh is None:
+                continue
+            report.checked += 1
+            if fresh != record.digest:
+                report.changed.append(record.digest)
+    report.stale = sorted(graph.stale_from(report.changed))
+    report.missing = graph.missing_inputs()
+    return report
+
+
+# ----------------------------------------------------------------------
+# legacy-store adoption
+# ----------------------------------------------------------------------
+
+def adopt_disk_cache(cache_dir: str) -> List[LineageRecord]:
+    """Wrap a pre-provenance engine disk cache in explicit records.
+
+    Entries whose envelope carries a lineage block become real
+    execution/replay records; bare legacy payloads become
+    ``unknown-lineage`` — present, addressable, trusted for nothing.
+    """
+    import json
+    import os
+
+    records: List[LineageRecord] = []
+    try:
+        names = sorted(os.listdir(cache_dir))
+    except OSError:
+        return records
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(cache_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(entry, dict):
+            continue
+        key = name[: -len(".json")]
+        stored = entry.get("value")
+        block = stored.get("lineage") if isinstance(stored, dict) else None
+        rid = block.get("request_id") if isinstance(block, dict) else None
+        if isinstance(block, dict) and isinstance(block.get("spec_fp"), str):
+            spec_fp = str(block["spec_fp"])
+            mdesc_fp = str(block.get("mdesc_fp"))
+            stream_fp = str(block.get("stream_fp"))
+            records.append(LineageRecord(
+                digest=spec_fp, kind="spec",
+                meta={"arch": block.get("arch")}))
+            records.append(LineageRecord(
+                digest=mdesc_fp, kind="mdesc", inputs=(spec_fp,),
+                spec_fp=spec_fp, meta={"arch": block.get("arch")}))
+            records.append(LineageRecord(
+                digest=stream_fp, kind="program",
+                meta={"program": block.get("program")}))
+            records.append(LineageRecord(
+                digest=str(block.get("key", key)), kind="execution",
+                inputs=(spec_fp, mdesc_fp, stream_fp),
+                spec_fp=spec_fp, mdesc_fp=mdesc_fp,
+                schema_version=block.get("schema"),
+                code_version=block.get("code"),
+                engine_path=block.get("engine_path"),
+                fallback_reason=block.get("fallback_reason"),
+                request_id=rid if isinstance(rid, str) else None,
+                result_digest=block.get("result_digest"),
+                meta={"arch": block.get("arch"),
+                      "program": block.get("program"),
+                      "drain": block.get("drain"),
+                      "stream_fp": stream_fp}))
+        elif isinstance(block, dict) and isinstance(block.get("tlb_fp"), str):
+            tlb_fp = str(block["tlb_fp"])
+            records.append(LineageRecord(digest=tlb_fp, kind="tlb", meta={}))
+            records.append(LineageRecord(
+                digest=str(block.get("key", key)), kind="replay",
+                inputs=(tlb_fp,),
+                schema_version=block.get("schema"),
+                code_version=block.get("code"),
+                engine_path=block.get("engine_path"),
+                request_id=rid if isinstance(rid, str) else None,
+                result_digest=block.get("result_digest"),
+                meta={"config_digest": block.get("config_digest")}))
+        else:
+            records.append(LineageRecord(
+                digest=key, kind=UNKNOWN_KIND,
+                meta={"adopted_from": "disk-cache", "entry": name}))
+    return records
+
+
+def adopt_result_store(path: str) -> List[LineageRecord]:
+    """Wrap a pre-provenance explore store in explicit trial records.
+
+    Store rows carry enough metadata (space, point, fingerprints,
+    objectives) to rebuild real trial records; rows missing it become
+    ``unknown-lineage``.
+    """
+    from repro.explore.store import ResultStore
+
+    records: List[LineageRecord] = []
+    store = ResultStore(path)
+    for row in store.records():
+        key = str(row.get("key"))
+        spec_fp = row.get("spec_fp")
+        mdesc_fp = row.get("mdesc_fp")
+        objectives = row.get("objectives")
+        if not (isinstance(spec_fp, str) and isinstance(mdesc_fp, str)
+                and isinstance(objectives, dict)):
+            records.append(LineageRecord(
+                digest=key, kind=UNKNOWN_KIND,
+                meta={"adopted_from": "result-store", "store": path}))
+            continue
+        records.append(LineageRecord(
+            digest=spec_fp, kind="spec",
+            meta={"arch": row.get("arch_name"),
+                  "space": row.get("space"), "base": row.get("base"),
+                  "point": row.get("point")}))
+        records.append(LineageRecord(
+            digest=mdesc_fp, kind="mdesc", inputs=(spec_fp,),
+            spec_fp=spec_fp, meta={"arch": row.get("arch_name")}))
+        records.append(LineageRecord(
+            digest=key, kind="trial", inputs=(spec_fp, mdesc_fp),
+            spec_fp=spec_fp, mdesc_fp=mdesc_fp,
+            result_digest=digest_of(objectives),
+            meta={"arch": row.get("arch_name"),
+                  "space": row.get("space"), "base": row.get("base"),
+                  "point": row.get("point"),
+                  "objectives": objectives,
+                  "schema_names": row.get("schema_names"),
+                  "schema_digest": row.get("schema_digest")}))
+    return records
+
+
+def load_graph(stores: "Tuple[str, ...]" = (),
+               cache_dirs: "Tuple[str, ...]" = (),
+               result_stores: "Tuple[str, ...]" = ()) -> LineageGraph:
+    """Assemble one graph from lineage sidecars and adopted stores.
+
+    ``stores`` are lineage JSONL files; ``cache_dirs`` are engine
+    disk-cache directories (their ``lineage.jsonl`` sidecar is read
+    when present, and every cache entry is adopted so pre-provenance
+    entries surface as ``unknown-lineage``); ``result_stores`` are
+    explore JSONL stores (idem, with a ``<path>.lineage`` sidecar).
+    """
+    import os
+
+    from repro.provenance.store import LineageStore
+
+    graph = LineageGraph()
+    for path in stores:
+        graph.add_many(LineageStore(path).records())
+    for cache_dir in cache_dirs:
+        sidecar = os.path.join(cache_dir, "lineage.jsonl")
+        if os.path.exists(sidecar):
+            graph.add_many(LineageStore(sidecar).records())
+        graph.add_many(adopt_disk_cache(cache_dir))
+    for path in result_stores:
+        sidecar = f"{path}.lineage"
+        if os.path.exists(sidecar):
+            graph.add_many(LineageStore(sidecar).records())
+        graph.add_many(adopt_result_store(path))
+    return graph

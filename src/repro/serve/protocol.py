@@ -255,12 +255,15 @@ def key_explore_frontier(params: Mapping[str, Any]) -> List[Any]:
 
 def work_explore_frontier(params: Mapping[str, Any]) -> Dict[str, Any]:
     from repro.explore import ObjectiveSchema, ResultStore, frontier_from_records
+    from repro.explore.frontier import record_frontier
 
     schema = (ObjectiveSchema(names=tuple(params["objectives"]))
               if params.get("objectives") else ObjectiveSchema())
     store = ResultStore(params["store"])
     records = store.records_for_schema(schema.digest)
     frontier = frontier_from_records(records, schema) if records else []
+    if frontier:
+        record_frontier(frontier, schema, params["store"], sink=store.lineage)
     rows = sorted(
         (
             {
@@ -322,19 +325,47 @@ def coalesce_key(endpoint: Endpoint, params: Mapping[str, Any]) -> str:
 
 
 def execute_one(item: "Tuple[str, Dict[str, Any]]") -> Dict[str, Any]:
-    """Run one (endpoint-name, params) work item; never raises.
+    """Run one (endpoint-name, params[, request-id]) work item; never raises.
 
     The envelope — ``{"ok": True, "value": ...}`` or ``{"ok": False,
     "status"/"code"/"message": ...}`` — keeps per-item failures from
     poisoning the rest of a :meth:`SweepRunner.map` batch, and is
     picklable for the parallel path.
+
+    ``run_in_executor`` does not propagate :mod:`contextvars` into pool
+    threads (and the parallel sweep hops processes), so the request id
+    rides on the item itself; the worker re-enters it before touching
+    the engine, and the provenance records collected during the call
+    ship back on the envelope (``lineage`` payload + the digests of the
+    derived-work roots) for the event-loop side to merge and correlate.
     """
-    name, params = item
+    from repro.provenance import (
+        DERIVED_KINDS,
+        PROV_STATE,
+        PROVENANCE,
+        lineage_payload,
+        reset_request_id,
+        set_request_id,
+    )
+
+    if len(item) == 3:
+        name, params, request_id = item
+    else:
+        name, params = item
+        request_id = None
     endpoint = ENDPOINTS.get(name)
     if endpoint is None:
         return {"ok": False, "status": 400, "code": "bad_request",
                 "message": f"unknown endpoint {name!r}"}
+    token = set_request_id(request_id) if request_id is not None else None
     try:
+        if PROV_STATE.enabled:
+            with PROVENANCE.collect() as records:
+                value = endpoint.worker(params)
+            return {"ok": True, "value": value,
+                    "lineage": lineage_payload(records),
+                    "roots": [r.digest for r in records
+                              if r.kind in DERIVED_KINDS]}
         return {"ok": True, "value": endpoint.worker(params)}
     except ServeError as err:
         return {"ok": False, "status": err.status, "code": err.code,
@@ -342,3 +373,6 @@ def execute_one(item: "Tuple[str, Dict[str, Any]]") -> Dict[str, Any]:
     except Exception as err:  # noqa: BLE001 - the envelope is the firewall
         return {"ok": False, "status": 500, "code": "internal",
                 "message": f"{type(err).__name__}: {err}"}
+    finally:
+        if token is not None:
+            reset_request_id(token)

@@ -29,6 +29,7 @@ import asyncio
 import functools
 import json
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
@@ -36,6 +37,17 @@ from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 from repro.core.engine import SweepRunner
 from repro.obs import OBS_STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
+from repro.provenance import (
+    PROV_STATE as _PROV,
+    PROVENANCE,
+    LineageRecord,
+    clean_request_id,
+    digest_of,
+    merge_lineage_payload,
+    new_request_id,
+    reset_request_id,
+    set_request_id,
+)
 
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import Job, MicroBatcher
@@ -94,13 +106,54 @@ class ServeApp:
         #: perf_counter origin for request spans (serve-local timeline).
         self._epoch = time.perf_counter()
         self._closed = False
+        #: derived-work root digests per coalesce key, so every request
+        #: of a coalesced flight (leader and followers alike) can link
+        #: its serve_request lineage record to the shared computation.
+        self._flight_roots: "OrderedDict[str, Tuple[str, ...]]" = OrderedDict()
+        self._preregister_metrics()
 
     # -- metrics/span plumbing ------------------------------------------
+    #: compiled-path fallback labels the engine can emit; pre-registered
+    #: below so a scrape sees explicit zeros, not missing series.
+    _FALLBACK_REASONS = ("observer", "opclass", "fractional_cost",
+                         "fractional_write_buffer")
+
+    def _preregister_metrics(self) -> None:
+        """Create zero cells for the engine counters operators alert on.
+
+        ``/metrics`` renders the full registry snapshot, so a counter
+        that has never fired is otherwise absent — and an absent series
+        reads as "no data" where an explicit 0 reads as "healthy".
+        """
+        if not _OBS.metrics_on:
+            return
+        _METRICS.counter(
+            "engine_compiled_runs_total",
+            "cold executions served by the compiled path").inc(0)
+        _METRICS.counter(
+            "engine_disk_write_failed_total",
+            "disk-cache writes dropped on OSError").inc(0)
+        fallbacks = _METRICS.counter(
+            "engine_compiled_fallbacks_total",
+            "cold executions that fell back from the compiled path "
+            "to the interpreter")
+        for reason in self._FALLBACK_REASONS:
+            fallbacks.inc(0, reason=reason)
+        _METRICS.counter(
+            "provenance_stale_results_total",
+            "cached results re-executed because lineage reachability "
+            "showed a changed upstream artifact").inc(0)
+        _METRICS.counter(
+            "provenance_unknown_lineage_total",
+            "cache hits served from pre-provenance entries").inc(
+                0, layer="engine")
+
     def _count(self, name: str, help: str, **labels: Any) -> None:
         if _OBS.metrics_on:
             _METRICS.counter(name, help).inc(**labels)
 
-    def _finish_request(self, endpoint_name: str, t0: float, status: int) -> None:
+    def _finish_request(self, endpoint_name: str, t0: float, status: int,
+                        request_id: Optional[str] = None) -> None:
         t1 = time.perf_counter()
         if _OBS.metrics_on:
             _METRICS.counter(
@@ -113,18 +166,64 @@ class ServeApp:
                     (t1 - t0) * 1e3, endpoint=endpoint_name)
         tracer = _OBS.tracer
         if tracer.active:
+            attrs: Dict[str, Any] = {"track": "serve",
+                                     "endpoint": endpoint_name,
+                                     "status": status}
+            if request_id is not None:
+                attrs["request_id"] = request_id
             tracer.complete(
                 f"request:{endpoint_name}", "request",
                 start_us=(t0 - self._epoch) * 1e6,
-                end_us=(t1 - self._epoch) * 1e6,
-                track="serve", endpoint=endpoint_name, status=status)
+                end_us=(t1 - self._epoch) * 1e6, **attrs)
+
+    def _stash_roots(self, key: str, roots: "Tuple[str, ...]") -> None:
+        self._flight_roots[key] = roots
+        self._flight_roots.move_to_end(key)
+        while len(self._flight_roots) > 1024:
+            self._flight_roots.popitem(last=False)
+
+    def _record_request(self, endpoint_name: str, request_id: Optional[str],
+                        status: int, code: Optional[str],
+                        key: Optional[str]) -> None:
+        """One serve_request lineage record per answered request.
+
+        Success links the request id to the derived-work roots of its
+        (possibly coalesced) flight; refusals — shed (429), draining
+        (503), deadline expired (504), bad request (400) — still leave
+        a stub carrying the id, endpoint and status, so a trace that
+        ends in an error is correlatable end to end.
+        """
+        if not _PROV.enabled or request_id is None:
+            return
+        roots: "Tuple[str, ...]" = ()
+        if key is not None:
+            roots = self._flight_roots.get(key, ())
+        meta: Dict[str, Any] = {"endpoint": endpoint_name, "status": status}
+        if code:
+            meta["code"] = code
+        PROVENANCE.record(LineageRecord(
+            digest=digest_of(["serve-request", request_id]),
+            kind="serve_request", inputs=roots, request_id=request_id,
+            meta=meta))
 
     # -- the request pipeline -------------------------------------------
     async def submit(self, endpoint_name: str, params: Any, *,
-                     deadline_ms: Optional[float] = None) -> Dict[str, Any]:
-        """Serve one request; returns the reply payload or raises ServeError."""
+                     deadline_ms: Optional[float] = None,
+                     request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Serve one request; returns the reply payload or raises ServeError.
+
+        ``request_id`` correlates this request's span and lineage
+        records (the HTTP front end passes the validated or generated
+        ``X-Request-Id``); one is generated when absent so direct
+        ``ServeApp`` callers get correlation too.
+        """
         t0 = time.perf_counter()
         status = 500
+        code: Optional[str] = None
+        key: Optional[str] = None
+        if request_id is None:
+            request_id = new_request_id()
+        token = set_request_id(request_id)
         try:
             endpoint = ENDPOINTS.get(endpoint_name)
             if endpoint is None:
@@ -157,15 +256,19 @@ class ServeApp:
                         endpoint=endpoint, params=normalized, key=key,
                         admitted_t=t0,
                         deadline_t=(t0 + deadline_ms / 1e3
-                                    if deadline_ms is not None else None)))
+                                    if deadline_ms is not None else None),
+                        attrs={"request_id": request_id}))
             result = await asyncio.shield(future)
             status = 200
             return result
         except ServeError as err:
             status = err.status
+            code = err.code
             raise
         finally:
-            self._finish_request(endpoint_name, t0, status)
+            self._record_request(endpoint_name, request_id, status, code, key)
+            self._finish_request(endpoint_name, t0, status, request_id)
+            reset_request_id(token)
 
     async def _dispatch_batch(self, jobs: List[Job]) -> None:
         """Run one micro-batch on the pool and resolve its flights."""
@@ -192,7 +295,8 @@ class ServeApp:
             _METRICS.histogram(
                 "serve_batch_size",
                 "jobs per dispatched micro-batch").observe(len(live))
-        items = [(job.endpoint.name, dict(job.params)) for job in live]
+        items = [(job.endpoint.name, dict(job.params),
+                  job.attrs.get("request_id")) for job in live]
         loop = asyncio.get_running_loop()
         try:
             outcomes = await loop.run_in_executor(
@@ -209,6 +313,14 @@ class ServeApp:
                 self._count("serve_executions_total",
                             "unique engine-backed executions performed",
                             endpoint=job.endpoint.name)
+                if _PROV.enabled:
+                    # Fold the worker's collected records into this
+                    # process and remember the flight's derived-work
+                    # roots before the future resolves, so awaiting
+                    # submitters find them in _record_request.
+                    merge_lineage_payload(outcome.get("lineage"))
+                    self._stash_roots(job.key, tuple(
+                        str(r) for r in outcome.get("roots") or ()))
                 self._complete(job, result=outcome["value"])
             else:
                 self._complete(job, error=ServeError(
@@ -391,8 +503,15 @@ class HttpServer:
                        body: bytes) -> bool:
         """Route one request and write one reply; returns keep-alive."""
         keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        # Honor a well-formed client X-Request-Id, mint one otherwise,
+        # and echo it on every reply (errors included) so the client
+        # can correlate its response with spans and lineage records.
+        request_id = (clean_request_id(headers.get("x-request-id"))
+                      or new_request_id())
         status, payload, content_type, extra = await self._route(
-            method, target, headers, body)
+            method, target, headers, body, request_id)
+        extra = dict(extra or {})
+        extra.setdefault("X-Request-Id", request_id)
         if self.app.draining:
             keep_alive = False
         writer.write(_http_payload(status, payload, content_type,
@@ -402,6 +521,7 @@ class HttpServer:
 
     async def _route(self, method: str, target: str,
                      headers: Dict[str, str], body: bytes,
+                     request_id: Optional[str] = None,
                      ) -> "Tuple[int, bytes, str, Optional[Dict[str, str]]]":
         path = target.split("?", 1)[0]
         if path == "/healthz":
@@ -452,7 +572,8 @@ class HttpServer:
             deadline_ms = float(raw)
         try:
             result = await self.app.submit(endpoint.name, params,
-                                           deadline_ms=deadline_ms)
+                                           deadline_ms=deadline_ms,
+                                           request_id=request_id)
         except ServeError as err:
             extra = ({"Retry-After": f"{err.retry_after_s:.3f}"}
                      if err.retry_after_s is not None else None)

@@ -1,0 +1,135 @@
+"""Explore result-store crash safety: torn tails, garbage, resume.
+
+The contract under test: a writer that dies mid-append never poisons
+the store — a parseable torn tail is completed, an unparsable one is
+truncated away, both are counted as obs metrics and repaired on disk so
+the next append can never concatenate onto torn bytes — and a resumed
+search sees exactly the surviving records.
+"""
+
+import json
+
+from repro import obs
+from repro.explore import STORE_SCHEMA_VERSION, ResultStore
+from repro.obs.metrics import REGISTRY
+
+
+def row(key, **extra):
+    payload = {"arch_name": f"m-{key}", "objectives": {"mcpi": 1.0}}
+    payload.update(extra)
+    return key, payload
+
+
+def put(store, key, **extra):
+    k, payload = row(key, **extra)
+    store.put(k, payload)
+
+
+def test_round_trip_and_resume(tmp_path):
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    put(store, "k1")
+    put(store, "k2")
+    resumed = ResultStore(path)
+    assert len(resumed) == 2
+    assert "k1" in resumed and resumed.get("k2")["arch_name"] == "m-k2"
+    assert resumed.skipped_lines == 0
+
+
+def test_torn_parseable_tail_is_completed_and_counted(tmp_path):
+    path = tmp_path / "trials.jsonl"
+    store = ResultStore(str(path))
+    put(store, "k1")
+    # a writer that died after the bytes but before the newline
+    tail = json.dumps({"schema": STORE_SCHEMA_VERSION, "key": "k2",
+                       "objectives": {"mcpi": 2.0}},
+                      sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(tail)
+    with obs.capture(enable_spans=False):
+        before = REGISTRY.counter(
+            "explore_store_tail_recovered_total").total()
+        recovered = ResultStore(str(path))
+        after = REGISTRY.counter(
+            "explore_store_tail_recovered_total").total()
+    assert recovered.recovered_tail == 1
+    assert after == before + 1
+    assert "k2" in recovered
+    # the file is newline-terminated again: a third loader is clean,
+    # and the next append cannot concatenate onto the old tail
+    assert open(path, "rb").read().endswith(b"\n")
+    put(recovered, "k3")
+    third = ResultStore(str(path))
+    assert third.recovered_tail == 0 and third.dropped_tail == 0
+    assert len(third) == 3
+
+
+def test_torn_garbage_tail_is_truncated_and_counted(tmp_path):
+    path = tmp_path / "trials.jsonl"
+    store = ResultStore(str(path))
+    put(store, "k1")
+    with open(path, "ab") as fh:
+        fh.write(b'{"schema":1,"key":"k2","obj')  # died mid-record
+    with obs.capture(enable_spans=False):
+        before = REGISTRY.counter(
+            "explore_store_lines_dropped_total").total()
+        recovered = ResultStore(str(path))
+        after = REGISTRY.counter(
+            "explore_store_lines_dropped_total").total()
+    assert recovered.dropped_tail == 1
+    assert after == before + 1
+    assert len(recovered) == 1 and "k2" not in recovered
+    # the torn bytes are gone from disk; appends land on a clean file
+    put(recovered, "k3")
+    third = ResultStore(str(path))
+    assert len(third) == 2 and "k3" in third
+
+
+def test_interior_garbage_and_foreign_schema_are_skipped(tmp_path):
+    path = tmp_path / "trials.jsonl"
+    store = ResultStore(str(path))
+    put(store, "k1")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("utterly not json\n")
+        fh.write(json.dumps({"schema": 999, "key": "alien"}) + "\n")
+    put(store, "k2")
+    reloaded = ResultStore(str(path))
+    assert reloaded.skipped_lines == 2
+    assert len(reloaded) == 2
+    assert "alien" not in reloaded
+
+
+def test_duplicate_keys_latest_append_wins(tmp_path):
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    put(store, "k1", objectives={"mcpi": 1.0})
+    put(store, "k1", objectives={"mcpi": 9.0})
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 1
+    assert reloaded.get("k1")["objectives"] == {"mcpi": 9.0}
+
+
+def test_unwritable_append_is_counted_not_fatal(tmp_path):
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    put(store, "k1")
+    store.path = str(tmp_path / "no" / "such" / "dir" / "t.jsonl")
+    with obs.capture(enable_spans=False):
+        put(store, "k2")  # OSError swallowed
+        dropped = REGISTRY.counter("explore_store_write_failed_total").total()
+    assert dropped == 1
+    assert "k2" in store  # the in-memory search proceeds
+
+
+def test_memory_store_has_no_sidecar_and_persists_nothing(tmp_path):
+    store = ResultStore(None)
+    put(store, "k1")
+    assert store.lineage is None
+    assert len(store) == 1
+
+
+def test_path_store_opens_lineage_sidecar(tmp_path):
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    assert store.lineage is not None
+    assert store.lineage.path == f"{path}.lineage"

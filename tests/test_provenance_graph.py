@@ -1,0 +1,145 @@
+"""Lineage graph unit tests: records, merging, reachability, staleness.
+
+The contract under test: records are content-addressed and merge
+losslessly (inputs union, newer scalars win, a known kind beats
+unknown-lineage), ancestry walks dependencies first, staleness is the
+exact downstream reachability closure of a changed artifact, and
+block_status classifies cache-envelope lineage blocks correctly.
+"""
+
+import pytest
+
+from repro.provenance import (
+    UNKNOWN_KIND,
+    LineageGraph,
+    LineageRecord,
+    block_status,
+    canonical,
+    digest_of,
+)
+
+
+def rec(digest, kind="execution", inputs=(), **kwargs):
+    return LineageRecord(digest=digest, kind=kind, inputs=tuple(inputs),
+                         **kwargs)
+
+
+# ----------------------------------------------------------------------
+# canonical digests
+# ----------------------------------------------------------------------
+
+def test_digest_is_order_insensitive_for_mappings():
+    assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+    assert digest_of(["x", 1]) != digest_of(["x", 2])
+
+
+def test_canonical_reduces_tuples_and_numbers():
+    assert canonical((1, 2)) == canonical([1, 2])
+    assert digest_of((1, 2)) == digest_of([1, 2])
+
+
+# ----------------------------------------------------------------------
+# record round-trip and merge
+# ----------------------------------------------------------------------
+
+def test_record_round_trips_through_dict():
+    record = rec("d1", kind="trial", inputs=("a", "b"), spec_fp="s",
+                 engine_path="compiled", request_id="req-1",
+                 result_digest="r", meta={"space": "tiny"})
+    assert LineageRecord.from_dict(record.to_dict()) == record
+
+
+def test_merge_unions_inputs_and_prefers_known_kind():
+    old = rec("d1", kind=UNKNOWN_KIND, inputs=("a",))
+    new = rec("d1", kind="execution", inputs=("b",), engine_path="interpreted")
+    merged = old.merged(new)
+    assert merged.kind == "execution"
+    assert set(merged.inputs) == {"a", "b"}
+    assert merged.engine_path == "interpreted"
+
+
+def test_merge_keeps_existing_scalars_when_update_is_silent():
+    old = rec("d1", engine_path="compiled", request_id="req-1")
+    merged = old.merged(rec("d1"))
+    assert merged.engine_path == "compiled"
+    assert merged.request_id == "req-1"
+
+
+def test_incompatible_schema_version_degrades_to_unknown():
+    payload = rec("d1", kind="execution").to_dict()
+    payload["v"] = 999
+    degraded = LineageRecord.from_dict(payload)
+    assert degraded.kind == UNKNOWN_KIND
+    assert degraded.digest == "d1"
+
+
+# ----------------------------------------------------------------------
+# graph reachability
+# ----------------------------------------------------------------------
+
+def diamond():
+    """spec -> mdesc -> (e1, e2) -> trial."""
+    return LineageGraph([
+        rec("spec", kind="spec"),
+        rec("mdesc", kind="mdesc", inputs=("spec",)),
+        rec("e1", inputs=("spec", "mdesc")),
+        rec("e2", inputs=("spec", "mdesc")),
+        rec("trial", kind="trial", inputs=("e1", "e2")),
+    ])
+
+
+def test_ancestry_is_dependencies_first():
+    chain = [r.digest for r in diamond().ancestry("trial")]
+    assert chain[-1] == "trial"
+    assert chain.index("spec") < chain.index("mdesc") < chain.index("e1")
+    assert set(chain) == {"spec", "mdesc", "e1", "e2", "trial"}
+
+
+def test_stale_from_is_exact_downstream_closure():
+    graph = diamond()
+    # a changed mdesc poisons everything derived from it...
+    assert graph.stale_from(["mdesc"]) == {"e1", "e2", "trial"}
+    # ...but a changed leaf execution poisons only its own derivations.
+    assert graph.stale_from(["e1"]) == {"trial"}
+    assert graph.stale_from([]) == set()
+
+
+def test_missing_inputs_and_unknown_are_reported():
+    graph = LineageGraph([
+        rec("e1", inputs=("ghost",)),
+        rec("u1", kind=UNKNOWN_KIND),
+    ])
+    assert graph.missing_inputs() == {"e1": ["ghost"]}
+    assert [r.digest for r in graph.unknown()] == ["u1"]
+
+
+def test_graph_add_merges_by_digest():
+    graph = LineageGraph()
+    graph.add(rec("d1", kind=UNKNOWN_KIND))
+    graph.add(rec("d1", kind="execution", inputs=("a",)))
+    assert len(graph) == 1
+    assert graph.get("d1").kind == "execution"
+
+
+# ----------------------------------------------------------------------
+# envelope block classification
+# ----------------------------------------------------------------------
+
+def test_block_status_fresh_stale_unknown():
+    current = {"spec_fp": "s", "mdesc_fp": "m", "stream_fp": "p"}
+    block = {"spec_fp": "s", "mdesc_fp": "m", "stream_fp": "p"}
+    assert block_status(block, current) == ("fresh", None)
+    assert block_status(None, current)[0] == "unknown"
+    status, artifact = block_status(dict(block, mdesc_fp="CHANGED"), current)
+    assert status == "stale"
+    assert artifact == "mdesc"
+
+
+@pytest.mark.parametrize("field,artifact", [
+    ("spec_fp", "spec"), ("mdesc_fp", "mdesc"), ("stream_fp", "program"),
+])
+def test_block_status_names_the_changed_artifact(field, artifact):
+    current = {"spec_fp": "s", "mdesc_fp": "m", "stream_fp": "p"}
+    block = dict(current)
+    block[field] = "x"
+    assert block_status(block, current) == ("stale", artifact)
