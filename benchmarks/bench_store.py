@@ -1,0 +1,80 @@
+"""Unified-store benchmarks: tier latencies, digest locks, compaction.
+
+The store carries every memoized experiment answer (engine entries,
+explore segments, serving workers), so its three latency regimes are
+tracked the same way the compiled executor is: cold populate must be
+dominated by execution (not I/O), disk rehydrate must beat cold by a
+wide margin, and the memory tier must make repeat reads effectively
+free.  ``repro.store.probe.measure_store`` — the same probe
+``scripts/perf_report.py`` records into ``BENCH_engine.json`` — does
+the measuring; this module pins the correctness cross-checks and the
+per-operation costs in CI.
+"""
+
+import json
+import os
+
+from repro.store import DiskTier, MemoryTier, StoreStack, measure_store
+from repro.store.probe import PROBE_ARCHS
+
+KEY = "ab" + "c" * 62
+
+
+def bench_store_tier_probe(show):
+    """Cold/rehydrate/steady phases answer identically; tiers all hit."""
+    probe = measure_store(lock_samples=10, wal_records=50)
+    assert probe["identical"], "rehydrated results diverged from cold"
+    assert probe["disk_hit_rate"] == 1.0, "rehydrate missed the disk tier"
+    assert probe["memory_hit_rate"] == 1.0, "steady reads left memory"
+    assert probe["compact_round_trip"], "WAL compaction lost records"
+    show("Store: tier phases (cross-primitive matrix, "
+         f"{'+'.join(PROBE_ARCHS)})",
+         f"cold {probe['cold_populate_ms']:.2f} ms -> disk rehydrate "
+         f"{probe['disk_rehydrate_ms']:.2f} ms -> memory steady "
+         f"{probe['memory_steady_ms']:.2f} ms over {probe['jobs']} jobs; "
+         f"lock wait p99 {probe['lock_wait_p99_ms']:.2f} ms "
+         f"(hold {1e3 * probe['lock_hold_s']:.0f} ms), compaction "
+         f"{probe['compact_ms']:.2f} ms / reload "
+         f"{probe['compact_reload_ms']:.2f} ms for "
+         f"{probe['wal_records']} records")
+
+
+def bench_store_disk_put_get(benchmark, show, tmp_path):
+    """One sharded write + read-back round trip (the entry unit cost)."""
+    tier = DiskTier(str(tmp_path), schema=1)
+    value = {"value": {"cycles": 123, "instructions": 456},
+             "lineage": {"key": KEY, "spec_fp": "s" * 16}}
+
+    def round_trip():
+        tier.put(KEY, value)
+        return tier.get(KEY)
+
+    got = benchmark(round_trip)
+    assert got == value
+    show("Store: disk tier round trip",
+         "atomic tempfile+rename write plus sharded read of one "
+         f"{len(json.dumps(value))}-byte entry")
+
+
+def bench_store_stack_memory_hit(benchmark, show, tmp_path):
+    """A promoted read served by the memory tier (the steady unit cost)."""
+    stack = StoreStack(memory=MemoryTier(64),
+                       disk=DiskTier(str(tmp_path), schema=1),
+                       locking=False)
+    stack.put(KEY, {"v": 1})
+    assert stack.get(KEY) == {"v": 1}
+
+    benchmark(lambda: stack.get(KEY))
+    show("Store: stack memory hit", "read-through stack, memory tier hit")
+
+
+def bench_store_enumeration(benchmark, show, tmp_path):
+    """Key enumeration over a populated sharded layout (gc/verify walk)."""
+    tier = DiskTier(str(tmp_path), schema=1)
+    for i in range(128):
+        tier.put(f"{i:02x}" + "d" * 62, {"v": i})
+
+    keys = benchmark(lambda: list(tier.keys()))
+    assert len(keys) == 128
+    assert os.path.isdir(tmp_path / "objects")
+    show("Store: sharded enumeration", "128 entries across 128 shards")

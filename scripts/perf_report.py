@@ -4,9 +4,10 @@
 Times full-table regeneration cold (fresh engine), warm (memoized), and
 parallel (SweepRunner fan-out), the scalar/batched/cached trace replay
 ladder, the compiled-executor cold path over the mechanisms design
-grid, and the serving layer's coalesce/shed/drain contracts with
-closed-loop latency.  Writes two snapshots: ``BENCH_engine.json``
-(engine + compiled + explore + obs + provenance) and ``BENCH_serve.json`` (the
+grid, the unified store's tier latencies / digest-lock waits /
+WAL-compaction cost, and the serving layer's coalesce/shed/drain
+contracts with closed-loop latency.  Writes two snapshots: ``BENCH_engine.json``
+(engine + compiled + explore + obs + provenance + store) and ``BENCH_serve.json`` (the
 serving scenarios, same shape as ``repro serve bench --out``)::
 
     PYTHONPATH=src python scripts/perf_report.py            # full snapshot
@@ -300,6 +301,19 @@ def main(argv=None) -> int:
     timings["provenance_cold_enabled"] = lineage_probe["enabled_ms"]
     checks["provenance_results_identical"] = lineage_probe["identical"]
 
+    # --- unified store: tier latencies, lock waits, compaction ---------
+    from repro.store import measure_store
+
+    store_probe = measure_store(
+        lock_samples=10 if args.quick else 40,
+        wal_records=50 if args.quick else 200)
+    timings["store_cold_populate"] = store_probe["cold_populate_ms"]
+    timings["store_disk_rehydrate"] = store_probe["disk_rehydrate_ms"]
+    timings["store_memory_steady"] = store_probe["memory_steady_ms"]
+    timings["store_compact"] = store_probe["compact_ms"]
+    timings["store_compact_reload"] = store_probe["compact_reload_ms"]
+    checks["store_tiers_identical"] = store_probe["identical"]
+
     # --- serving layer: coalesce/shed/drain contracts + load latency ---
     import asyncio
 
@@ -377,6 +391,17 @@ def main(argv=None) -> int:
             "lineage_overhead_ratio": round(lineage_probe["ratio"], 4),
             "workload": lineage_probe["workload"],
             "tables": lineage_probe["tables"],
+        },
+        "store": {
+            "memory_hit_rate": store_probe["memory_hit_rate"],
+            "disk_hit_rate": store_probe["disk_hit_rate"],
+            "lock_uncontended_p50_ms": store_probe["lock_uncontended_p50_ms"],
+            "lock_wait_p50_ms": store_probe["lock_wait_p50_ms"],
+            "lock_wait_p99_ms": store_probe["lock_wait_p99_ms"],
+            "lock_hold_s": store_probe["lock_hold_s"],
+            "lock_samples": store_probe["lock_samples"],
+            "wal_records": store_probe["wal_records"],
+            "jobs": store_probe["jobs"],
         },
         "serve": {
             "coalesce_rate_identical": serve_bench["scenarios"]["coalesce"][

@@ -28,6 +28,7 @@ Also exposed as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -555,6 +556,87 @@ def _cmd_lineage_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_root(args: argparse.Namespace) -> Optional[str]:
+    """The store directory a ``repro store`` subcommand operates on:
+    the positional argument, else ``REPRO_CACHE_DIR`` (the engine's
+    own default)."""
+    root = args.dir or os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        print("no store directory: pass DIR or set REPRO_CACHE_DIR",
+              file=sys.stderr)
+        return None
+    return root
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import migrate_store
+
+    root = _store_root(args)
+    if root is None:
+        return 2
+    report = migrate_store(root)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"migrated {report['moved']} flat entries into "
+          f"{report['shards']} shard(s) under {root}/objects "
+          f"({report['entries']} entries total)")
+    return 0
+
+
+def _cmd_store_stat(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import stat_store
+
+    root = _store_root(args)
+    if root is None:
+        return 2
+    print(json.dumps(stat_store(root), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import gc_store
+
+    root = _store_root(args)
+    if root is None:
+        return 2
+    report = gc_store(root, drop_unknown=args.drop_unknown)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"gc: removed {report['removed']} file(s) "
+          f"({report['removed_entries']} entries, {report['removed_tmp']} "
+          f"temp orphans, {report['removed_quarantine']} quarantined), "
+          f"kept {report['kept']}")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.engine import CACHE_SCHEMA_VERSION
+    from repro.store import verify_store
+
+    root = _store_root(args)
+    if root is None:
+        return 2
+    report = verify_store(
+        root, schema=None if args.any_schema else CACHE_SCHEMA_VERSION)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    bad = report["corrupt"] + report["mismatched"]
+    if bad:
+        print(f"FAIL: {len(report['corrupt'])} corrupt, "
+              f"{len(report['mismatched'])} mis-addressed entr(ies)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {report['ok']} of {report['entries']} entries verified"
+          + (f" ({report['unknown_lineage']} unknown-lineage)"
+             if report["unknown_lineage"] else ""))
+    return 0
+
+
 def _serve_config(args: argparse.Namespace):
     from repro.serve import ServeConfig
 
@@ -571,6 +653,12 @@ def _serve_config(args: argparse.Namespace):
 
 def _cmd_serve_run(args: argparse.Namespace) -> int:
     import asyncio
+
+    if args.cache_dir:
+        # Point the worker's engine at a shared disk tier before it is
+        # lazily created: N server processes over one --cache-dir share
+        # results (and single-flight cold executions) through the store.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
     from repro.serve import serve_forever
 
@@ -825,6 +913,50 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="write here instead of stdout")
     lineage_export.set_defaults(func=_cmd_lineage_export)
 
+    store = sub.add_parser(
+        "store",
+        help="maintain the content-addressed store (migrate/stat/gc/verify)",
+        description="Operate on a repro.store directory (the engine's "
+        "disk cache): upgrade a flat pre-shard layout in place, report "
+        "layout/health, collect garbage unreachable from live lineage, "
+        "or verify entry integrity.",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("dir", nargs="?", default=None,
+                       help="store directory (default: $REPRO_CACHE_DIR)")
+
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="upgrade a flat cache directory to the sharded layout in place")
+    _store_dir_arg(store_migrate)
+    store_migrate.set_defaults(func=_cmd_store_migrate)
+
+    store_stat = store_sub.add_parser(
+        "stat", help="print layout and health counters as JSON")
+    _store_dir_arg(store_stat)
+    store_stat.set_defaults(func=_cmd_store_stat)
+
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="drop entries unreachable from live lineage, temp orphans "
+        "and quarantined files")
+    _store_dir_arg(store_gc)
+    store_gc.add_argument("--drop-unknown", action="store_true",
+                          help="also drop pre-provenance entries that "
+                          "cannot prove liveness (default: keep)")
+    store_gc.set_defaults(func=_cmd_store_gc)
+
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="check every entry parses, matches the engine schema and "
+        "is addressed by its own lineage block (exit 1 otherwise)")
+    _store_dir_arg(store_verify)
+    store_verify.add_argument("--any-schema", action="store_true",
+                              help="skip the engine schema-version check")
+    store_verify.set_defaults(func=_cmd_store_verify)
+
     serve = sub.add_parser(
         "serve",
         help="serve measurements over HTTP (simulation-as-a-service)",
@@ -857,6 +989,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument("--deadline-ms", type=float, default=None,
                            metavar="MS",
                            help="default per-request deadline (default: none)")
+    serve_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="shared store directory for this worker's "
+                           "engine (sets REPRO_CACHE_DIR; several workers "
+                           "over one DIR share results through the disk "
+                           "tier with cross-process single-flight)")
     serve_run.set_defaults(func=_cmd_serve_run)
 
     serve_bench = serve_sub.add_parser(

@@ -61,6 +61,12 @@ from repro.isa.program import Program
 from repro.obs import OBS_STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import PhaseSpanObserver
+from repro.store.tiers import (
+    DiskTier,
+    LRUCache as LRUCache,  # re-export: the LRU moved to repro.store
+    MemoryTier,
+    StoreStack,
+)
 from repro.provenance import (
     PROV_STATE as _PROV,
     PROVENANCE,
@@ -301,60 +307,6 @@ def result_from_dict(payload: Mapping[str, Any]) -> ExecutionResult:
 # caches
 # ----------------------------------------------------------------------
 
-class LRUCache:
-    """A bounded mapping with least-recently-used eviction.
-
-    Thread-safe: the serving layer probes and fills one shared cache
-    from a pool of worker threads, so every access that touches the
-    recency order runs under an internal lock.
-    """
-
-    def __init__(self, maxsize: int = 1024) -> None:
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        self.maxsize = maxsize
-        self.evictions = 0
-        self._lock = threading.RLock()
-        self._data: "OrderedDict[str, Any]" = OrderedDict()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def __contains__(self, key: str) -> bool:
-        with self._lock:
-            return key in self._data
-
-    def get(self, key: str) -> Optional[Any]:
-        with self._lock:
-            try:
-                self._data.move_to_end(key)
-            except KeyError:
-                return None
-            return self._data[key]
-
-    def put(self, key: str, value: Any) -> None:
-        with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
-                if _OBS.metrics_on:
-                    _METRICS.counter(
-                        "engine_lru_evictions_total",
-                        "experiments evicted from the in-memory LRU").inc()
-
-    def pop(self, key: str) -> Optional[Any]:
-        """Remove and return ``key``'s value (``None`` when absent)."""
-        with self._lock:
-            return self._data.pop(key, None)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-
-
 class DiskCache:
     """One JSON file per experiment under a cache directory.
 
@@ -403,6 +355,10 @@ class DiskCache:
                 _METRICS.counter(
                     "engine_disk_write_failed_total",
                     "disk-cache writes dropped on OSError").inc()
+        finally:
+            # Whatever failed — OSError above, or a serialization error
+            # propagating to the caller — never leave a partial temp
+            # file behind (after a successful rename this is a no-op).
             try:
                 os.unlink(tmp)
             except OSError:
@@ -584,8 +540,14 @@ class ExperimentEngine:
 
     def __init__(self, cache_size: int = 4096, disk_cache_dir: Optional[str] = None,
                  compiled: Optional[bool] = None) -> None:
-        self._lru = LRUCache(cache_size)
-        self._disk = DiskCache(disk_cache_dir) if disk_cache_dir else None
+        #: the unified storage stack (repro.store): a private in-process
+        #: memory tier over an optional sharded disk tier shared across
+        #: processes.  ``_lru``/``_disk`` stay as direct tier handles.
+        self._lru = MemoryTier(cache_size)
+        self._disk = (
+            DiskTier(disk_cache_dir, schema=CACHE_SCHEMA_VERSION)
+            if disk_cache_dir else None)
+        self._stack = StoreStack(memory=self._lru, disk=self._disk)
         #: lineage sidecar persisted with the disk cache: roots the
         #: cache entries cannot describe themselves (rendered tables,
         #: unknown-lineage marks) land in ``lineage.jsonl`` next to the
@@ -615,6 +577,9 @@ class ExperimentEngine:
         #: block): trusted for the value, flagged in the lineage graph.
         self.unknown_lineage = 0
         self.compiled = compiled
+        #: cold lookups that found another process's flight in progress
+        #: and blocked on its digest lock instead of re-executing.
+        self.flight_waits = 0
         #: cold executions served by the compiled path.
         self.compiled_runs = 0
         #: cold executions that fell back to the interpreter while the
@@ -661,6 +626,31 @@ class ExperimentEngine:
         key = _digest(["run", CACHE_SCHEMA_VERSION, spec_fp, mdesc_fp,
                        stream_fp, bool(drain_write_buffer)])
         stored = self._lookup(key)
+        flight = None
+        if stored is None:
+            # Cold in this process: open the cross-process single-flight
+            # so N workers racing on one digest produce exactly one
+            # execution.  Losers block inside _begin_flight until the
+            # winner publishes; the re-probe below then turns them into
+            # plain cache hits (with the full lineage verification a
+            # disk hit always gets).
+            flight = self._begin_flight(key)
+            if flight is not None:
+                stored = self._lookup(key)
+        try:
+            return self._run_resolved(key, stored, arch, program,
+                                      drain_write_buffer, spec_fp,
+                                      mdesc_fp, stream_fp)
+        finally:
+            if flight is not None:
+                flight.release()
+
+    def _run_resolved(self, key: str, stored: Optional[Dict[str, Any]],
+                      arch: ArchSpec, program: Program,
+                      drain_write_buffer: bool, spec_fp: str,
+                      mdesc_fp: str, stream_fp: str) -> ExecutionResult:
+        """The :meth:`run` body proper, executed while holding any
+        single-flight lock for ``key`` (released by the caller)."""
         payload: Optional[Dict[str, Any]] = None
         block: Optional[Dict[str, Any]] = None
         if stored is not None:
@@ -924,7 +914,7 @@ class ExperimentEngine:
         Uses the burst-schedule fast path, which differential tests pin
         as bit-identical to the scalar :func:`repro.core.tracing.replay_trace`.
         """
-        from repro.core.tracing import TraceConfig, TraceStats, replay_trace_batched
+        from repro.core.tracing import TraceConfig
 
         config = TraceConfig() if config is None else config
         tlb_fp = fingerprint_tlb_spec(tlb_spec)
@@ -932,6 +922,29 @@ class ExperimentEngine:
         config_digest = _digest(config_canonical)
         key = _digest(["replay", CACHE_SCHEMA_VERSION, tlb_fp, config_canonical])
         stored = self._lookup(key)
+        flight = None
+        if stored is None:
+            # same cross-process single-flight as run(): exactly one
+            # process replays a cold trace, losers rehydrate its entry.
+            flight = self._begin_flight(key)
+            if flight is not None:
+                stored = self._lookup(key)
+        try:
+            return self._replay_resolved(key, stored, tlb_spec, config,
+                                         tlb_fp, config_canonical,
+                                         config_digest)
+        finally:
+            if flight is not None:
+                flight.release()
+
+    def _replay_resolved(self, key: str, stored: Optional[Dict[str, Any]],
+                         tlb_spec: TLBSpec, config: "TraceConfig",
+                         tlb_fp: str, config_canonical: Any,
+                         config_digest: str) -> "TraceStats":
+        """The :meth:`replay` body proper, executed while holding any
+        single-flight lock for ``key`` (released by the caller)."""
+        from repro.core.tracing import TraceStats, replay_trace_batched
+
         payload: Optional[Dict[str, Any]] = None
         block: Optional[Dict[str, Any]] = None
         if stored is not None:
@@ -1053,20 +1066,21 @@ class ExperimentEngine:
 
     # -- plumbing --------------------------------------------------------
     def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
-        payload = self._lru.get(key)
-        if payload is not None:
-            return payload
-        if self._disk is not None:
-            payload = self._disk.get(key)
-            if payload is not None:
-                self._lru.put(key, payload)
-                return payload
-        return None
+        return self._stack.get(key)
 
     def _store(self, key: str, payload: Dict[str, Any]) -> None:
-        self._lru.put(key, payload)
-        if self._disk is not None:
-            self._disk.put(key, payload)
+        self._stack.put(key, payload)
+
+    def _begin_flight(self, key: str):
+        """Open the cross-process single-flight for a cold key (or
+        ``None`` when there is no disk tier / locking is off).  A wait
+        means another process was computing this exact experiment;
+        callers re-probe before executing."""
+        flight = self._stack.begin_flight(key)
+        if flight is not None and flight.waited:
+            with self._lock:
+                self.flight_waits += 1
+        return flight
 
     def _evict(self, key: str) -> None:
         """Per-key invalidation: drop one stale entry from both tiers.
@@ -1074,10 +1088,8 @@ class ExperimentEngine:
         This is the whole point of reachability staleness — nothing but
         the stale key is touched, unlike a schema bump which flushes
         every entry in the cache."""
-        self._lru.pop(key)
         self._verified.discard(key)
-        if self._disk is not None:
-            self._disk.delete(key)
+        self._stack.delete(key)
 
     def clear(self) -> None:
         """Drop the in-memory caches (the disk cache is left intact)."""

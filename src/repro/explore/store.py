@@ -1,4 +1,4 @@
-"""Append-only JSONL result store: resumable, incremental searches.
+"""Explore result store: a JSONL write-ahead log over the shared store.
 
 Each evaluated trial is one JSON line keyed by the digest of
 
@@ -21,6 +21,18 @@ rewritten newline-terminated either way so the next append can never
 concatenate onto the torn record.  Both outcomes surface as obs
 counters (``explore_store_tail_recovered_total`` /
 ``explore_store_lines_dropped_total``).
+
+Since the storage unification the JSONL file is formally a
+*write-ahead log* over the shared content-addressed store: calling
+:meth:`ResultStore.compact` moves every record into a sharded
+:class:`repro.store.DiskTier` segment at ``<path>.store/`` and
+truncates the log.  Loading reads the compacted segment first, then
+overlays the WAL (later appends supersede compacted records), so the
+append path keeps its crash-safety story — line-atomic appends, torn
+tails repaired — while a long-lived store stops re-parsing its whole
+history on every open.  Round-trips are bit-identical: a record read
+back from the compacted segment compares equal, byte for byte when
+re-serialized, to the one appended to the log.
 
 Path-backed stores also keep a lineage sidecar (``<path>.lineage``, a
 :class:`repro.provenance.LineageStore`) where the explore runner
@@ -51,10 +63,13 @@ def trial_key(mdesc_fingerprint: str, spec_fingerprint: str, schema_digest: str)
 
 
 class ResultStore:
-    """A dict of trial records backed (optionally) by a JSONL file.
+    """A dict of trial records backed (optionally) by a WAL + segment.
 
     ``path=None`` keeps the store in memory — same API, nothing
-    persisted — which is what ad-hoc searches and tests use.
+    persisted — which is what ad-hoc searches and tests use.  With a
+    path, fresh appends land in the JSONL WAL at ``path`` and
+    :meth:`compact` folds them into the sharded segment directory at
+    ``path + ".store"``.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
@@ -64,12 +79,65 @@ class ResultStore:
         self.recovered_tail = 0
         #: torn final line truncated away (unparsable) on load.
         self.dropped_tail = 0
+        #: records loaded from the compacted segment (vs the WAL).
+        self.compacted_loaded = 0
         self._records: Dict[str, Dict[str, Any]] = {}
         #: provenance sidecar the runner persists trial lineage into.
         self.lineage: Optional[LineageStore] = (
             LineageStore(f"{path}.lineage") if path is not None else None)
-        if path is not None and os.path.exists(path):
-            self._load(path)
+        if path is not None:
+            self._load_segment()
+            if os.path.exists(path):
+                self._load(path)
+
+    @property
+    def segment_dir(self) -> Optional[str]:
+        """Where :meth:`compact` files records (``<path>.store/``)."""
+        return f"{self.path}.store" if self.path is not None else None
+
+    def _segment_tier(self):
+        from repro.store.tiers import DiskTier
+
+        return DiskTier(self.segment_dir, schema=STORE_SCHEMA_VERSION)
+
+    def _load_segment(self) -> None:
+        """Read the compacted segment (if any) before the WAL overlay.
+
+        Segment iteration is digest-sorted (the WAL preserved insertion
+        order; a compacted store's ``records()`` order is the sorted
+        key order, documented, deterministic)."""
+        segment = self.segment_dir
+        if segment is None or not os.path.isdir(segment):
+            return
+        tier = self._segment_tier()
+        for key in tier.keys():
+            record = tier.get(key)
+            if isinstance(record, dict) and record.get("key") == key:
+                self._records[key] = record
+                self.compacted_loaded += 1
+
+    def compact(self) -> int:
+        """Fold every record into the sharded segment and truncate the
+        WAL (atomically, so a crash mid-compaction never loses records:
+        either the old WAL is still there, or the segment holds
+        everything).  Returns the number of records in the segment."""
+        if self.path is None:
+            return 0
+        tier = self._segment_tier()
+        for key, record in self._records.items():
+            tier.put(key, record)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return len(self._records)
 
     def _load(self, path: str) -> None:
         try:
@@ -146,7 +214,8 @@ class ResultStore:
         return self._records.get(key)
 
     def records(self) -> Iterator[Dict[str, Any]]:
-        """All records, in insertion (file) order."""
+        """All records: compacted segment first (sorted by key), then
+        WAL appends in insertion (file) order."""
         return iter(list(self._records.values()))
 
     # -- writes ---------------------------------------------------------

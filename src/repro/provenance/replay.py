@@ -416,19 +416,17 @@ def adopt_disk_cache(cache_dir: str) -> List[LineageRecord]:
     Entries whose envelope carries a lineage block become real
     execution/replay records; bare legacy payloads become
     ``unknown-lineage`` — present, addressable, trusted for nothing.
+    Walks both store layouts: the sharded ``objects/<prefix>/`` fan-out
+    and flat pre-shard leftovers (see :mod:`repro.store.tiers`).
     """
     import json
     import os
 
+    from repro.store.tiers import iter_entry_paths
+
     records: List[LineageRecord] = []
-    try:
-        names = sorted(os.listdir(cache_dir))
-    except OSError:
-        return records
-    for name in names:
-        if not name.endswith(".json"):
-            continue
-        path = os.path.join(cache_dir, name)
+    for key, path in iter_entry_paths(cache_dir):
+        name = os.path.basename(path)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
@@ -436,7 +434,6 @@ def adopt_disk_cache(cache_dir: str) -> List[LineageRecord]:
             continue
         if not isinstance(entry, dict):
             continue
-        key = name[: -len(".json")]
         stored = entry.get("value")
         block = stored.get("lineage") if isinstance(stored, dict) else None
         rid = block.get("request_id") if isinstance(block, dict) else None

@@ -147,6 +147,11 @@ class ServeApp:
             "provenance_unknown_lineage_total",
             "cache hits served from pre-provenance entries").inc(
                 0, layer="engine")
+        # the unified storage layer's counters (tier hits, promotions,
+        # lock waits, quarantines, gc) — one source of truth for names
+        from repro.store import preregister_store_metrics
+
+        preregister_store_metrics(_METRICS)
 
     def _count(self, name: str, help: str, **labels: Any) -> None:
         if _OBS.metrics_on:

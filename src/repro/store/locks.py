@@ -1,0 +1,86 @@
+"""Digest-scoped advisory file locks: cross-process single-flight.
+
+One :class:`DigestLock` guards one content digest.  The lock file lives
+beside the entry it guards (``objects/<prefix>/<digest>.lock``) and is
+acquired with ``flock(2)``, so exclusion spans *processes*, not just
+threads: N workers racing on one cold experiment key elect exactly one
+winner; the losers block until the winner publishes the entry and
+releases.  The kernel drops an flock automatically when its holder
+dies — including ``kill -9`` mid-execution — so a crashed winner's
+losers simply become the next winner instead of deadlocking.
+
+Lock files are never unlinked, not even by ``gc``: removing a lock file
+while another process holds it open splits future acquirers onto a
+fresh inode, and two processes "holding" locks on different inodes of
+the same path exclude nothing.  An empty lock file per contended digest
+is the rent paid for a race-free protocol.
+
+Platforms without ``fcntl`` (no POSIX advisory locks) degrade to
+in-process semantics only: ``acquire`` succeeds immediately and the
+single-flight guarantee narrows to what the caller's own thread locks
+provide.  :data:`HAVE_FLOCK` lets callers surface that degradation.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+
+    HAVE_FLOCK = True
+except ImportError:  # pragma: no cover - Windows etc.
+    fcntl = None  # type: ignore[assignment]
+    HAVE_FLOCK = False
+
+
+class DigestLock:
+    """An advisory, exclusive, cross-process lock for one digest.
+
+    Not thread-reentrant and not shared between threads: each acquiring
+    thread builds its own ``DigestLock`` (file descriptors are private
+    to the instance, matching flock's per-open-file semantics).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fd: "int | None" = None
+
+    def acquire(self, blocking: bool = True) -> bool:
+        """Take the lock; with ``blocking=False`` return ``False`` when
+        another holder exists instead of waiting.  The fd opened by a
+        failed non-blocking probe is kept so a follow-up blocking
+        acquire waits on the same inode."""
+        if self._fd is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if not HAVE_FLOCK:
+            return True
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(self._fd, flags)
+        except OSError:
+            if blocking:
+                raise
+            return False
+        return True
+
+    def release(self) -> None:
+        """Drop the lock and close the fd (idempotent)."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            if HAVE_FLOCK:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "DigestLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()

@@ -1,0 +1,180 @@
+"""Price the unified store: tier latencies, lock waits, compaction.
+
+The store sits on the engine's hot path — every memoized experiment
+answer flows through :class:`repro.store.StoreStack` — so its costs
+need the same trajectory tracking as the compiled executor and the
+lineage recorder.  :func:`measure_store` runs three phases of one
+workload (the cross-primitive handler matrix on two architectures):
+
+* **cold populate** — a fresh engine on an empty directory executes
+  everything and writes the sharded entries;
+* **disk rehydrate** — a fresh engine on the now-warm directory serves
+  every run from the disk tier (and promotes into memory);
+* **memory steady** — the same engine replays the matrix from the
+  private memory tier alone.
+
+Tier hit rates come from the ``store_hit_total`` counters captured per
+phase, so the probe also exercises the metrics plumbing it reports on.
+On top of that it samples the digest-lock path — uncontended
+acquire/release round trips and contended waits against a holder that
+releases after a fixed hold — and times compacting an explore WAL into
+its sharded segment plus the reload that follows.
+
+``scripts/perf_report.py`` records the result into
+``BENCH_engine.json``; ``benchmarks/bench_store.py`` pins the
+correctness cross-checks in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List
+
+#: primitives x architectures the tier phases execute.
+PROBE_ARCHS = ("r3000", "cvax")
+
+
+def _percentile(samples: "List[float]", q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (which must be non-empty)."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _tier_hits(window: "Dict[str, Any]", tier: str) -> float:
+    cells = window.get("metrics", {}).get("store_hit_total", {}).get("cells", {})
+    return float(cells.get(f"tier={tier}", 0))
+
+
+def measure_store(lock_samples: int = 40, wal_records: int = 200,
+                  hold_s: float = 0.002) -> Dict[str, Any]:
+    """Measure store-tier latencies, lock waits, and compaction cost.
+
+    Returns wall times in ms for the three tier phases and the
+    compaction pair, per-tier hit rates over the rehydrate/steady
+    phases, lock-wait percentiles, and ``identical`` — every rehydrated
+    result digest matching its cold original and the WAL round-tripping
+    byte-for-byte.
+    """
+    from repro import obs
+    from repro.arch import get_arch
+    from repro.core.engine import (
+        ExperimentEngine,
+        result_digest,
+        result_to_dict,
+    )
+    from repro.explore.store import ResultStore
+    from repro.kernel.handlers import handler_program
+    from repro.kernel.primitives import Primitive
+    from repro.store.locks import DigestLock
+
+    jobs = [
+        (get_arch(name), prim)
+        for name in PROBE_ARCHS
+        for prim in Primitive
+    ]
+
+    def run_matrix(engine: "ExperimentEngine") -> "List[str]":
+        digests = []
+        for arch, prim in jobs:
+            result = engine.run(arch, handler_program(arch, prim))
+            digests.append(result_digest(result_to_dict(result)))
+        return digests
+
+    report: "Dict[str, Any]" = {"jobs": len(jobs)}
+    with tempfile.TemporaryDirectory(prefix="repro-store-probe-") as root:
+        cache_dir = os.path.join(root, "cache")
+
+        t0 = time.perf_counter()
+        cold = run_matrix(ExperimentEngine(disk_cache_dir=cache_dir))
+        report["cold_populate_ms"] = (time.perf_counter() - t0) * 1e3
+
+        rehydrate_engine = ExperimentEngine(disk_cache_dir=cache_dir)
+        with obs.capture(enable_spans=False) as window:
+            t0 = time.perf_counter()
+            rehydrated = run_matrix(rehydrate_engine)
+            report["disk_rehydrate_ms"] = (time.perf_counter() - t0) * 1e3
+        disk_hits = _tier_hits(window.metrics(), "disk")
+
+        with obs.capture(enable_spans=False) as window:
+            t0 = time.perf_counter()
+            steady = run_matrix(rehydrate_engine)
+            report["memory_steady_ms"] = (time.perf_counter() - t0) * 1e3
+        memory_hits = _tier_hits(window.metrics(), "memory")
+
+        report["disk_hit_rate"] = disk_hits / len(jobs)
+        report["memory_hit_rate"] = memory_hits / len(jobs)
+        results_identical = cold == rehydrated == steady
+
+        # --- digest locks: uncontended round trips, contended waits ----
+        lock_path = os.path.join(cache_dir, "objects", "ab", "probe.lock")
+        uncontended: "List[float]" = []
+        for _ in range(lock_samples):
+            lock = DigestLock(lock_path)
+            t0 = time.perf_counter()
+            lock.acquire()
+            lock.release()
+            uncontended.append((time.perf_counter() - t0) * 1e3)
+
+        contended: "List[float]" = []
+        for _ in range(lock_samples):
+            holder = DigestLock(lock_path)
+            holder.acquire()
+            released = threading.Event()
+
+            def hold_then_release(holder=holder, released=released):
+                time.sleep(hold_s)
+                holder.release()
+                released.set()
+
+            thread = threading.Thread(target=hold_then_release)
+            thread.start()
+            waiter = DigestLock(lock_path)
+            t0 = time.perf_counter()
+            waiter.acquire()
+            contended.append((time.perf_counter() - t0) * 1e3)
+            waiter.release()
+            released.wait()
+            thread.join()
+
+        report["lock_uncontended_p50_ms"] = _percentile(uncontended, 0.50)
+        report["lock_wait_p50_ms"] = _percentile(contended, 0.50)
+        report["lock_wait_p99_ms"] = _percentile(contended, 0.99)
+        report["lock_hold_s"] = hold_s
+        report["lock_samples"] = lock_samples
+
+        # --- explore WAL compaction + reload ---------------------------
+        wal_path = os.path.join(root, "trials.jsonl")
+        store = ResultStore(wal_path)
+        for i in range(wal_records):
+            store.put(f"{i:04x}" + "f" * 60, {
+                "spec_fp": f"s{i}", "mdesc_fp": f"m{i}",
+                "objectives": {"os_lag": float(i), "null_cs": i * 2},
+                "point": [i % 7, i % 5], "arch_name": PROBE_ARCHS[i % 2],
+            })
+        def canon(record):
+            return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+        before = sorted(canon(r) for r in store.records())
+
+        t0 = time.perf_counter()
+        compacted = store.compact()
+        report["compact_ms"] = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        reloaded = ResultStore(wal_path)
+        report["compact_reload_ms"] = (time.perf_counter() - t0) * 1e3
+        after = sorted(canon(r) for r in reloaded.records())
+        report["wal_records"] = wal_records
+        report["compact_round_trip"] = (
+            compacted == wal_records and after == before)
+
+    report["identical"] = bool(
+        results_identical and report["compact_round_trip"])
+    for key, value in list(report.items()):
+        if isinstance(value, float):
+            report[key] = round(value, 4)
+    return report

@@ -1,0 +1,86 @@
+"""Subprocess worker for the two-process store tests (not a test file).
+
+Modes (argv[1]):
+
+``flight CACHE_DIR SLEEP_S``
+    Build a disk-backed engine whose execution is slowed by SLEEP_S
+    (widening the cold-key race window), run the canonical r3000 TRAP
+    experiment once, and print a JSON stats line.  N of these racing on
+    one empty cache must produce exactly one execution total.
+
+``lock LOCK_PATH``
+    Acquire the digest lock, print ``HELD`` (flushed), then sleep
+    forever.  The parent kills this process -9 to prove the kernel
+    releases the flock of a dead holder.
+
+``torn ENTRY_PATH``
+    Rewrite ENTRY_PATH with invalid JSON slowly, chunk by flushed
+    chunk, printing ``WRITING`` after the first chunk.  The parent
+    kills this process -9 mid-write to manufacture a torn entry.
+"""
+
+import json
+import os
+import sys
+import time
+
+
+def flight(cache_dir: str, sleep_s: float) -> None:
+    from repro.arch import get_arch
+    from repro.core.engine import (
+        ExperimentEngine,
+        result_digest,
+        result_to_dict,
+    )
+    from repro.kernel.handlers import handler_program
+    from repro.kernel.primitives import Primitive
+
+    engine = ExperimentEngine(disk_cache_dir=cache_dir)
+    real_execute = engine._execute
+
+    def slow_execute(*args, **kwargs):
+        time.sleep(sleep_s)
+        return real_execute(*args, **kwargs)
+
+    engine._execute = slow_execute
+    arch = get_arch("r3000")
+    program = handler_program(arch, Primitive.TRAP)
+    result = engine.run(arch, program)
+    print(json.dumps({
+        "pid": os.getpid(),
+        "misses": engine.misses,
+        "hits": engine.hits,
+        "flight_waits": engine.flight_waits,
+        "digest": result_digest(result_to_dict(result)),
+    }), flush=True)
+
+
+def lock(lock_path: str) -> None:
+    from repro.store.locks import DigestLock
+
+    DigestLock(lock_path).acquire()
+    print("HELD", flush=True)
+    time.sleep(600)
+
+
+def torn(entry_path: str) -> None:
+    with open(entry_path, "w", encoding="utf-8") as fh:
+        for _ in range(1000):
+            fh.write('{"schema": 3, "value": {"truncated')
+            fh.flush()
+            os.fsync(fh.fileno())
+            if _ == 0:
+                print("WRITING", flush=True)
+            time.sleep(0.01)
+
+
+if __name__ == "__main__":
+    mode = sys.argv[1]
+    if mode == "flight":
+        flight(sys.argv[2], float(sys.argv[3]))
+    elif mode == "lock":
+        lock(sys.argv[2])
+    elif mode == "torn":
+        torn(sys.argv[2])
+    else:  # pragma: no cover
+        raise SystemExit(f"unknown mode {mode!r}")

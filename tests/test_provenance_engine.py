@@ -45,8 +45,9 @@ def build_program(name="prog", alus=3):
 
 
 def entry_path(cache_dir, spec, program, drain=False):
-    return os.path.join(cache_dir,
-                        f"{experiment_key(spec, program, drain)}.json")
+    # entries land in the sharded objects/<prefix>/ layout (repro.store)
+    key = experiment_key(spec, program, drain)
+    return os.path.join(cache_dir, "objects", key[:2], f"{key}.json")
 
 
 def load_entry(path):

@@ -162,11 +162,12 @@ def test_corrupt_envelope_fails_verify_with_exact_closure(
 
     cache = str(tmp_path / "cache")
     shutil.copytree(artifacts["cache"], cache)
+    from repro.store.tiers import iter_entry_paths
+
     victim = None
-    for name in sorted(os.listdir(cache)):
-        if name.endswith(".json"):
-            victim = os.path.join(cache, name)
-            break
+    for _key, path in iter_entry_paths(cache):
+        victim = path
+        break
     assert victim is not None
     with open(victim, "r", encoding="utf-8") as fh:
         entry = json.load(fh)

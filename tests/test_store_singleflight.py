@@ -1,0 +1,212 @@
+"""Two-*process* store contracts: single-flight, crash-safety, compaction.
+
+These tests spawn real subprocesses (no threads, no forked pools) and
+pin the cross-process guarantees the serving and sweep layers build
+on:
+
+* N processes racing on one cold experiment key produce exactly one
+  execution; the losers block on the winner's digest lock and receive
+  the winner's bit-identical published entry.
+* A lock holder killed ``-9`` releases its flock (the kernel does it);
+  the next process acquires promptly instead of deadlocking.
+* An entry torn by ``kill -9`` mid-write is never served: readers
+  quarantine it and re-execute, repairing the store.
+* Compacting an explore WAL into the sharded segment round-trips every
+  record byte-for-byte.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.store import DiskTier, DigestLock, HAVE_FLOCK, StoreStack
+from repro.store.tiers import MemoryTier
+
+WORKER = os.path.join(os.path.dirname(__file__), "store_flight_worker.py")
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FLOCK, reason="platform has no POSIX advisory locks")
+
+
+def worker_env():
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p)
+    return env
+
+
+def wait_for(predicate, timeout=20.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+# exactly-one-execution under single-flight
+# ----------------------------------------------------------------------
+
+def test_two_processes_one_cold_key_exactly_one_execution(tmp_path):
+    cache = str(tmp_path / "cache")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, WORKER, "flight", cache, "0.4"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=worker_env())
+        for _ in range(3)
+    ]
+    stats = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        stats.append(json.loads(out.strip().splitlines()[-1]))
+
+    # every process answered, exactly one simulated
+    assert sum(s["misses"] for s in stats) == 1
+    assert sum(s["hits"] for s in stats) == 2
+    # the losers got the winner's bit-identical result
+    assert len({s["digest"] for s in stats}) == 1
+    # the published entry exists exactly once, in the sharded layout
+    tier = DiskTier(cache)
+    keys = list(tier.keys())
+    assert len(keys) == 1
+    assert os.path.exists(tier.path(keys[0]))
+
+
+def test_flight_losers_block_rather_than_execute(tmp_path):
+    """A held digest lock forces a second StoreStack to wait, and the
+    wait surfaces on the Flight token (the engine's loser path)."""
+    tier = DiskTier(str(tmp_path / "store"), schema=1)
+    stack = StoreStack(memory=MemoryTier(8), disk=tier, locking=True)
+    key = "ab" + "0" * 62
+
+    holder = subprocess.Popen(
+        [sys.executable, WORKER, "lock", tier.lock_path(key)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=worker_env())
+    assert wait_for(lambda: holder.stdout.readline().strip() == "HELD")
+    try:
+        # non-blocking probe sees the contention
+        probe = DigestLock(tier.lock_path(key))
+        assert probe.acquire(blocking=False) is False
+        probe.release()
+        # the winner "publishes" then dies; the loser's blocking acquire
+        # completes and its re-probe finds the entry
+        tier.put(key, {"from": "winner"})
+    finally:
+        holder.send_signal(signal.SIGKILL)
+        holder.wait(timeout=30)
+
+    flight = stack.begin_flight(key)
+    assert flight is not None
+    try:
+        assert stack.get(key) == {"from": "winner"}
+    finally:
+        flight.release()
+
+
+def test_kill_9_lock_holder_releases_the_flock(tmp_path):
+    lock_path = str(tmp_path / "objects" / "ab" / "k.lock")
+    holder = subprocess.Popen(
+        [sys.executable, WORKER, "lock", lock_path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=worker_env())
+    assert wait_for(lambda: holder.stdout.readline().strip() == "HELD")
+    mine = DigestLock(lock_path)
+    assert mine.acquire(blocking=False) is False
+    holder.send_signal(signal.SIGKILL)
+    holder.wait(timeout=30)
+    # the kernel released the dead holder's flock; we acquire promptly
+    assert wait_for(lambda: mine.acquire(blocking=False), timeout=10.0)
+    mine.release()
+
+
+# ----------------------------------------------------------------------
+# kill -9 mid-write: torn entries quarantine, never serve
+# ----------------------------------------------------------------------
+
+def test_entry_torn_by_kill9_is_quarantined_not_served(tmp_path):
+    from repro.arch import get_arch
+    from repro.core.engine import (
+        ExperimentEngine,
+        result_digest,
+        result_to_dict,
+    )
+    from repro.kernel.handlers import handler_program
+    from repro.kernel.primitives import Primitive
+
+    cache = str(tmp_path / "cache")
+    arch = get_arch("r3000")
+    program = handler_program(arch, Primitive.TRAP)
+    reference = ExperimentEngine(disk_cache_dir=cache).run(arch, program)
+    tier = DiskTier(cache)
+    (key,) = list(tier.keys())
+    entry_path = tier.path(key)
+
+    # a crashing legacy writer tears the entry mid-write
+    writer = subprocess.Popen(
+        [sys.executable, WORKER, "torn", entry_path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=worker_env())
+    assert wait_for(lambda: writer.stdout.readline().strip() == "WRITING")
+    writer.send_signal(signal.SIGKILL)
+    writer.wait(timeout=30)
+    with open(entry_path) as fh:
+        assert fh.read()  # partial bytes really are on disk
+
+    # no torn read: the entry quarantines and the engine re-executes
+    engine = ExperimentEngine(disk_cache_dir=cache)
+    result = engine.run(arch, program)
+    assert engine.misses == 1 and engine.hits == 0
+    assert result_digest(result_to_dict(result)) == result_digest(
+        result_to_dict(reference))
+    quarantined = os.listdir(os.path.join(cache, "quarantine"))
+    assert f"{key}.json" in quarantined
+    # the re-execution republished a clean entry
+    assert DiskTier(cache, schema=None).get(key) is not None
+
+
+# ----------------------------------------------------------------------
+# compaction round-trips bit-identically
+# ----------------------------------------------------------------------
+
+def test_compaction_round_trips_records_bit_identically(tmp_path):
+    from repro.explore.store import ResultStore
+
+    path = str(tmp_path / "trials.jsonl")
+    store = ResultStore(path)
+    for i in range(10):
+        store.put(f"{i:02d}" + "e" * 62,
+                  {"spec_fp": f"s{i}", "mdesc_fp": f"m{i}",
+                   "objectives": {"os_lag": float(i), "null_cs": i * 2},
+                   "point": [i, i + 1], "arch_name": f"a{i}"})
+    before = {r["key"]: json.dumps(r, sort_keys=True, separators=(",", ":"))
+              for r in store.records()}
+
+    assert store.compact() == 10
+    assert os.path.getsize(path) == 0  # WAL truncated
+    assert os.path.isdir(path + ".store")
+
+    reloaded = ResultStore(path)
+    assert reloaded.compacted_loaded == 10
+    after = {r["key"]: json.dumps(r, sort_keys=True, separators=(",", ":"))
+             for r in reloaded.records()}
+    assert after == before  # byte-for-byte, every record
+
+    # fresh appends overlay the segment; a second compact folds them in
+    key0 = sorted(before)[0]
+    reloaded.put(key0, {"spec_fp": "s0", "mdesc_fp": "m0",
+                        "objectives": {"os_lag": 99.0}})
+    again = ResultStore(path)
+    assert again.get(key0)["objectives"]["os_lag"] == 99.0
+    assert again.compact() == 10
+    assert ResultStore(path).get(key0)["objectives"]["os_lag"] == 99.0
