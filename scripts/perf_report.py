@@ -5,9 +5,11 @@ Times full-table regeneration cold (fresh engine), warm (memoized), and
 parallel (SweepRunner fan-out), the scalar/batched/cached trace replay
 ladder, the compiled-executor cold path over the mechanisms design
 grid, the unified store's tier latencies / digest-lock waits /
-WAL-compaction cost, and the serving layer's coalesce/shed/drain
-contracts with closed-loop latency.  Writes two snapshots: ``BENCH_engine.json``
-(engine + compiled + explore + obs + provenance + store) and ``BENCH_serve.json`` (the
+WAL-compaction cost, the serving layer's coalesce/shed/drain
+contracts with closed-loop latency, and the cluster's 1-vs-2-worker
+cold-sweep scaling with its frontier-parity check.  Writes two
+snapshots: ``BENCH_engine.json`` (engine + compiled + explore + obs +
+provenance + store + cluster) and ``BENCH_serve.json`` (the
 serving scenarios, same shape as ``repro serve bench --out``)::
 
     PYTHONPATH=src python scripts/perf_report.py            # full snapshot
@@ -326,6 +328,29 @@ def main(argv=None) -> int:
     for name, ok in serve_bench["checks"].items():
         checks[f"serve_{name}"] = ok
 
+    # --- cluster: 1-vs-2-worker cold-sweep scaling + frontier parity ---
+    # Real worker processes over HTTP against a fresh cache per run;
+    # each trial carries the bench's fixed I/O-latency pad so the ratio
+    # measures scheduler overlap, not the host's core count (see
+    # repro.cluster.bench_scaling).  Quick mode sweeps a 96-point
+    # prefix of the same grid.
+    import tempfile
+
+    from repro.cluster import bench_scaling
+    from repro.explore.space import scaling_space
+
+    cluster_space = scaling_space()
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as cluster_root:
+        cluster_report = bench_scaling(
+            cluster_space, out_root=cluster_root,
+            worker_counts=(1, 2), lease_size=24, heartbeat_every=2,
+            budget=96 if args.quick else None)
+    cluster_one = cluster_report["runs"]["1"]
+    cluster_two = cluster_report["runs"]["2"]
+    timings["cluster_sweep_1worker"] = cluster_one["sweep_seconds"] * 1e3
+    timings["cluster_sweep_2workers"] = cluster_two["sweep_seconds"] * 1e3
+    checks["cluster_frontier_parity"] = cluster_report["parity"]
+
     with obs.capture() as capture:
         runner.render_all(engine=ExperimentEngine())
     window = capture.metrics()
@@ -364,6 +389,8 @@ def main(argv=None) -> int:
                 timings["explore_grid_interpreted"]
                 / timings["explore_grid_compiled"], 2
             ),
+            "cluster_2worker_scaling": round(
+                cluster_report.get("speedup", 0.0), 2),
         },
         "checks": checks,
         "compiled": {
@@ -412,6 +439,16 @@ def main(argv=None) -> int:
             "closed_loop_latency_ms": serve_load["closed"]["latency_ms"],
             "open_loop_latency_ms": serve_load["open"]["latency_ms"],
         },
+        "cluster": {
+            "space": cluster_space.name,
+            "points_swept": cluster_one["trials"],
+            "workers_compared": [1, 2],
+            "trial_delay_ms": cluster_report["trial_delay_ms"],
+            "cpu_count": cluster_report["cpu_count"],
+            "frontier_size": cluster_two["frontier_size"],
+            "frontier_digest": cluster_two["frontier_digest"],
+            "counters_2workers": cluster_two["counters"],
+        },
     }
 
     previous = load_snapshot(args.output)
@@ -458,6 +495,16 @@ def main(argv=None) -> int:
         print(
             "WARN: disabled-telemetry executor overhead at "
             f"{snapshot['obs']['disabled_overhead_ratio']:.4f} (target < 1.03)",
+            file=sys.stderr,
+        )
+    if snapshot["speedups"]["cluster_2worker_scaling"] < 1.6:
+        # Advisory here (a single-core host caps the overlap the pad can
+        # buy); the hard >=1.6x gate lives in the CI cluster job on a
+        # multi-core runner.
+        print(
+            "WARN: 2-worker cluster scaling at "
+            f"{snapshot['speedups']['cluster_2worker_scaling']}x "
+            "(target >= 1.6x)",
             file=sys.stderr,
         )
     if snapshot["provenance"]["lineage_overhead_ratio"] >= 1.02:

@@ -703,6 +703,136 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_controller(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.cluster import ClusterController, ControllerServer
+    from repro.explore import ResultStore, get_space
+    from repro.explore.store import merge_result_stores
+
+    try:
+        space = get_space(args.space)
+        schema = _explore_schema(args)
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    os.makedirs(args.out_dir, exist_ok=True)
+    store_path = args.store or os.path.join(args.out_dir, "frontier.jsonl")
+    dest = ResultStore(store_path)
+    controller = ClusterController(
+        space, schema, store=dest,
+        journal_path=os.path.join(args.out_dir, "leases.journal"),
+        strategy=args.strategy, budget=args.budget, seed=args.seed,
+        lease_size=args.lease_size, lease_ttl_s=args.lease_ttl,
+        expect_workers=args.expect_workers)
+
+    async def _serve() -> bool:
+        server = ControllerServer(controller, host=args.host, port=args.port)
+        await server.start()
+        print(f"cluster controller at {server.url} "
+              f"({controller.status()['outstanding']} points outstanding)",
+              flush=True)
+        finished = await server.wait_done(timeout_s=args.timeout)
+        # linger so workers' final lease poll learns the sweep is done.
+        await asyncio.sleep(args.linger)
+        await server.stop()
+        return finished
+
+    finished = asyncio.run(_serve())
+    report = controller.status()
+    if not args.no_merge:
+        from repro.cluster import frontier_fingerprint, worker_wal_paths
+
+        report["merge"] = merge_result_stores(
+            dest, worker_wal_paths(args.out_dir))
+        report["frontier"] = frontier_fingerprint(dest, schema)
+        report["store_path"] = store_path
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if finished else 1
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import ClusterWorker, ControllerUnreachable
+
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    os.makedirs(args.out_dir, exist_ok=True)
+    worker = ClusterWorker(
+        args.controller, args.worker_id,
+        os.path.join(args.out_dir, f"worker-{args.worker_id}.jsonl"),
+        heartbeat_every=args.heartbeat_every,
+        max_retries=args.max_retries,
+        backoff_s=args.backoff_ms / 1e3,
+        trial_delay_ms=args.trial_delay_ms,
+        reconnect_s=args.reconnect)
+    try:
+        stats = worker.run()
+    except ControllerUnreachable as err:
+        print(err, file=sys.stderr)
+        return 3
+    print(json.dumps({"worker": args.worker_id, **stats}, sort_keys=True))
+    return 0
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import run_cluster
+    from repro.explore import get_space
+
+    try:
+        space = get_space(args.space)
+        schema = _explore_schema(args)
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    worker_env = {"REPRO_CACHE_DIR":
+                  args.cache_dir or os.path.join(args.out_dir, "cache")}
+    if args.compiled is not None:
+        worker_env["REPRO_COMPILED"] = "1" if args.compiled else "0"
+    try:
+        report = run_cluster(
+            space, schema, out_dir=args.out_dir, store_path=args.store,
+            workers=args.workers, lease_size=args.lease_size,
+            lease_ttl_s=args.lease_ttl, strategy=args.strategy,
+            budget=args.budget, seed=args.seed,
+            heartbeat_every=args.heartbeat_every,
+            trial_delay_ms=args.trial_delay_ms,
+            worker_env=worker_env,
+            kill_one_mid_lease=args.kill_one_mid_lease,
+            golden_check=args.golden_check,
+            timeout_s=args.timeout)
+    except (RuntimeError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.golden_check and not report.get("golden_parity"):
+        print("FAIL: cluster frontier differs from single-process golden",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import ControllerClient, ControllerUnreachable
+
+    client = ControllerClient(args.controller, reconnect_s=args.reconnect)
+    try:
+        status = client.call("GET", "/v1/cluster/status")
+    except ControllerUnreachable as err:
+        print(err, file=sys.stderr)
+        return 3
+    finally:
+        client.close()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -1005,6 +1135,135 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--quick", action="store_true",
                              help="smaller load scenario (CI smoke)")
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="distributed design-space sweeps (controller + workers)",
+        description="Partition a design-space sweep into leases and run "
+        "it across worker processes with heartbeat liveness, lease "
+        "expiry + work-stealing, bounded retries, and a crash-resumable "
+        "lease journal. Results are exactly-once by content digest: "
+        "worker WAL segments merge into one frontier bit-identical to a "
+        "single-process run.",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_sweep_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--space", default="mechanisms",
+                       help="design space name (default: mechanisms)")
+        p.add_argument("--strategy", default="grid",
+                       help="shardable strategy: grid or random "
+                       "(default: grid)")
+        p.add_argument("--budget", type=_positive_int, default=None,
+                       metavar="N", help="cap on points to evaluate")
+        p.add_argument("--seed", type=int, default=0,
+                       help="plan seed for random strategies (default: 0)")
+        p.add_argument("--objectives", default=None, metavar="A,B,…",
+                       help="comma-separated objective names "
+                       "(default schema otherwise)")
+        p.add_argument("--out-dir", default="cluster-out", metavar="DIR",
+                       help="worker WALs, lease journal, merged store "
+                       "(default: cluster-out)")
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="merged result store "
+                       "(default: OUT_DIR/frontier.jsonl)")
+        p.add_argument("--lease-size", type=_positive_int, default=16,
+                       metavar="N", help="points per lease (default: 16)")
+        p.add_argument("--lease-ttl", type=float, default=5.0, metavar="S",
+                       help="heartbeat staleness before a lease is "
+                       "requeued (default: 5)")
+        p.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                       help="overall sweep deadline (default: 600)")
+
+    cluster_controller = cluster_sub.add_parser(
+        "controller",
+        help="run the lease controller until the sweep completes")
+    _cluster_sweep_args(cluster_controller)
+    cluster_controller.add_argument("--host", default="127.0.0.1")
+    cluster_controller.add_argument("--port", type=int, default=0,
+                                    help="TCP port (default: ephemeral)")
+    cluster_controller.add_argument("--expect-workers", type=int, default=0,
+                                    metavar="N",
+                                    help="gang-start barrier: grant no lease "
+                                    "until N workers registered (default: 0)")
+    cluster_controller.add_argument("--linger", type=float, default=1.0,
+                                    metavar="S",
+                                    help="keep serving after completion so "
+                                    "workers learn the sweep is done "
+                                    "(default: 1)")
+    cluster_controller.add_argument("--no-merge", action="store_true",
+                                    help="skip merging worker WALs into the "
+                                    "store on exit")
+    cluster_controller.set_defaults(func=_cmd_cluster_controller)
+
+    cluster_worker = cluster_sub.add_parser(
+        "worker", help="run one worker against a controller")
+    cluster_worker.add_argument("--controller", required=True, metavar="URL",
+                                help="controller base URL (http://host:port)")
+    cluster_worker.add_argument("--worker-id", required=True, metavar="ID")
+    cluster_worker.add_argument("--out-dir", default="cluster-out",
+                                metavar="DIR",
+                                help="WAL directory — writes "
+                                "worker-<ID>.jsonl (default: cluster-out)")
+    cluster_worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                                help="shared engine store (sets "
+                                "REPRO_CACHE_DIR; workers over one DIR "
+                                "single-flight cold executions)")
+    cluster_worker.add_argument("--heartbeat-every", type=_positive_int,
+                                default=1, metavar="N",
+                                help="heartbeat every N evaluated points "
+                                "(default: 1)")
+    cluster_worker.add_argument("--max-retries", type=int, default=3,
+                                metavar="N",
+                                help="per-trial retry budget (default: 3)")
+    cluster_worker.add_argument("--backoff-ms", type=float, default=50.0,
+                                metavar="MS",
+                                help="base retry backoff, doubled per "
+                                "attempt (default: 50)")
+    cluster_worker.add_argument("--trial-delay-ms", type=float, default=0.0,
+                                metavar="MS",
+                                help="artificial per-trial delay "
+                                "(fault-injection/testing knob)")
+    cluster_worker.add_argument("--reconnect", type=float, default=30.0,
+                                metavar="S",
+                                help="tolerate a silent controller this "
+                                "long before giving up (default: 30)")
+    cluster_worker.set_defaults(func=_cmd_cluster_worker)
+
+    cluster_run = cluster_sub.add_parser(
+        "run",
+        help="run a whole mini-cluster on this host (controller + N "
+        "workers) and print the merged report")
+    _cluster_sweep_args(cluster_run)
+    cluster_run.add_argument("--workers", type=_positive_int, default=2,
+                             metavar="N",
+                             help="worker processes to spawn (default: 2)")
+    cluster_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="shared engine store for all workers "
+                             "(default: OUT_DIR/cache)")
+    cluster_run.add_argument("--heartbeat-every", type=_positive_int,
+                             default=1, metavar="N",
+                             help="worker heartbeat cadence (default: 1)")
+    cluster_run.add_argument("--trial-delay-ms", type=float, default=0.0,
+                             metavar="MS",
+                             help="artificial per-trial delay "
+                             "(fault-injection/testing knob)")
+    cluster_run.add_argument("--kill-one-mid-lease", action="store_true",
+                             help="SIGKILL the first worker once it has "
+                             "confirmed progress in a lease (chaos test; "
+                             "the sweep must still complete)")
+    cluster_run.add_argument("--golden-check", action="store_true",
+                             help="also run the sweep single-process and "
+                             "fail unless the frontiers are bit-identical")
+    cluster_run.set_defaults(func=_cmd_cluster_run)
+
+    cluster_status = cluster_sub.add_parser(
+        "status", help="print a running controller's status as JSON")
+    cluster_status.add_argument("--controller", required=True, metavar="URL")
+    cluster_status.add_argument("--reconnect", type=float, default=5.0,
+                                metavar="S",
+                                help="connection retry budget (default: 5)")
+    cluster_status.set_defaults(func=_cmd_cluster_status)
 
     return parser
 

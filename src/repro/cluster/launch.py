@@ -1,0 +1,320 @@
+"""One-host cluster orchestration: controller thread + worker processes.
+
+``run_cluster`` is what ``repro cluster run``, the fault tests, the CI
+mini-cluster, and the scaling bench all share: it runs a
+:class:`~repro.cluster.controller.ControllerServer` on a background
+asyncio thread, spawns N worker *processes* (``python -m repro cluster
+worker …``), optionally kills one mid-lease (chaos for the CI parity
+gate), waits for the sweep, merges the per-worker WAL segments into
+one destination store, and fingerprints the resulting frontier.
+
+The fingerprint is the equality the whole subsystem is judged by:
+``frontier_fingerprint`` hashes the canonical serialization of every
+frontier *record* (sorted by trial key), so "bit-identical frontier"
+means identical record bytes — not merely the same member keys.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cluster.controller import ClusterController, ControllerServer
+from repro.explore.frontier import frontier_from_records
+from repro.explore.objectives import ObjectiveSchema
+from repro.explore.space import DesignSpace
+from repro.explore.store import (
+    ResultStore,
+    canonical_record_bytes,
+    merge_result_stores,
+)
+
+
+def frontier_fingerprint(store: ResultStore,
+                         schema: ObjectiveSchema) -> Dict[str, Any]:
+    """Digest of the store's Pareto frontier, byte-strict.
+
+    Returns ``{"digest", "frontier_size", "trials"}``; two stores agree
+    iff their frontier records serialize identically.
+    """
+    records = store.records_for_schema(schema.digest)
+    frontier = frontier_from_records(records, schema)
+    blob = "\n".join(sorted(
+        canonical_record_bytes(dict(r)) for r in frontier))
+    return {
+        "digest": hashlib.sha256(blob.encode("utf-8")).hexdigest(),
+        "frontier_size": len(frontier),
+        "trials": len(records),
+    }
+
+
+def worker_wal_paths(out_dir: str) -> List[str]:
+    """Every per-worker WAL in an output directory (sorted, stable)."""
+    return sorted(glob.glob(os.path.join(out_dir, "worker-*.jsonl")))
+
+
+class ControllerThread:
+    """Run a :class:`ControllerServer` on a dedicated asyncio thread."""
+
+    def __init__(self, controller: ClusterController, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        import asyncio
+
+        self.controller = controller
+        self.server = ControllerServer(controller, host=host, port=port)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._stop = self._loop.create_future()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="cluster-controller")
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("controller server failed to start")
+
+    def _run(self) -> None:
+        import asyncio
+
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            await self._stop
+            await self.server.stop()
+
+        self._loop.run_until_complete(main())
+        self._loop.close()
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self) -> None:
+        if not self._stop.done():
+            self._loop.call_soon_threadsafe(
+                lambda: self._stop.done() or self._stop.set_result(None))
+        self._thread.join(timeout=10.0)
+
+
+def spawn_worker(controller_url: str, out_dir: str, worker_id: str, *,
+                 heartbeat_every: int = 1, max_retries: int = 3,
+                 trial_delay_ms: float = 0.0,
+                 env: Optional[Dict[str, str]] = None) -> subprocess.Popen:
+    """Start one worker process writing ``out_dir/worker-<id>.jsonl``."""
+    child_env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    existing = child_env.get("PYTHONPATH", "")
+    child_env["PYTHONPATH"] = (
+        src_root + (os.pathsep + existing if existing else ""))
+    if env:
+        child_env.update(env)
+    cmd = [sys.executable, "-m", "repro", "cluster", "worker",
+           "--controller", controller_url,
+           "--worker-id", worker_id,
+           "--out-dir", out_dir,
+           "--heartbeat-every", str(heartbeat_every),
+           "--max-retries", str(max_retries)]
+    if trial_delay_ms > 0:
+        cmd += ["--trial-delay-ms", str(trial_delay_ms)]
+    return subprocess.Popen(cmd, env=child_env,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE)
+
+
+def run_cluster(
+    space: DesignSpace,
+    schema: Optional[ObjectiveSchema] = None,
+    *,
+    out_dir: str,
+    store_path: Optional[str] = None,
+    workers: int = 2,
+    lease_size: int = 16,
+    lease_ttl_s: float = 5.0,
+    strategy: str = "grid",
+    budget: Optional[int] = None,
+    seed: int = 0,
+    heartbeat_every: int = 1,
+    max_retries: int = 3,
+    trial_delay_ms: float = 0.0,
+    worker_env: Optional[Dict[str, str]] = None,
+    kill_one_mid_lease: bool = False,
+    golden_check: bool = False,
+    timeout_s: float = 600.0,
+) -> Dict[str, Any]:
+    """Run one complete distributed sweep on this host; see module doc.
+
+    ``kill_one_mid_lease`` SIGKILLs the first worker once it has
+    confirmed progress inside a granted lease — the CI chaos knob.
+    ``golden_check`` additionally runs the same sweep single-process
+    (in this process, memory store) and reports frontier parity.
+    Returns the report dict the CLI prints as JSON.
+    """
+    schema = schema or ObjectiveSchema()
+    os.makedirs(out_dir, exist_ok=True)
+    store_path = store_path or os.path.join(out_dir, "frontier.jsonl")
+
+    # A crashed previous run may have left WAL segments unmerged; fold
+    # them in first so the controller plans only genuinely missing work.
+    dest = ResultStore(store_path)
+    pre_merge = merge_result_stores(dest, worker_wal_paths(out_dir))
+
+    controller = ClusterController(
+        space, schema, store=dest,
+        journal_path=os.path.join(out_dir, "leases.journal"),
+        strategy=strategy, budget=budget, seed=seed,
+        lease_size=lease_size, lease_ttl_s=lease_ttl_s,
+        expect_workers=workers)
+    thread = ControllerThread(controller)
+    procs: List[subprocess.Popen] = []
+    killed_worker: Optional[str] = None
+    try:
+        for i in range(workers):
+            procs.append(spawn_worker(
+                thread.url, out_dir, f"w{i}",
+                heartbeat_every=heartbeat_every, max_retries=max_retries,
+                trial_delay_ms=trial_delay_ms, env=worker_env))
+
+        deadline = time.monotonic() + timeout_s
+        if kill_one_mid_lease and controller.tasks:
+            target = "w0"
+            while time.monotonic() < deadline:
+                status = controller.status()
+                holds = [lease for lease in status["granted_leases"]
+                         if lease["worker"] == target
+                         and lease["progress"] >= 1]
+                if holds:
+                    procs[0].send_signal(signal.SIGKILL)
+                    killed_worker = target
+                    break
+                if status["done"]:
+                    break
+                time.sleep(0.01)
+
+        while time.monotonic() < deadline and not controller.done:
+            time.sleep(0.05)
+        finished = controller.done
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(1.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        thread.stop()
+
+    if not finished:
+        raise RuntimeError(
+            f"cluster sweep did not finish within {timeout_s:.0f}s "
+            f"({controller.status()['outstanding']} points outstanding)")
+
+    merge = merge_result_stores(dest, worker_wal_paths(out_dir))
+    fingerprint = frontier_fingerprint(dest, schema)
+    status = controller.status()
+    report: Dict[str, Any] = {
+        "space": space.name,
+        "points": space.size,
+        "workers": workers,
+        "killed_worker": killed_worker,
+        "sweep_seconds": status["sweep_seconds"],
+        "counters": status["counters"],
+        "failures": status["failures"],
+        "store_skips": status["store_skips"],
+        "journal_skips": status["journal_skips"],
+        "resumed_from_journal": status["resumed_from_journal"],
+        "pre_merge": pre_merge,
+        "merge": merge,
+        "store_path": store_path,
+        "store_records": len(dest),
+        "frontier": fingerprint,
+        "worker_exits": [proc.returncode for proc in procs],
+    }
+    if golden_check:
+        golden = single_process_fingerprint(
+            space, schema, strategy=strategy, budget=budget, seed=seed)
+        report["golden"] = golden
+        report["golden_parity"] = (golden["digest"]
+                                   == fingerprint["digest"])
+    return report
+
+
+def single_process_fingerprint(space: DesignSpace,
+                               schema: Optional[ObjectiveSchema] = None,
+                               *, strategy: str = "grid",
+                               budget: Optional[int] = None,
+                               seed: int = 0) -> Dict[str, Any]:
+    """The golden: same sweep, one process, memory store, fingerprinted."""
+    from repro.explore.runner import ExploreRunner
+    from repro.explore.strategies import make_strategy
+
+    schema = schema or ObjectiveSchema()
+    store = ResultStore()
+    runner = ExploreRunner(space, schema, strategy=make_strategy(
+        strategy, budget), store=store)
+    runner.run(seed=seed)
+    return frontier_fingerprint(store, schema)
+
+
+def bench_scaling(space: DesignSpace,
+                  schema: Optional[ObjectiveSchema] = None, *,
+                  out_root: str, worker_counts: Sequence[int] = (1, 2),
+                  lease_size: int = 24, heartbeat_every: int = 2,
+                  trial_delay_ms: float = 15.0,
+                  budget: Optional[int] = None,
+                  worker_env: Optional[Dict[str, str]] = None,
+                  ) -> Dict[str, Any]:
+    """Cold-sweep the same space at several worker counts.
+
+    Every run gets a fresh output directory and a fresh cache
+    directory (cold = every point simulated), so the wall-clock ratio
+    is a true scaling measurement.  Each trial is padded by
+    ``trial_delay_ms`` of simulated I/O latency (default 15 ms — the
+    order of a shared-store round trip on a real fleet): the pad makes
+    a trial's cost a known floor, so the measured ratio tracks how
+    well the *scheduler* overlaps work — lease grants, heartbeats,
+    steal/retry traffic — rather than how many cores the bench host
+    happens to have.  Set it to ``0`` for a pure-CPU measurement on a
+    many-core machine.  Returns per-count reports plus the pairwise
+    parity of their frontier digests.
+    """
+    schema = schema or ObjectiveSchema()
+    reports: Dict[str, Any] = {"runs": {}, "parity": True,
+                               "trial_delay_ms": trial_delay_ms,
+                               "cpu_count": os.cpu_count()}
+    digest = None
+    for count in worker_counts:
+        out_dir = os.path.join(out_root, f"workers-{count}")
+        env = dict(worker_env or {})
+        env.setdefault("REPRO_CACHE_DIR", os.path.join(out_dir, "cache"))
+        report = run_cluster(
+            space, schema, out_dir=out_dir, workers=count,
+            lease_size=lease_size, heartbeat_every=heartbeat_every,
+            trial_delay_ms=trial_delay_ms, budget=budget,
+            worker_env=env)
+        reports["runs"][str(count)] = {
+            "sweep_seconds": report["sweep_seconds"],
+            "counters": report["counters"],
+            "frontier_digest": report["frontier"]["digest"],
+            "frontier_size": report["frontier"]["frontier_size"],
+            "trials": report["frontier"]["trials"],
+        }
+        if digest is None:
+            digest = report["frontier"]["digest"]
+        elif report["frontier"]["digest"] != digest:
+            reports["parity"] = False
+    first, last = str(worker_counts[0]), str(worker_counts[-1])
+    t_first = reports["runs"][first]["sweep_seconds"]
+    t_last = reports["runs"][last]["sweep_seconds"]
+    if t_first and t_last:
+        reports["speedup"] = t_first / t_last
+    return reports

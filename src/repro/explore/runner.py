@@ -154,6 +154,74 @@ def _evaluate_point(args: Tuple[DesignSpace, int, ObjectiveSchema]) -> Dict[str,
     }
 
 
+def evaluate_point_row(space: DesignSpace, index: int,
+                       schema: ObjectiveSchema) -> Dict[str, Any]:
+    """Score one point and return the row dict (public alias of the
+    sweep worker, used by cluster workers to evaluate leased points
+    through the exact same path a local sweep takes)."""
+    return _evaluate_point((space, index, schema))
+
+
+def trial_record(space: DesignSpace, schema: ObjectiveSchema,
+                 row: Mapping[str, Any]) -> Dict[str, Any]:
+    """The store payload for one evaluated row.
+
+    Both :class:`ExploreRunner` and ``repro.cluster`` workers build
+    their :class:`~repro.explore.store.ResultStore` records here, so a
+    trial evaluated on a remote worker is byte-identical to the one a
+    single-process search would have written — the property the
+    cluster's bit-identical-frontier guarantee rests on.
+    """
+    return {
+        "space": space.name,
+        "space_fp": space.fingerprint,
+        "base": space.base,
+        "index": row["index"],
+        "point": row["point"],
+        "arch_name": row["arch_name"],
+        "spec_fp": row["spec_fp"],
+        "mdesc_fp": row["mdesc_fp"],
+        "schema_names": list(schema.names),
+        "schema_digest": schema.digest,
+        "objectives": row["objectives"],
+    }
+
+
+def record_trial_lineage(space: DesignSpace, schema: ObjectiveSchema,
+                         key: str, row: Mapping[str, Any], *,
+                         engine_path: str, sink=None) -> None:
+    """Record one trial's lineage nodes (spec enrichment + trial link).
+
+    Shared by the runner and cluster workers so worker-produced
+    provenance is indistinguishable from local provenance.
+    ``engine_path`` is "engine" for fresh evaluations, "store" for
+    resume skips (whose execution inputs survive from the original run
+    via record merge)."""
+    executions = tuple(row.get("executions") or ())
+    # Enrich the spec node with rematerialization metadata: the engine
+    # records it name-only, but a materialized spec ("x3f…") is only
+    # reconstructible from (space, point).
+    PROVENANCE.record(LineageRecord(
+        digest=row["spec_fp"], kind="spec",
+        meta={"arch": row["arch_name"], "space": space.name,
+              "base": space.base, "point": row["point"]},
+    ), sink=sink)
+    PROVENANCE.record(LineageRecord(
+        digest=key, kind="trial",
+        inputs=(row["spec_fp"], row["mdesc_fp"], *executions),
+        spec_fp=row["spec_fp"],
+        mdesc_fp=row["mdesc_fp"],
+        engine_path=engine_path,
+        request_id=get_request_id(),
+        result_digest=digest_of(row["objectives"]),
+        meta={"space": space.name, "base": space.base,
+              "point": row["point"], "arch": row["arch_name"],
+              "objectives": row["objectives"],
+              "schema_names": list(schema.names),
+              "schema_digest": schema.digest},
+    ), sink=sink)
+
+
 class ExploreRunner:
     """Evaluate strategy-chosen points of a space; see module docstring."""
 
@@ -217,29 +285,13 @@ class ExploreRunner:
         store is path-backed).  ``executions`` are the engine keys the
         evaluation actually touched — empty for store hits, whose
         richer inputs survive from the original run via record merge."""
-        # Enrich the spec node with rematerialization metadata: the
-        # engine records it name-only, but a materialized spec ("x3f…")
-        # is only reconstructible from (space, point).
-        PROVENANCE.record(LineageRecord(
-            digest=trial.spec_fingerprint, kind="spec",
-            meta={"arch": trial.arch_name, "space": self.space.name,
-                  "base": self.space.base, "point": trial.point},
-        ), sink=self.store.lineage)
-        PROVENANCE.record(LineageRecord(
-            digest=key, kind="trial",
-            inputs=(trial.spec_fingerprint, trial.mdesc_fingerprint,
-                    *executions),
-            spec_fp=trial.spec_fingerprint,
-            mdesc_fp=trial.mdesc_fingerprint,
-            engine_path=engine_path,
-            request_id=get_request_id(),
-            result_digest=digest_of(trial.objectives),
-            meta={"space": self.space.name, "base": self.space.base,
-                  "point": trial.point, "arch": trial.arch_name,
-                  "objectives": trial.objectives,
-                  "schema_names": list(self.schema.names),
-                  "schema_digest": self.schema.digest},
-        ), sink=self.store.lineage)
+        record_trial_lineage(
+            self.space, self.schema, key,
+            {"point": trial.point, "arch_name": trial.arch_name,
+             "spec_fp": trial.spec_fingerprint,
+             "mdesc_fp": trial.mdesc_fingerprint,
+             "objectives": trial.objectives, "executions": executions},
+            engine_path=engine_path, sink=self.store.lineage)
 
     # ------------------------------------------------------------------
     def _generation(self, indices: Sequence[int],
@@ -305,19 +357,8 @@ class ExploreRunner:
                     self._record_trial(
                         keys[trial.index], trial, engine_path="engine",
                         executions=tuple(row.get("executions") or ()))
-                self.store.put(keys[trial.index], {
-                    "space": self.space.name,
-                    "space_fp": self.space.fingerprint,
-                    "base": self.space.base,
-                    "index": trial.index,
-                    "point": trial.point,
-                    "arch_name": trial.arch_name,
-                    "spec_fp": trial.spec_fingerprint,
-                    "mdesc_fp": trial.mdesc_fingerprint,
-                    "schema_names": list(self.schema.names),
-                    "schema_digest": self.schema.digest,
-                    "objectives": trial.objectives,
-                })
+                self.store.put(keys[trial.index],
+                               trial_record(self.space, self.schema, row))
 
         # -- record, in the strategy's requested order -------------------
         ordered = [trials_by_index[index] for index in indices]

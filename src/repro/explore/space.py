@@ -433,10 +433,28 @@ def tiny_space() -> DesignSpace:
     )
 
 
+def scaling_space() -> DesignSpace:
+    """A 384-point grid (mechanisms × TLB capacity) sized for cluster
+    scaling benches: large enough that a 2-worker sweep's speedup is
+    dominated by evaluation, not lease round trips."""
+    return DesignSpace(
+        name="scaling",
+        dimensions=(
+            Dimension("trap_entry_cycles", (2, 6, 16, 40)),
+            Dimension("window_count", (0, 8)),
+            Dimension("write_buffer_depth", (1, 4, 8)),
+            Dimension("pipeline_exposed", (False, True)),
+            Dimension("software_tlb", (False, True)),
+            Dimension("tlb_entries", (32, 64, 128, 256)),
+        ),
+    )
+
+
 #: named spaces the CLI accepts.
 SPACES: Dict[str, Callable[[], DesignSpace]] = {
     "mechanisms": mechanisms_space,
     "tiny": tiny_space,
+    "scaling": scaling_space,
 }
 
 

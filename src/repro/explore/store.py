@@ -44,7 +44,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.obs import OBS_STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
@@ -251,3 +251,86 @@ class ResultStore:
             if digest and digest not in seen:
                 seen.append(digest)
         return seen
+
+
+# ----------------------------------------------------------------------
+# multi-writer merge
+# ----------------------------------------------------------------------
+
+def canonical_record_bytes(record: Dict[str, Any]) -> str:
+    """The one serialization every store writer produces for a record
+    (sorted keys, compact separators) — the unit of bit-identity."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def merge_result_stores(
+    dest: Union[str, ResultStore],
+    sources: Sequence[Union[str, ResultStore]],
+    compact: bool = False,
+) -> Dict[str, int]:
+    """Merge several independently-written stores into ``dest``.
+
+    The single-appender assumption :meth:`ResultStore.compact` makes
+    ("later append wins") is wrong once several workers write WAL
+    segments for overlapping points: the outcome would depend on which
+    segment is folded last.  This merge is **deterministic and
+    order-independent** instead:
+
+    * records are deduplicated on their trial key (the content address
+      of (mdesc, spec, schema) — two workers that evaluated the same
+      point produce the same key);
+    * when two sources carry *byte-different* records under one key
+      (which a deterministic engine never produces, but a torn write
+      or version skew could), the lexicographically smallest canonical
+      serialization wins — a total order independent of source order;
+    * a key ``dest`` already holds is left untouched (resumed merges
+      are idempotent), counted under ``existing``;
+    * fresh keys are appended to ``dest`` in sorted-key order, so the
+      merged WAL bytes are a pure function of the merged *content*;
+    * lineage sidecars (``<path>.lineage``) of path-backed sources are
+      folded into ``dest``'s sidecar via the digest-idempotent
+      :meth:`~repro.provenance.LineageStore.append_many`.
+
+    Returns counters: ``sources``, ``seen`` (records read), ``merged``
+    (new keys appended), ``existing`` (already in dest), ``duplicates``
+    (same key + same bytes across sources), ``conflicts`` (same key,
+    different bytes).  With ``compact=True`` the merged dest is folded
+    into its sharded segment afterwards.
+    """
+    if isinstance(dest, str):
+        dest = ResultStore(dest)
+    opened = [src if isinstance(src, ResultStore) else ResultStore(src)
+              for src in sources]
+    report = {"sources": len(opened), "seen": 0, "merged": 0,
+              "existing": 0, "duplicates": 0, "conflicts": 0}
+    winners: Dict[str, Dict[str, Any]] = {}
+    blobs: Dict[str, str] = {}
+    for store in opened:
+        for record in store.records():
+            key = record.get("key")
+            if not key:
+                continue
+            report["seen"] += 1
+            blob = canonical_record_bytes(record)
+            held = blobs.get(key)
+            if held is None:
+                winners[key], blobs[key] = record, blob
+            elif blob == held:
+                report["duplicates"] += 1
+            else:
+                report["conflicts"] += 1
+                if blob < held:
+                    winners[key], blobs[key] = record, blob
+    for key in sorted(winners):
+        if key in dest:
+            report["existing"] += 1
+            continue
+        dest.put(key, winners[key])
+        report["merged"] += 1
+    if dest.lineage is not None:
+        for store in opened:
+            if store.lineage is not None and len(store.lineage):
+                dest.lineage.append_many(store.lineage.records())
+    if compact:
+        dest.compact()
+    return report

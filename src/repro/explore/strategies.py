@@ -160,3 +160,31 @@ def make_strategy(name: str, budget: Optional[int] = None):
         raise KeyError(
             f"unknown strategy {name!r}; known: {', '.join(sorted(STRATEGIES))}")
     return STRATEGIES[key](budget)
+
+
+#: strategies whose full visit set is a pure function of (space, seed,
+#: budget) — the property that makes them shardable across cluster
+#: workers.  Adaptive strategies (halving) need trial feedback between
+#: generations and cannot be partitioned into independent leases.
+SHARDABLE_STRATEGIES = ("grid", "random")
+
+
+def static_plan(strategy: str, space: DesignSpace,
+                budget: Optional[int] = None, seed: int = 0) -> List[int]:
+    """The complete, ordered visit set of a shardable strategy.
+
+    ``repro.cluster`` partitions this list into leases; because the
+    plan is deterministic upfront, every controller restart replans the
+    identical task array and the lease journal's offsets stay valid.
+    Raises ``ValueError`` for adaptive strategies.
+    """
+    key = strategy.lower()
+    if key == "grid":
+        count = space.size if budget is None else min(budget, space.size)
+        return list(range(count))
+    if key == "random":
+        count = min(budget if budget is not None else 64, space.size)
+        return _rng(space, seed).sample(range(space.size), count)
+    raise ValueError(
+        f"strategy {strategy!r} is not shardable (needs trial feedback "
+        f"between generations); shardable: {', '.join(SHARDABLE_STRATEGIES)}")

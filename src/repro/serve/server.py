@@ -152,6 +152,11 @@ class ServeApp:
         from repro.store import preregister_store_metrics
 
         preregister_store_metrics(_METRICS)
+        # cluster scheduling counters (lease grants/expiries/steals,
+        # retries, liveness) — zero cells on any /metrics surface
+        from repro.cluster import preregister_cluster_metrics
+
+        preregister_cluster_metrics(_METRICS)
 
     def _count(self, name: str, help: str, **labels: Any) -> None:
         if _OBS.metrics_on:
@@ -420,6 +425,12 @@ def _http_payload(status: int, body: bytes, content_type: str,
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+#: public aliases — ``repro.cluster`` speaks the same wire dialect (one
+#: parser, one response builder) instead of growing a second HTTP stack.
+read_http_request = _read_request
+http_payload = _http_payload
 
 
 class HttpServer:

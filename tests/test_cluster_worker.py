@@ -1,0 +1,153 @@
+"""End-to-end worker loop over a real controller server (in-process).
+
+Workers here are real :class:`ClusterWorker` instances talking HTTP to
+a :class:`ControllerThread` — only the process boundary is elided (the
+subprocess + kill -9 contracts live in ``test_cluster_faults.py``).
+What's pinned: a two-worker sweep merges to the exact bytes a
+single-process search writes, retries/failures flow through worker
+stats and controller counters, and a restarted worker skips points its
+own WAL already holds.
+"""
+
+import threading
+
+from repro.cluster import (
+    ClusterController,
+    ClusterWorker,
+    ControllerThread,
+    frontier_fingerprint,
+    single_process_fingerprint,
+)
+from repro.explore.objectives import ObjectiveSchema
+from repro.explore.space import get_space
+from repro.explore.store import ResultStore, merge_result_stores
+
+
+def run_workers(thread, tmp_path, count, **kwargs):
+    """Run ``count`` worker loops concurrently; return (workers, stats)."""
+    workers = [
+        ClusterWorker(thread.url, f"w{i}",
+                      str(tmp_path / f"worker-w{i}.jsonl"), **kwargs)
+        for i in range(count)
+    ]
+    stats = [None] * count
+    threads = []
+    for i, worker in enumerate(workers):
+        def loop(i=i, worker=worker):
+            stats[i] = worker.run()
+        t = threading.Thread(target=loop, daemon=True)
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(timeout=120.0)
+        assert not t.is_alive(), "worker loop hung"
+    return workers, stats
+
+
+def test_two_workers_merge_bit_identical_to_single_process(tmp_path):
+    space, schema = get_space("tiny"), ObjectiveSchema()
+    controller = ClusterController(space, schema, lease_size=2,
+                                   expect_workers=2)
+    thread = ControllerThread(controller)
+    try:
+        workers, stats = run_workers(thread, tmp_path, 2)
+    finally:
+        thread.stop()
+    assert controller.done
+    assert sum(s["points"] for s in stats) == space.size
+
+    dest = ResultStore(str(tmp_path / "frontier.jsonl"))
+    report = merge_result_stores(dest, [w.wal_path for w in workers])
+    assert report["merged"] == space.size
+    assert report["conflicts"] == 0
+    assert (frontier_fingerprint(dest, schema)
+            == single_process_fingerprint(space, schema))
+
+
+def test_flaky_point_retries_then_succeeds(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLUSTER_FLAKY", "3:2")
+    space, schema = get_space("tiny"), ObjectiveSchema()
+    controller = ClusterController(space, schema, lease_size=4)
+    thread = ControllerThread(controller)
+    try:
+        _, stats = run_workers(thread, tmp_path, 1,
+                               max_retries=3, backoff_s=0.001)
+    finally:
+        thread.stop()
+    assert stats[0]["retries"] == 2
+    assert stats[0]["failures"] == 0
+    assert stats[0]["points"] == space.size
+    status = controller.status()
+    assert status["counters"]["retried"] == 2
+    assert status["failures"] == []
+
+
+def test_broken_point_reports_failure_sweep_still_completes(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLUSTER_BROKEN", "5")
+    space, schema = get_space("tiny"), ObjectiveSchema()
+    controller = ClusterController(space, schema, lease_size=4)
+    thread = ControllerThread(controller)
+    try:
+        workers, stats = run_workers(thread, tmp_path, 1,
+                                     max_retries=1, backoff_s=0.001)
+    finally:
+        thread.stop()
+    assert controller.done
+    assert stats[0]["failures"] == 1
+    assert stats[0]["points"] == space.size - 1
+    status = controller.status()
+    assert status["counters"]["failed"] == 1
+    assert status["failures"][0]["point"] == 5
+    assert "injected permanent fault" in status["failures"][0]["error"]
+    # the broken point is absent, every other record is present
+    assert len(ResultStore(workers[0].wal_path)) == space.size - 1
+
+
+def test_restarted_worker_skips_points_its_wal_already_holds(tmp_path):
+    space, schema = get_space("tiny"), ObjectiveSchema()
+    first = ClusterController(space, schema, lease_size=4)
+    thread = ControllerThread(first)
+    try:
+        workers, _ = run_workers(thread, tmp_path, 1)
+    finally:
+        thread.stop()
+
+    # same WAL, fresh controller with no store: all 8 points re-lease,
+    # but the worker recognizes every record and evaluates nothing.
+    second = ClusterController(space, schema, lease_size=4)
+    thread = ControllerThread(second)
+    try:
+        worker = ClusterWorker(thread.url, "w0", workers[0].wal_path)
+        stats = worker.run()
+    finally:
+        thread.stop()
+    assert second.done
+    assert stats["skipped"] == space.size
+    assert len(ResultStore(worker.wal_path)) == space.size
+
+
+def test_worker_rejects_mismatched_plan(tmp_path):
+    """Fingerprint verification runs before any record is written."""
+    space, schema = get_space("tiny"), ObjectiveSchema()
+    controller = ClusterController(space, schema)
+    # sabotage the wire payload: claim a different space fingerprint
+    real_register = controller.register
+
+    def lying_register(worker):
+        reply = real_register(worker)
+        reply["plan"]["space_fp"] = "0" * 64
+        return reply
+
+    controller.register = lying_register
+    thread = ControllerThread(controller)
+    try:
+        worker = ClusterWorker(thread.url, "w0",
+                               str(tmp_path / "worker-w0.jsonl"))
+        try:
+            worker.run()
+            raise AssertionError("mismatch not detected")
+        except RuntimeError as err:
+            assert "reconstruction mismatch" in str(err)
+    finally:
+        thread.stop()

@@ -1,0 +1,157 @@
+"""Multi-writer ResultStore merge: deterministic, order-independent.
+
+The single-appender "latest append wins" rule is wrong once several
+cluster workers write WAL segments for overlapping points; the merge
+must dedupe on trial key and resolve (hypothetical) byte conflicts by
+a total order that does not depend on which segment is read first.
+"""
+
+import json
+import os
+
+from repro.explore.objectives import ObjectiveSchema
+from repro.explore.runner import ExploreRunner
+from repro.explore.store import (
+    ResultStore,
+    canonical_record_bytes,
+    merge_result_stores,
+    trial_key,
+)
+
+
+def _record(i, objectives=None):
+    return {
+        "space": "t", "space_fp": "fp", "base": None, "index": i,
+        "point": {"k": i}, "arch_name": f"x{i}", "spec_fp": f"s{i}",
+        "mdesc_fp": f"m{i}", "schema_names": ["a"], "schema_digest": "d",
+        "objectives": objectives or {"a": float(i)},
+    }
+
+
+def _key(i):
+    return trial_key(f"m{i}", f"s{i}", "d")
+
+
+def test_merge_dedupes_overlapping_workers(tmp_path):
+    """Two workers that both evaluated points 2 and 3 merge to one copy."""
+    a = ResultStore(str(tmp_path / "worker-a.jsonl"))
+    b = ResultStore(str(tmp_path / "worker-b.jsonl"))
+    for i in (0, 1, 2, 3):
+        a.put(_key(i), _record(i))
+    for i in (2, 3, 4, 5):
+        b.put(_key(i), _record(i))
+
+    dest = ResultStore(str(tmp_path / "merged.jsonl"))
+    report = merge_result_stores(dest, [a.path, b.path])
+    assert report == {"sources": 2, "seen": 8, "merged": 6,
+                      "existing": 0, "duplicates": 2, "conflicts": 0}
+    assert len(dest) == 6
+    for i in range(6):
+        assert dest.get(_key(i))["objectives"] == {"a": float(i)}
+
+
+def test_merge_is_order_independent(tmp_path):
+    """Merging [a, b] and [b, a] produces byte-identical stores."""
+    a = ResultStore(str(tmp_path / "worker-a.jsonl"))
+    b = ResultStore(str(tmp_path / "worker-b.jsonl"))
+    for i in (0, 1, 2):
+        a.put(_key(i), _record(i))
+    for i in (1, 2, 3):
+        b.put(_key(i), _record(i))
+
+    ab = str(tmp_path / "ab.jsonl")
+    ba = str(tmp_path / "ba.jsonl")
+    merge_result_stores(ab, [a.path, b.path])
+    merge_result_stores(ba, [b.path, a.path])
+    with open(ab, "rb") as fh_ab, open(ba, "rb") as fh_ba:
+        assert fh_ab.read() == fh_ba.read()
+
+
+def test_merge_conflict_resolves_deterministically(tmp_path):
+    """Byte-different records under one key: smallest serialization
+    wins, regardless of source order."""
+    a = ResultStore(str(tmp_path / "worker-a.jsonl"))
+    b = ResultStore(str(tmp_path / "worker-b.jsonl"))
+    a.put(_key(7), _record(7, objectives={"a": 1.0}))
+    b.put(_key(7), _record(7, objectives={"a": 2.0}))
+    winner = min(canonical_record_bytes(a.get(_key(7))),
+                 canonical_record_bytes(b.get(_key(7))))
+
+    for order in ([a.path, b.path], [b.path, a.path]):
+        dest = ResultStore(str(tmp_path / f"m-{order[0][-7]}.jsonl"))
+        report = merge_result_stores(dest, order)
+        assert report["conflicts"] == 1
+        assert canonical_record_bytes(dest.get(_key(7))) == winner
+
+
+def test_merge_idempotent_and_resumable(tmp_path):
+    """Re-merging the same sources adds nothing (dest wins on re-runs)."""
+    a = ResultStore(str(tmp_path / "worker-a.jsonl"))
+    for i in range(4):
+        a.put(_key(i), _record(i))
+    dest_path = str(tmp_path / "merged.jsonl")
+    first = merge_result_stores(dest_path, [a.path])
+    assert first["merged"] == 4
+    second = merge_result_stores(dest_path, [a.path])
+    assert second["merged"] == 0
+    assert second["existing"] == 4
+    assert len(ResultStore(dest_path)) == 4
+
+
+def test_merge_then_compact_round_trips(tmp_path):
+    """compact() after a multi-source merge keeps every record intact."""
+    a = ResultStore(str(tmp_path / "worker-a.jsonl"))
+    b = ResultStore(str(tmp_path / "worker-b.jsonl"))
+    for i in (0, 1):
+        a.put(_key(i), _record(i))
+    for i in (1, 2):
+        b.put(_key(i), _record(i))
+    dest = ResultStore(str(tmp_path / "merged.jsonl"))
+    merge_result_stores(dest, [a.path, b.path], compact=True)
+
+    reloaded = ResultStore(dest.path)
+    assert reloaded.compacted_loaded == 3
+    assert len(reloaded) == 3
+    for i in range(3):
+        assert (canonical_record_bytes(reloaded.get(_key(i)))
+                == canonical_record_bytes(dest.get(_key(i))))
+
+
+def test_merge_folds_lineage_sidecars(tmp_path):
+    """Worker lineage sidecars land in the merged store's sidecar."""
+    from repro.explore.space import tiny_space
+    from repro.provenance import PROV_STATE, set_provenance_enabled
+
+    schema = ObjectiveSchema()
+    wal = str(tmp_path / "worker-a.jsonl")
+    store = ResultStore(wal)
+    was_on = PROV_STATE.enabled
+    set_provenance_enabled(True)
+    try:
+        runner = ExploreRunner(tiny_space(), schema, store=store, budget=2)
+        runner.run()
+    finally:
+        set_provenance_enabled(was_on)
+    assert os.path.exists(f"{wal}.lineage")
+    assert len(store.lineage) > 0
+
+    dest = ResultStore(str(tmp_path / "merged.jsonl"))
+    merge_result_stores(dest, [wal])
+    assert len(dest.lineage) == len(store.lineage)
+    source_digests = {r.digest for r in store.lineage.records()}
+    dest_digests = {r.digest for r in dest.lineage.records()}
+    assert dest_digests == source_digests
+
+
+def test_merged_wal_lines_byte_identical_to_source(tmp_path):
+    """A merged record's WAL line is the same bytes the worker wrote."""
+    a = ResultStore(str(tmp_path / "worker-a.jsonl"))
+    a.put(_key(0), _record(0))
+    dest_path = str(tmp_path / "merged.jsonl")
+    merge_result_stores(dest_path, [a.path])
+    with open(a.path, "rb") as fh:
+        source_line = fh.read()
+    with open(dest_path, "rb") as fh:
+        merged_line = fh.read()
+    assert merged_line == source_line
+    assert json.loads(merged_line)["key"] == _key(0)
