@@ -351,6 +351,48 @@ def main(argv=None) -> int:
     timings["cluster_sweep_2workers"] = cluster_two["sweep_seconds"] * 1e3
     checks["cluster_frontier_parity"] = cluster_report["parity"]
 
+    # --- scenarios: streaming throughput + replication reuse -----------
+    # Cold path: generate + cost + bounded-memory sketches for one
+    # seeded replication; reuse path: the same scenario answered from
+    # the content-addressed store.  Bit-identity of the aggregate
+    # digest across same-seed runs is the correctness condition the
+    # throughput number is only valid under.
+    from repro.os_models.mach import OSStructure
+    from repro.scenarios import ScenarioRunner, fit_table7, run_replication
+
+    scenario_events = 20_000 if args.quick else 100_000
+    scenario_seeds = list(range(3))
+    scenario_model = fit_table7("andrew-local", OSStructure.KERNELIZED)
+    scenario_spec = get_arch("r3000")
+    scenario_cold_ms, scenario_row = best_of(
+        repeats, lambda: run_replication(
+            scenario_model, scenario_spec, OSStructure.KERNELIZED, 0,
+            scenario_events))
+    timings["scenario_replication_cold"] = scenario_cold_ms
+    scenario_rerun = run_replication(
+        scenario_model, scenario_spec, OSStructure.KERNELIZED, 0,
+        scenario_events)
+    checks["scenario_bit_identical"] = (
+        scenario_rerun["aggregate_digest"] == scenario_row["aggregate_digest"])
+    checks["scenario_matches_closed_form"] = (
+        abs(scenario_row["aggregate"]["os_share"]
+            - scenario_row["expected_os_share"])
+        <= 0.05 * scenario_row["expected_os_share"])
+
+    with tempfile.TemporaryDirectory(prefix="repro-scen-") as scenario_root:
+        scenario_store = os.path.join(scenario_root, "scenario.jsonl")
+        ScenarioRunner(store=scenario_store).run(
+            scenario_model, scenario_spec, OSStructure.KERNELIZED,
+            scenario_seeds, scenario_events)
+        scenario_reuse_ms, scenario_reused = best_of(
+            repeats, lambda: ScenarioRunner(store=scenario_store).run(
+                scenario_model, scenario_spec, OSStructure.KERNELIZED,
+                scenario_seeds, scenario_events))
+    timings["scenario_replications_reused"] = scenario_reuse_ms
+    checks["scenario_reuse_complete"] = (
+        scenario_reused.stats.store_hits == len(scenario_seeds)
+        and scenario_reused.stats.fresh == 0)
+
     with obs.capture() as capture:
         runner.render_all(engine=ExperimentEngine())
     window = capture.metrics()
@@ -391,6 +433,9 @@ def main(argv=None) -> int:
             ),
             "cluster_2worker_scaling": round(
                 cluster_report.get("speedup", 0.0), 2),
+            "scenario_store_reuse": round(
+                len(scenario_seeds) * timings["scenario_replication_cold"]
+                / max(timings["scenario_replications_reused"], 1e-9), 2),
         },
         "checks": checks,
         "compiled": {
@@ -438,6 +483,17 @@ def main(argv=None) -> int:
                 "throughput_rps"],
             "closed_loop_latency_ms": serve_load["closed"]["latency_ms"],
             "open_loop_latency_ms": serve_load["open"]["latency_ms"],
+        },
+        "scenarios": {
+            "workload": scenario_model.name,
+            "structure": scenario_model.structure,
+            "events_per_replication": scenario_events,
+            "events_per_second_cold": round(
+                scenario_events / (timings["scenario_replication_cold"] / 1e3),
+                1),
+            "replications_reused": len(scenario_seeds),
+            "os_share": round(scenario_row["aggregate"]["os_share"], 4),
+            "expected_os_share": round(scenario_row["expected_os_share"], 4),
         },
         "cluster": {
             "space": cluster_space.name,

@@ -21,6 +21,11 @@
     repro explore show --store trials.jsonl
     repro serve run --port 8023               # simulation-as-a-service
     repro serve bench --out BENCH_serve.json  # serving-discipline benchmark
+    repro scenario fit --workload andrew-local    # fitted model rate tables
+    repro scenario run --arch r3000 --events 1000000 --seeds 5
+    repro scenario sweep --store scen.jsonl   # paired kernelization cost
+    repro scenario sweep --frontier trials.jsonl  # price an explore frontier
+    repro scenario report --store scen.jsonl  # stored replications
 
 Also exposed as ``python -m repro``.
 """
@@ -833,6 +838,169 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_seeds(args: argparse.Namespace) -> List[int]:
+    """Replication seeds: explicit list, else ``seed0 .. seed0+N-1``."""
+    if getattr(args, "seed_list", None):
+        seeds = [int(s) for s in args.seed_list.split(",") if s.strip()]
+        if not seeds:
+            raise ValueError("--seed-list parsed to no seeds")
+        return seeds
+    return list(range(args.seed0, args.seed0 + args.seeds))
+
+
+def _scenario_structures(text: str):
+    from repro.os_models.mach import OSStructure
+
+    if text == "both":
+        return [OSStructure.MONOLITHIC, OSStructure.KERNELIZED]
+    return [OSStructure(text)]
+
+
+def _cmd_scenario_fit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import fit_session, fit_table7, render_model
+
+    models = []
+    try:
+        if args.source == "session":
+            from repro.workloads.appmix import run_session
+
+            session = run_session(arch=args.arch, seed=args.session_seed)
+            models.append(fit_session(session))
+        else:
+            for structure in _scenario_structures(args.structure):
+                models.append(fit_table7(args.workload, structure))
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([model.payload() for model in models],
+                         indent=2, sort_keys=True))
+        return 0
+    for index, model in enumerate(models):
+        if index:
+            print()
+        print(render_model(model))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.arch import get_arch
+    from repro.scenarios import ScenarioRunner, fit_table7, render_scenario
+
+    try:
+        spec = get_arch(args.arch)
+        structures = _scenario_structures(args.structure)
+        seeds = _scenario_seeds(args)
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(store=args.store, parallel=args.parallel,
+                            max_workers=args.jobs)
+    for index, structure in enumerate(structures):
+        model = fit_table7(args.workload, structure)
+        result = runner.run(model, spec, structure, seeds, args.events,
+                            window_us=args.window_us)
+        if args.digest:
+            # machine-readable bit-identity lines (the CI gate diffs
+            # two same-seed runs of this output).
+            for record in result.records:
+                print(f"{structure.value} {record['seed']} "
+                      f"{record['aggregate_digest']}")
+        else:
+            if index:
+                print()
+            print(render_scenario(result))
+    return 0
+
+
+def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        DEFAULT_SWEEP_ARCHES,
+        kernelization_sweep,
+        render_sweep,
+        specs_from_frontier,
+        sweep_specs,
+    )
+
+    try:
+        if args.frontier:
+            specs = specs_from_frontier(args.frontier, _explore_schema(args))
+        else:
+            names = ([n.strip() for n in args.arches.split(",") if n.strip()]
+                     if args.arches else list(DEFAULT_SWEEP_ARCHES))
+            specs = sweep_specs(names)
+        seeds = _scenario_seeds(args)
+    except (KeyError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 2
+    report = kernelization_sweep(
+        args.workload, specs, seeds, args.events, window_us=args.window_us,
+        store=args.store, parallel=args.parallel, max_workers=args.jobs)
+    print(render_sweep(report))
+    if args.out:
+        payload = {
+            "workload": report.workload,
+            "events": report.events,
+            "seeds": list(report.seeds),
+            "ordering": report.ordering(),
+            "expected_ordering": report.expected_ordering(),
+            "results": [
+                {
+                    "arch": result.arch_name,
+                    "monolithic_os_share": result.monolithic.os_share_ci(),
+                    "kernelized_os_share": result.kernelized.os_share_ci(),
+                    "added_share": result.cost_ci(),
+                    "ratio": result.ratio_ci(),
+                    "expected_cost": result.expected_cost,
+                    "expected_ratio": result.expected_ratio,
+                }
+                for result in report.results
+            ],
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def _cmd_scenario_report(args: argparse.Namespace) -> int:
+    from repro.core.tables import TextTable
+    from repro.explore.store import ResultStore
+    from repro.scenarios import confidence_interval
+
+    store = ResultStore(args.store)
+    groups: dict = {}
+    for record in store.records():
+        if "aggregate_digest" not in record:
+            continue  # foreign (e.g. explore-trial) record in a shared WAL
+        key = (record["model_name"], record["structure"],
+               record["arch_name"])
+        groups.setdefault(key, []).append(record)
+    if not groups:
+        print(f"no scenario replications in {args.store}", file=sys.stderr)
+        return 1
+    table = TextTable(
+        ["Workload", "Structure", "Architecture", "seeds", "events",
+         "OS share (95% CI)", "expected"],
+        title=f"Stored scenario replications — {args.store}")
+    for (model, structure, arch), records in sorted(groups.items()):
+        ci = confidence_interval(
+            [r["aggregate"]["os_share"] for r in records])
+        table.add_row([
+            model, structure, arch, str(len(records)),
+            str(sum(r["aggregate"]["events"] for r in records)),
+            f"{ci['mean']:.4f} ± {ci['half_width']:.4f}",
+            f"{records[0]['expected_os_share']:.4f}",
+        ])
+    print(table.render())
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -1264,6 +1432,110 @@ def build_parser() -> argparse.ArgumentParser:
                                 metavar="S",
                                 help="connection retry budget (default: 5)")
     cluster_status.set_defaults(func=_cmd_cluster_status)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="statistical workloads + Monte-Carlo scenario engine",
+        description="Fit statistical workload models to the paper's Mach "
+        "2.5/3.0 frequency data (or a recorded appmix session), stream "
+        "seeded Monte-Carlo event scenarios through the per-architecture "
+        "cost models with bounded-memory aggregation, and sweep the "
+        "kernelization cost across architectures with 95% confidence "
+        "intervals.")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+
+    def _scenario_workload_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="andrew-local",
+                       help="Table 7 workload profile "
+                       "(default: andrew-local)")
+
+    def _scenario_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seeds", type=_positive_int, default=5,
+                       metavar="N",
+                       help="replications per (arch, structure) "
+                       "(default: 5)")
+        p.add_argument("--seed", type=int, default=0, dest="seed0",
+                       metavar="S",
+                       help="first replication seed (default: 0)")
+        p.add_argument("--seed-list", default=None, metavar="A,B,…",
+                       help="explicit seed list "
+                       "(overrides --seeds/--seed)")
+        p.add_argument("--events", type=_positive_int, default=100_000,
+                       metavar="N",
+                       help="events per replication (default: 100000)")
+        p.add_argument("--window-us", type=float, default=10_000.0,
+                       metavar="US",
+                       help="utilization window, simulated microseconds "
+                       "(default: 10000)")
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="replication ResultStore WAL — finished "
+                       "replications are reused by content address and "
+                       "lineage lands in the sidecar")
+
+    scenario_fit = scenario_sub.add_parser(
+        "fit", help="fit a workload model and print its rate table")
+    _scenario_workload_arg(scenario_fit)
+    scenario_fit.add_argument("--structure",
+                              choices=("mach2.5", "mach3.0", "both"),
+                              default="both",
+                              help="OS structure(s) to fit (default: both)")
+    scenario_fit.add_argument("--source", choices=("table7", "session"),
+                              default="table7",
+                              help="frequency source: the paper's Table 7 "
+                              "data or a recorded appmix session "
+                              "(default: table7)")
+    scenario_fit.add_argument("--arch", default=None,
+                              help="session architecture "
+                              "(--source session only)")
+    scenario_fit.add_argument("--session-seed", type=int, default=0,
+                              metavar="S",
+                              help="appmix session seed "
+                              "(--source session only; default: 0)")
+    scenario_fit.add_argument("--json", action="store_true",
+                              help="print model payloads as JSON instead "
+                              "of the rate table")
+    scenario_fit.set_defaults(func=_cmd_scenario_fit)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="stream seeded replications on one architecture")
+    _scenario_workload_arg(scenario_run)
+    scenario_run.add_argument("--arch", required=True,
+                              help="architecture to cost events on")
+    scenario_run.add_argument("--structure",
+                              choices=("mach2.5", "mach3.0", "both"),
+                              default="both",
+                              help="OS structure(s) to run (default: both)")
+    _scenario_run_args(scenario_run)
+    scenario_run.add_argument("--digest", action="store_true",
+                              help="print one 'structure seed digest' "
+                              "line per replication (bit-identity gate)")
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep",
+        help="kernelization cost across architectures or a frontier")
+    _scenario_workload_arg(scenario_sweep)
+    scenario_sweep.add_argument("--arches", default=None, metavar="A,B,…",
+                                help="architectures to sweep (default: "
+                                "the §5/§6 comparison set)")
+    scenario_sweep.add_argument("--frontier", default=None, metavar="PATH",
+                                help="sweep the materialized Pareto "
+                                "frontier of this explore store instead "
+                                "of named architectures")
+    scenario_sweep.add_argument("--objectives", default=None,
+                                metavar="A,B,…",
+                                help="frontier objective schema "
+                                "(default schema otherwise)")
+    _scenario_run_args(scenario_sweep)
+    scenario_sweep.add_argument("--out", default=None, metavar="PATH",
+                                help="also write the sweep as JSON")
+    scenario_sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    scenario_report = scenario_sub.add_parser(
+        "report", help="summarize the replications stored in a WAL")
+    scenario_report.add_argument("--store", required=True, metavar="PATH")
+    scenario_report.set_defaults(func=_cmd_scenario_report)
 
     return parser
 

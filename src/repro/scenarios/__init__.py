@@ -1,0 +1,113 @@
+"""``repro.scenarios`` — statistical workloads and Monte-Carlo OS scenarios.
+
+The paper's §5 evaluation reduces "OS cost on architecture X" to four
+microbenchmarks and fixed Mach 2.5 vs 3.0 frequency tables.  This
+subsystem turns those point estimates into whole-workload
+distributions (ROADMAP item 4):
+
+* :mod:`~repro.scenarios.distributions` — seeded RNG scoping,
+  histogram → probability map, exponential/lognormal fits,
+  inverse-CDF sampling;
+* :mod:`~repro.scenarios.fitters` — workload models fit to the
+  paper's Mach frequency data, to appmix session counters, and to
+  recorded span traces;
+* :mod:`~repro.scenarios.generator` — lazy merged event streams,
+  millions of timestamped OS primitives in O(1) memory;
+* :mod:`~repro.scenarios.sketches` — Welford moments, P² quantiles,
+  the bounded-memory per-replication aggregate, and 95% confidence
+  intervals over seeded replications;
+* :mod:`~repro.scenarios.runner` — the streaming scenario engine:
+  content-addressed replication caching, SweepRunner fan-out sharded
+  by seed, provenance + obs integration;
+* :mod:`~repro.scenarios.report` — kernelization-cost sweeps across
+  registered architectures or an explore Pareto frontier, rendered
+  with confidence intervals.
+
+See ``docs/SCENARIOS.md`` for the design note and
+``repro scenario --help`` for the CLI.
+"""
+
+from repro.scenarios.distributions import (
+    Exponential,
+    Histogram,
+    Lognormal,
+    ProbabilityMap,
+    rng_for,
+)
+from repro.scenarios.events import ALL_KINDS, ScenarioEvent, ScenarioEventKind
+from repro.scenarios.fitters import (
+    WorkloadModel,
+    fit_session,
+    fit_table7,
+    fit_table7_pair,
+    fit_trace,
+)
+from repro.scenarios.generator import generate_events, stream_digest_probe
+from repro.scenarios.report import (
+    DEFAULT_SWEEP_ARCHES,
+    SweepReport,
+    kernelization_sweep,
+    render_model,
+    render_scenario,
+    render_sweep,
+    specs_from_frontier,
+    sweep_specs,
+)
+from repro.scenarios.runner import (
+    DEFAULT_WINDOW_US,
+    CostModel,
+    KernelizationResult,
+    ScenarioResult,
+    ScenarioRunner,
+    replication_key,
+    run_kernelization,
+    run_replication,
+    shard_seeds,
+)
+from repro.scenarios.sketches import (
+    OnlineAggregate,
+    P2Quantile,
+    StreamingMoments,
+    aggregate_digest,
+    confidence_interval,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "DEFAULT_SWEEP_ARCHES",
+    "DEFAULT_WINDOW_US",
+    "CostModel",
+    "Exponential",
+    "Histogram",
+    "KernelizationResult",
+    "Lognormal",
+    "OnlineAggregate",
+    "P2Quantile",
+    "ProbabilityMap",
+    "ScenarioEvent",
+    "ScenarioEventKind",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "StreamingMoments",
+    "SweepReport",
+    "WorkloadModel",
+    "aggregate_digest",
+    "confidence_interval",
+    "fit_session",
+    "fit_table7",
+    "fit_table7_pair",
+    "fit_trace",
+    "generate_events",
+    "kernelization_sweep",
+    "render_model",
+    "render_scenario",
+    "render_sweep",
+    "replication_key",
+    "rng_for",
+    "run_kernelization",
+    "run_replication",
+    "shard_seeds",
+    "specs_from_frontier",
+    "stream_digest_probe",
+    "sweep_specs",
+]

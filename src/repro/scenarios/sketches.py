@@ -1,0 +1,306 @@
+"""Online, bounded-memory aggregation for event streams.
+
+The scenario runner consumes millions of events and must never hold
+them: every statistic it reports comes from a constant-space sketch
+updated per observation —
+
+* :class:`StreamingMoments` — count / mean / variance via Welford's
+  recurrence (numerically stable, one pass);
+* :class:`P2Quantile` — the Jain & Chlamtac P² algorithm: five markers
+  track one quantile with piecewise-parabolic interpolation, no
+  samples stored;
+* :class:`OnlineAggregate` — the scenario-level composite: per-kind
+  event counts and OS-time totals, inter-arrival moments, and
+  windowed OS-utilization quantiles (p50/p99 over fixed simulated-time
+  windows — the tail-overhead statistic).
+
+Everything is deterministic: the same observation sequence produces
+bit-identical state, so a same-seed replication's
+:func:`aggregate_digest` is a bit-identity check for the whole
+pipeline (generation order, costing, sketch arithmetic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios.events import ScenarioEventKind
+
+
+class StreamingMoments:
+    """Welford one-pass count/mean/variance."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two observations)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"count": self.count, "mean": self.mean,
+                "variance": self.variance}
+
+
+class P2Quantile:
+    """One quantile tracked by the P² algorithm (five markers).
+
+    Before five observations arrive the exact sorted sample answers;
+    afterwards marker heights adjust by parabolic (falling back to
+    linear) interpolation.  Constant space, deterministic.
+    """
+
+    __slots__ = ("p", "_initial", "_heights", "_positions", "_desired",
+                 "_increments", "count")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantile must be strictly between 0 and 1")
+        self.p = p
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                p = self.p
+                self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                                 3.0 + 2.0 * p, 5.0]
+            return
+
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if ((delta >= 1.0 and positions[i + 1] - positions[i] > 1.0)
+                    or (delta <= -1.0 and positions[i - 1] - positions[i] < -1.0)):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not heights[i - 1] < candidate < heights[i + 1]:
+                    candidate = self._linear(i, step)
+                heights[i] = candidate
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        if len(self._initial) < 5:
+            if not self._initial:
+                return 0.0
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1,
+                        max(0, math.ceil(self.p * len(ordered)) - 1))
+            return ordered[index]
+        return self._heights[2]
+
+
+class OnlineAggregate:
+    """The scenario runner's per-replication composite sketch.
+
+    Updated once per event with the event's kind, timestamp, and
+    costed OS microseconds; windows of ``window_us`` simulated time
+    feed the utilization quantile sketches when the stream crosses
+    their boundary.  Memory is O(kinds + markers), never O(events).
+    """
+
+    def __init__(self, window_us: float = 10_000.0) -> None:
+        if window_us <= 0:
+            raise ValueError("window must be positive")
+        self.window_us = window_us
+        self.events = 0
+        self.os_us = 0.0
+        self.last_at_us = 0.0
+        self.counts: Dict[ScenarioEventKind, int] = {}
+        self.kind_us: Dict[ScenarioEventKind, float] = {}
+        self._last_arrival: Dict[ScenarioEventKind, float] = {}
+        self.inter_arrival: Dict[ScenarioEventKind, StreamingMoments] = {}
+        self.window_utilization = StreamingMoments()
+        self.utilization_p50 = P2Quantile(0.50)
+        self.utilization_p99 = P2Quantile(0.99)
+        self._window_end_us = window_us
+        self._window_os_us = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(self, at_us: float, kind: ScenarioEventKind,
+                cost_us: float) -> None:
+        while at_us >= self._window_end_us:
+            self._close_window()
+        self.events += 1
+        self.os_us += cost_us
+        self.last_at_us = at_us
+        self._window_os_us += cost_us
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.kind_us[kind] = self.kind_us.get(kind, 0.0) + cost_us
+        previous = self._last_arrival.get(kind)
+        if previous is not None:
+            self.inter_arrival.setdefault(
+                kind, StreamingMoments()).add(at_us - previous)
+        self._last_arrival[kind] = at_us
+
+    def _close_window(self) -> None:
+        utilization = min(1.0, self._window_os_us / self.window_us)
+        self.window_utilization.add(utilization)
+        self.utilization_p50.add(utilization)
+        self.utilization_p99.add(utilization)
+        self._window_os_us = 0.0
+        self._window_end_us += self.window_us
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_us(self) -> float:
+        return self.last_at_us
+
+    @property
+    def os_share(self) -> float:
+        """Fraction of elapsed simulated time spent in OS primitives."""
+        return self.os_us / self.last_at_us if self.last_at_us > 0 else 0.0
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-safe summary — the content the aggregate digest covers."""
+        return {
+            "events": self.events,
+            "elapsed_us": self.last_at_us,
+            "os_us": self.os_us,
+            "os_share": self.os_share,
+            "window_us": self.window_us,
+            "counts": {k.value: v for k, v in sorted(
+                self.counts.items(), key=lambda item: item[0].value)},
+            "kind_us": {k.value: v for k, v in sorted(
+                self.kind_us.items(), key=lambda item: item[0].value)},
+            "inter_arrival_us": {k.value: m.payload() for k, m in sorted(
+                self.inter_arrival.items(), key=lambda item: item[0].value)},
+            "utilization": {
+                "windows": self.window_utilization.count,
+                "mean": self.window_utilization.mean,
+                "p50": self.utilization_p50.value,
+                "p99": self.utilization_p99.value,
+            },
+        }
+
+
+def aggregate_digest(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON bytes of an aggregate payload.
+
+    ``repr``-exact float serialization (json default) makes this a
+    bit-identity check: two runs agree iff every float agrees to the
+    last bit.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# replication statistics
+# ----------------------------------------------------------------------
+
+#: two-sided 95% Student-t critical values by degrees of freedom
+#: (1-30); beyond that the normal 1.96 is within 2%.
+_T95 = (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042)
+
+
+def confidence_interval(values: List[float]) -> Dict[str, Any]:
+    """Mean with a 95% t-interval over independent replications.
+
+    The Becker & Chakraborty discipline: report the interval, not a
+    single run.  One replication yields a zero-width interval tagged
+    ``df: 0`` so downstream readers can see there was no spread to
+    estimate.
+    """
+    if not values:
+        raise ValueError("confidence interval needs at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return {"mean": mean, "stddev": 0.0, "half_width": 0.0,
+                "low": mean, "high": mean, "n": 1, "df": 0}
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(variance)
+    df = n - 1
+    t = _T95[df - 1] if df <= len(_T95) else 1.96
+    half = t * stddev / math.sqrt(n)
+    return {"mean": mean, "stddev": stddev, "half_width": half,
+            "low": mean - half, "high": mean + half, "n": n, "df": df}
+
+
+def quantile_reference(values: List[float], p: float) -> float:
+    """Exact quantile of a small list (tests compare sketches to this)."""
+    if not values:
+        raise ValueError("cannot take a quantile of nothing")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(p * len(ordered)) - 1))
+    return ordered[index]
+
+
+def merge_moments(parts: List[StreamingMoments]) -> Optional[StreamingMoments]:
+    """Combine Welford states (parallel-shard merge, Chan et al.)."""
+    merged: Optional[StreamingMoments] = None
+    for part in parts:
+        if part.count == 0:
+            continue
+        if merged is None:
+            merged = StreamingMoments()
+            merged.count, merged.mean, merged._m2 = (
+                part.count, part.mean, part._m2)
+            continue
+        total = merged.count + part.count
+        delta = part.mean - merged.mean
+        merged._m2 = (merged._m2 + part._m2
+                      + delta * delta * merged.count * part.count / total)
+        merged.mean += delta * part.count / total
+        merged.count = total
+    return merged

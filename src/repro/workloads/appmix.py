@@ -44,13 +44,23 @@ class SessionResult:
 
 
 def run_session(arch: "ArchSpec | None" = None, iterations: int = 5,
-                sink=None) -> SessionResult:
+                sink=None, seed: "int | None" = None) -> SessionResult:
     """Run the integrated session; returns the combined accounting.
 
     ``sink`` (a :class:`repro.obs.spans.SpanSink`) subscribes to the
     machine's span stream for the whole session — ``repro trace appmix``
     uses this to export the timeline as a Chrome trace.
+
+    ``seed`` varies the session shape (think/compile times, working-set
+    size and write mix, message sizes, interrupt bursts) through one
+    scoped :func:`~repro.scenarios.distributions.rng_for` stream: the
+    whole session is a pure function of ``(arch, iterations, seed)``,
+    so same-seed runs produce bit-identical counters on every
+    architecture.  ``seed=None`` keeps the legacy fixed schedule.
     """
+    from repro.scenarios.distributions import rng_for
+
+    rng = rng_for(seed, "appmix") if seed is not None else None
     machine = SimulatedMachine(arch or get_arch("r3000"))
     if sink is not None:
         machine.tracer.add_sink(sink)
@@ -70,26 +80,42 @@ def run_session(arch: "ArchSpec | None" = None, iterations: int = 5,
     messages = 0
 
     for round_number in range(iterations):
+        # seeded per-round shape; the None path is the legacy schedule.
+        if rng is not None:
+            source_blocks = rng.randint(2, 6)
+            think_us = rng.uniform(250.0, 750.0)
+            working_set = rng.randint(6, 14)
+            write_fraction = rng.uniform(0.2, 0.5)
+            compile_us = rng.uniform(1_000.0, 3_000.0)
+            object_blocks = rng.randint(1, 4)
+            ether_bursts = rng.randint(1, 3)
+        else:
+            source_blocks, think_us = 4, 500.0
+            working_set, write_fraction = 10, 0.0
+            compile_us, object_blocks, ether_bursts = 2_000.0, 3, 1
+
         # --- editor: write a source file -----------------------------
         machine.switch_to(editor.main_thread)
         machine.syscall("null")  # open
         source = fs.open(f"/project/file{round_number}.c", create=True)
         files_created += 1
-        for block in range(4):
+        for block in range(source_blocks):
             machine.syscall("null")  # write syscall
             fs.write(source, block * BLOCK_BYTES, BLOCK_BYTES)
-        machine.advance(500.0)  # think time
+        machine.advance(think_us)  # think time
 
         # --- compiler: demand-page over its working set ---------------
         machine.switch_to(compiler.main_thread)
-        for vpn in range(round_number, round_number + 10):
-            machine.vm.touch(vpn, write=(vpn % 3 == 0), space=compiler.space)
+        for vpn in range(round_number, round_number + working_set):
+            write = (rng.random() < write_fraction if rng is not None
+                     else vpn % 3 == 0)
+            machine.vm.touch(vpn, write=write, space=compiler.space)
         machine.syscall("null")  # read the source
-        fs.read(source, 0, 4 * BLOCK_BYTES)
-        machine.advance(2_000.0)  # compile time
+        fs.read(source, 0, source_blocks * BLOCK_BYTES)
+        machine.advance(compile_us)  # compile time
 
         # --- ship the object file back over the port ------------------
-        port.send(compiler, 3 * BLOCK_BYTES)
+        port.send(compiler, object_blocks * BLOCK_BYTES)
         machine.switch_to(editor.main_thread)
         message, _ = port.receive(editor)
         if not message.inline_copied:
@@ -97,7 +123,8 @@ def run_session(arch: "ArchSpec | None" = None, iterations: int = 5,
         messages += 1
 
         # --- the outside world keeps interrupting ---------------------
-        controller.raise_interrupt("ether")
+        for _ in range(ether_bursts):
+            controller.raise_interrupt("ether")
         clock.run_until(machine.clock_us)
 
     return SessionResult(

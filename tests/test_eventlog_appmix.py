@@ -218,6 +218,32 @@ def test_session_deterministic():
     assert a.counters == b.counters
 
 
+def test_session_seeded_runs_bit_identical_on_every_arch():
+    """Same seed → bit-identical counters, for every registered arch."""
+    from repro.arch import ALL_ARCH_NAMES
+
+    for name in ALL_ARCH_NAMES:
+        arch = get_arch(name)
+        first = run_session(arch, iterations=3, seed=11)
+        second = run_session(arch, iterations=3, seed=11)
+        assert first.counters == second.counters, name
+        assert first.elapsed_us == second.elapsed_us, name
+        assert first.messages_exchanged == second.messages_exchanged, name
+        assert first.page_faults_served == second.page_faults_served, name
+
+
+def test_session_seed_changes_the_workload():
+    a = run_session(iterations=3, seed=1)
+    b = run_session(iterations=3, seed=2)
+    assert a.counters != b.counters
+
+
+def test_session_seed_none_keeps_legacy_schedule():
+    seeded_module_state = run_session(iterations=3)
+    assert seeded_module_state.counters == run_session(iterations=3).counters
+    assert seeded_module_state.files_created == 3
+
+
 def test_session_slower_on_sparc():
     r3000 = run_session(get_arch("r3000"), iterations=3)
     sparc = run_session(get_arch("sparc"), iterations=3)

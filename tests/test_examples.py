@@ -21,6 +21,10 @@ CASES = {
                               "rediscovers the OS-friendly direction"],
     "serve_client.py": ["serving on http://", "null syscall",
                         "coalesced onto one engine execution", "drained"],
+    "scenario_kernelization_cost.py": [
+        "Workload model 'andrew-local'", "ipc_message",
+        "kernelization-cost ordering", "closed-form",
+        "pays the least for kernelization"],
 }
 
 

@@ -1,0 +1,121 @@
+"""RNG hygiene lint: no module-global random state anywhere in the tree.
+
+Scenario results are bit-identical only because every sample is drawn
+from an explicitly seeded generator (``random.Random`` /
+``numpy.random.default_rng``) scoped to its consumer.  A single call
+through the module-global ``random.*`` or ``numpy.random.*`` state
+would couple unrelated subsystems through hidden shared state and
+break same-seed reproducibility, so this test walks the AST of every
+shipped Python file and bans them outright.
+
+Allowed: constructing generator objects (``random.Random``,
+``random.SystemRandom``, ``numpy.random.default_rng``,
+``numpy.random.Generator``) and importing the modules themselves.
+"""
+
+import ast
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: directories whose code must be hygienic (tests may seed as they like).
+SCANNED_DIRS = ("src", "benchmarks", "scripts", "examples")
+
+#: attribute names that construct explicit generators — always fine.
+ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+ALLOWED_NUMPY_RANDOM_ATTRS = {"default_rng", "Generator", "BitGenerator",
+                              "SeedSequence", "PCG64", "Philox"}
+
+
+def _python_files():
+    for top in SCANNED_DIRS:
+        root = os.path.join(REPO_ROOT, top)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def _offenders_in(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+
+    random_aliases = set()
+    numpy_aliases = set()
+    offenders = []
+    relative = os.path.relpath(path, REPO_ROOT)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.asname or alias.name
+                if alias.name == "random":
+                    random_aliases.add(target)
+                elif alias.name in ("numpy", "numpy.random"):
+                    numpy_aliases.add(target.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_RANDOM_ATTRS:
+                        offenders.append(
+                            f"{relative}:{node.lineno}: "
+                            f"from random import {alias.name}")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_NUMPY_RANDOM_ATTRS:
+                        offenders.append(
+                            f"{relative}:{node.lineno}: "
+                            f"from numpy.random import {alias.name}")
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        value = node.value
+        # random.<attr> on the module itself
+        if (isinstance(value, ast.Name) and value.id in random_aliases
+                and node.attr not in ALLOWED_RANDOM_ATTRS):
+            offenders.append(
+                f"{relative}:{node.lineno}: random.{node.attr}")
+        # numpy.random.<attr> / np.random.<attr>
+        if (isinstance(value, ast.Attribute) and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_aliases
+                and node.attr not in ALLOWED_NUMPY_RANDOM_ATTRS):
+            offenders.append(
+                f"{relative}:{node.lineno}: numpy.random.{node.attr}")
+    return offenders
+
+
+def test_no_module_global_random_state():
+    offenders = []
+    scanned = 0
+    for path in _python_files():
+        scanned += 1
+        offenders.extend(_offenders_in(path))
+    assert scanned > 50  # the walk found the real tree, not an empty dir
+    assert not offenders, (
+        "module-global RNG use — thread a seeded random.Random through "
+        "instead:\n" + "\n".join(offenders))
+
+
+def test_lint_actually_detects_offenses(tmp_path):
+    """The scanner itself works: a planted offender is caught."""
+    planted = tmp_path / "offender.py"
+    planted.write_text(
+        "import random\n"
+        "import numpy as np\n"
+        "from random import randint\n"
+        "x = random.random()\n"
+        "y = np.random.rand(3)\n"
+        "ok = random.Random(7).random()\n"
+        "rng = np.random.default_rng(7)\n")
+    offenders = _offenders_in(str(planted))
+    assert any("random.random" in line for line in offenders)
+    assert any("numpy.random.rand" in line for line in offenders)
+    assert any("from random import randint" in line for line in offenders)
+    assert not any("Random(7)" in line or "default_rng" in line
+                   for line in offenders)
+    assert len(offenders) == 3

@@ -1,0 +1,185 @@
+"""Distribution toolkit: fits, inverse-CDF sampling, determinism."""
+
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scenarios.distributions import (
+    Exponential,
+    Histogram,
+    Lognormal,
+    ProbabilityMap,
+    distribution_from_payload,
+    distribution_payload,
+    rng_for,
+)
+
+
+# ----------------------------------------------------------------------
+# rng scoping
+# ----------------------------------------------------------------------
+
+def test_rng_for_is_deterministic_per_scope():
+    a = [rng_for(7, "x").random() for _ in range(5)]
+    b = [rng_for(7, "x").random() for _ in range(5)]
+    assert a == b
+
+
+def test_rng_for_scopes_are_independent_streams():
+    assert rng_for(7, "x").random() != rng_for(7, "y").random()
+    assert rng_for(7, "x").random() != rng_for(8, "x").random()
+    assert rng_for(7, "model", "kind").random() == \
+        rng_for(7, "model", "kind").random()
+
+
+# ----------------------------------------------------------------------
+# histogram -> probability map
+# ----------------------------------------------------------------------
+
+def test_histogram_from_samples_covers_range():
+    hist = Histogram.from_samples([1.0, 2.0, 3.0, 4.0], bins=3)
+    assert hist.total == 4
+    assert hist.edges[0] == 1.0
+    assert hist.edges[-1] == 4.0
+    assert sum(hist.counts) == 4
+
+
+def test_histogram_degenerate_samples_still_usable():
+    hist = Histogram.from_samples([5.0, 5.0, 5.0], bins=4)
+    pmap = hist.probability_map()
+    assert pmap.sample(rng_for(0, "d")) == pytest.approx(5.125)
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram.from_samples([], bins=3)
+    with pytest.raises(ValueError):
+        Histogram(edges=(1.0,), counts=())
+    with pytest.raises(ValueError):
+        Histogram(edges=(2.0, 1.0), counts=(1,))
+    with pytest.raises(ValueError):
+        Histogram(edges=(1.0, 2.0), counts=(-1,))
+
+
+def test_probability_map_normalizes_raw_counts():
+    pmap = ProbabilityMap(values=(1.0, 2.0), probabilities=(3.0, 1.0))
+    assert pmap.probabilities == (0.75, 0.25)
+    assert pmap.mean() == pytest.approx(1.25)
+
+
+def test_probability_map_inverse_cdf_determinism():
+    pmap = ProbabilityMap(values=(1.0, 2.0, 3.0),
+                          probabilities=(0.2, 0.5, 0.3))
+    draws_a = [pmap.sample(rng_for(3, "p")) for _ in range(100)]
+    draws_b = [pmap.sample(rng_for(3, "p")) for _ in range(100)]
+    assert draws_a == draws_b
+    assert set(draws_a) <= {1.0, 2.0, 3.0}
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1,
+                max_size=30),
+       st.integers(min_value=0, max_value=2**32))
+def test_probability_map_normalization_property(weights, seed):
+    """Any positive weight vector normalizes to a unit total, and every
+    inverse-CDF draw lands on a declared value."""
+    values = tuple(float(i) for i in range(len(weights)))
+    pmap = ProbabilityMap(values=values, probabilities=tuple(weights))
+    assert sum(pmap.probabilities) == pytest.approx(1.0)
+    assert pmap._cdf[-1] == 1.0
+    rng = rng_for(seed, "prop")
+    for _ in range(10):
+        assert pmap.sample(rng) in values
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e4),
+                min_size=2, max_size=200),
+       st.integers(min_value=1, max_value=32))
+def test_histogram_probability_map_preserves_mass(samples, bins):
+    pmap = Histogram.from_samples(samples, bins=bins).probability_map()
+    assert sum(pmap.probabilities) == pytest.approx(1.0)
+    # every midpoint lies inside the sampled range (or the padded
+    # degenerate one-unit bin when all samples coincide)
+    lo = min(samples)
+    hi = max(max(samples), lo + 1.0)
+    assert all(lo <= v <= hi for v in pmap.values)
+
+
+# ----------------------------------------------------------------------
+# parametric fits: fit -> sample round trips recover the moments
+# ----------------------------------------------------------------------
+
+def test_exponential_fit_sample_round_trip():
+    truth = Exponential(rate=0.25)
+    rng = rng_for(11, "exp")
+    samples = [truth.sample(rng) for _ in range(20_000)]
+    fitted = Exponential.fit(samples)
+    assert fitted.mean() == pytest.approx(truth.mean(), rel=0.05)
+    assert fitted.variance() == pytest.approx(truth.variance(), rel=0.10)
+
+
+def test_lognormal_fit_sample_round_trip():
+    truth = Lognormal(mu=1.5, sigma=0.4)
+    rng = rng_for(13, "logn")
+    samples = [truth.sample(rng) for _ in range(20_000)]
+    fitted = Lognormal.fit(samples)
+    assert fitted.mu == pytest.approx(truth.mu, abs=0.02)
+    assert fitted.sigma == pytest.approx(truth.sigma, abs=0.02)
+    assert fitted.mean() == pytest.approx(truth.mean(), rel=0.05)
+
+
+def test_probability_map_fit_round_trip_recovers_moments():
+    truth = Exponential(rate=0.1)
+    rng = rng_for(17, "pmap-fit")
+    samples = [truth.sample(rng) for _ in range(20_000)]
+    pmap = Histogram.from_samples(samples, bins=64).probability_map()
+    # binning discretizes, so the recovered mean is close but not exact
+    assert pmap.mean() == pytest.approx(truth.mean(), rel=0.10)
+    draw_rng = rng_for(17, "pmap-draw")
+    draws = [pmap.sample(draw_rng) for _ in range(20_000)]
+    assert sum(draws) / len(draws) == pytest.approx(truth.mean(), rel=0.10)
+
+
+def test_exponential_sampling_determinism():
+    dist = Exponential(rate=2.0)
+    a = [dist.sample(rng_for(5, "s")) for _ in range(50)]
+    b = [dist.sample(rng_for(5, "s")) for _ in range(50)]
+    assert a == b
+    assert all(x >= 0 for x in a)
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        Exponential.fit([])
+    with pytest.raises(ValueError):
+        Exponential.fit([0.0, 0.0])
+    with pytest.raises(ValueError):
+        Lognormal.fit([1.0, -2.0])
+    with pytest.raises(ValueError):
+        Exponential(rate=0.0)
+    with pytest.raises(ValueError):
+        Lognormal(mu=0.0, sigma=-1.0)
+
+
+# ----------------------------------------------------------------------
+# wire round trip
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("dist", [
+    Exponential(rate=0.5),
+    Lognormal(mu=2.0, sigma=0.3),
+    ProbabilityMap(values=(1.0, 2.0), probabilities=(0.5, 0.5)),
+])
+def test_distribution_payload_round_trip(dist):
+    clone = distribution_from_payload(distribution_payload(dist))
+    assert type(clone) is type(dist)
+    assert clone.mean() == pytest.approx(dist.mean())
+    rng_a, rng_b = rng_for(1, "rt"), rng_for(1, "rt")
+    assert [dist.sample(rng_a) for _ in range(10)] == \
+        [clone.sample(rng_b) for _ in range(10)]
+
+
+def test_unknown_distribution_payload_rejected():
+    with pytest.raises(ValueError):
+        distribution_from_payload({"family": "zipf"})
+    with pytest.raises(TypeError):
+        distribution_payload(object())

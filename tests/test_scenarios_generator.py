@@ -1,0 +1,175 @@
+"""Event generation: laziness, determinism, fitters."""
+
+import itertools
+
+import pytest
+
+from repro.os_models.mach import OSStructure
+from repro.scenarios import (
+    ScenarioEventKind,
+    WorkloadModel,
+    fit_session,
+    fit_table7,
+    fit_table7_pair,
+    fit_trace,
+    generate_events,
+    stream_digest_probe,
+)
+from repro.scenarios.distributions import Exponential
+from repro.scenarios.fitters import produce_inter_times
+
+
+def _tiny_model(name="tiny"):
+    return WorkloadModel(
+        name=name, structure="mach2.5",
+        inter_arrival_us={
+            ScenarioEventKind.SYSCALL: Exponential(rate=0.01),
+            ScenarioEventKind.TRAP: Exponential(rate=0.002),
+        })
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+
+def test_events_are_time_ordered_and_bounded():
+    events = list(generate_events(_tiny_model(), seed=0, max_events=500))
+    assert len(events) == 500
+    stamps = [e.at_us for e in events]
+    assert stamps == sorted(stamps)
+    assert {e.kind for e in events} == {ScenarioEventKind.SYSCALL,
+                                        ScenarioEventKind.TRAP}
+
+
+def test_same_seed_streams_are_bit_identical():
+    model = _tiny_model()
+    a = list(generate_events(model, seed=42, max_events=200))
+    b = list(generate_events(model, seed=42, max_events=200))
+    assert a == b
+    assert stream_digest_probe(model, 42, 200) == \
+        stream_digest_probe(model, 42, 200)
+
+
+def test_different_seed_and_model_streams_differ():
+    model = _tiny_model()
+    assert stream_digest_probe(model, 1, 200) != \
+        stream_digest_probe(model, 2, 200)
+    other = _tiny_model(name="other")  # digest differs -> streams differ
+    assert model.digest != other.digest
+    assert stream_digest_probe(model, 1, 200) != \
+        stream_digest_probe(other, 1, 200)
+
+
+def test_stream_is_lazy():
+    """An unbounded stream can be consumed incrementally (no list)."""
+    stream = generate_events(_tiny_model(), seed=3)
+    head = list(itertools.islice(stream, 10))
+    assert len(head) == 10
+    more = list(itertools.islice(stream, 10))
+    assert more[0].at_us > head[-1].at_us
+
+
+def test_horizon_bound():
+    events = list(generate_events(_tiny_model(), seed=5,
+                                  horizon_us=10_000.0))
+    assert events
+    assert all(e.at_us <= 10_000.0 for e in events)
+
+
+def test_generation_validation():
+    with pytest.raises(ValueError):
+        next(generate_events(_tiny_model(), 0, max_events=-1))
+    with pytest.raises(ValueError):
+        next(generate_events(_tiny_model(), 0, horizon_us=-1.0))
+
+
+def test_observed_rates_match_the_model():
+    model = _tiny_model()
+    events = list(generate_events(model, seed=9, max_events=20_000))
+    elapsed_s = events[-1].at_us / 1e6
+    for kind in model.kinds():
+        observed = sum(1 for e in events if e.kind is kind) / elapsed_s
+        assert observed == pytest.approx(model.rate_hz(kind), rel=0.10)
+
+
+# ----------------------------------------------------------------------
+# fitters
+# ----------------------------------------------------------------------
+
+def test_fit_table7_pair_structures_differ():
+    mono, kern = fit_table7_pair("andrew-local")
+    assert mono.structure == "mach2.5" and kern.structure == "mach3.0"
+    assert ScenarioEventKind.IPC_MESSAGE not in mono.kinds()
+    assert ScenarioEventKind.IPC_MESSAGE in kern.kinds()
+    # the 2.5 -> 3.0 split multiplies syscalls (RPCs become kernel calls)
+    assert kern.rate_hz(ScenarioEventKind.SYSCALL) > \
+        mono.rate_hz(ScenarioEventKind.SYSCALL)
+
+
+def test_fit_table7_digest_is_stable():
+    a = fit_table7("spellcheck-1", OSStructure.MONOLITHIC)
+    b = fit_table7("spellcheck-1", OSStructure.MONOLITHIC)
+    assert a.digest == b.digest
+    assert a.digest != fit_table7("latex-150", OSStructure.MONOLITHIC).digest
+
+
+def test_model_payload_round_trip_and_digest_check():
+    model = fit_table7("andrew-local", OSStructure.KERNELIZED)
+    clone = WorkloadModel.from_payload(model.payload())
+    assert clone.digest == model.digest
+    assert stream_digest_probe(model, 0, 100) == \
+        stream_digest_probe(clone, 0, 100)
+    tampered = model.payload()
+    tampered["inter_arrival_us"] = dict(tampered["inter_arrival_us"])
+    tampered["inter_arrival_us"]["syscall"] = {
+        "family": "exponential", "rate": 99.0}
+    with pytest.raises(ValueError):
+        WorkloadModel.from_payload(tampered)
+
+
+def test_fit_session_counts_become_rates():
+    from repro.workloads.appmix import run_session
+
+    result = run_session(iterations=3, seed=4)
+    model = fit_session(result)
+    assert model.source == "session"
+    assert model.structure == "mach2.5"
+    elapsed_s = result.elapsed_us / 1e6
+    assert model.rate_hz(ScenarioEventKind.SYSCALL) == pytest.approx(
+        result.counters["syscalls"] / elapsed_s, rel=1e-6)
+    assert model.rate_hz(ScenarioEventKind.IPC_MESSAGE) == pytest.approx(
+        result.messages_exchanged / elapsed_s, rel=1e-6)
+
+
+def test_produce_inter_times_sorts_and_drops_zero_gaps():
+    assert produce_inter_times([3.0, 1.0, 2.0, 2.0]) == [1.0, 1.0]
+
+
+def test_fit_trace_from_recorded_session_spans():
+    from repro.obs.spans import InMemorySink
+    from repro.workloads.appmix import run_session
+
+    sink = InMemorySink()
+    run_session(iterations=3, sink=sink, seed=6)
+    model = fit_trace(sink.spans, name="appmix-trace")
+    assert model.source == "trace"
+    assert ScenarioEventKind.SYSCALL in model.kinds()
+    assert ScenarioEventKind.CONTEXT_SWITCH in model.kinds()
+    # the fitted model generates a valid stream
+    events = list(generate_events(model, seed=0, max_events=100))
+    assert len(events) == 100
+
+
+def test_fit_trace_rejects_unmappable_spans():
+    class Span:
+        name = "unrelated"
+        end_us = 1.0
+
+    with pytest.raises(ValueError):
+        fit_trace([Span(), Span()])
+
+
+def test_model_requires_at_least_one_kind():
+    with pytest.raises(ValueError):
+        WorkloadModel(name="empty", structure="mach2.5",
+                      inter_arrival_us={})
